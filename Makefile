@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures ablations vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
+figures:
+	$(GO) run ./cmd/aflsim -fig all -out results
+
+ablations:
+	$(GO) run ./cmd/aflsim -fig none -ablation all -out results
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf results/*.csv

@@ -1,0 +1,91 @@
+package afl
+
+import (
+	"github.com/fedauction/afl/internal/core"
+)
+
+// Core auction types, re-exported from the implementation package.
+type (
+	// Bid is one sealed bid B_ij = {b, θ, [a,d], c} plus the client's
+	// per-round timing profile.
+	Bid = core.Bid
+	// Config carries the auction-wide parameters (T, K, t_max, payment
+	// rule).
+	Config = core.Config
+	// Result is the outcome of the full A_FL auction.
+	Result = core.Result
+	// WDPResult is the outcome of a single fixed-T̂_g winner-determination
+	// problem.
+	WDPResult = core.WDPResult
+	// Winner is one accepted bid with its schedule and payment.
+	Winner = core.Winner
+	// Dual is the primal-dual approximation certificate of Lemma 5.
+	Dual = core.Dual
+	// PaymentRule selects the winner-payment computation.
+	PaymentRule = core.PaymentRule
+	// LocalIterFunc maps local accuracy θ to local iteration counts
+	// (Eq. (2)).
+	LocalIterFunc = core.LocalIterFunc
+)
+
+// Payment rules.
+const (
+	// RuleCritical is the paper's Algorithm 3 (default).
+	RuleCritical = core.RuleCritical
+	// RuleExactCritical pays exact Myerson thresholds via bisection.
+	RuleExactCritical = core.RuleExactCritical
+	// RulePayBid pays winners their claimed price (not truthful).
+	RulePayBid = core.RulePayBid
+)
+
+// ErrNoBids is returned when an auction is run without bids.
+var ErrNoBids = core.ErrNoBids
+
+// RunAuction executes the full A_FL auction (Algorithm 1 of the paper):
+// it enumerates the feasible numbers of global iterations, solves a
+// winner-determination problem for each, and returns the minimum-cost
+// solution with schedules, critical-value payments, and the dual
+// certificate bounding its distance from optimal.
+func RunAuction(bids []Bid, cfg Config) (Result, error) {
+	return core.RunAuction(bids, cfg)
+}
+
+// RunAuctionConcurrent is RunAuction with the independent per-T̂_g
+// winner-determination problems fanned out over a worker pool
+// (workers ≤ 0 selects GOMAXPROCS). Results are bit-identical to
+// RunAuction.
+func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
+	return core.RunAuctionConcurrent(bids, cfg, workers)
+}
+
+// RunWDP qualifies bids for a fixed T̂_g and solves that single
+// winner-determination problem with A_winner (Algorithm 2).
+func RunWDP(bids []Bid, tg int, cfg Config) (WDPResult, error) {
+	return core.RunWDP(bids, tg, cfg)
+}
+
+// Qualified returns the indices of bids qualified for a fixed T̂_g (line 6
+// of Algorithm 1).
+func Qualified(bids []Bid, tg int, cfg Config) []int {
+	return core.Qualified(bids, tg, cfg)
+}
+
+// MinTg returns T_0 = ⌈1/(1−θ_min)⌉, the smallest feasible number of
+// global iterations for the bid population.
+func MinTg(bids []Bid) int { return core.MinTg(bids) }
+
+// CheckSolution verifies an auction outcome against every constraint of
+// the paper's ILP (6); use it as defense in depth before paying clients.
+func CheckSolution(bids []Bid, res Result, cfg Config) error {
+	return core.CheckSolution(bids, res, cfg)
+}
+
+// ValidateBids validates a bid population against the auction parameters.
+func ValidateBids(bids []Bid, maxT, k int) error { return core.ValidateBids(bids, maxT, k) }
+
+// PaperLocalIters is the simplified T_l(θ) = ⌊10(1−θ)⌋ of the paper's
+// evaluation.
+func PaperLocalIters(theta float64) float64 { return core.PaperLocalIters(theta) }
+
+// LogLocalIters returns Eq. (2)'s T_l(θ) = η·log(1/θ).
+func LogLocalIters(eta float64) LocalIterFunc { return core.LogLocalIters(eta) }

@@ -1,0 +1,24 @@
+package afl
+
+import "github.com/fedauction/afl/internal/baseline"
+
+// Comparison mechanisms from the paper's evaluation.
+type (
+	// Mechanism is a winner-determination heuristic comparable to
+	// A_winner on the same fixed-T̂_g problem.
+	Mechanism = baseline.Mechanism
+	// BaselineOutcome is a baseline's solution to one WDP.
+	BaselineOutcome = baseline.Outcome
+	// FCFS is the first-come first-served baseline [21].
+	FCFS = baseline.FCFS
+	// Greedy is the static per-round-price greedy baseline [20].
+	Greedy = baseline.Greedy
+	// AOnline is the online payment-function mechanism adapted from [17].
+	AOnline = baseline.AOnline
+)
+
+// RunBaselineOverTg wraps a baseline in the same T̂_g enumeration A_FL
+// performs and returns its best feasible outcome.
+func RunBaselineOverTg(m Mechanism, bids []Bid, cfg Config) (BaselineOutcome, bool) {
+	return baseline.RunOverTg(m, bids, cfg)
+}

@@ -1,0 +1,182 @@
+package afl_test
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// section (there are no numeric tables; Table I is notation). Each
+// benchmark regenerates its figure's series at reduced ("quick") scale so
+// `go test -bench=.` completes in minutes; run cmd/aflsim for the
+// full-scale figures and CSV output.
+//
+// Micro-benchmarks for the core algorithm at paper scale follow the
+// figure benchmarks.
+
+import (
+	"testing"
+
+	"github.com/fedauction/afl"
+	"github.com/fedauction/afl/internal/baseline"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		fig := runner(experiments.Options{Seed: int64(i + 1), Quick: true})
+		if len(fig.Chart.Series) == 0 {
+			b.Fatalf("%s produced no series", id)
+		}
+	}
+}
+
+// BenchmarkFig3WinnerRatio regenerates Fig. 3: performance ratio of
+// A_winner across T̂_g and bids-per-client J.
+func BenchmarkFig3WinnerRatio(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4AuctionRatio regenerates Fig. 4: performance ratio of all
+// four algorithms across client counts.
+func BenchmarkFig4AuctionRatio(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig4JAuctionRatio regenerates the J sweep of Fig. 4.
+func BenchmarkFig4JAuctionRatio(b *testing.B) { benchFigure(b, "fig4j") }
+
+// BenchmarkFig5CostVsClients regenerates Fig. 5: social cost vs I.
+func BenchmarkFig5CostVsClients(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6CostVsBids regenerates Fig. 6: social cost vs J.
+func BenchmarkFig6CostVsBids(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7CostVsTg regenerates Fig. 7: social cost at fixed T̂_g
+// (resource-proportional costs; shows the computation/communication
+// balance point).
+func BenchmarkFig7CostVsTg(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8RunningTime regenerates Fig. 8: A_FL vs A_online runtime.
+func BenchmarkFig8RunningTime(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9PaymentVsCost regenerates Fig. 9: payment vs claimed cost
+// per winner (individual rationality).
+func BenchmarkFig9PaymentVsCost(b *testing.B) { benchFigure(b, "fig9") }
+
+// --- core algorithm micro-benchmarks at the paper's default scale ---
+
+func paperBids(b *testing.B, clients, bidsPer int) ([]afl.Bid, afl.Config) {
+	b.Helper()
+	p := afl.DefaultWorkloadParams()
+	p.Clients = clients
+	p.BidsPerUser = bidsPer
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bids, p.Config()
+}
+
+// BenchmarkRunAuctionI1000 measures the full A_FL enumeration at the
+// paper's default I=1000, J=5, T=50, K=20.
+func BenchmarkRunAuctionI1000(b *testing.B) {
+	bids, cfg := paperBids(b, 1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := afl.RunAuction(bids, cfg)
+		if err != nil || !res.Feasible {
+			b.Fatalf("auction failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkRunAuctionI9000 measures the paper's largest input
+// (I=9000, J=10), the right-most point of Fig. 8.
+func BenchmarkRunAuctionI9000(b *testing.B) {
+	bids, cfg := paperBids(b, 9000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := afl.RunAuction(bids, cfg)
+		if err != nil || !res.Feasible {
+			b.Fatalf("auction failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkRunAuctionConcurrent measures the parallel T̂_g fan-out at the
+// paper's default scale; compare with BenchmarkRunAuctionI1000.
+func BenchmarkRunAuctionConcurrent(b *testing.B) {
+	bids, cfg := paperBids(b, 1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := afl.RunAuctionConcurrent(bids, cfg, 0)
+		if err != nil || !res.Feasible {
+			b.Fatalf("auction failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkSolveWDP measures one winner-determination problem (A_winner)
+// at T̂_g=50.
+func BenchmarkSolveWDP(b *testing.B) {
+	bids, cfg := paperBids(b, 1000, 5)
+	qual := core.Qualified(bids, cfg.T, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.SolveWDP(bids, qual, cfg.T, cfg)
+		if !res.Feasible {
+			b.Fatal("WDP infeasible")
+		}
+	}
+}
+
+// BenchmarkBaselines measures each comparison mechanism on the same WDP.
+func BenchmarkBaselines(b *testing.B) {
+	bids, cfg := paperBids(b, 1000, 5)
+	qual := core.Qualified(bids, cfg.T, cfg)
+	for _, m := range []baseline.Mechanism{baseline.FCFS{}, baseline.Greedy{}, baseline.AOnline{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := m.Solve(bids, qual, cfg.T, cfg)
+				if !out.Feasible {
+					b.Fatal("baseline infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGenerate measures population generation at default
+// scale.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	p := afl.DefaultWorkloadParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		if _, err := afl.GenerateWorkload(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactCriticalPayments measures the bisection payment rule on a
+// small instance (it re-runs the allocation O(log 1/ε) times per winner).
+func BenchmarkExactCriticalPayments(b *testing.B) {
+	p := afl.DefaultWorkloadParams()
+	p.Clients = 100
+	p.T = 15
+	p.K = 4
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := p.Config()
+	cfg.PaymentRule = afl.RuleExactCritical
+	cfg.ExcludeOwnBids = true
+	cfg.ReservePrice = 500
+	qual := core.Qualified(bids, p.T, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.SolveWDP(bids, qual, p.T, cfg)
+		if !res.Feasible {
+			b.Fatal("WDP infeasible")
+		}
+	}
+}

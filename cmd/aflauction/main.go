@@ -1,0 +1,181 @@
+// Command aflauction runs a single A_FL auction. Bids come either from a
+// JSON file (-input) or from the built-in §VII-A workload generator
+// (-clients/-bids/-seed). The outcome is printed as a human-readable
+// summary and, with -json, as machine-readable JSON on stdout.
+//
+// Input file format: a JSON array of bid objects,
+//
+//	[{"Client":0,"Price":12.5,"Theta":0.5,"Start":1,"End":6,
+//	  "Rounds":2,"CompTime":5,"CommTime":10}, ...]
+//
+// Examples:
+//
+//	aflauction -clients 200 -T 20 -K 5
+//	aflauction -input bids.json -T 50 -K 20 -rule exact
+//	aflauction -clients 100 -json > result.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/fedauction/afl"
+)
+
+func main() {
+	input := flag.String("input", "", "bids file, .json or .csv (empty: generate a workload)")
+	dump := flag.String("dump", "", "write the bid population to this file (.json or .csv) before running")
+	clients := flag.Int("clients", 200, "generated workload: number of clients")
+	bidsPer := flag.Int("bids", 5, "generated workload: bids per client")
+	seed := flag.Int64("seed", 1, "generated workload: RNG seed")
+	maxT := flag.Int("T", 50, "maximum number of global iterations")
+	k := flag.Int("K", 20, "participants required per global iteration")
+	tmax := flag.Float64("tmax", 60, "per-iteration time budget t_max (0 disables)")
+	rule := flag.String("rule", "critical", "payment rule: critical, exact, paybid")
+	reserve := flag.Float64("reserve", 0, "reserve price (0 disables)")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON on stdout")
+	simulate := flag.Bool("simulate", false, "after the auction, simulate wall-clock round execution")
+	jitter := flag.Float64("jitter", 0.1, "timing jitter for -simulate (σ of log round time)")
+	flag.Parse()
+
+	cfg := afl.Config{T: *maxT, K: *k, TMax: *tmax, ReservePrice: *reserve}
+	switch *rule {
+	case "critical":
+		cfg.PaymentRule = afl.RuleCritical
+	case "exact":
+		cfg.PaymentRule = afl.RuleExactCritical
+		cfg.ExcludeOwnBids = true
+	case "paybid":
+		cfg.PaymentRule = afl.RulePayBid
+	default:
+		fatalf("unknown payment rule %q", *rule)
+	}
+
+	var bids []afl.Bid
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("open %s: %v", *input, err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*input, ".csv") {
+			bids, err = afl.ReadBidsCSV(f)
+		} else {
+			bids, err = afl.ReadBidsJSON(f)
+		}
+		if err != nil {
+			fatalf("parse %s: %v", *input, err)
+		}
+	} else {
+		p := afl.DefaultWorkloadParams()
+		p.Clients = *clients
+		p.BidsPerUser = *bidsPer
+		p.T = *maxT
+		p.K = *k
+		p.TMax = *tmax
+		p.Seed = *seed
+		var err error
+		bids, err = afl.GenerateWorkload(p)
+		if err != nil {
+			fatalf("generate workload: %v", err)
+		}
+	}
+	if err := afl.ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		fatalf("invalid bids: %v", err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatalf("create %s: %v", *dump, err)
+		}
+		if strings.HasSuffix(*dump, ".csv") {
+			err = afl.WriteBidsCSV(f, bids)
+		} else {
+			err = afl.WriteBidsJSON(f, bids)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("dump %s: %v", *dump, err)
+		}
+	}
+
+	res, err := afl.RunAuction(bids, cfg)
+	if err != nil {
+		fatalf("auction: %v", err)
+	}
+	if res.Feasible {
+		if err := afl.CheckSolution(bids, res, cfg); err != nil {
+			fatalf("solution failed verification: %v", err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(auctionOutput(res)); err != nil {
+			fatalf("encode: %v", err)
+		}
+		return
+	}
+	fmt.Print(res.String())
+	if res.Feasible {
+		fmt.Printf("total payments: %.2f   certificate: cost ≤ %.3f × optimal, optimal ≥ %.2f\n",
+			res.TotalPayment(), res.Dual.RatioBound, res.Dual.Bound())
+	}
+	if *simulate && res.Feasible {
+		sim, err := afl.SimulateRounds(res, cfg.K, afl.RoundSimOptions{
+			TMax: cfg.TMax, Jitter: *jitter, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("simulate: %v", err)
+		}
+		fmt.Printf("execution simulation: %s\n", sim)
+	}
+}
+
+// output is the stable JSON shape of an auction result.
+type output struct {
+	Feasible   bool         `json:"feasible"`
+	Tg         int          `json:"tg"`
+	Cost       float64      `json:"cost"`
+	Payments   float64      `json:"payments"`
+	RatioBound float64      `json:"ratio_bound"`
+	DualBound  float64      `json:"dual_lower_bound"`
+	Winners    []winnerJSON `json:"winners"`
+}
+
+type winnerJSON struct {
+	Client   int     `json:"client"`
+	BidIndex int     `json:"bid_index"`
+	Price    float64 `json:"price"`
+	Payment  float64 `json:"payment"`
+	Slots    []int   `json:"slots"`
+}
+
+func auctionOutput(res afl.Result) output {
+	out := output{
+		Feasible:   res.Feasible,
+		Tg:         res.Tg,
+		Cost:       res.Cost,
+		Payments:   res.TotalPayment(),
+		RatioBound: res.Dual.RatioBound,
+		DualBound:  res.Dual.Objective,
+	}
+	for _, w := range res.Winners {
+		out.Winners = append(out.Winners, winnerJSON{
+			Client: w.Bid.Client, BidIndex: w.Bid.Index,
+			Price: w.Bid.Price, Payment: w.Payment, Slots: w.Slots,
+		})
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

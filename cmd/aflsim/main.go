@@ -1,0 +1,127 @@
+// Command aflsim regenerates the paper's evaluation figures (Fig. 3-9).
+// Each figure is printed as an ASCII chart with measured headline notes
+// and written as a CSV series for external plotting.
+//
+// Usage:
+//
+//	aflsim -fig all                 # every figure at paper scale
+//	aflsim -fig 5 -quick            # one figure at quick scale
+//	aflsim -fig 3,4 -out results/   # choose figures and CSV directory
+//	aflsim -seed 7 -trials 5        # reproducibility and averaging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/fedauction/afl/internal/experiments"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figures to run: all, none, or a comma list like 3,5,9")
+	ablFlag := flag.String("ablation", "none", "ablations to run: all, none, or a comma list (payment-rules, schedule-rule, redundancy, lazy-vs-naive)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	trials := flag.Int("trials", 0, "trials per data point (0 = default)")
+	quick := flag.Bool("quick", false, "small instances for a fast pass")
+	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
+	width := flag.Int("width", 70, "chart width")
+	height := flag.Int("height", 16, "chart height")
+	list := flag.Bool("list", false, "list available figures and ablations, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("ablations:")
+		for _, id := range experiments.AblationIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	ids, err := selectFigures(*figFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ablations, err := selectAblations(*ablFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	run := func(id string, runner experiments.Runner) {
+		start := time.Now()
+		fig := runner(opts)
+		fmt.Printf("=== %s: %s (%.1fs) ===\n", strings.ToUpper(fig.ID), fig.Title, time.Since(start).Seconds())
+		fmt.Print(fig.Chart.Render(*width, *height))
+		for _, n := range fig.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		if *out != "" {
+			path := filepath.Join(*out, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.Chart.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  csv: %s\n", path)
+		}
+		fmt.Println()
+	}
+	for _, id := range ids {
+		run(id, experiments.Registry[id])
+	}
+	for _, id := range ablations {
+		run(id, experiments.Ablations[id])
+	}
+}
+
+func selectFigures(spec string) ([]string, error) {
+	switch spec {
+	case "all", "":
+		return experiments.IDs(), nil
+	case "none":
+		return nil, nil
+	}
+	var ids []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "fig")
+		id := "fig" + part
+		if _, ok := experiments.Registry[id]; !ok {
+			return nil, fmt.Errorf("unknown figure %q (have %s)", part, strings.Join(experiments.IDs(), ", "))
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func selectAblations(spec string) ([]string, error) {
+	switch spec {
+	case "all":
+		return experiments.AblationIDs(), nil
+	case "none", "":
+		return nil, nil
+	}
+	var ids []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if _, ok := experiments.Ablations[part]; !ok {
+			return nil, fmt.Errorf("unknown ablation %q (have %s)", part, strings.Join(experiments.AblationIDs(), ", "))
+		}
+		ids = append(ids, part)
+	}
+	return ids, nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/fedauction/afl/internal/experiments"
+)
+
+func TestSelectFigures(t *testing.T) {
+	all, err := selectFigures("all")
+	if err != nil || len(all) != len(experiments.IDs()) {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	none, err := selectFigures("none")
+	if err != nil || none != nil {
+		t.Fatalf("none = %v, %v", none, err)
+	}
+	got, err := selectFigures("3, fig5 ,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig3", "fig5", "fig9"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := selectFigures("42"); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestSelectAblations(t *testing.T) {
+	all, err := selectAblations("all")
+	if err != nil || len(all) != len(experiments.AblationIDs()) {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	none, err := selectAblations("none")
+	if err != nil || none != nil {
+		t.Fatalf("none = %v, %v", none, err)
+	}
+	got, err := selectAblations("redundancy, payment-rules")
+	if err != nil || len(got) != 2 || got[0] != "redundancy" || got[1] != "payment-rules" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := selectAblations("bogus"); err == nil {
+		t.Fatal("unknown ablation must error")
+	}
+}

@@ -1,0 +1,169 @@
+// Command flplatform runs the networked auction marketplace over real TCP
+// sockets in three modes:
+//
+//	flplatform -mode demo                  # server + agents in one process
+//	flplatform -mode server -addr :7001 -agents 6
+//	flplatform -mode client -addr host:7001 -id 3
+//
+// The server announces the FL job, collects sealed bids, runs A_FL,
+// drives the training rounds over the winning schedule, and settles
+// payments; each client process holds a private synthetic shard and bids
+// from its own resource profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/fedauction/afl"
+)
+
+func main() {
+	mode := flag.String("mode", "demo", "demo, server, or client")
+	addr := flag.String("addr", "127.0.0.1:7001", "listen/dial address")
+	agents := flag.Int("agents", 6, "number of agents (demo/server)")
+	id := flag.Int("id", 0, "client id (client mode)")
+	seed := flag.Int64("seed", 5, "RNG seed")
+	maxT := flag.Int("T", 8, "maximum global iterations")
+	k := flag.Int("K", 2, "participants per iteration")
+	dim := flag.Int("dim", 6, "model dimension")
+	flag.Parse()
+
+	switch *mode {
+	case "demo":
+		runDemo(*agents, *seed, *maxT, *k, *dim)
+	case "server":
+		runServer(*addr, *agents, *seed, *maxT, *k, *dim)
+	case "client":
+		runClient(*addr, *id, *seed, *maxT, *dim)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func newServer(seed int64, agents, maxT, k, dim int) (*afl.Server, afl.Dataset) {
+	rng := afl.NewRNG(seed)
+	eval, _ := afl.GenerateSynthetic(rng, afl.SyntheticOptions{Samples: 1000, Dim: dim})
+	job := afl.Job{Name: "flplatform", T: maxT, K: k, TMax: 60, Dim: dim}
+	return afl.NewServer(afl.ServerConfig{
+		Job: job, L2: 0.01, Eval: eval, RecvTimeout: 10 * time.Second,
+	}), eval
+}
+
+func newAgent(id int, seed int64, maxT, dim int) *afl.Agent {
+	// Derive the agent's private shard and resource profile from its own
+	// seed so server and client processes need not share state.
+	rng := afl.NewRNG(seed + int64(id)*1000003)
+	data, _ := afl.GenerateSynthetic(rng, afl.SyntheticOptions{Samples: 300, Dim: dim})
+	theta := rng.FloatRange(0.4, 0.7)
+	start := rng.IntRange(1, maxT/2)
+	end := rng.IntRange(start+1, maxT)
+	rounds := rng.IntRange(1, end-start)
+	return &afl.Agent{
+		ID: id,
+		Bids: []afl.Bid{{
+			Price: rng.FloatRange(10, 40), Theta: theta,
+			Start: start, End: end, Rounds: rounds,
+			CompTime: rng.FloatRange(5, 10), CommTime: rng.FloatRange(10, 15),
+		}},
+		Learner:     &afl.FLClient{ID: id, Data: data, Theta: theta, LR: 0.4},
+		L2:          0.01,
+		RecvTimeout: 30 * time.Second,
+	}
+}
+
+func printReport(report afl.SessionReport) {
+	fmt.Printf("auction: feasible=%v T_g=%d cost=%.1f winners=%d bidders=%d\n",
+		report.Auction.Feasible, report.Auction.Tg, report.Auction.Cost,
+		len(report.Auction.Winners), report.ClientsBid)
+	for _, r := range report.Rounds {
+		fmt.Printf("  round %d: responded %v failed %v accuracy %.3f\n",
+			r.Iteration, r.Responded, r.Failed, r.Accuracy)
+	}
+	fmt.Println("ledger:")
+	fmt.Print(report.Ledger.String())
+}
+
+func runServer(addr string, agents int, seed int64, maxT, k, dim int) {
+	server, _ := newServer(seed, agents, maxT, k, dim)
+	conns := make(map[int]afl.Conn, agents)
+	var mu sync.Mutex
+	done := make(chan struct{})
+	count := 0
+	boundAddr, stop, err := afl.Listen(addr, agents, func(c afl.Conn) {
+		mu.Lock()
+		conns[count] = c
+		count++
+		if count == agents {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
+	fmt.Printf("listening on %s, waiting for %d agents\n", boundAddr, agents)
+	<-done
+	report, err := server.RunSession(conns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printReport(report)
+}
+
+func runClient(addr string, id int, seed int64, maxT, dim int) {
+	conn, err := afl.Dial(addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	agent := newAgent(id, seed, maxT, dim)
+	report, err := agent.Run(conn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("agent %d: won=%v rounds=%d paid=%.2f %s\n",
+		id, report.Won, report.RoundsRun, report.Paid, report.PayReason)
+}
+
+func runDemo(agents int, seed int64, maxT, k, dim int) {
+	server, _ := newServer(seed, agents, maxT, k, dim)
+	conns := make(map[int]afl.Conn, agents)
+	reports := make([]afl.AgentReport, agents)
+	var wg sync.WaitGroup
+	for i := 0; i < agents; i++ {
+		sc, ac := afl.Pipe(64)
+		conns[i] = sc
+		agent := newAgent(i, seed, maxT, dim)
+		wg.Add(1)
+		go func(i int, a *afl.Agent, c afl.Conn) {
+			defer wg.Done()
+			r, err := a.Run(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agent %d: %v\n", i, err)
+			}
+			reports[i] = r
+		}(i, agent, ac)
+	}
+	report, err := server.RunSession(conns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	wg.Wait()
+	printReport(report)
+	for i, r := range reports {
+		fmt.Printf("agent %d: won=%v paid=%.2f %s\n", i, r.Won, r.Paid, r.PayReason)
+	}
+}

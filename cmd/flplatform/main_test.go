@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestNewAgentDeterministic(t *testing.T) {
+	a := newAgent(3, 5, 8, 6)
+	b := newAgent(3, 5, 8, 6)
+	if len(a.Bids) != 1 || len(b.Bids) != 1 {
+		t.Fatalf("agents must carry one bid: %d, %d", len(a.Bids), len(b.Bids))
+	}
+	if a.Bids[0] != b.Bids[0] {
+		t.Fatalf("equal seeds must yield identical bids: %+v vs %+v", a.Bids[0], b.Bids[0])
+	}
+	if a.Learner.Data.Len() != b.Learner.Data.Len() {
+		t.Fatal("shards differ across equal-seed agents")
+	}
+	c := newAgent(4, 5, 8, 6)
+	if a.Bids[0] == c.Bids[0] {
+		t.Fatal("different agent ids must derive different bids")
+	}
+	// Bids must be structurally valid for the job horizon.
+	if err := a.Bids[0].Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewServerConfig(t *testing.T) {
+	server, eval := newServer(5, 4, 8, 2, 6)
+	if server == nil {
+		t.Fatal("nil server")
+	}
+	if eval.Len() == 0 {
+		t.Fatal("empty eval set")
+	}
+}

@@ -1,0 +1,33 @@
+// Package afl is a Go implementation of the truthful procurement auction
+// for federated learning from
+//
+//	Zhou, Pang, Wang, Lui, Li. "A Truthful Procurement Auction for
+//	Incentivizing Heterogeneous Clients in Federated Learning."
+//	IEEE ICDCS 2021.
+//
+// A cloud server needs K mobile clients in every global iteration of a
+// federated-learning job. Clients submit sealed bids — claimed cost, local
+// accuracy θ, an availability window of global iterations, and a number of
+// participation rounds. The A_FL auction jointly chooses the number of
+// global iterations T_g (coupled to the winners' accuracies via
+// T_g ≥ 1/(1−θ_max)), the winning bids, each winner's schedule, and
+// truthful critical-value payments, approximately minimizing social cost.
+//
+// The root package is the public facade: the auction itself (RunAuction,
+// RunWDP, CheckSolution), the paper's §VII-A workload generator
+// (GenerateWorkload), the comparison baselines (FCFS, Greedy, AOnline),
+// a federated-learning simulator that executes the winning schedule
+// (Train, FLClient), and a networked auctioneer/client platform
+// (Server, Agent) with in-memory and TCP transports.
+//
+// # Quick start
+//
+//	bids, _ := afl.GenerateWorkload(afl.DefaultWorkloadParams())
+//	cfg := afl.Config{T: 50, K: 20, TMax: 60}
+//	res, err := afl.RunAuction(bids, cfg)
+//	// res.Tg, res.Winners (schedules + payments), res.Cost,
+//	// res.Dual.RatioBound (per-instance approximation certificate)
+//
+// Experiment reproduction (the paper's Fig. 3–9) lives in cmd/aflsim and
+// the benchmarks in bench_test.go.
+package afl

@@ -1,0 +1,40 @@
+package afl
+
+import "github.com/fedauction/afl/internal/exact"
+
+// Exact optimization references (branch-and-bound; practical for small
+// and medium winner-determination problems).
+type (
+	// ExactResult is a branch-and-bound outcome.
+	ExactResult = exact.Result
+	// ExactOptions tunes the search.
+	ExactOptions = exact.Options
+	// VCGResult is the Vickrey-Clarke-Groves outcome: optimal allocation
+	// with externality payments.
+	VCGResult = exact.VCGResult
+)
+
+// RunExact computes the optimal solution of the fixed-T̂_g WDP over the
+// qualified bids by branch-and-bound.
+func RunExact(bids []Bid, tg int, cfg Config, opts ExactOptions) (ExactResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ExactResult{}, err
+	}
+	if err := ValidateBids(bids, max(cfg.T, tg), cfg.K); err != nil {
+		return ExactResult{}, err
+	}
+	return exact.SolveWDP(bids, Qualified(bids, tg, cfg), tg, cfg, opts), nil
+}
+
+// RunVCG computes the VCG outcome of the fixed-T̂_g WDP: exactly optimal
+// and exactly truthful, at exponential cost — the reference point for
+// A_FL's polynomial-time trade-off.
+func RunVCG(bids []Bid, tg int, cfg Config, opts ExactOptions) (VCGResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return VCGResult{}, err
+	}
+	if err := ValidateBids(bids, max(cfg.T, tg), cfg.K); err != nil {
+		return VCGResult{}, err
+	}
+	return exact.SolveVCG(bids, Qualified(bids, tg, cfg), tg, cfg, opts), nil
+}

@@ -1,0 +1,64 @@
+package afl_test
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fedauction/afl"
+)
+
+// ExampleServer_RunSession wires four in-process agents to an auctioneer
+// and runs a complete session: announce → sealed bids → A_FL → training
+// rounds → settlement.
+func ExampleServer_RunSession() {
+	rng := afl.NewRNG(10)
+	data, _ := afl.GenerateSynthetic(rng, afl.SyntheticOptions{Samples: 400, Dim: 3})
+	shards := afl.PartitionIID(rng, data, 4)
+
+	job := afl.Job{Name: "demo", T: 4, K: 1, TMax: 60, Dim: 3}
+	server := afl.NewServer(afl.ServerConfig{
+		Job: job, L2: 0.01, Eval: data, RecvTimeout: 2 * time.Second,
+	})
+
+	conns := make(map[int]afl.Conn, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		serverSide, agentSide := afl.Pipe(32)
+		conns[i] = serverSide
+		agent := &afl.Agent{
+			ID: i,
+			Bids: []afl.Bid{{
+				Price: float64(5 + i), Theta: 0.5, Start: 1, End: 4, Rounds: 2,
+				CompTime: 5, CommTime: 10,
+			}},
+			Learner:     &afl.FLClient{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 10 * time.Second,
+		}
+		wg.Add(1)
+		go func(a *afl.Agent, c afl.Conn) {
+			defer wg.Done()
+			_, _ = a.Run(c)
+		}(agent, agentSide)
+	}
+
+	report, err := server.RunSession(conns)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	wg.Wait()
+
+	fmt.Println("feasible:", report.Auction.Feasible)
+	fmt.Println("bidders:", report.ClientsBid)
+	fmt.Println("rounds ran:", len(report.Rounds) == report.Auction.Tg)
+	fmt.Println("payments settled:", report.Ledger.Total() > 0)
+	// Output:
+	// feasible: true
+	// bidders: 4
+	// rounds ran: true
+	// payments settled: true
+}

@@ -1,0 +1,130 @@
+// Command marketplace runs the networked auction platform of Fig. 1: an
+// auctioneer server and client agents exchanging protocol messages —
+// announce, sealed bids, awards, training rounds, settlement — over
+// in-process connections (default) or real TCP sockets (-tcp). One client
+// is configured to drop out mid-training to show the settlement rule:
+// clients that break their schedule forfeit payment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/fedauction/afl"
+)
+
+const (
+	numAgents = 10
+	dim       = 6
+)
+
+func main() {
+	useTCP := flag.Bool("tcp", false, "run over real TCP sockets instead of in-process pipes")
+	flag.Parse()
+
+	rng := afl.NewRNG(3)
+	full, _ := afl.GenerateSynthetic(rng, afl.SyntheticOptions{Samples: 1500, Dim: dim})
+	shards := afl.PartitionIID(rng, full, numAgents)
+
+	job := afl.Job{Name: "marketplace-demo", T: 8, K: 3, TMax: 60, Dim: dim}
+	server := afl.NewServer(afl.ServerConfig{
+		Job:         job,
+		L2:          0.01,
+		Eval:        full,
+		RecvTimeout: 2 * time.Second,
+	})
+
+	agents := make([]*afl.Agent, numAgents)
+	for i := 0; i < numAgents; i++ {
+		theta := rng.FloatRange(0.4, 0.7)
+		// Wide windows so K-coverage of the late iterations stays
+		// feasible with a handful of agents.
+		start := rng.IntRange(1, 2)
+		end := rng.IntRange(job.T-2, job.T)
+		agents[i] = &afl.Agent{
+			ID: i,
+			Bids: []afl.Bid{{
+				Price: rng.FloatRange(10, 30), Theta: theta,
+				Start: start, End: end, Rounds: rng.IntRange(3, end-start),
+				CompTime: rng.FloatRange(5, 10), CommTime: rng.FloatRange(10, 15),
+			}},
+			Learner:     &afl.FLClient{ID: i, Data: shards[i], Theta: theta, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 10 * time.Second,
+		}
+	}
+	// Agent 2 will abandon the job after its first round.
+	agents[2].Behavior.DropAfterRounds = 1
+	agents[2].Bids[0].Price = 5 // cheap enough to win
+
+	serverConns := make(map[int]afl.Conn, numAgents)
+	agentConns := make([]afl.Conn, numAgents)
+	if *useTCP {
+		accepted := make(chan afl.Conn, numAgents)
+		addr, stop, err := afl.Listen("127.0.0.1:0", numAgents, func(c afl.Conn) { accepted <- c })
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("auctioneer listening on %s\n", addr)
+		for i := range agents {
+			conn, err := afl.Dial(addr, time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			agentConns[i] = conn
+			serverConns[i] = <-accepted
+		}
+	} else {
+		for i := range agents {
+			sc, ac := afl.Pipe(64)
+			serverConns[i] = sc
+			agentConns[i] = ac
+		}
+	}
+
+	reports := make([]afl.AgentReport, numAgents)
+	var wg sync.WaitGroup
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a *afl.Agent) {
+			defer wg.Done()
+			r, err := a.Run(agentConns[i])
+			if err != nil {
+				log.Printf("agent %d: %v", i, err)
+			}
+			reports[i] = r
+		}(i, a)
+	}
+
+	session, err := server.RunSession(serverConns)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	for _, c := range serverConns {
+		c.Close()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nauction: feasible=%v T_g=%d cost=%.1f winners=%d (from %d bidders)\n",
+		session.Auction.Feasible, session.Auction.Tg, session.Auction.Cost,
+		len(session.Auction.Winners), session.ClientsBid)
+	fmt.Println("\ntraining rounds:")
+	for _, r := range session.Rounds {
+		fmt.Printf("  round %d: scheduled %v responded %v failed %v acc %.3f\n",
+			r.Iteration, r.Scheduled, r.Responded, r.Failed, r.Accuracy)
+	}
+	fmt.Println("\nsettlement ledger:")
+	fmt.Print(session.Ledger.String())
+	fmt.Println("agent-side view:")
+	for i, r := range reports {
+		status := "lost"
+		if r.Won {
+			status = fmt.Sprintf("won, ran %d rounds", r.RoundsRun)
+		}
+		fmt.Printf("  agent %d: %s, paid %.2f %s\n", i, status, r.Paid, r.PayReason)
+	}
+}

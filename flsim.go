@@ -1,0 +1,104 @@
+package afl
+
+import (
+	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Federated-learning simulation types: the substrate the auctioned
+// schedules actually run on.
+type (
+	// Dataset is a labeled design matrix for binary classification.
+	Dataset = fl.Dataset
+	// FLClient is one federated participant (local shard, promised θ,
+	// learning rate, optional dropout probability).
+	FLClient = fl.Client
+	// TrainConfig drives a FedAvg run.
+	TrainConfig = fl.TrainConfig
+	// TrainResult is the outcome of Train.
+	TrainResult = fl.TrainResult
+	// RoundStats records one global iteration of training.
+	RoundStats = fl.RoundStats
+	// SyntheticOptions configures GenerateSynthetic.
+	SyntheticOptions = fl.SyntheticOptions
+	// MultiDataset is a labeled design matrix for multiclass tasks.
+	MultiDataset = fl.MultiDataset
+	// MultiSyntheticOptions configures GenerateSyntheticMulti.
+	MultiSyntheticOptions = fl.MultiSyntheticOptions
+	// MultiFLClient is a federated participant on a multiclass shard.
+	MultiFLClient = fl.MultiClient
+)
+
+// NewRNG returns the seeded random source used across the library; equal
+// seeds reproduce workloads, datasets and simulations exactly.
+func NewRNG(seed int64) *stats.RNG { return stats.NewRNG(seed) }
+
+// GenerateSynthetic draws a logistic-regression task and its ground-truth
+// weights.
+func GenerateSynthetic(rng *stats.RNG, opts SyntheticOptions) (Dataset, []float64) {
+	return fl.GenerateSynthetic(rng, opts)
+}
+
+// PartitionIID splits a dataset into n near-equal client shards.
+func PartitionIID(rng *stats.RNG, ds Dataset, n int) []Dataset {
+	return fl.PartitionIID(rng, ds, n)
+}
+
+// PartitionNonIID splits a dataset into n label-skewed client shards.
+func PartitionNonIID(rng *stats.RNG, ds Dataset, n int, skew float64) []Dataset {
+	return fl.PartitionNonIID(rng, ds, n, skew)
+}
+
+// Train runs FedAvg over the scheduled clients: schedule[r] lists the
+// client IDs participating in global iteration r+1, exactly as an auction
+// solution prescribes.
+func Train(clients map[int]*FLClient, schedule [][]int, eval Dataset, cfg TrainConfig) (TrainResult, error) {
+	return fl.Train(clients, schedule, eval, cfg)
+}
+
+// ScheduleFromSlots converts per-winner slot lists into the per-round
+// client-ID lists Train expects.
+func ScheduleFromSlots(rounds int, slots map[int][]int) [][]int {
+	return fl.ScheduleFromSlots(rounds, slots)
+}
+
+// ScheduleFromResult extracts the training schedule from an auction
+// outcome: winners are keyed by client ID.
+func ScheduleFromResult(res Result) [][]int {
+	slots := make(map[int][]int, len(res.Winners))
+	for _, w := range res.Winners {
+		slots[w.Bid.Client] = w.Slots
+	}
+	return fl.ScheduleFromSlots(res.Tg, slots)
+}
+
+// ModelAccuracy returns the classification accuracy of weights on a
+// dataset.
+func ModelAccuracy(weights []float64, ds Dataset) float64 { return fl.Accuracy(weights, ds) }
+
+// ModelLoss returns the L2-regularized logistic loss.
+func ModelLoss(weights []float64, ds Dataset, l2 float64) float64 { return fl.Loss(weights, ds, l2) }
+
+// GenerateSyntheticMulti draws a multiclass softmax task and its
+// ground-truth flattened weights.
+func GenerateSyntheticMulti(rng *stats.RNG, opts MultiSyntheticOptions) (MultiDataset, []float64) {
+	return fl.GenerateSyntheticMulti(rng, opts)
+}
+
+// PartitionMultiNonIID splits a multiclass dataset into class-skewed
+// client shards.
+func PartitionMultiNonIID(rng *stats.RNG, ds MultiDataset, n int, skew float64) []MultiDataset {
+	return fl.PartitionMultiNonIID(rng, ds, n, skew)
+}
+
+// TrainMulti runs FedAvg over multiclass clients on an auctioned
+// schedule.
+func TrainMulti(clients map[int]*MultiFLClient, schedule [][]int, eval MultiDataset, cfg TrainConfig) (TrainResult, error) {
+	return fl.TrainMulti(clients, schedule, eval, cfg)
+}
+
+// SoftmaxModelAccuracy returns the argmax accuracy of flattened softmax
+// weights.
+func SoftmaxModelAccuracy(weights []float64, ds MultiDataset) float64 {
+	return fl.SoftmaxAccuracy(weights, ds)
+}

@@ -1,0 +1,3 @@
+module github.com/fedauction/afl
+
+go 1.22

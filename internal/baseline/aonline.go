@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// AOnline is the online mechanism of [17] adapted to the procurement
+// setting, as described in §VII-A of the paper: a per-iteration unit
+// payment function starts at an upper bound U when an iteration is empty
+// and decays exponentially to a lower bound L as it fills,
+//
+//	p_t(γ) = U·(L/U)^(γ/K),
+//
+// so early contributions to scarce iterations are paid generously and
+// saturated iterations pay little. Bids arrive in non-decreasing start
+// time; each client is accepted with the schedule maximizing its utility
+// Σ_t p_t − b_ij, provided the utility is non-negative.
+//
+// The pure online pass does not guarantee K-coverage, so a repair phase
+// (the Greedy order over the remaining bids) completes the solution; the
+// repaired winners are paid their bids. Repair keeps social costs
+// comparable across mechanisms on the same instances.
+type AOnline struct{}
+
+var _ Mechanism = AOnline{}
+
+// Name implements Mechanism.
+func (AOnline) Name() string { return "A_online" }
+
+// Solve implements Mechanism.
+func (AOnline) Solve(bids []core.Bid, qualified []int, tg int, cfg core.Config) Outcome {
+	out := Outcome{Tg: tg}
+	if tg < 1 || len(qualified) == 0 {
+		return out
+	}
+	tr := newTracker(tg, cfg.K)
+	taken := make(map[int]bool)
+
+	// Payment-function bounds from the qualified bids' per-round prices.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, idx := range qualified {
+		pr := bids[idx].Price / float64(bids[idx].Rounds)
+		lo = math.Min(lo, pr)
+		hi = math.Max(hi, pr)
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi < lo {
+		hi = lo
+	}
+	unitPay := func(gamma int) float64 {
+		return hi * math.Pow(lo/hi, float64(gamma)/float64(cfg.K))
+	}
+
+	// Online pass in arrival (start-time) order.
+	order := make([]int, len(qualified))
+	copy(order, qualified)
+	sort.Slice(order, func(a, b int) bool {
+		ba, bb := bids[order[a]], bids[order[b]]
+		if ba.Start != bb.Start {
+			return ba.Start < bb.Start
+		}
+		return order[a] < order[b]
+	})
+	for _, idx := range order {
+		if tr.done() {
+			break
+		}
+		b := bids[idx]
+		if taken[b.Client] {
+			continue
+		}
+		slots, pay, gain := bestUtilitySchedule(tr, b, unitPay)
+		if gain == 0 || pay < b.Price {
+			continue // negative utility: the client declines
+		}
+		tr.commit(slots)
+		taken[b.Client] = true
+		out.Winners = append(out.Winners, core.Winner{
+			BidIndex: idx, Bid: b, Slots: slots, Payment: pay,
+		})
+		out.Cost += b.Price
+		out.Payment += pay
+	}
+
+	// Repair pass: cover what the online pass left open, cheapest
+	// per-round price first, paying bids.
+	if !tr.done() {
+		repair := make([]int, 0, len(qualified))
+		for _, idx := range qualified {
+			if !taken[bids[idx].Client] {
+				repair = append(repair, idx)
+			}
+		}
+		sort.Slice(repair, func(a, b int) bool {
+			ka := bids[repair[a]].Price / float64(bids[repair[a]].Rounds)
+			kb := bids[repair[b]].Price / float64(bids[repair[b]].Rounds)
+			if ka != kb {
+				return ka < kb
+			}
+			return repair[a] < repair[b]
+		})
+		for _, idx := range repair {
+			if tr.done() {
+				break
+			}
+			b := bids[idx]
+			if taken[b.Client] {
+				continue
+			}
+			slots, gain := tr.representative(b)
+			if gain == 0 {
+				continue
+			}
+			tr.commit(slots)
+			taken[b.Client] = true
+			out.Winners = append(out.Winners, core.Winner{
+				BidIndex: idx, Bid: b, Slots: slots, Payment: b.Price,
+			})
+			out.Cost += b.Price
+			out.Payment += b.Price
+		}
+	}
+	out.Feasible = tr.done()
+	if !out.Feasible {
+		return Outcome{Tg: tg}
+	}
+	return out
+}
+
+// bestUtilitySchedule picks the c_ij iterations of the bid's window with
+// the highest current unit payments (available iterations only carry
+// value), returning the schedule, its total payment and the number of
+// available iterations it covers.
+func bestUtilitySchedule(tr *tracker, b core.Bid, unitPay func(int) float64) (slots []int, pay float64, gain int) {
+	lo, hi := tr.windowSlots(b)
+	cand := make([]int, 0, hi-lo+1)
+	for t := lo; t <= hi; t++ {
+		cand = append(cand, t)
+	}
+	if len(cand) < b.Rounds {
+		return nil, 0, 0
+	}
+	value := func(t int) float64 {
+		if tr.gamma[t-1] >= tr.k {
+			return 0
+		}
+		return unitPay(tr.gamma[t-1])
+	}
+	sort.Slice(cand, func(a, c int) bool {
+		va, vc := value(cand[a]), value(cand[c])
+		if va != vc {
+			return va > vc
+		}
+		return cand[a] < cand[c]
+	})
+	cand = cand[:b.Rounds]
+	for _, t := range cand {
+		if v := value(t); v > 0 {
+			pay += v
+			gain++
+		}
+	}
+	sort.Ints(cand)
+	return cand, pay, gain
+}

@@ -1,0 +1,127 @@
+// Package baseline implements the three comparison algorithms of the
+// paper's evaluation (§VII-A):
+//
+//   - FCFS [21]: first-come first-served by bid start time;
+//   - Greedy [20]: non-decreasing per-round price b_ij/c_ij;
+//   - A_online [17]: an online mechanism driven by a per-iteration payment
+//     function, accepting bids whose utility against the current prices is
+//     non-negative.
+//
+// All baselines solve the same fixed-T̂_g winner-determination problem as
+// core.SolveWDP (coverage K per global iteration, one bid per client,
+// schedules inside availability windows) so their social costs are
+// directly comparable, and RunOverTg wraps any of them in the same T̂_g
+// enumeration A_FL performs.
+package baseline
+
+import (
+	"sort"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// Outcome is the result of a baseline mechanism on one WDP.
+type Outcome struct {
+	// Tg is the number of global iterations of the solved WDP.
+	Tg int
+	// Feasible reports whether full K-coverage was reached.
+	Feasible bool
+	// Cost is the social cost Σ b_ij of the accepted bids.
+	Cost float64
+	// Payment is the total remuneration the mechanism pays (pay-bid for
+	// FCFS and Greedy, the payment-function total for A_online).
+	Payment float64
+	// Winners lists accepted bids with their schedules.
+	Winners []core.Winner
+}
+
+// Mechanism is a winner-determination heuristic comparable to A_winner.
+type Mechanism interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Solve determines winners for the fixed-T̂_g WDP over the qualified
+	// bid indices. Implementations must not mutate bids.
+	Solve(bids []core.Bid, qualified []int, tg int, cfg core.Config) Outcome
+}
+
+// RunOverTg enumerates T̂_g ∈ [T_0, T] exactly as A_FL does (Algorithm 1)
+// and returns the mechanism's minimum-cost feasible outcome. The boolean
+// reports whether any T̂_g was feasible.
+func RunOverTg(m Mechanism, bids []core.Bid, cfg core.Config) (Outcome, bool) {
+	var best Outcome
+	found := false
+	for tg := core.MinTg(bids); tg <= cfg.T; tg++ {
+		out := m.Solve(bids, core.Qualified(bids, tg, cfg), tg, cfg)
+		if !out.Feasible {
+			continue
+		}
+		if !found || out.Cost < best.Cost {
+			best = out
+			found = true
+		}
+	}
+	return best, found
+}
+
+// tracker maintains per-iteration coverage counts during a baseline run.
+type tracker struct {
+	tg    int
+	k     int
+	gamma []int // gamma[t-1] = γ_t
+	// covered = Σ_t min(γ_t, K); full coverage at k·tg.
+	covered int
+}
+
+func newTracker(tg, k int) *tracker {
+	return &tracker{tg: tg, k: k, gamma: make([]int, tg)}
+}
+
+func (tr *tracker) done() bool { return tr.covered >= tr.k*tr.tg }
+
+// windowSlots returns the bid's effective window clipped to the horizon.
+func (tr *tracker) windowSlots(b core.Bid) (lo, hi int) {
+	hi = b.End
+	if hi > tr.tg {
+		hi = tr.tg
+	}
+	return b.Start, hi
+}
+
+// representative returns the c_ij least-covered iterations of the bid's
+// window (the same representative-schedule rule A_winner uses) and the
+// number of them that are still available.
+func (tr *tracker) representative(b core.Bid) (slots []int, gain int) {
+	lo, hi := tr.windowSlots(b)
+	cand := make([]int, 0, hi-lo+1)
+	for t := lo; t <= hi; t++ {
+		cand = append(cand, t)
+	}
+	if len(cand) < b.Rounds {
+		return nil, 0
+	}
+	sort.Slice(cand, func(a, c int) bool {
+		ga, gc := tr.gamma[cand[a]-1], tr.gamma[cand[c]-1]
+		if ga != gc {
+			return ga < gc
+		}
+		return cand[a] < cand[c]
+	})
+	cand = cand[:b.Rounds]
+	for _, t := range cand {
+		if tr.gamma[t-1] < tr.k {
+			gain++
+		}
+	}
+	sort.Ints(cand)
+	return cand, gain
+}
+
+// commit schedules the bid on the given slots.
+func (tr *tracker) commit(slots []int) {
+	for _, t := range slots {
+		if tr.gamma[t-1] < tr.k {
+			tr.covered++
+		}
+		tr.gamma[t-1]++
+	}
+}

@@ -1,0 +1,268 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func testConfig(tg, k int) core.Config { return core.Config{T: tg, K: k} }
+
+func exampleBids() []core.Bid {
+	return []core.Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+		{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+	}
+}
+
+func allIdx(bids []core.Bid) []int {
+	out := make([]int, len(bids))
+	for i := range bids {
+		out[i] = i
+	}
+	return out
+}
+
+func mechanisms() []Mechanism {
+	return []Mechanism{FCFS{}, Greedy{}, AOnline{}}
+}
+
+func TestMechanismNames(t *testing.T) {
+	want := map[string]bool{"FCFS": true, "Greedy": true, "A_online": true}
+	for _, m := range mechanisms() {
+		if !want[m.Name()] {
+			t.Fatalf("unexpected mechanism name %q", m.Name())
+		}
+	}
+}
+
+func TestBaselinesSolveExample(t *testing.T) {
+	bids := exampleBids()
+	for _, m := range mechanisms() {
+		t.Run(m.Name(), func(t *testing.T) {
+			out := m.Solve(bids, allIdx(bids), 3, testConfig(3, 1))
+			if !out.Feasible {
+				t.Fatal("example must be feasible")
+			}
+			assertValidOutcome(t, bids, out, 3, 1)
+			if out.Cost <= 0 {
+				t.Fatalf("cost = %v", out.Cost)
+			}
+		})
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	// FCFS must take the earliest-starting bid even when it is expensive.
+	bids := []core.Bid{
+		{Client: 0, Price: 100, Theta: 0.5, Start: 1, End: 3, Rounds: 3},
+		{Client: 1, Price: 1, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 1, Theta: 0.5, Start: 1, End: 3, Rounds: 3},
+	}
+	out := FCFS{}.Solve(bids, allIdx(bids), 3, testConfig(3, 1))
+	if !out.Feasible {
+		t.Fatal("infeasible")
+	}
+	if out.Winners[0].BidIndex != 0 {
+		t.Fatalf("FCFS first pick = bid %d, want bid 0 (earliest, lowest index)", out.Winners[0].BidIndex)
+	}
+}
+
+func TestGreedyOrder(t *testing.T) {
+	// Greedy must take the lowest per-round price first: bid 1 at 1/2=0.5.
+	bids := []core.Bid{
+		{Client: 0, Price: 9, Theta: 0.5, Start: 1, End: 3, Rounds: 3},
+		{Client: 1, Price: 1, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 30, Theta: 0.5, Start: 1, End: 3, Rounds: 3},
+	}
+	out := Greedy{}.Solve(bids, allIdx(bids), 3, testConfig(3, 1))
+	if !out.Feasible {
+		t.Fatal("infeasible")
+	}
+	if out.Winners[0].BidIndex != 1 {
+		t.Fatalf("Greedy first pick = bid %d, want bid 1", out.Winners[0].BidIndex)
+	}
+	// 9/3=3 beats 30/3=10 for the remaining slot.
+	if out.Winners[1].BidIndex != 0 {
+		t.Fatalf("Greedy second pick = bid %d, want bid 0", out.Winners[1].BidIndex)
+	}
+	if out.Cost != 10 {
+		t.Fatalf("cost = %v, want 10", out.Cost)
+	}
+}
+
+func TestAOnlinePaysAtLeastBids(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 40; trial++ {
+		bids, tg, k := randomInstance(rng)
+		out := AOnline{}.Solve(bids, allIdx(bids), tg, testConfig(tg, k))
+		if !out.Feasible {
+			continue
+		}
+		if out.Payment < out.Cost-1e-9 {
+			t.Fatalf("trial %d: total payment %v below total cost %v", trial, out.Payment, out.Cost)
+		}
+		assertValidOutcome(t, bids, out, tg, k)
+	}
+}
+
+func TestBaselinesInfeasible(t *testing.T) {
+	// One client cannot provide K=2 coverage.
+	bids := []core.Bid{{Client: 0, Price: 1, Theta: 0.5, Start: 1, End: 3, Rounds: 3}}
+	for _, m := range mechanisms() {
+		out := m.Solve(bids, allIdx(bids), 3, testConfig(3, 2))
+		if out.Feasible {
+			t.Fatalf("%s: expected infeasible", m.Name())
+		}
+		if len(out.Winners) != 0 || out.Cost != 0 {
+			t.Fatalf("%s: infeasible outcome must be empty, got %+v", m.Name(), out)
+		}
+	}
+	for _, m := range mechanisms() {
+		out := m.Solve(nil, nil, 3, testConfig(3, 1))
+		if out.Feasible {
+			t.Fatalf("%s: empty instance cannot be feasible", m.Name())
+		}
+	}
+}
+
+func TestBaselinesValidOnRandomInstances(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 60; trial++ {
+		bids, tg, k := randomInstance(rng)
+		for _, m := range mechanisms() {
+			out := m.Solve(bids, allIdx(bids), tg, testConfig(tg, k))
+			if !out.Feasible {
+				continue
+			}
+			assertValidOutcome(t, bids, out, tg, k)
+		}
+	}
+}
+
+func TestAFLNeverWorseThanBaselinesPerWDP(t *testing.T) {
+	// A_winner's adaptive greedy should usually beat the static orders;
+	// assert it is never beaten by more than numerical noise... it CAN be
+	// beaten occasionally (greedy orders explore different solution
+	// shapes), so assert the aggregate instead: over many instances the
+	// mean cost of A_winner does not exceed any baseline's mean.
+	rng := stats.NewRNG(123)
+	sums := map[string]float64{}
+	n := 0
+	for trial := 0; trial < 80; trial++ {
+		bids, tg, k := randomInstance(rng)
+		cfg := testConfig(tg, k)
+		qual := allIdx(bids)
+		res := core.SolveWDP(bids, qual, tg, cfg)
+		if !res.Feasible {
+			continue
+		}
+		outs := map[string]float64{"A_winner": res.Cost}
+		feasibleForAll := true
+		for _, m := range mechanisms() {
+			out := m.Solve(bids, qual, tg, cfg)
+			if !out.Feasible {
+				feasibleForAll = false
+				break
+			}
+			outs[m.Name()] = out.Cost
+		}
+		if !feasibleForAll {
+			continue
+		}
+		n++
+		for name, c := range outs {
+			sums[name] += c
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d jointly feasible instances", n)
+	}
+	for _, m := range mechanisms() {
+		if sums["A_winner"] > sums[m.Name()]+1e-9 {
+			t.Fatalf("A_winner mean cost %.2f exceeds %s mean cost %.2f over %d instances",
+				sums["A_winner"]/float64(n), m.Name(), sums[m.Name()]/float64(n), n)
+		}
+	}
+}
+
+func TestRunOverTg(t *testing.T) {
+	bids := []core.Bid{
+		{Client: 0, Price: 2, Theta: 0.4, Start: 1, End: 2, Rounds: 2},
+		{Client: 1, Price: 2, Theta: 0.4, Start: 1, End: 2, Rounds: 2},
+		{Client: 2, Price: 100, Theta: 0.4, Start: 1, End: 3, Rounds: 3},
+	}
+	cfg := core.Config{T: 3, K: 1}
+	out, ok := RunOverTg(Greedy{}, bids, cfg)
+	if !ok {
+		t.Fatal("RunOverTg infeasible")
+	}
+	if out.Tg != 2 || out.Cost != 2 {
+		t.Fatalf("best = T̂_g %d cost %v, want T̂_g 2 cost 2", out.Tg, out.Cost)
+	}
+	// Infeasible everywhere.
+	_, ok = RunOverTg(Greedy{}, bids[:1], core.Config{T: 3, K: 2})
+	if ok {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+// assertValidOutcome checks the structural WDP constraints for a baseline
+// outcome: coverage, windows, rounds, one bid per client.
+func assertValidOutcome(t *testing.T, bids []core.Bid, out Outcome, tg, k int) {
+	t.Helper()
+	cover := make([]int, tg+1)
+	clients := map[int]bool{}
+	var cost float64
+	for _, w := range out.Winners {
+		if clients[w.Bid.Client] {
+			t.Fatalf("client %d accepted twice", w.Bid.Client)
+		}
+		clients[w.Bid.Client] = true
+		if len(w.Slots) != w.Bid.Rounds {
+			t.Fatalf("bid %v scheduled %d slots", w.Bid, len(w.Slots))
+		}
+		seen := map[int]bool{}
+		for _, s := range w.Slots {
+			if s < 1 || s > tg || s < w.Bid.Start || s > w.Bid.End || seen[s] {
+				t.Fatalf("bad slot %d for %v", s, w.Bid)
+			}
+			seen[s] = true
+			cover[s]++
+		}
+		cost += w.Bid.Price
+	}
+	for s := 1; s <= tg; s++ {
+		if cover[s] < k {
+			t.Fatalf("slot %d coverage %d < %d", s, cover[s], k)
+		}
+	}
+	if diff := cost - out.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost mismatch: reported %v recomputed %v", out.Cost, cost)
+	}
+}
+
+func randomInstance(rng *stats.RNG) (bids []core.Bid, tg, k int) {
+	tg = rng.IntRange(2, 10)
+	k = rng.IntRange(1, 3)
+	clients := rng.IntRange(k+2, 14)
+	for c := 0; c < clients; c++ {
+		n := rng.IntRange(1, 3)
+		for j := 0; j < n; j++ {
+			start := rng.IntRange(1, tg)
+			end := rng.IntRange(start, tg)
+			bids = append(bids, core.Bid{
+				Client: c,
+				Index:  j,
+				Price:  float64(rng.IntRange(1, 50)),
+				Theta:  rng.FloatRange(0.2, 0.6),
+				Start:  start,
+				End:    end,
+				Rounds: rng.IntRange(1, end-start+1),
+			})
+		}
+	}
+	return bids, tg, k
+}

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// FCFS is the first-come first-served baseline [21]: bids are considered
+// in non-decreasing order of their start time a_ij and accepted whenever
+// they contribute to uncovered iterations, paying each winner its bid.
+type FCFS struct{}
+
+var _ Mechanism = FCFS{}
+
+// Name implements Mechanism.
+func (FCFS) Name() string { return "FCFS" }
+
+// Solve implements Mechanism.
+func (FCFS) Solve(bids []core.Bid, qualified []int, tg int, cfg core.Config) Outcome {
+	order := make([]int, len(qualified))
+	copy(order, qualified)
+	sort.Slice(order, func(a, b int) bool {
+		ba, bb := bids[order[a]], bids[order[b]]
+		if ba.Start != bb.Start {
+			return ba.Start < bb.Start
+		}
+		return order[a] < order[b]
+	})
+	return acceptInOrder(bids, order, tg, cfg)
+}
+
+// Greedy is the static greedy baseline [20]: bids are considered in
+// non-decreasing order of per-round price b_ij/c_ij and accepted whenever
+// they contribute to uncovered iterations, paying each winner its bid.
+type Greedy struct{}
+
+var _ Mechanism = Greedy{}
+
+// Name implements Mechanism.
+func (Greedy) Name() string { return "Greedy" }
+
+// Solve implements Mechanism.
+func (Greedy) Solve(bids []core.Bid, qualified []int, tg int, cfg core.Config) Outcome {
+	order := make([]int, len(qualified))
+	copy(order, qualified)
+	sort.Slice(order, func(a, b int) bool {
+		ka := bids[order[a]].Price / float64(bids[order[a]].Rounds)
+		kb := bids[order[b]].Price / float64(bids[order[b]].Rounds)
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	return acceptInOrder(bids, order, tg, cfg)
+}
+
+// acceptInOrder scans bids in the given order, accepting each bid that
+// still contributes coverage, one bid per client, until every iteration
+// has K participants.
+func acceptInOrder(bids []core.Bid, order []int, tg int, cfg core.Config) Outcome {
+	out := Outcome{Tg: tg}
+	tr := newTracker(tg, cfg.K)
+	taken := make(map[int]bool) // client → already won
+	for _, idx := range order {
+		if tr.done() {
+			break
+		}
+		b := bids[idx]
+		if taken[b.Client] {
+			continue
+		}
+		slots, gain := tr.representative(b)
+		if gain == 0 {
+			continue
+		}
+		tr.commit(slots)
+		taken[b.Client] = true
+		out.Winners = append(out.Winners, core.Winner{
+			BidIndex: idx,
+			Bid:      b,
+			Slots:    slots,
+			Payment:  b.Price,
+		})
+		out.Cost += b.Price
+		out.Payment += b.Price
+	}
+	out.Feasible = tr.done()
+	if !out.Feasible {
+		return Outcome{Tg: tg}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package colgen computes lower bounds on the optimal cost of a
+// winner-determination problem by solving the LP relaxation of the
+// compact-exponential ILP (7) of the paper with delayed column generation.
+//
+// ILP (7) has one variable z_il per feasible schedule — exponentially many
+// — so its LP relaxation cannot be written down directly. Column
+// generation keeps a restricted master problem (RMP) over a small set of
+// generated schedules,
+//
+//	minimize  Σ ρ_il·z_il
+//	s.t.      Σ_{(i,l): t∈l} z_il ≥ K    for every iteration t   (7a)
+//	          Σ_l z_il ≤ 1               for every client i      (7b)
+//	          z ≥ 0,
+//
+// and repeatedly prices new schedules against the RMP duals: for coverage
+// duals g(t) and client duals q_i (zero for clients not yet in the
+// master), the best column of bid (i,j) takes the c_ij iterations of its
+// window with the largest g(t); it enters when ρ_ij − Σ g(t) − q_i < 0.
+// When no column prices negative, the RMP optimum equals the full LP
+// optimum, which lower-bounds the ILP optimum. When an iteration or
+// column budget runs out first, the Lagrangian bound — RMP value plus the
+// sum over clients of their most negative reduced cost — is returned; it
+// is valid at every iteration.
+//
+// The master only carries convexity rows for clients that own at least
+// one generated column, so its size tracks the generated columns, not the
+// full population; populations with thousands of clients stay tractable.
+package colgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/lp"
+)
+
+// Result reports a column-generation run.
+type Result struct {
+	// Feasible is false when the WDP itself has no integral solution
+	// (detected via the greedy seed); no bound is produced then.
+	Feasible bool
+	// Converged reports whether pricing proved LP optimality.
+	Converged bool
+	// LowerBound is a valid lower bound on the optimal WDP cost.
+	LowerBound float64
+	// LPValue is the final restricted-master optimum (an upper bound on
+	// the true LP value; equal to it when Converged).
+	LPValue float64
+	// Columns is the number of schedule columns generated.
+	Columns int
+	// Iterations is the number of pricing rounds performed.
+	Iterations int
+}
+
+// Options tunes the column-generation loop.
+type Options struct {
+	// MaxIterations caps pricing rounds. Zero means 300.
+	MaxIterations int
+	// MaxColumnsPerIter caps how many priced columns enter per round
+	// (most negative first). Zero means 200.
+	MaxColumnsPerIter int
+	// MaxColumns caps total master columns. Zero means 4000.
+	MaxColumns int
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations <= 0 {
+		return 300
+	}
+	return o.MaxIterations
+}
+
+func (o Options) maxPerIter() int {
+	if o.MaxColumnsPerIter <= 0 {
+		return 200
+	}
+	return o.MaxColumnsPerIter
+}
+
+func (o Options) maxColumns() int {
+	if o.MaxColumns <= 0 {
+		return 4000
+	}
+	return o.MaxColumns
+}
+
+// column is one generated schedule.
+type column struct {
+	bid    int   // index into bids
+	client int   // bidding client (master convexity row)
+	slots  []int // scheduled iterations (ascending)
+	cost   float64
+}
+
+// signature returns a dedupe key for the column.
+func (c column) signature() string {
+	return fmt.Sprint(c.bid, c.slots)
+}
+
+// LowerBound runs column generation for the WDP with the given qualified
+// bids and fixed T̂_g.
+func LowerBound(bids []core.Bid, qualified []int, tg int, cfg core.Config, opts Options) Result {
+	if tg < 1 || len(qualified) == 0 {
+		return Result{}
+	}
+	// Seed with the greedy solution: it certifies integral feasibility
+	// and gives the master a feasible starting basis.
+	seed := core.SolveWDP(bids, qualified, tg, cfg)
+	if !seed.Feasible {
+		return Result{}
+	}
+
+	cols := make([]column, 0, len(seed.Winners))
+	seen := make(map[string]bool)
+	addCol := func(c column) bool {
+		sig := c.signature()
+		if seen[sig] {
+			return false
+		}
+		seen[sig] = true
+		cols = append(cols, c)
+		return true
+	}
+	for _, w := range seed.Winners {
+		addCol(column{bid: w.BidIndex, client: w.Bid.Client, slots: w.Slots, cost: w.Bid.Price})
+	}
+
+	// All distinct qualified clients, for the Lagrangian bound.
+	clientSet := make(map[int]struct{})
+	for _, idx := range qualified {
+		clientSet[bids[idx].Client] = struct{}{}
+	}
+
+	res := Result{Feasible: true}
+	fallback := func(lb float64) Result {
+		if seed.Dual.Objective > lb {
+			lb = seed.Dual.Objective // the greedy dual bound is always valid
+		}
+		res.LowerBound = lb
+		return res
+	}
+	maxIter := opts.maxIterations()
+	for iter := 0; ; iter++ {
+		sol, clientRow, err := solveMaster(cols, tg, cfg.K)
+		if err != nil || sol.Status != lp.Optimal {
+			// The seeded master is integrally feasible; a non-optimal
+			// status here is numerical. Fall back to the greedy dual.
+			res.LPValue = math.NaN()
+			return fallback(math.Inf(-1))
+		}
+		res.LPValue = sol.Objective
+		res.Iterations = iter + 1
+		res.Columns = len(cols)
+
+		g := sol.Duals[:tg] // coverage duals, ≥ 0
+		q := func(client int) float64 {
+			if row, ok := clientRow[client]; ok {
+				return sol.Duals[tg+row]
+			}
+			return 0 // convexity row absent → slack → dual zero
+		}
+
+		// Price every qualified bid: the best column takes the c_ij
+		// largest g(t) in the window.
+		type priced struct {
+			rc  float64
+			col column
+		}
+		var negatives []priced
+		bestPerClient := make(map[int]float64, len(clientSet))
+		for _, idx := range qualified {
+			b := bids[idx]
+			slots, gain := bestSlots(b, tg, g)
+			if slots == nil {
+				continue
+			}
+			rc := b.Price - gain - q(b.Client)
+			if rc < bestPerClient[b.Client] {
+				bestPerClient[b.Client] = rc
+			}
+			if rc < -1e-7 {
+				negatives = append(negatives, priced{rc: rc, col: column{
+					bid: idx, client: b.Client, slots: slots, cost: b.Price,
+				}})
+			}
+		}
+		var lagrangian float64
+		for _, rc := range bestPerClient {
+			lagrangian += rc // each ≤ 0
+		}
+		if len(negatives) == 0 {
+			res.Converged = true
+			res.LowerBound = sol.Objective
+			return res
+		}
+		budgetLeft := opts.maxColumns() - len(cols)
+		if iter+1 >= maxIter || budgetLeft <= 0 {
+			return fallback(sol.Objective + lagrangian)
+		}
+		sort.Slice(negatives, func(a, b int) bool { return negatives[a].rc < negatives[b].rc })
+		limit := min(opts.maxPerIter(), budgetLeft, len(negatives))
+		improved := false
+		for _, p := range negatives[:limit] {
+			if addCol(p.col) {
+				improved = true
+			}
+		}
+		if !improved {
+			// Every priced column already exists: the master is at its LP
+			// optimum over the generated set but pricing still sees
+			// negative reduced costs, which indicates numerical drift.
+			// The Lagrangian bound remains valid.
+			return fallback(sol.Objective + lagrangian)
+		}
+	}
+}
+
+// bestSlots returns the c_ij iterations of the bid's clipped window with
+// the largest coverage duals, plus their dual sum.
+func bestSlots(b core.Bid, tg int, g []float64) ([]int, float64) {
+	hi := min(b.End, tg)
+	n := hi - b.Start + 1
+	if n < b.Rounds {
+		return nil, 0
+	}
+	cand := make([]int, 0, n)
+	for t := b.Start; t <= hi; t++ {
+		cand = append(cand, t)
+	}
+	sort.Slice(cand, func(a, c int) bool {
+		ga, gc := g[cand[a]-1], g[cand[c]-1]
+		if ga != gc {
+			return ga > gc
+		}
+		return cand[a] < cand[c]
+	})
+	cand = cand[:b.Rounds]
+	var sum float64
+	for _, t := range cand {
+		sum += g[t-1]
+	}
+	sort.Ints(cand)
+	return cand, sum
+}
+
+// solveMaster builds and solves the restricted master LP over the
+// generated columns. Convexity rows exist only for clients owning at
+// least one column; the returned map gives each such client's row offset
+// (relative to the tg coverage rows).
+func solveMaster(cols []column, tg, k int) (lp.Solution, map[int]int, error) {
+	n := len(cols)
+	clientRow := make(map[int]int)
+	var clients []int
+	for _, c := range cols {
+		if _, ok := clientRow[c.client]; !ok {
+			clientRow[c.client] = len(clients)
+			clients = append(clients, c.client)
+		}
+	}
+	p := lp.Problem{NumVars: n, Objective: make([]float64, n)}
+	rows := make([][]float64, tg+len(clients))
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	for j, c := range cols {
+		p.Objective[j] = c.cost
+		for _, t := range c.slots {
+			rows[t-1][j] = 1
+		}
+		rows[tg+clientRow[c.client]][j] = 1
+	}
+	for t := 0; t < tg; t++ {
+		p.Constraints = append(p.Constraints, lp.Constraint{Coef: rows[t], Rel: lp.GE, RHS: float64(k)})
+	}
+	for i := range clients {
+		p.Constraints = append(p.Constraints, lp.Constraint{Coef: rows[tg+i], Rel: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(p)
+	return sol, clientRow, err
+}

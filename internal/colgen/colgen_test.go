@@ -1,0 +1,173 @@
+package colgen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/exact"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func allIdx(bids []core.Bid) []int {
+	out := make([]int, len(bids))
+	for i := range bids {
+		out[i] = i
+	}
+	return out
+}
+
+func randomInstance(rng *stats.RNG) (bids []core.Bid, tg, k int) {
+	tg = rng.IntRange(2, 7)
+	k = rng.IntRange(1, 2)
+	clients := rng.IntRange(k+1, 8)
+	for c := 0; c < clients; c++ {
+		n := rng.IntRange(1, 2)
+		for j := 0; j < n; j++ {
+			start := rng.IntRange(1, tg)
+			end := rng.IntRange(start, tg)
+			bids = append(bids, core.Bid{
+				Client: c,
+				Index:  j,
+				Price:  float64(rng.IntRange(1, 30)),
+				Theta:  0.4,
+				Start:  start,
+				End:    end,
+				Rounds: rng.IntRange(1, end-start+1),
+			})
+		}
+	}
+	return bids, tg, k
+}
+
+func TestLowerBoundPaperExample(t *testing.T) {
+	bids := []core.Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+		{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+	}
+	res := LowerBound(bids, allIdx(bids), 3, core.Config{T: 3, K: 1}, Options{})
+	if !res.Feasible {
+		t.Fatal("example is feasible")
+	}
+	if !res.Converged {
+		t.Fatal("small instance must converge")
+	}
+	// The optimal integral cost is 7; the LP bound must not exceed it and
+	// must be positive.
+	if res.LowerBound <= 0 || res.LowerBound > 7+1e-7 {
+		t.Fatalf("lower bound = %v, want in (0, 7]", res.LowerBound)
+	}
+}
+
+func TestLowerBoundNeverExceedsOptimum(t *testing.T) {
+	rng := stats.NewRNG(55)
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		bids, tg, k := randomInstance(rng)
+		cfg := core.Config{T: tg, K: k}
+		qual := allIdx(bids)
+		cg := LowerBound(bids, qual, tg, cfg, Options{})
+		opt := exact.SolveWDP(bids, qual, tg, cfg, exact.Options{})
+		if cg.Feasible != opt.Feasible {
+			// The colgen seed is the greedy solution; greedy feasibility
+			// implies integral feasibility, so the only allowed mismatch
+			// is colgen=infeasible (greedy failed) with exact=feasible.
+			if cg.Feasible {
+				t.Fatalf("trial %d: colgen feasible but exact infeasible", trial)
+			}
+			continue
+		}
+		if !cg.Feasible {
+			continue
+		}
+		checked++
+		if cg.LowerBound > opt.Cost+1e-5 {
+			t.Fatalf("trial %d: colgen LB %v exceeds optimum %v", trial, cg.LowerBound, opt.Cost)
+		}
+		// The bound must also stay below (or at) the greedy cost.
+		g := core.SolveWDP(bids, qual, tg, cfg)
+		if cg.LowerBound > g.Cost+1e-5 {
+			t.Fatalf("trial %d: colgen LB %v exceeds greedy cost %v", trial, cg.LowerBound, g.Cost)
+		}
+		// And it should be at least as strong as... nothing guaranteed
+		// versus the greedy dual, but it must be positive.
+		if cg.LowerBound <= 0 {
+			t.Fatalf("trial %d: non-positive bound %v", trial, cg.LowerBound)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d feasible instances", checked)
+	}
+}
+
+func TestLowerBoundTightOnConvergedLPs(t *testing.T) {
+	// When colgen converges, the LP value it reports equals the bound.
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 40; trial++ {
+		bids, tg, k := randomInstance(rng)
+		res := LowerBound(bids, allIdx(bids), tg, core.Config{T: tg, K: k}, Options{})
+		if !res.Feasible || !res.Converged {
+			continue
+		}
+		if math.Abs(res.LowerBound-res.LPValue) > 1e-7 {
+			t.Fatalf("trial %d: converged but LB %v ≠ LP %v", trial, res.LowerBound, res.LPValue)
+		}
+		if res.Columns <= 0 || res.Iterations <= 0 {
+			t.Fatalf("trial %d: missing run stats %+v", trial, res)
+		}
+	}
+}
+
+func TestLowerBoundIterationCap(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		bids, tg, k := randomInstance(rng)
+		cfg := core.Config{T: tg, K: k}
+		qual := allIdx(bids)
+		capped := LowerBound(bids, qual, tg, cfg, Options{MaxIterations: 1})
+		if !capped.Feasible {
+			continue
+		}
+		opt := exact.SolveWDP(bids, qual, tg, cfg, exact.Options{})
+		if !opt.Feasible {
+			t.Fatalf("trial %d: exact infeasible but colgen seeded", trial)
+		}
+		// Even a capped run must report a valid bound.
+		if capped.LowerBound > opt.Cost+1e-5 {
+			t.Fatalf("trial %d: capped LB %v exceeds optimum %v", trial, capped.LowerBound, opt.Cost)
+		}
+	}
+}
+
+func TestLowerBoundInfeasible(t *testing.T) {
+	bids := []core.Bid{{Client: 0, Price: 1, Theta: 0.4, Start: 1, End: 2, Rounds: 1}}
+	if res := LowerBound(bids, allIdx(bids), 3, core.Config{T: 3, K: 1}, Options{}); res.Feasible {
+		t.Fatal("uncoverable instance must be infeasible")
+	}
+	if res := LowerBound(nil, nil, 3, core.Config{T: 3, K: 1}, Options{}); res.Feasible {
+		t.Fatal("empty instance must be infeasible")
+	}
+}
+
+func TestApproximationCertificateAgainstColgen(t *testing.T) {
+	// End-to-end Lemma 5 check at LP granularity: greedy cost ≤ τ·LB
+	// with τ = H_{T̂_g}·ω from the greedy dual.
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 40; trial++ {
+		bids, tg, k := randomInstance(rng)
+		cfg := core.Config{T: tg, K: k}
+		qual := allIdx(bids)
+		g := core.SolveWDP(bids, qual, tg, cfg)
+		if !g.Feasible {
+			continue
+		}
+		cg := LowerBound(bids, qual, tg, cfg, Options{})
+		if !cg.Feasible {
+			t.Fatalf("trial %d: greedy feasible but colgen not seeded", trial)
+		}
+		if g.Cost > g.Dual.RatioBound*cg.LowerBound+1e-5 {
+			t.Fatalf("trial %d: cost %v exceeds τ·LB = %v·%v", trial, g.Cost, g.Dual.RatioBound, cg.LowerBound)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+// RunAuction executes the full A_FL auction (Algorithm 1): it derives the
+// feasible range [T_0, T] for the number of global iterations from the
+// bids' local accuracies, forms the qualified bid set and solves the
+// winner-determination problem for every T̂_g in the range, and returns the
+// minimum-social-cost solution with its schedules, critical-value payments
+// and dual certificate.
+//
+// The returned Result is infeasible (Feasible == false) when no T̂_g admits
+// K participants in every global iteration.
+func RunAuction(bids []Bid, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	t0 := MinTg(bids)
+	for tg := t0; tg <= cfg.T; tg++ {
+		qualified := Qualified(bids, tg, cfg)
+		wdp := SolveWDP(bids, qualified, tg, cfg)
+		res.WDPs = append(res.WDPs, wdp)
+		if !wdp.Feasible {
+			continue
+		}
+		if !res.Feasible || wdp.Cost < res.Cost {
+			res.Feasible = true
+			res.Tg = wdp.Tg
+			res.Cost = wdp.Cost
+			res.Winners = wdp.Winners
+			res.Dual = wdp.Dual
+		}
+	}
+	return res, nil
+}
+
+// RunWDP is a convenience wrapper that qualifies bids for a fixed T̂_g and
+// solves the single winner-determination problem. Experiments that sweep
+// T̂_g directly (the paper's Fig. 3 and Fig. 7) use it instead of the full
+// enumeration.
+func RunWDP(bids []Bid, tg int, cfg Config) (WDPResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return WDPResult{}, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return WDPResult{}, err
+	}
+	return SolveWDP(bids, Qualified(bids, tg, cfg), tg, cfg), nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LocalIterFunc maps a local accuracy θ ∈ (0,1) to the number of local
+// training iterations T_l(θ) a client must run per global iteration to
+// reach it (Eq. (2) of the paper).
+type LocalIterFunc func(theta float64) float64
+
+// PaperLocalIters is the simplified local-iteration count the paper's
+// evaluation uses: T_l(θ) = ⌊10·(1−θ)⌋.
+func PaperLocalIters(theta float64) float64 {
+	return math.Floor(10 * (1 - theta))
+}
+
+// LogLocalIters returns the analytical local-iteration count of Eq. (2),
+// T_l(θ) = η·log(1/θ), for the given positive constant η.
+func LogLocalIters(eta float64) LocalIterFunc {
+	return func(theta float64) float64 {
+		return eta * math.Log(1/theta)
+	}
+}
+
+// Bid is one bid B_ij = {b_ij, θ_ij, [a_ij, d_ij], c_ij} submitted by a
+// client, together with the client's per-round resource profile
+// (t_i^cmp, t_i^com). Global iterations are 1-based: a bid with
+// Start=2, End=5 is available in iterations 2, 3, 4 and 5.
+type Bid struct {
+	// Client is the index i of the bidding client. All bids sharing a
+	// Client index are mutually exclusive: at most one can win (6f).
+	Client int
+	// Index is the bid's index j within the client's bid list. It is
+	// informational; (Client, Index) identifies the bid in reports.
+	Index int
+	// Price is the claimed cost b_ij the client asks for its service.
+	Price float64
+	// TrueCost is the client's private true cost v_ij. It is used only by
+	// simulations and truthfulness tests; the mechanism itself never reads
+	// it. Zero means "equal to Price" (truthful bidding).
+	TrueCost float64
+	// Theta is the local accuracy θ_ij ∈ (0,1) the client commits to.
+	// Smaller θ means more local computation per global iteration.
+	Theta float64
+	// Start and End delimit the availability window [a_ij, d_ij]
+	// (inclusive, 1-based global iterations).
+	Start, End int
+	// Rounds is c_ij, the number of global iterations the client can
+	// participate in within its window (battery-limited).
+	Rounds int
+	// CompTime is t_i^cmp, the time one local iteration takes.
+	CompTime float64
+	// CommTime is t_i^com, the per-global-iteration communication time.
+	CommTime float64
+}
+
+// Cost returns the bid's true cost v_ij, falling back to the claimed price
+// when TrueCost is unset.
+func (b Bid) Cost() float64 {
+	if b.TrueCost != 0 {
+		return b.TrueCost
+	}
+	return b.Price
+}
+
+// PerRoundTime returns t_ij = T_l(θ_ij)·t_i^cmp + t_i^com, the time the bid
+// needs inside one global iteration (constraint (6d) compares it with
+// t_max).
+func (b Bid) PerRoundTime(localIters LocalIterFunc) float64 {
+	return localIters(b.Theta)*b.CompTime + b.CommTime
+}
+
+// WindowLen returns the number of iterations in the availability window.
+func (b Bid) WindowLen() int { return b.End - b.Start + 1 }
+
+// String renders the bid in the paper's tuple notation.
+func (b Bid) String() string {
+	return fmt.Sprintf("B[%d,%d]{b=%.2f, θ=%.2f, [%d,%d], c=%d}",
+		b.Client, b.Index, b.Price, b.Theta, b.Start, b.End, b.Rounds)
+}
+
+// Validate reports whether the bid is internally consistent: positive
+// price, θ ∈ (0,1), a well-formed window inside [1, maxT], and a round
+// count that fits the window.
+func (b Bid) Validate(maxT int) error {
+	switch {
+	case b.Client < 0:
+		return fmt.Errorf("bid %s: negative client index", b)
+	case b.Price <= 0:
+		return fmt.Errorf("bid %s: price must be positive", b)
+	case b.TrueCost < 0:
+		return fmt.Errorf("bid %s: negative true cost", b)
+	case b.Theta <= 0 || b.Theta >= 1:
+		return fmt.Errorf("bid %s: θ must lie in (0,1)", b)
+	case b.Start < 1 || b.End > maxT || b.Start > b.End:
+		return fmt.Errorf("bid %s: window outside [1,%d]", b, maxT)
+	case b.Rounds < 1 || b.Rounds > b.WindowLen():
+		return fmt.Errorf("bid %s: rounds %d outside [1,%d]", b, b.Rounds, b.WindowLen())
+	case b.CompTime < 0 || b.CommTime < 0:
+		return fmt.Errorf("bid %s: negative timing", b)
+	}
+	return nil
+}
+
+// ErrNoBids is returned when an auction is run with an empty bid set.
+var ErrNoBids = errors.New("core: no bids submitted")
+
+// ValidateBids validates every bid and the basic auction parameters.
+func ValidateBids(bids []Bid, maxT, k int) error {
+	if maxT < 1 {
+		return fmt.Errorf("core: maximum global iterations T=%d must be ≥ 1", maxT)
+	}
+	if k < 1 {
+		return fmt.Errorf("core: per-iteration coverage K=%d must be ≥ 1", k)
+	}
+	if len(bids) == 0 {
+		return ErrNoBids
+	}
+	for _, b := range bids {
+		if err := b.Validate(maxT); err != nil {
+			return err
+		}
+	}
+	return nil
+}

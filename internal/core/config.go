@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// Config carries the auction-wide parameters of ILP (6).
+type Config struct {
+	// T is the maximum number of global iterations the server allows.
+	T int
+	// K is the number of participants required in every global iteration
+	// (constraint (6a)).
+	K int
+	// TMax is t_max, the wall-clock budget of a single global iteration
+	// (constraint (6d)). Zero disables the check.
+	TMax float64
+	// LocalIters maps θ to local-iteration counts. Nil selects
+	// PaperLocalIters, the simplified form used in the paper's evaluation.
+	LocalIters LocalIterFunc
+	// PaymentRule selects the payment computation. The zero value,
+	// RuleCritical, is the paper's Algorithm 3.
+	PaymentRule PaymentRule
+	// ReservePrice, when positive, disqualifies bids whose claimed price
+	// exceeds it and caps every payment at it. A reserve is what makes
+	// RuleExactCritical exactly truthful even for "essential" bids (bids
+	// that would win at any price and therefore have no finite critical
+	// value): such winners are paid the bid-independent reserve. Zero
+	// disables the reserve, matching the paper.
+	ReservePrice float64
+	// ScheduleRule selects how a bid's representative schedule is formed.
+	// The zero value, ScheduleLeastCovered, is the paper's rule.
+	ScheduleRule ScheduleRule
+	// ExcludeOwnBids controls the critical-value payment rule. The paper's
+	// Algorithm 3 picks the second-smallest average cost among *all*
+	// remaining candidate schedules except the selected one; with
+	// ExcludeOwnBids set, the winner's own other bids are also excluded so
+	// a multi-minded client can never set its own critical price.
+	ExcludeOwnBids bool
+}
+
+// localIters returns the configured local-iteration function or the
+// paper's default.
+func (c Config) localIters() LocalIterFunc {
+	if c.LocalIters != nil {
+		return c.LocalIters
+	}
+	return PaperLocalIters
+}
+
+// Validate checks the configuration parameters.
+func (c Config) Validate() error {
+	if c.T < 1 {
+		return fmt.Errorf("core: config T=%d must be ≥ 1", c.T)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("core: config K=%d must be ≥ 1", c.K)
+	}
+	if c.TMax < 0 {
+		return fmt.Errorf("core: config TMax=%g must be ≥ 0", c.TMax)
+	}
+	if c.ReservePrice < 0 {
+		return fmt.Errorf("core: config ReservePrice=%g must be ≥ 0", c.ReservePrice)
+	}
+	switch c.PaymentRule {
+	case RuleCritical, RuleExactCritical, RulePayBid:
+	default:
+		return fmt.Errorf("core: unknown payment rule %d", c.PaymentRule)
+	}
+	switch c.ScheduleRule {
+	case ScheduleLeastCovered, ScheduleEarliest:
+	default:
+		return fmt.Errorf("core: unknown schedule rule %d", c.ScheduleRule)
+	}
+	return nil
+}

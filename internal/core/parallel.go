@@ -1,0 +1,64 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunAuctionConcurrent is RunAuction with the T̂_g enumeration fanned out
+// over a worker pool. The winner-determination problems of Algorithm 1
+// are independent across T̂_g values, so they parallelize perfectly; the
+// result is bit-identical to the sequential RunAuction (the same
+// deterministic per-WDP greedy, the same minimum-cost tie-breaking by
+// smaller T̂_g).
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := MinTg(bids)
+	n := cfg.T - t0 + 1
+	if n <= 0 {
+		return Result{}, nil
+	}
+	wdps := make([]WDPResult, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tg := t0 + i
+				wdps[i] = SolveWDP(bids, Qualified(bids, tg, cfg), tg, cfg)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	res := Result{WDPs: wdps}
+	for _, wdp := range wdps {
+		if !wdp.Feasible {
+			continue
+		}
+		if !res.Feasible || wdp.Cost < res.Cost {
+			res.Feasible = true
+			res.Tg = wdp.Tg
+			res.Cost = wdp.Cost
+			res.Winners = wdp.Winners
+			res.Dual = wdp.Dual
+		}
+	}
+	return res, nil
+}

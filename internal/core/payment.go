@@ -1,0 +1,142 @@
+package core
+
+import "math"
+
+// PaymentRule selects how winner payments are computed.
+type PaymentRule int
+
+const (
+	// RuleCritical is the paper's A_payment (Algorithm 3): each winner is
+	// paid its marginal utility times the second-smallest average cost in
+	// the candidate set of the round it was selected in. It is the zero
+	// value deliberately, so Config{} reproduces the paper. The rule is
+	// locally critical (Lemma 2) but, because the marginal utility R_il(S)
+	// of a deferred schedule can shrink, it is not always the exact
+	// Myerson threshold — see RuleExactCritical.
+	RuleCritical PaymentRule = iota
+	// RuleExactCritical pays each winner the exact critical value of its
+	// bid: the supremum claimed price at which the bid still wins, found
+	// by bisection over re-runs of the (price-monotone) greedy
+	// allocation. It makes the mechanism exactly truthful in the claimed
+	// price at the cost of O(log(1/ε)) extra solver runs per winner.
+	RuleExactCritical
+	// RulePayBid pays each winner its claimed price. Not truthful; used
+	// as a baseline in incentive experiments.
+	RulePayBid
+)
+
+// String returns the rule's name.
+func (r PaymentRule) String() string {
+	switch r {
+	case RuleCritical:
+		return "critical"
+	case RuleExactCritical:
+		return "exact-critical"
+	case RulePayBid:
+		return "pay-bid"
+	default:
+		return "unknown"
+	}
+}
+
+// applyPaymentRule post-processes the payments of a feasible WDP result
+// according to cfg.PaymentRule. RuleCritical payments were already computed
+// during the greedy run.
+func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, res *WDPResult) {
+	switch cfg.PaymentRule {
+	case RulePayBid:
+		for i := range res.Winners {
+			res.Winners[i].Payment = res.Winners[i].Bid.Price
+		}
+	case RuleExactCritical:
+		for i := range res.Winners {
+			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, res.Winners[i])
+		}
+	}
+}
+
+// exactCriticalPayment bisects for the supremum price at which the
+// winner's bid still wins the WDP, holding every other bid fixed. The
+// allocation is monotone in a bid's price (lowering the price can only
+// move its selection to an earlier greedy round), so the winning region is
+// an interval [0, c*) and the bisection is exact up to tolerance.
+//
+// When the bid wins at any price (no competing supply), the Algorithm 3
+// payment — its own claimed price, by the fallback of A_payment — is kept.
+func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, win Winner) float64 {
+	probeCfg := cfg
+	probeCfg.PaymentRule = RuleCritical // probes only need the allocation
+	probeQual := qualified
+	if cfg.ExcludeOwnBids {
+		// Drop the winner's sibling bids from the probe instance so a
+		// multi-minded client cannot move its own critical value by
+		// re-pricing its other bids.
+		probeQual = make([]int, 0, len(qualified))
+		for _, idx := range qualified {
+			if idx == win.BidIndex || bids[idx].Client != win.Bid.Client {
+				probeQual = append(probeQual, idx)
+			}
+		}
+	}
+	probe := make([]Bid, len(bids))
+	wins := func(price float64) bool {
+		copy(probe, bids)
+		probe[win.BidIndex].Price = price
+		res := SolveWDP(probe, probeQual, tg, probeCfg)
+		if !res.Feasible {
+			return false
+		}
+		for _, w := range res.Winners {
+			if w.BidIndex == win.BidIndex {
+				return true
+			}
+		}
+		return false
+	}
+	lo := win.Bid.Price
+	if !wins(lo) {
+		// The bid won only through interaction with its sibling bids;
+		// without them it loses even at its own price. Pay the price
+		// itself to preserve individual rationality.
+		return lo
+	}
+	var hi float64
+	if cfg.ReservePrice > 0 {
+		// With a reserve, prices above it are disqualified, so the
+		// threshold lives in [lo, reserve]. An essential winner is paid
+		// the reserve itself — a bid-independent value.
+		if wins(cfg.ReservePrice) {
+			return cfg.ReservePrice
+		}
+		hi = cfg.ReservePrice
+	} else {
+		hi = lo
+		won := true
+		for range 48 {
+			hi *= 2
+			if !wins(hi) {
+				won = false
+				break
+			}
+		}
+		if won {
+			// Essential winner with no reserve configured: no finite
+			// critical value exists. Keep the Algorithm 3 payment and
+			// accept the (documented) loss of exact truthfulness on this
+			// edge; configure ReservePrice to remove it.
+			return win.Payment
+		}
+	}
+	for range 64 {
+		if hi-lo <= 1e-12*math.Max(1, hi) {
+			break
+		}
+		mid := lo + (hi-lo)/2
+		if wins(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

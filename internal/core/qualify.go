@@ -1,0 +1,66 @@
+package core
+
+import "math"
+
+// MinTg returns T_0, the smallest feasible number of global iterations
+// given the bids' local accuracies (lines 2-3 of Algorithm 1):
+// T_0 = ⌈1/(1−θ_min)⌉ where θ_min is the minimum local accuracy among all
+// bids. The result is at least 1.
+func MinTg(bids []Bid) int {
+	thetaMin := math.Inf(1)
+	for _, b := range bids {
+		thetaMin = math.Min(thetaMin, b.Theta)
+	}
+	if math.IsInf(thetaMin, 1) || thetaMin >= 1 {
+		return 1
+	}
+	// The small slack keeps exact reciprocals (e.g. 1/(1−0.8) = 5) from
+	// rounding up spuriously under floating point.
+	t0 := int(math.Ceil(1/(1-thetaMin) - 1e-9))
+	if t0 < 1 {
+		t0 = 1
+	}
+	return t0
+}
+
+// Qualified returns the indices (into bids) of the qualified bid set
+// J_{T̂_g} for a fixed number of global iterations tg (line 6 of
+// Algorithm 1). A bid qualifies when
+//
+//   - θ_ij ≤ θ_max = 1 − 1/T̂_g  (constraint (6b): the bid's accuracy does
+//     not force more global iterations than T̂_g),
+//   - t_ij = T_l(θ_ij)·t_i^cmp + t_i^com ≤ t_max  (constraint (6d)), and
+//   - a_ij + c_ij − 1 ≤ T̂_g  (the bid's rounds fit inside [a_ij, T̂_g]).
+//
+// The last condition is printed as a_ij + c_ij ≤ T̂_g in Algorithm 1, but
+// that form contradicts the paper's own worked example (§V-B qualifies
+// B2 = ($6, [2,3], 2) for T̂_g = 3 even though 2+2 > 3); the off-by-one
+// corrected form is used here. It also guarantees the representative
+// schedule always finds c_ij slots inside the clipped window.
+func Qualified(bids []Bid, tg int, cfg Config) []int {
+	if tg < 1 {
+		return nil
+	}
+	thetaMax := 1 - 1/float64(tg)
+	localIters := cfg.localIters()
+	// A small tolerance keeps bids generated exactly at the boundary
+	// (θ = 1 − 1/T̂_g) qualified despite floating-point rounding.
+	const eps = 1e-12
+	var out []int
+	for idx, b := range bids {
+		if b.Theta > thetaMax+eps {
+			continue
+		}
+		if cfg.TMax > 0 && b.PerRoundTime(localIters) > cfg.TMax+eps {
+			continue
+		}
+		if cfg.ReservePrice > 0 && b.Price > cfg.ReservePrice+eps {
+			continue
+		}
+		if b.Start+b.Rounds-1 > tg {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package core
+
+// ScheduleRule selects how A_winner forms a bid's representative schedule
+// l_ij from the exponentially many feasible schedules.
+type ScheduleRule int
+
+const (
+	// ScheduleLeastCovered takes the c_ij iterations of the window with
+	// the smallest coverage count γ_t — the paper's rule, which maximizes
+	// the schedule's marginal utility R_il(S). It is the zero value.
+	ScheduleLeastCovered ScheduleRule = iota
+	// ScheduleEarliest takes the first c_ij iterations of the window
+	// regardless of coverage. It is a deliberately naive ablation
+	// baseline quantifying what the least-covered rule buys.
+	ScheduleEarliest
+)
+
+// String names the rule.
+func (r ScheduleRule) String() string {
+	switch r {
+	case ScheduleLeastCovered:
+		return "least-covered"
+	case ScheduleEarliest:
+		return "earliest-fit"
+	default:
+		return "unknown"
+	}
+}

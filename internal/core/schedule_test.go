@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func TestScheduleRuleString(t *testing.T) {
+	if ScheduleLeastCovered.String() != "least-covered" ||
+		ScheduleEarliest.String() != "earliest-fit" ||
+		ScheduleRule(9).String() != "unknown" {
+		t.Fatal("schedule rule names wrong")
+	}
+}
+
+func TestConfigValidateScheduleRule(t *testing.T) {
+	cfg := Config{T: 5, K: 1, ScheduleRule: ScheduleRule(42)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected unknown-schedule-rule error")
+	}
+}
+
+func TestEarliestFitSchedules(t *testing.T) {
+	// Earliest-fit always uses the first c slots of the window.
+	bids := []Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 4, Rounds: 2},
+		{Client: 1, Price: 3, Theta: 0.5, Start: 1, End: 4, Rounds: 2},
+		{Client: 2, Price: 4, Theta: 0.5, Start: 1, End: 4, Rounds: 4},
+	}
+	cfg := Config{T: 4, K: 1, ScheduleRule: ScheduleEarliest}
+	res := SolveWDP(bids, []int{0, 1, 2}, 4, cfg)
+	if !res.Feasible {
+		t.Fatal("instance feasible via client 2")
+	}
+	for _, w := range res.Winners {
+		for i, s := range w.Slots {
+			if s != w.Bid.Start+i {
+				t.Fatalf("earliest-fit winner %v scheduled %v, want prefix of window", w.Bid, w.Slots)
+			}
+		}
+	}
+	if err := CheckWDPSolution(bids, res, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestFitCanFailWhereLeastCoveredSucceeds(t *testing.T) {
+	// Both clients' earliest-fit schedules pile onto slot 1-2 leaving 3-4
+	// uncovered; the least-covered rule spreads them.
+	bids := []Bid{
+		{Client: 0, Price: 1, Theta: 0.5, Start: 1, End: 4, Rounds: 2},
+		{Client: 1, Price: 1, Theta: 0.5, Start: 1, End: 4, Rounds: 2},
+	}
+	smart := SolveWDP(bids, []int{0, 1}, 4, Config{T: 4, K: 1})
+	naive := SolveWDP(bids, []int{0, 1}, 4, Config{T: 4, K: 1, ScheduleRule: ScheduleEarliest})
+	if !smart.Feasible {
+		t.Fatal("least-covered rule should cover all four slots")
+	}
+	if naive.Feasible {
+		t.Fatal("earliest-fit should fail: both schedules fixed to slots {1,2}")
+	}
+}
+
+func TestEarliestFitNeverCheaperOnAverage(t *testing.T) {
+	rng := stats.NewRNG(909)
+	var smartSum, naiveSum float64
+	n := 0
+	for trial := 0; trial < 80; trial++ {
+		bids, tg, k := randomWDPInstance(rng)
+		cfg := Config{T: tg, K: k}
+		qual := Qualified(bids, tg, cfg)
+		smart := SolveWDP(bids, qual, tg, cfg)
+		naive := SolveWDP(bids, qual, tg, Config{T: tg, K: k, ScheduleRule: ScheduleEarliest})
+		if !smart.Feasible || !naive.Feasible {
+			continue
+		}
+		if err := CheckWDPSolution(bids, naive, Config{T: tg, K: k}); err != nil {
+			t.Fatalf("trial %d: naive solution invalid: %v", trial, err)
+		}
+		smartSum += smart.Cost
+		naiveSum += naive.Cost
+		n++
+	}
+	if n < 10 {
+		t.Fatalf("only %d jointly feasible instances", n)
+	}
+	if smartSum > naiveSum+1e-9 {
+		t.Fatalf("least-covered mean cost %.2f above earliest-fit %.2f over %d instances",
+			smartSum/float64(n), naiveSum/float64(n), n)
+	}
+}

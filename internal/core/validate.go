@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckSolution verifies that an auction outcome satisfies every constraint
+// of ILP (6). It is used by the test suite and by downstream consumers that
+// want a defense-in-depth check before acting on a solution (paying
+// clients, launching training).
+//
+// Checks performed:
+//
+//	(6a) every iteration t ∈ [1, T_g] has at least K scheduled participants;
+//	(6b) T_g ≥ 1/(1−θ_max) over the winners' local accuracies;
+//	(6c) every winner is scheduled for exactly c_ij iterations;
+//	(6d) every winner's per-round time fits t_max;
+//	(6e) every scheduled iteration lies inside the winner's window;
+//	(6f) at most one accepted bid per client;
+//	plus internal consistency (slots within [1, T_g], no duplicate slots,
+//	payments individually rational against claimed prices).
+func CheckSolution(bids []Bid, res Result, cfg Config) error {
+	if !res.Feasible {
+		return nil
+	}
+	if res.Tg < 1 || res.Tg > cfg.T {
+		return fmt.Errorf("core: T_g=%d outside [1,%d]", res.Tg, cfg.T)
+	}
+	coverage := make([]int, res.Tg)
+	clients := make(map[int]bool)
+	localIters := cfg.localIters()
+	var cost float64
+	for _, w := range res.Winners {
+		b := w.Bid
+		if w.BidIndex < 0 || w.BidIndex >= len(bids) {
+			return fmt.Errorf("core: winner bid index %d out of range", w.BidIndex)
+		}
+		if bids[w.BidIndex] != b {
+			return fmt.Errorf("core: winner %s does not match bids[%d]", b, w.BidIndex)
+		}
+		if clients[b.Client] {
+			return fmt.Errorf("core: client %d won more than one bid (6f)", b.Client)
+		}
+		clients[b.Client] = true
+		if len(w.Slots) != b.Rounds {
+			return fmt.Errorf("core: %s scheduled %d slots, want c=%d (6c)", b, len(w.Slots), b.Rounds)
+		}
+		seen := make(map[int]bool, len(w.Slots))
+		for _, t := range w.Slots {
+			if t < 1 || t > res.Tg {
+				return fmt.Errorf("core: %s scheduled at t=%d outside [1,%d]", b, t, res.Tg)
+			}
+			if seen[t] {
+				return fmt.Errorf("core: %s scheduled twice at t=%d", b, t)
+			}
+			seen[t] = true
+			if t < b.Start || t > b.End {
+				return fmt.Errorf("core: %s scheduled at t=%d outside window [%d,%d] (6e)", b, t, b.Start, b.End)
+			}
+			coverage[t-1]++
+		}
+		if thr := 1 / (1 - b.Theta); float64(res.Tg) < thr-1e-9 {
+			return fmt.Errorf("core: winner %s needs T_g ≥ %.3f, got %d (6b)", b, thr, res.Tg)
+		}
+		if cfg.TMax > 0 {
+			if pt := b.PerRoundTime(localIters); pt > cfg.TMax+1e-9 {
+				return fmt.Errorf("core: winner %s per-round time %.3f exceeds t_max=%.3f (6d)", b, pt, cfg.TMax)
+			}
+		}
+		if w.Payment < b.Price-1e-9 {
+			return fmt.Errorf("core: winner %s paid %.4f below its price %.4f", b, w.Payment, b.Price)
+		}
+		cost += b.Price
+	}
+	for t := 1; t <= res.Tg; t++ {
+		if coverage[t-1] < cfg.K {
+			return fmt.Errorf("core: iteration %d has %d participants, want ≥ %d (6a)", t, coverage[t-1], cfg.K)
+		}
+	}
+	if math.Abs(cost-res.Cost) > 1e-6*(1+math.Abs(cost)) {
+		return fmt.Errorf("core: reported cost %.6f differs from recomputed %.6f", res.Cost, cost)
+	}
+	return nil
+}
+
+// CheckWDPSolution verifies a single WDP outcome against the fixed-T̂_g
+// constraints (everything in CheckSolution except the T_g choice itself).
+func CheckWDPSolution(bids []Bid, wdp WDPResult, cfg Config) error {
+	if !wdp.Feasible {
+		return nil
+	}
+	res := Result{Feasible: true, Tg: wdp.Tg, Cost: wdp.Cost, Winners: wdp.Winners, Dual: wdp.Dual}
+	// A WDP is solved for a fixed T̂_g that may exceed nothing; reuse the
+	// full checker with T widened to the WDP horizon.
+	wide := cfg
+	if wide.T < wdp.Tg {
+		wide.T = wdp.Tg
+	}
+	return CheckSolution(bids, res, wide)
+}

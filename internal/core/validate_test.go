@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSolution builds a small hand-checked feasible solution to corrupt.
+func validSolution() ([]Bid, Result, Config) {
+	bids := []Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 3, Rounds: 2, CompTime: 5, CommTime: 10},
+		{Client: 1, Price: 3, Theta: 0.5, Start: 1, End: 3, Rounds: 3, CompTime: 5, CommTime: 10},
+	}
+	res := Result{
+		Feasible: true,
+		Tg:       3,
+		Cost:     5,
+		Winners: []Winner{
+			{BidIndex: 0, Bid: bids[0], Slots: []int{1, 2}, Payment: 2.5},
+			{BidIndex: 1, Bid: bids[1], Slots: []int{1, 2, 3}, Payment: 3.5},
+		},
+	}
+	cfg := Config{T: 3, K: 1, TMax: 60}
+	return bids, res, cfg
+}
+
+func TestCheckSolutionAcceptsValid(t *testing.T) {
+	bids, res, cfg := validSolution()
+	if err := CheckSolution(bids, res, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Infeasible results are trivially fine.
+	if err := CheckSolution(bids, Result{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSolutionRejectsCorruptions(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(bids []Bid, res *Result, cfg *Config)
+		errPart string
+	}{
+		{
+			name:    "Tg above T",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Tg = 9 },
+			errPart: "outside",
+		},
+		{
+			name:    "bid index out of range",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[0].BidIndex = 7 },
+			errPart: "out of range",
+		},
+		{
+			name:    "winner bid mismatch",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[0].Bid.Price = 99; r.Cost = 102 },
+			errPart: "does not match",
+		},
+		{
+			name: "duplicate client",
+			corrupt: func(bids []Bid, r *Result, _ *Config) {
+				r.Winners[1] = r.Winners[0]
+				r.Cost = 4
+			},
+			errPart: "(6f)",
+		},
+		{
+			name:    "wrong slot count",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[0].Slots = []int{1} },
+			errPart: "(6c)",
+		},
+		{
+			name:    "slot above Tg",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[1].Slots = []int{1, 2, 9} },
+			errPart: "outside [1,3]",
+		},
+		{
+			name:    "duplicate slot",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[1].Slots = []int{1, 2, 2} },
+			errPart: "twice",
+		},
+		{
+			name: "slot outside window",
+			corrupt: func(bids []Bid, r *Result, _ *Config) {
+				bids[0].Start = 2
+				r.Winners[0].Bid.Start = 2
+				r.Winners[0].Slots = []int{1, 2}
+			},
+			errPart: "(6e)",
+		},
+		{
+			name: "theta incompatible with Tg",
+			corrupt: func(bids []Bid, r *Result, _ *Config) {
+				bids[0].Theta = 0.9
+				r.Winners[0].Bid.Theta = 0.9
+			},
+			errPart: "(6b)",
+		},
+		{
+			name: "per-round time above t_max",
+			corrupt: func(bids []Bid, r *Result, cfg *Config) {
+				cfg.TMax = 10
+			},
+			errPart: "(6d)",
+		},
+		{
+			name:    "payment below price",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Winners[0].Payment = 1 },
+			errPart: "below its price",
+		},
+		{
+			name:    "cost mismatch",
+			corrupt: func(_ []Bid, r *Result, _ *Config) { r.Cost = 42 },
+			errPart: "differs from recomputed",
+		},
+		{
+			name: "coverage shortfall",
+			corrupt: func(_ []Bid, r *Result, _ *Config) {
+				r.Winners = r.Winners[:1]
+				r.Cost = 2
+			},
+			errPart: "(6a)",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			bids, res, cfg := validSolution()
+			tc.corrupt(bids, &res, &cfg)
+			err := CheckSolution(bids, res, cfg)
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+func TestCheckWDPSolutionWidensHorizon(t *testing.T) {
+	// A WDP solved at T̂_g beyond cfg.T (possible when callers sweep) must
+	// still validate against its own horizon.
+	bids := []Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 4, Rounds: 4},
+	}
+	wdp := WDPResult{
+		Tg:       4,
+		Feasible: true,
+		Cost:     2,
+		Winners: []Winner{
+			{BidIndex: 0, Bid: bids[0], Slots: []int{1, 2, 3, 4}, Payment: 2},
+		},
+	}
+	if err := CheckWDPSolution(bids, wdp, Config{T: 2, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWDPSolution(bids, WDPResult{}, Config{T: 2, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// SolveWDP runs A_winner (Algorithm 2) on one winner-determination problem:
+// given the qualified bid indices for a fixed number of global iterations
+// tg, it greedily selects schedules with minimum average cost until every
+// iteration t ∈ [1, tg] has cfg.K participants, computes critical-value
+// payments (Algorithm 3), and assembles the dual certificate of Lemma 5.
+//
+// bids is the full bid slice of the auction; qualified indexes into it.
+// The function never mutates bids.
+func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
+	res := WDPResult{Tg: tg}
+	if tg < 1 || len(qualified) == 0 {
+		return res
+	}
+	w := newWDPState(bids, qualified, tg, cfg)
+	target := cfg.K * tg
+	for w.covered < target {
+		e, ok := w.popValid(&w.heapC, w.inC)
+		if !ok {
+			return res // not enough supply: this WDP is infeasible
+		}
+		w.selectWinner(e)
+		res.Rounds++
+	}
+	res.Feasible = true
+	res.Winners = w.winners
+	for _, win := range w.winners {
+		res.Cost += win.Bid.Price
+	}
+	res.Dual = w.finalizeDual(cfg.K)
+	applyPaymentRule(bids, qualified, tg, cfg, &res)
+	return res
+}
+
+// wdpState is the mutable state of one A_winner run.
+type wdpState struct {
+	bids      []Bid
+	qualified []int
+	tg        int
+	cfg       Config
+
+	// gamma[t-1] is γ_t, the number of clients scheduled at iteration t.
+	gamma []int
+	// covered is R(S) = Σ_t min(γ_t, K).
+	covered int
+	// m[idx] is the number of still-available (γ_t < K) iterations inside
+	// bid idx's effective window; the bid's marginal utility is
+	// R = min(c, m). m is tracked only for qualified bids.
+	m map[int]int
+	// slotBids[t-1] lists the qualified bids whose effective window
+	// contains t, so m can be decremented when t fills up.
+	slotBids [][]int
+	// clientBids groups qualified bid indices by client for the
+	// one-bid-per-client pruning of line 13.
+	clientBids map[int][]int
+
+	// inC / inG are membership flags for the candidate set C and the grand
+	// set G of Algorithm 2. C drops every bid of a winning client; G drops
+	// only the selected schedule.
+	inC map[int]bool
+	inG map[int]bool
+	// heapC / heapG are lazy min-heaps over average cost. Entries carry a
+	// snapshot of m; a popped entry whose snapshot is stale is re-keyed
+	// and reinserted (average cost only grows as slots fill, so the lazy
+	// strategy preserves exact greedy order).
+	heapC entryHeap
+	heapG entryHeap
+
+	winners []Winner
+
+	// Dual bookkeeping (lines 9, 11-12 and 16-23 of Algorithm 2).
+	// phiMax[t-1] = η_φ(t) = max_l φ(t,l) over selected schedules.
+	// phiMin[t-1] = min_l φ(t,l) over selected schedules.
+	// phiPrime[t-1] = min over rounds of φ(t, l^{i#})' for the best
+	// unselected schedule of each round.
+	phiMax, phiMin, phiPrime []float64
+	// psiMax[t-1] = ψ_max^t, the maximum bidding price among qualified
+	// bids whose window contains t.
+	psiMax []float64
+}
+
+func newWDPState(bids []Bid, qualified []int, tg int, cfg Config) *wdpState {
+	w := &wdpState{
+		bids:       bids,
+		qualified:  qualified,
+		tg:         tg,
+		cfg:        cfg,
+		gamma:      make([]int, tg),
+		m:          make(map[int]int, len(qualified)),
+		slotBids:   make([][]int, tg),
+		clientBids: make(map[int][]int),
+		inC:        make(map[int]bool, len(qualified)),
+		inG:        make(map[int]bool, len(qualified)),
+		phiMax:     make([]float64, tg),
+		phiMin:     make([]float64, tg),
+		phiPrime:   make([]float64, tg),
+		psiMax:     make([]float64, tg),
+	}
+	for t := 0; t < tg; t++ {
+		w.phiMin[t] = math.Inf(1)
+		w.phiPrime[t] = math.Inf(1)
+	}
+	for _, idx := range qualified {
+		b := bids[idx]
+		lo, hi := w.window(b)
+		for t := lo; t <= hi; t++ {
+			if b.Price > w.psiMax[t-1] {
+				w.psiMax[t-1] = b.Price
+			}
+		}
+		// m counts the still-available iterations the bid's representative
+		// schedule can draw from: the whole window under the paper's
+		// least-covered rule, only the fixed earliest-fit slots otherwise.
+		slo, shi := w.slotRange(b)
+		w.m[idx] = shi - slo + 1
+		for t := slo; t <= shi; t++ {
+			w.slotBids[t-1] = append(w.slotBids[t-1], idx)
+		}
+		w.clientBids[b.Client] = append(w.clientBids[b.Client], idx)
+		w.inC[idx] = true
+		w.inG[idx] = true
+		e := w.entryFor(idx)
+		w.heapC = append(w.heapC, e)
+		w.heapG = append(w.heapG, e)
+	}
+	heap.Init(&w.heapC)
+	heap.Init(&w.heapG)
+	return w
+}
+
+// window returns the bid's effective availability window [lo, hi] clipped
+// to the WDP horizon.
+func (w *wdpState) window(b Bid) (lo, hi int) {
+	hi = b.End
+	if hi > w.tg {
+		hi = w.tg
+	}
+	return b.Start, hi
+}
+
+// slotRange returns the iterations a bid's representative schedule draws
+// from: the whole clipped window under ScheduleLeastCovered, the fixed
+// first c_ij iterations under ScheduleEarliest.
+func (w *wdpState) slotRange(b Bid) (lo, hi int) {
+	lo, hi = w.window(b)
+	if w.cfg.ScheduleRule == ScheduleEarliest && lo+b.Rounds-1 < hi {
+		hi = lo + b.Rounds - 1
+	}
+	return lo, hi
+}
+
+// marginal returns the utility gain R_il(S) of the bid's representative
+// schedule. Under the paper's least-covered rule the schedule takes the
+// c_ij smallest-γ iterations of the window; available iterations
+// (γ_t < K) sort before full ones, so the gain is min(c_ij, m). Under
+// earliest-fit the slot set is fixed and the gain is exactly the number
+// of its slots still available.
+func (w *wdpState) marginal(idx int) int {
+	m := w.m[idx]
+	if w.cfg.ScheduleRule == ScheduleEarliest {
+		return m
+	}
+	if r := w.bids[idx].Rounds; r < m {
+		return r
+	}
+	return m
+}
+
+func (w *wdpState) entryFor(idx int) heapEntry {
+	r := w.marginal(idx)
+	key := math.Inf(1)
+	if r > 0 {
+		key = w.bids[idx].Price / float64(r)
+	}
+	return heapEntry{key: key, bid: idx, mSnap: w.m[idx]}
+}
+
+// popValid pops the minimum-average-cost entry of h whose membership flag
+// is set and whose m snapshot is current, lazily re-keying stale entries.
+func (w *wdpState) popValid(h *entryHeap, in map[int]bool) (heapEntry, bool) {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		if !in[e.bid] {
+			continue
+		}
+		if e.mSnap != w.m[e.bid] {
+			if w.marginal(e.bid) > 0 {
+				heap.Push(h, w.entryFor(e.bid))
+			}
+			continue
+		}
+		if w.marginal(e.bid) == 0 {
+			continue
+		}
+		return e, true
+	}
+	return heapEntry{}, false
+}
+
+// peekValid returns the minimum valid entry of h not rejected by skip,
+// restoring every entry it inspected. It is used for the critical-value
+// payment (second-smallest average cost in C) and for the best unselected
+// schedule (i#, l#) in G.
+func (w *wdpState) peekValid(h *entryHeap, in map[int]bool, skip func(bid int) bool) (heapEntry, bool) {
+	var kept []heapEntry
+	var found heapEntry
+	ok := false
+	for h.Len() > 0 {
+		e, popped := w.popValid(h, in)
+		if !popped {
+			break
+		}
+		if skip != nil && skip(e.bid) {
+			kept = append(kept, e)
+			continue
+		}
+		found, ok = e, true
+		kept = append(kept, e)
+		break
+	}
+	for _, e := range kept {
+		heap.Push(h, e)
+	}
+	return found, ok
+}
+
+// representativeSchedule returns the bid's representative schedule l_ij —
+// the c_ij iterations with the smallest coverage count γ_t inside the
+// effective window, ties broken by iteration index — and the subset F_il
+// of those that are still available.
+func (w *wdpState) representativeSchedule(idx int) (slots, available []int) {
+	b := w.bids[idx]
+	lo, hi := w.slotRange(b)
+	cand := make([]int, 0, hi-lo+1)
+	for t := lo; t <= hi; t++ {
+		cand = append(cand, t)
+	}
+	if w.cfg.ScheduleRule != ScheduleEarliest {
+		sort.Slice(cand, func(a, b int) bool {
+			ga, gb := w.gamma[cand[a]-1], w.gamma[cand[b]-1]
+			if ga != gb {
+				return ga < gb
+			}
+			return cand[a] < cand[b]
+		})
+	}
+	if len(cand) > b.Rounds {
+		cand = cand[:b.Rounds]
+	}
+	slots = cand
+	for _, t := range slots {
+		if w.gamma[t-1] < w.cfg.K {
+			available = append(available, t)
+		}
+	}
+	sort.Ints(slots)
+	return slots, available
+}
+
+// selectWinner performs lines 9-14 of Algorithm 2 for the popped minimum
+// entry e: payment, dual recording, set updates, and coverage updates.
+func (w *wdpState) selectWinner(e heapEntry) {
+	idx := e.bid
+	b := w.bids[idx]
+	slots, avail := w.representativeSchedule(idx)
+	r := len(avail) // == marginal(idx) by construction
+	phi := b.Price / float64(r)
+
+	payment := w.criticalPayment(idx, b, r)
+
+	// Record φ(t, l*) on the newly covered iterations (line 9).
+	for _, t := range avail {
+		if phi > w.phiMax[t-1] {
+			w.phiMax[t-1] = phi
+		}
+		if phi < w.phiMin[t-1] {
+			w.phiMin[t-1] = phi
+		}
+	}
+
+	// Lines 11-12: record the best schedule in the grand set G, which at
+	// this point still includes the selected schedule itself.
+	if ge, ok := w.peekValid(&w.heapG, w.inG, nil); ok {
+		gb := w.bids[ge.bid]
+		gr := w.marginal(ge.bid)
+		gphi := gb.Price / float64(gr)
+		_, gavail := w.representativeSchedule(ge.bid)
+		for _, t := range gavail {
+			if gphi < w.phiPrime[t-1] {
+				w.phiPrime[t-1] = gphi
+			}
+		}
+	}
+
+	// Lines 13-14: C drops every bid of the winning client; G drops only
+	// the selected schedule.
+	for _, sib := range w.clientBids[b.Client] {
+		delete(w.inC, sib)
+	}
+	delete(w.inG, idx)
+
+	w.winners = append(w.winners, Winner{
+		BidIndex: idx,
+		Bid:      b,
+		Slots:    slots,
+		Payment:  payment,
+		AvgCost:  phi,
+		covered:  avail,
+		phi:      phi,
+	})
+
+	// Update coverage; when an iteration fills up, shrink m for every bid
+	// whose window contains it.
+	for _, t := range slots {
+		if w.gamma[t-1] < w.cfg.K {
+			w.covered++
+		}
+		w.gamma[t-1]++
+		if w.gamma[t-1] == w.cfg.K {
+			for _, other := range w.slotBids[t-1] {
+				w.m[other]--
+			}
+		}
+	}
+}
+
+// criticalPayment implements A_payment (Algorithm 3): the winner is paid
+// its marginal utility times the second-smallest average cost among the
+// remaining candidates. With Config.ExcludeOwnBids, the winner's own other
+// bids cannot be the critical schedule. When no competitor remains the
+// winner is paid its own bid.
+func (w *wdpState) criticalPayment(idx int, b Bid, r int) float64 {
+	skip := func(other int) bool {
+		if other == idx {
+			return true
+		}
+		return w.cfg.ExcludeOwnBids && w.bids[other].Client == b.Client
+	}
+	// The winner's entry has already been popped from heapC, but its
+	// sibling bids (same client) may remain and are skipped per the rule.
+	if ce, ok := w.peekValid(&w.heapC, w.inC, skip); ok {
+		critAvg := w.bids[ce.bid].Price / float64(w.marginal(ce.bid))
+		return float64(r) * critAvg
+	}
+	return b.Price
+}
+
+// finalizeDual computes lines 16-23 of Algorithm 2: ω, g(t), λ_il and the
+// dual objective D, which lower-bounds the optimal WDP cost.
+func (w *wdpState) finalizeDual(k int) Dual {
+	tg := w.tg
+	d := Dual{
+		Tg:         tg,
+		G:          make([]float64, tg),
+		Lambda:     make(map[int]float64, len(w.winners)),
+		HarmonicTg: stats.Harmonic(tg),
+	}
+	// ω = max_t ψ_max^t / ψ_min^t with ψ_min^t the smallest recorded
+	// average cost at t among selected schedules and best-unselected
+	// snapshots (line 17-18).
+	for t := 0; t < tg; t++ {
+		psiMin := math.Min(w.phiMin[t], w.phiPrime[t])
+		if math.IsInf(psiMin, 1) || psiMin <= 0 {
+			continue
+		}
+		if ratio := w.psiMax[t] / psiMin; ratio > d.Omega {
+			d.Omega = ratio
+		}
+	}
+	if d.Omega < 1 {
+		d.Omega = 1
+	}
+	scale := d.HarmonicTg * d.Omega
+	for t := 0; t < tg; t++ {
+		d.G[t] = w.phiMax[t] / scale
+	}
+	var sumLambda float64
+	for _, win := range w.winners {
+		var l float64
+		for _, t := range win.covered {
+			l += (w.phiMax[t-1] - win.phi) / scale
+		}
+		d.Lambda[win.BidIndex] = l
+		sumLambda += l
+	}
+	var sumG float64
+	for t := 0; t < tg; t++ {
+		sumG += d.G[t]
+	}
+	d.Objective = float64(k)*sumG - sumLambda
+	d.RatioBound = scale
+	d.TightObjective = w.tightDualObjective(k)
+	return d
+}
+
+// tightDualObjective computes the largest uniform scale s at which
+// g(t) = s·η_φ(t) stays dual feasible with λ = q = 0 — constraint (8a)
+// then reads Σ_{t∈l} g(t) ≤ ρ_il for every feasible schedule l, whose
+// binding case per bid is the c_ij largest η_φ values in its window — and
+// returns the resulting dual objective s·K·Σ_t η_φ(t).
+func (w *wdpState) tightDualObjective(k int) float64 {
+	var sumEta float64
+	for t := 0; t < w.tg; t++ {
+		sumEta += w.phiMax[t]
+	}
+	if sumEta <= 0 {
+		return 0
+	}
+	scale := math.Inf(1)
+	top := make([]float64, 0, w.tg)
+	for _, idx := range w.qualified {
+		b := w.bids[idx]
+		lo, hi := w.window(b)
+		if hi-lo+1 < b.Rounds {
+			continue
+		}
+		top = top[:0]
+		for t := lo; t <= hi; t++ {
+			top = append(top, w.phiMax[t-1])
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(top)))
+		var worst float64
+		for i := 0; i < b.Rounds; i++ {
+			worst += top[i]
+		}
+		if worst > 0 {
+			if s := b.Price / worst; s < scale {
+				scale = s
+			}
+		}
+	}
+	if math.IsInf(scale, 1) {
+		return 0
+	}
+	return scale * float64(k) * sumEta
+}
+
+// heapEntry is one lazily keyed candidate in the greedy selection heaps.
+type heapEntry struct {
+	key   float64 // average cost ρ / R at push time
+	bid   int     // index into the auction's bid slice
+	mSnap int     // m value at push time; staleness marker
+}
+
+// entryHeap is a min-heap of heapEntry ordered by (key, bid).
+type entryHeap []heapEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(a, b int) bool {
+	if h[a].key != h[b].key {
+		return h[a].key < h[b].key
+	}
+	return h[a].bid < h[b].bid
+}
+func (h entryHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+// Push implements heap.Interface.
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(heapEntry)) }
+
+// Pop implements heap.Interface.
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

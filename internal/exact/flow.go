@@ -1,0 +1,106 @@
+package exact
+
+// maxflow is a small Dinic implementation used to decide whether a set of
+// accepted bids can be scheduled to K-cover every iteration, and to
+// construct an integral schedule when it can. The network is
+//
+//	source → bid   (capacity c_ij)
+//	bid    → slot  (capacity 1, slot inside the bid's clipped window)
+//	slot   → sink  (capacity K)
+//
+// The bids can K-cover all T̂_g iterations iff the max flow saturates the
+// slot→sink arcs, i.e. equals K·T̂_g. Rounds left over after the flow
+// (c_ij minus shipped units) are placed on arbitrary unused window slots;
+// coverage beyond K is always allowed.
+type maxflow struct {
+	n     int
+	head  []int
+	to    []int
+	next  []int
+	cap   []int
+	level []int
+	iter  []int
+}
+
+func newMaxflow(n int) *maxflow {
+	f := &maxflow{n: n, head: make([]int, n)}
+	for i := range f.head {
+		f.head[i] = -1
+	}
+	return f
+}
+
+// addEdge inserts a directed edge u→v with the given capacity and its
+// residual twin, returning the edge id (even ids are forward edges).
+func (f *maxflow) addEdge(u, v, c int) int {
+	id := len(f.to)
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = id
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = id + 1
+	return id
+}
+
+func (f *maxflow) bfs(s, t int) bool {
+	f.level = make([]int, f.n)
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := []int{s}
+	f.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := f.head[u]; e != -1; e = f.next[e] {
+			if f.cap[e] > 0 && f.level[f.to[e]] < 0 {
+				f.level[f.to[e]] = f.level[u] + 1
+				queue = append(queue, f.to[e])
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *maxflow) dfs(u, t, limit int) int {
+	if u == t {
+		return limit
+	}
+	for ; f.iter[u] != -1; f.iter[u] = f.next[f.iter[u]] {
+		e := f.iter[u]
+		v := f.to[e]
+		if f.cap[e] <= 0 || f.level[v] != f.level[u]+1 {
+			continue
+		}
+		d := f.dfs(v, t, min(limit, f.cap[e]))
+		if d > 0 {
+			f.cap[e] -= d
+			f.cap[e^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+// run computes the max flow from s to t.
+func (f *maxflow) run(s, t int) int {
+	flow := 0
+	for f.bfs(s, t) {
+		f.iter = make([]int, f.n)
+		copy(f.iter, f.head)
+		for {
+			d := f.dfs(s, t, 1<<30)
+			if d == 0 {
+				break
+			}
+			flow += d
+		}
+	}
+	return flow
+}
+
+// used reports how much of forward edge id was consumed.
+func (f *maxflow) used(id int) int { return f.cap[id^1] }

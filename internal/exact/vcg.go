@@ -1,0 +1,75 @@
+package exact
+
+import (
+	"math"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// VCGResult is the outcome of the Vickrey-Clarke-Groves mechanism on one
+// WDP: the cost-optimal allocation with payments equal to each winner's
+// externality. VCG is exactly truthful and exactly optimal, but needs an
+// optimal solver per winner, so it only scales to the instance sizes the
+// branch-and-bound handles; it serves as the gold-standard reference the
+// polynomial-time A_FL trades against.
+type VCGResult struct {
+	// Feasible reports whether the WDP admits any solution.
+	Feasible bool
+	// Proven reports whether every branch-and-bound run completed; when
+	// false some payment rests on a non-optimal bound and exact
+	// truthfulness is not guaranteed.
+	Proven bool
+	// Cost is the optimal social cost.
+	Cost float64
+	// Winners holds the optimal allocation; each winner's Payment is its
+	// VCG payment v_i + (OPT₋ᵢ − OPT), the welfare externality it
+	// imposes, which always covers its claimed cost.
+	Winners []core.Winner
+}
+
+// SolveVCG computes the VCG outcome of the fixed-T̂_g WDP over the
+// qualified bids.
+func SolveVCG(bids []core.Bid, qualified []int, tg int, cfg core.Config, opts Options) VCGResult {
+	base := SolveWDP(bids, qualified, tg, cfg, opts)
+	if !base.Feasible {
+		return VCGResult{}
+	}
+	res := VCGResult{Feasible: true, Proven: base.Proven, Cost: base.Cost}
+	for _, w := range base.Winners {
+		// Remove every bid of the winner's client and re-solve.
+		reduced := make([]int, 0, len(qualified))
+		for _, q := range qualified {
+			if bids[q].Client != w.Bid.Client {
+				reduced = append(reduced, q)
+			}
+		}
+		without := SolveWDP(bids, reduced, tg, cfg, opts)
+		w2 := w
+		if !without.Feasible {
+			// The client is essential: its externality is unbounded. Pay
+			// the claimed price plus the rest-of-solution cost as a
+			// finite sentinel and mark the run unproven.
+			w2.Payment = math.Inf(1)
+			res.Proven = false
+		} else {
+			if !without.Proven {
+				res.Proven = false
+			}
+			// Payment = v_i + (OPT₋ᵢ − (OPT − v_i)): the winner's cost
+			// share plus the harm its presence does to everyone else.
+			w2.Payment = without.Cost - (base.Cost - w.Bid.Price)
+		}
+		res.Winners = append(res.Winners, w2)
+	}
+	return res
+}
+
+// TotalPayment sums the finite VCG payments; +Inf propagates if any
+// winner is essential.
+func (r VCGResult) TotalPayment() float64 {
+	var sum float64
+	for _, w := range r.Winners {
+		sum += w.Payment
+	}
+	return sum
+}

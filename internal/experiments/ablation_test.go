@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationRegistry(t *testing.T) {
+	want := []string{"diurnal", "lazy-vs-naive", "online", "payment-rules", "redundancy", "schedule-rule", "selection", "timing", "vcg"}
+	ids := AblationIDs()
+	if len(ids) != len(want) {
+		t.Fatalf("ablations = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ablations = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestAblationPaymentRules(t *testing.T) {
+	fig := AblationPaymentRules(quickOpts())
+	if len(fig.Chart.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	ratios := map[string]float64{}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		var sum float64
+		for _, p := range s.Points {
+			if p.Y < 1-1e-9 {
+				t.Fatalf("%s overpayment %v below 1 (IR violated)", s.Name, p.Y)
+			}
+			sum += p.Y
+		}
+		ratios[s.Name] = sum / float64(len(s.Points))
+	}
+	// Pay-as-bid is exactly 1; truthful rules pay at least as much.
+	if math.Abs(ratios["pay-bid"]-1) > 1e-9 {
+		t.Fatalf("pay-bid overpayment %v, want exactly 1", ratios["pay-bid"])
+	}
+	if ratios["critical"] < ratios["pay-bid"]-1e-9 {
+		t.Fatal("critical rule pays less than bids")
+	}
+}
+
+func TestAblationScheduleRule(t *testing.T) {
+	fig := AblationScheduleRule(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	smart, naive := fig.Chart.Series[0], fig.Chart.Series[1]
+	if smart.Name != "least-covered" || len(smart.Points) == 0 {
+		t.Fatalf("smart series %+v", smart)
+	}
+	// Wherever both rules solved the WDP, the paper's rule must be
+	// cheaper on average.
+	if len(naive.Points) > 0 {
+		var sSum, nSum float64
+		n := 0
+		for i := range naive.Points {
+			for j := range smart.Points {
+				if smart.Points[j].X == naive.Points[i].X {
+					sSum += smart.Points[j].Y
+					nSum += naive.Points[i].Y
+					n++
+				}
+			}
+		}
+		if n > 0 && sSum > nSum+1e-9 {
+			t.Fatalf("least-covered mean %.1f above earliest-fit %.1f", sSum/float64(n), nSum/float64(n))
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestAblationRedundancy(t *testing.T) {
+	fig := AblationRedundancy(quickOpts())
+	if len(fig.Chart.Series) < 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		// Completion at p=0 is exactly 1 and non-increasing in p.
+		if s.Points[0].Y != 1 {
+			t.Fatalf("series %s completion at p=0 is %v", s.Name, s.Points[0].Y)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y > s.Points[i-1].Y+0.02 {
+				t.Fatalf("series %s completion increases with dropout: %v", s.Name, s.Points)
+			}
+		}
+	}
+	// More redundancy → better completion at the highest dropout.
+	first := fig.Chart.Series[0]
+	last := fig.Chart.Series[len(fig.Chart.Series)-1]
+	if last.Points[3].Y < first.Points[3].Y-1e-9 {
+		t.Fatalf("redundancy did not improve completion: %v vs %v", first.Points[3].Y, last.Points[3].Y)
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	fig := AblationSelection(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("series %s accuracy %v outside [0,1]", s.Name, p.Y)
+			}
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestAblationTiming(t *testing.T) {
+	fig := AblationTiming(quickOpts())
+	if len(fig.Chart.Series) == 0 {
+		t.Fatalf("no series: %v", fig.Notes)
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		// Zero jitter never fails a round (the auction-time or
+		// execution-time cutoff is consistent with nominal times only
+		// when (6d) was enforced; without it stragglers exist even at
+		// zero jitter, so only check the enforced series).
+		if s.Name == "(6d) enforced (t_max=60)" && s.Points[0].Y != 0 {
+			t.Fatalf("enforced (6d) fails rounds at zero jitter: %v", s.Points)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("failure fraction %v outside [0,1]", p.Y)
+			}
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestAblationVCG(t *testing.T) {
+	fig := AblationVCG(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	aflCost, vcgCost := fig.Chart.Series[0], fig.Chart.Series[1]
+	if len(aflCost.Points) == 0 || len(vcgCost.Points) == 0 {
+		t.Fatal("empty series")
+	}
+	// VCG is optimal: its cost can never exceed A_FL's at the same size.
+	for i := range vcgCost.Points {
+		for j := range aflCost.Points {
+			if aflCost.Points[j].X == vcgCost.Points[i].X &&
+				vcgCost.Points[i].Y > aflCost.Points[j].Y+1e-6 {
+				t.Fatalf("VCG cost %v above A_FL %v at I=%v",
+					vcgCost.Points[i].Y, aflCost.Points[j].Y, vcgCost.Points[i].X)
+			}
+		}
+	}
+	if len(fig.Notes) < 2 {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestAblationOnline(t *testing.T) {
+	fig := AblationOnline(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	cov := fig.Chart.Series[0]
+	if len(cov.Points) == 0 {
+		t.Fatal("empty coverage series")
+	}
+	for _, p := range cov.Points {
+		if p.Y < 0 || p.Y > 1 {
+			t.Fatalf("coverage %v outside [0,1]", p.Y)
+		}
+	}
+	// Coverage is non-decreasing in the price ceiling.
+	for i := 1; i < len(cov.Points); i++ {
+		if cov.Points[i].Y < cov.Points[i-1].Y-1e-9 {
+			t.Fatalf("coverage decreased with a higher ceiling: %v", cov.Points)
+		}
+	}
+}
+
+func TestAblationDiurnal(t *testing.T) {
+	fig := AblationDiurnal(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	cost := fig.Chart.Series[0]
+	if len(cost.Points) == 0 {
+		t.Fatal("empty cost series")
+	}
+	for _, p := range cost.Points {
+		if p.Y <= 0 {
+			t.Fatalf("non-positive cost %v", p.Y)
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestAblationLazyVsNaive(t *testing.T) {
+	fig := AblationLazyVsNaive(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Chart.Series))
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+	}
+	for _, n := range fig.Notes {
+		if len(n) >= 7 && n[:7] == "WARNING" {
+			t.Fatalf("implementations disagree: %s", n)
+		}
+	}
+}

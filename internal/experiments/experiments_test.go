@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/fedauction/afl/internal/plot"
+)
+
+func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig4j", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d figures: %v", len(ids), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs() = %v", ids)
+		}
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("nil runner for %s", id)
+		}
+	}
+}
+
+func TestFig3QuickRatios(t *testing.T) {
+	fig := Fig3(quickOpts())
+	if fig.ID != "fig3" || len(fig.Chart.Series) != 2 {
+		t.Fatalf("fig3 = %+v", fig)
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			// A ratio against a valid lower bound is ≥ 1 (tolerance for
+			// LP numerics) and should be small per Lemma 5.
+			if p.Y < 1-1e-6 || p.Y > 3 {
+				t.Fatalf("series %s ratio %v at T̂_g=%v out of plausible range", s.Name, p.Y, p.X)
+			}
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("fig3 notes missing")
+	}
+}
+
+func TestFig4QuickRatios(t *testing.T) {
+	fig := Fig4(quickOpts())
+	if len(fig.Chart.Series) != 4 {
+		t.Fatalf("fig4 series = %d", len(fig.Chart.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Chart.Series {
+		for _, p := range s.Points {
+			if p.Y < 1-1e-6 {
+				t.Fatalf("%s ratio %v below 1", s.Name, p.Y)
+			}
+			byName[s.Name] = append(byName[s.Name], p.Y)
+		}
+	}
+	if len(byName["A_FL"]) == 0 {
+		t.Fatal("A_FL series empty")
+	}
+	// A_FL should have the smallest mean ratio (the paper's headline).
+	afl := mean(byName["A_FL"])
+	for _, other := range []string{"Greedy", "A_online", "FCFS"} {
+		if len(byName[other]) == 0 {
+			continue
+		}
+		if afl > mean(byName[other])+1e-9 {
+			t.Fatalf("A_FL mean ratio %.3f above %s %.3f", afl, other, mean(byName[other]))
+		}
+	}
+}
+
+func TestFig4JQuickRatios(t *testing.T) {
+	fig := Fig4J(quickOpts())
+	if len(fig.Chart.Series) != 4 {
+		t.Fatalf("fig4j series = %d", len(fig.Chart.Series))
+	}
+	afl := fig.Chart.Series[0]
+	if afl.Name != "A_FL" || len(afl.Points) == 0 {
+		t.Fatalf("A_FL series %+v", afl)
+	}
+	for _, p := range afl.Points {
+		if p.Y < 1-1e-6 {
+			t.Fatalf("A_FL ratio %v below 1", p.Y)
+		}
+	}
+}
+
+func TestFig5QuickCosts(t *testing.T) {
+	fig := Fig5(quickOpts())
+	if len(fig.Chart.Series) != 4 {
+		t.Fatalf("fig5 series = %d", len(fig.Chart.Series))
+	}
+	costs := map[string]float64{}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		costs[s.Name] = mean(pointsY(s.Points))
+	}
+	for _, other := range []string{"Greedy", "A_online", "FCFS"} {
+		if costs["A_FL"] > costs[other]+1e-9 {
+			t.Fatalf("A_FL mean cost %.1f above %s %.1f", costs["A_FL"], other, costs[other])
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("fig5 notes missing")
+	}
+}
+
+func TestFig6QuickCosts(t *testing.T) {
+	fig := Fig6(quickOpts())
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+	}
+	// The paper: costs increase with J. Check A_FL's first vs last point.
+	afl := fig.Chart.Series[0]
+	if afl.Name != "A_FL" {
+		t.Fatalf("first series is %s", afl.Name)
+	}
+	if afl.Points[len(afl.Points)-1].Y < afl.Points[0].Y {
+		t.Logf("A_FL cost not increasing with J at quick scale: %v", afl.Points)
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	fig := Fig7(quickOpts())
+	if len(fig.Chart.Series) != 4 {
+		t.Fatalf("fig7 series = %d", len(fig.Chart.Series))
+	}
+	afl := fig.Chart.Series[0]
+	if afl.Name != "A_FL" || len(afl.Points) < 3 {
+		t.Fatalf("A_FL series too short: %+v", afl)
+	}
+	// A_FL generates the lowest cost at essentially every fixed T̂_g. Two
+	// greedy orders can occasionally swap by a hair on one WDP, so allow
+	// 5% pointwise slack and require A_FL to win on average.
+	aflMean := mean(pointsY(afl.Points))
+	for si, s := range fig.Chart.Series[1:] {
+		for i, p := range s.Points {
+			if i < len(afl.Points) && p.X == afl.Points[i].X && afl.Points[i].Y > 1.05*p.Y {
+				t.Fatalf("A_FL cost %v above %s %v at T̂_g=%v (series %d)",
+					afl.Points[i].Y, s.Name, p.Y, p.X, si)
+			}
+		}
+		if m := mean(pointsY(s.Points)); aflMean > m+1e-9 {
+			t.Fatalf("A_FL mean cost %.2f above %s mean %.2f", aflMean, s.Name, m)
+		}
+	}
+	// The balance point should be interior (neither endpoint), showing
+	// the computation/communication trade-off.
+	minIdx := 0
+	for i, p := range afl.Points {
+		if p.Y < afl.Points[minIdx].Y {
+			minIdx = i
+		}
+	}
+	t.Logf("fig7 balance point at T̂_g=%v (index %d of %d)", afl.Points[minIdx].X, minIdx, len(afl.Points))
+}
+
+func TestFig8QuickRuntime(t *testing.T) {
+	fig := Fig8(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("fig8 series = %d", len(fig.Chart.Series))
+	}
+	for _, s := range fig.Chart.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %s has non-positive runtime %v", s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig9QuickIR(t *testing.T) {
+	fig := Fig9(quickOpts())
+	if len(fig.Chart.Series) != 2 {
+		t.Fatalf("fig9 series = %d", len(fig.Chart.Series))
+	}
+	pay, cost := fig.Chart.Series[0], fig.Chart.Series[1]
+	if pay.Name != "payment" || cost.Name != "claimed cost" {
+		t.Fatalf("series order: %s, %s", pay.Name, cost.Name)
+	}
+	if len(pay.Points) == 0 || len(pay.Points) != len(cost.Points) {
+		t.Fatalf("series lengths %d vs %d", len(pay.Points), len(cost.Points))
+	}
+	for i := range pay.Points {
+		if pay.Points[i].Y < cost.Points[i].Y-1e-9 {
+			t.Fatalf("winner %d paid %v below cost %v", i, pay.Points[i].Y, cost.Points[i].Y)
+		}
+	}
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "violations") && !strings.Contains(n, " 0 individual-rationality") {
+			t.Fatalf("IR violations reported: %s", n)
+		}
+	}
+}
+
+func TestFiguresRenderAndCSV(t *testing.T) {
+	for _, id := range IDs() {
+		fig := Registry[id](quickOpts())
+		if out := fig.Chart.Render(60, 12); out == "" {
+			t.Fatalf("%s: empty render", id)
+		}
+		csv := fig.Chart.CSV()
+		if !strings.Contains(csv, "\n") {
+			t.Fatalf("%s: empty CSV", id)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return s / float64(len(xs))
+}
+
+func pointsY(ps []plot.Point) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.Y
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/online"
+	"github.com/fedauction/afl/internal/plot"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// AblationOnline studies the faithful posted-price online mechanism (the
+// paper's [17], no repair pass): how the price ceiling U steers the
+// coverage/overpayment trade-off. A generous ceiling accepts almost
+// everyone early (high coverage, high payments); a tight ceiling saves
+// money but leaves iterations under-covered — exactly why the paper's
+// offline A_FL wins on social cost in Fig. 5/6.
+func AblationOnline(opts Options) Figure {
+	multipliers := []float64{0.5, 1, 2, 4, 8}
+	fig := Figure{
+		ID:    "online",
+		Title: "Posted-price online mechanism: coverage vs price ceiling",
+		Chart: plot.Chart{Title: "Ablation: online posted prices", XLabel: "price ceiling multiplier (×max per-round price)", YLabel: "coverage"},
+	}
+	p := workload.NewDefaultParams()
+	p.Clients = 300
+	p.T = 15
+	p.K = 4
+	p.Seed = opts.Seed + 13
+	if opts.Quick {
+		p.Clients = 150
+	}
+	bids, err := workload.Generate(p)
+	if err != nil {
+		fig.Notes = append(fig.Notes, note("workload error: %v", err))
+		return fig
+	}
+	cfg := p.Config()
+	tg := p.T
+	qual := core.Qualified(bids, tg, cfg)
+	qualBids := make([]core.Bid, len(qual))
+	for i, idx := range qual {
+		qualBids[i] = bids[idx]
+	}
+	// Exogenous bounds from the population's per-round price range.
+	baseLo, baseHi := 2.0, 50.0
+	coverage := plot.Series{Name: "coverage"}
+	overpay := plot.Series{Name: "payment / cost"}
+	for _, m := range multipliers {
+		res, err := online.Run(qualBids, online.ArrivalByStart(qualBids), online.Config{
+			Tg: tg, K: p.K, L: baseLo, U: baseHi * m,
+		})
+		if err != nil {
+			continue
+		}
+		coverage.Points = append(coverage.Points, plot.Point{X: m, Y: res.Coverage})
+		ratio := 1.0
+		if res.Cost > 0 {
+			ratio = res.Payment / res.Cost
+		}
+		overpay.Points = append(overpay.Points, plot.Point{X: m, Y: ratio})
+		fig.Notes = append(fig.Notes,
+			note("U=×%.1f: coverage %.2f, winners %d, cost %.0f, payments %.0f",
+				m, res.Coverage, len(res.Winners), res.Cost, res.Payment))
+	}
+	fig.Chart.Series = []plot.Series{coverage, overpay}
+	return fig
+}

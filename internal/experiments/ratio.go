@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/fedauction/afl/internal/baseline"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/plot"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// Fig3 reproduces "Performance ratio of A_winner": the ratio of the
+// greedy WDP cost to the optimal (column-generation-bounded) WDP cost at
+// different fixed numbers of global iterations T̂_g, one series per
+// bids-per-client count J. Following §VII-B, every generated bid is
+// qualified (θ and per-round times are drawn inside the feasible region
+// for the swept T̂_g).
+func Fig3(opts Options) Figure {
+	tgs := []int{10, 20, 30, 40, 50}
+	js := []int{2, 6, 10}
+	clients, k := 100, 5
+	if opts.Quick {
+		tgs = []int{6, 10, 14}
+		js = []int{2, 4}
+		clients, k = 40, 3
+	}
+	fig := Figure{
+		ID:    "fig3",
+		Title: "Performance ratio of A_winner vs T̂_g (series: bids per client J)",
+		Chart: plot.Chart{Title: "Fig. 3", XLabel: "T̂_g", YLabel: "performance ratio"},
+	}
+	worst := 0.0
+	for _, j := range js {
+		series := plot.Series{Name: note("J=%d", j)}
+		for _, tg := range tgs {
+			var ratios []float64
+			for trial := 0; trial < opts.trials(); trial++ {
+				p := workload.NewDefaultParams()
+				p.Clients = clients
+				p.BidsPerUser = j
+				p.T = tg
+				p.K = k
+				p.Seed = opts.Seed + int64(trial)*1009 + int64(tg)*31 + int64(j)
+				// Keep every bid qualified at this T̂_g: θ below
+				// 1−1/T̂_g and no per-round time limit.
+				p.ThetaHi = math.Min(p.ThetaHi, 1-1/float64(tg)-1e-9)
+				p.TMax = 0
+				bids, err := workload.Generate(p)
+				if err != nil {
+					continue
+				}
+				cfg := p.Config()
+				qual := core.Qualified(bids, tg, cfg)
+				res := core.SolveWDP(bids, qual, tg, cfg)
+				if !res.Feasible {
+					continue
+				}
+				lb := wdpLowerBound(bids, qual, tg, cfg)
+				if math.IsNaN(lb) || lb <= 0 {
+					continue
+				}
+				ratios = append(ratios, res.Cost/lb)
+			}
+			if r := meanOf(ratios); !math.IsNaN(r) {
+				series.Points = append(series.Points, plot.Point{X: float64(tg), Y: r})
+				worst = math.Max(worst, r)
+			}
+		}
+		fig.Chart.Series = append(fig.Chart.Series, series)
+	}
+	fig.Notes = append(fig.Notes,
+		note("worst observed A_winner ratio %.3f (paper: < 1.3)", worst))
+	return fig
+}
+
+// Fig4 reproduces "Performance ratio of A_FL": the full-auction social
+// cost of each algorithm divided by a lower bound on the overall optimum,
+// across client counts I (J fixed to the default 5). Fig4J is the
+// companion J sweep.
+func Fig4(opts Options) Figure {
+	is := []int{200, 600, 1000, 1400, 1800}
+	if opts.Quick {
+		is = []int{60, 120, 180}
+	}
+	return ratioSweep(opts, Figure{
+		ID:    "fig4",
+		Title: "Performance ratio of all algorithms vs number of clients I",
+		Chart: plot.Chart{Title: "Fig. 4", XLabel: "clients I", YLabel: "performance ratio"},
+	}, is, func(p *workload.Params, x int) { p.Clients = x })
+}
+
+// Fig4J reproduces the J half of Fig. 4: performance ratios across bids
+// per client at the default I.
+func Fig4J(opts Options) Figure {
+	js := []int{2, 4, 6, 8, 10}
+	if opts.Quick {
+		js = []int{2, 4, 6}
+	}
+	return ratioSweep(opts, Figure{
+		ID:    "fig4j",
+		Title: "Performance ratio of all algorithms vs bids per client J",
+		Chart: plot.Chart{Title: "Fig. 4 (J sweep)", XLabel: "bids per client J", YLabel: "performance ratio"},
+	}, js, func(p *workload.Params, x int) {
+		p.BidsPerUser = x
+		if opts.Quick {
+			p.Clients = 150
+		} else {
+			p.Clients = 600
+		}
+	})
+}
+
+// ratioSweep runs the four algorithms over populations produced by vary
+// and reports cost / overall-optimum-lower-bound per point.
+func ratioSweep(opts Options, fig Figure, xs []int, vary func(p *workload.Params, x int)) Figure {
+	names := []string{"A_FL", "Greedy", "A_online", "FCFS"}
+	acc := make(map[string]map[int][]float64)
+	for _, n := range names {
+		acc[n] = make(map[int][]float64)
+	}
+	for _, x := range xs {
+		for trial := 0; trial < opts.trials(); trial++ {
+			p := workload.NewDefaultParams()
+			if opts.Quick {
+				p.T = 15
+				p.K = 4
+			}
+			vary(&p, x)
+			p.Seed = opts.Seed + int64(trial)*7919 + int64(x)
+			bids, err := workload.Generate(p)
+			if err != nil {
+				continue
+			}
+			cfg := p.Config()
+			res, err := core.RunAuction(bids, cfg)
+			if err != nil || !res.Feasible {
+				continue
+			}
+			lb := auctionLowerBound(bids, cfg, res)
+			if math.IsNaN(lb) || lb <= 0 {
+				continue
+			}
+			acc["A_FL"][x] = append(acc["A_FL"][x], res.Cost/lb)
+			for _, m := range mechanisms() {
+				if out, ok := baseline.RunOverTg(m, bids, cfg); ok {
+					acc[m.Name()][x] = append(acc[m.Name()][x], out.Cost/lb)
+				}
+			}
+		}
+	}
+	var aflWorst float64
+	for _, n := range names {
+		series := plot.Series{Name: n}
+		for _, x := range xs {
+			if r := meanOf(acc[n][x]); !math.IsNaN(r) {
+				series.Points = append(series.Points, plot.Point{X: float64(x), Y: r})
+				if n == "A_FL" {
+					aflWorst = math.Max(aflWorst, r)
+				}
+			}
+		}
+		fig.Chart.Series = append(fig.Chart.Series, series)
+	}
+	fig.Notes = append(fig.Notes,
+		note("worst observed A_FL ratio %.3f (paper: smallest among all, < 1.3)", aflWorst))
+	return fig
+}

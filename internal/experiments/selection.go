@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/plot"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// AblationSelection compares the auction-selected cohort against
+// FedAvg-style random selection on an end-to-end training run. Random
+// selection (the paper's §II strawman, as in FedAvg) picks K available
+// clients per round and compensates each at its per-round price; the
+// auction buys the same coverage with cost-aware winners. The chart plots
+// accuracy per round for both schedules; the notes report the procurement
+// cost of each.
+func AblationSelection(opts Options) Figure {
+	const (
+		clients = 30
+		dim     = 6
+		tg      = 10
+		k       = 4
+	)
+	fig := Figure{
+		ID:    "selection",
+		Title: "Auction-selected cohort vs random selection (accuracy per round)",
+		Chart: plot.Chart{Title: "Ablation: client selection", XLabel: "global iteration", YLabel: "accuracy"},
+	}
+	rng := stats.NewRNG(opts.Seed + 555)
+	full, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 2400, Dim: dim})
+	shards := fl.PartitionNonIID(rng, full, clients, 0.5)
+
+	var bids []core.Bid
+	learners := make(map[int]*fl.Client, clients)
+	for c := 0; c < clients; c++ {
+		theta := rng.FloatRange(0.4, 0.7)
+		start := rng.IntRange(1, 3)
+		end := rng.IntRange(tg-3, tg)
+		rounds := rng.IntRange(2, end-start)
+		bids = append(bids, core.Bid{
+			Client: c,
+			Price:  rng.FloatRange(10, 50),
+			Theta:  theta,
+			Start:  start, End: end, Rounds: rounds,
+			CompTime: rng.FloatRange(5, 10), CommTime: rng.FloatRange(10, 15),
+		})
+		learners[c] = &fl.Client{ID: c, Data: shards[c], Theta: theta, LR: 0.5}
+	}
+	cfg := core.Config{T: tg, K: k, TMax: 60}
+	qual := core.Qualified(bids, tg, cfg)
+	res := core.SolveWDP(bids, qual, tg, cfg)
+	if !res.Feasible {
+		fig.Notes = append(fig.Notes, note("auction infeasible"))
+		return fig
+	}
+	auctionSchedule := make([][]int, tg)
+	for _, w := range res.Winners {
+		for _, t := range w.Slots {
+			auctionSchedule[t-1] = append(auctionSchedule[t-1], w.Bid.Client)
+		}
+	}
+
+	// Random selection: K clients per round among those whose window
+	// covers the round and whose battery (c_ij of their first bid) is not
+	// exhausted; each selected round is compensated at the client's
+	// per-round price.
+	randomSchedule := make([][]int, tg)
+	var randomCost float64
+	battery := make([]int, clients)
+	for c := range battery {
+		battery[c] = bids[c].Rounds
+	}
+	for t := 1; t <= tg; t++ {
+		var avail []int
+		for c := 0; c < clients; c++ {
+			if battery[c] > 0 && t >= bids[c].Start && t <= bids[c].End {
+				avail = append(avail, c)
+			}
+		}
+		rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+		take := min(k, len(avail))
+		for _, c := range avail[:take] {
+			randomSchedule[t-1] = append(randomSchedule[t-1], c)
+			battery[c]--
+			randomCost += bids[c].Price / float64(bids[c].Rounds)
+		}
+	}
+
+	trainCfg := fl.TrainConfig{Dim: dim, Rounds: tg, L2: 0.01, Seed: opts.Seed}
+	aRun, err := fl.Train(learners, auctionSchedule, full, trainCfg)
+	if err != nil {
+		fig.Notes = append(fig.Notes, note("training error: %v", err))
+		return fig
+	}
+	rRun, err := fl.Train(learners, randomSchedule, full, trainCfg)
+	if err != nil {
+		fig.Notes = append(fig.Notes, note("training error: %v", err))
+		return fig
+	}
+	auctionSeries := plot.Series{Name: "A_FL cohort"}
+	randomSeries := plot.Series{Name: "random cohort"}
+	for _, h := range aRun.History {
+		auctionSeries.Points = append(auctionSeries.Points, plot.Point{X: float64(h.Round), Y: h.Accuracy})
+	}
+	for _, h := range rRun.History {
+		randomSeries.Points = append(randomSeries.Points, plot.Point{X: float64(h.Round), Y: h.Accuracy})
+	}
+	fig.Chart.Series = []plot.Series{auctionSeries, randomSeries}
+	aFinal := aRun.History[len(aRun.History)-1].Accuracy
+	rFinal := rRun.History[len(rRun.History)-1].Accuracy
+	fig.Notes = append(fig.Notes,
+		note("procurement cost: auction %.1f vs random %.1f (accuracy %.3f vs %.3f)",
+			res.Cost, randomCost, aFinal, rFinal))
+	return fig
+}

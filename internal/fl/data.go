@@ -1,0 +1,175 @@
+// Package fl is a federated-learning simulator built around the accuracy
+// semantics the auction prices: a client's local accuracy θ is the
+// relative gradient-norm reduction it achieves on its local loss per
+// global iteration (‖∇F(w')‖ ≤ θ·‖∇F(w)‖, footnote 1 of the paper), and
+// the global accuracy ε is the same measure on the global loss.
+//
+// The simulator trains an L2-regularized logistic-regression model with
+// FedAvg over synthetic, optionally non-IID, client datasets. It is the
+// substrate the auction's winners actually execute on in the examples and
+// the platform layer: winners are scheduled into global iterations, train
+// locally until their promised θ (or a local-iteration cap), and the
+// server aggregates sample-weighted updates.
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Dataset is a labeled design matrix for binary classification; labels
+// are 0 or 1.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Validate checks shape consistency.
+func (d Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("fl: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return nil
+	}
+	dim := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("fl: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("fl: label %d is %v, want 0 or 1", i, y)
+		}
+	}
+	return nil
+}
+
+// SyntheticOptions configures GenerateSynthetic.
+type SyntheticOptions struct {
+	Samples int
+	Dim     int
+	// LabelNoise is the probability a label is flipped.
+	LabelNoise float64
+}
+
+// GenerateSynthetic draws a logistic-regression task: a ground-truth
+// weight vector on the unit sphere, Gaussian features, and Bernoulli
+// labels from the logistic model with optional flips. It returns the
+// dataset and the ground truth.
+func GenerateSynthetic(rng *stats.RNG, opts SyntheticOptions) (Dataset, []float64) {
+	if opts.Samples < 1 || opts.Dim < 1 {
+		panic(fmt.Sprintf("fl: bad synthetic options %+v", opts))
+	}
+	truth := make([]float64, opts.Dim)
+	var norm float64
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+		norm += truth[j] * truth[j]
+	}
+	norm = math.Sqrt(norm)
+	for j := range truth {
+		truth[j] = truth[j] / norm * 3 // margin scale
+	}
+	ds := Dataset{X: make([][]float64, opts.Samples), Y: make([]float64, opts.Samples)}
+	for i := 0; i < opts.Samples; i++ {
+		row := make([]float64, opts.Dim)
+		var dot float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * truth[j]
+		}
+		p := 1 / (1 + math.Exp(-dot))
+		y := 0.0
+		if rng.Float64() < p {
+			y = 1
+		}
+		if rng.Bernoulli(opts.LabelNoise) {
+			y = 1 - y
+		}
+		ds.X[i] = row
+		ds.Y[i] = y
+	}
+	return ds, truth
+}
+
+// PartitionIID splits the dataset into n near-equal shards after a
+// shuffle.
+func PartitionIID(rng *stats.RNG, ds Dataset, n int) []Dataset {
+	if n < 1 {
+		panic("fl: PartitionIID needs n ≥ 1")
+	}
+	perm := rng.Perm(ds.Len())
+	shards := make([]Dataset, n)
+	for pos, idx := range perm {
+		s := pos % n
+		shards[s].X = append(shards[s].X, ds.X[idx])
+		shards[s].Y = append(shards[s].Y, ds.Y[idx])
+	}
+	return shards
+}
+
+// PartitionNonIID splits the dataset into n shards with label skew: a
+// fraction skew ∈ [0,1] of each shard is drawn from a single preferred
+// label (alternating by shard), the rest uniformly. skew = 0 reduces to
+// IID; skew = 1 gives single-label shards where possible.
+func PartitionNonIID(rng *stats.RNG, ds Dataset, n int, skew float64) []Dataset {
+	if n < 1 {
+		panic("fl: PartitionNonIID needs n ≥ 1")
+	}
+	if skew < 0 || skew > 1 {
+		panic(fmt.Sprintf("fl: skew %v outside [0,1]", skew))
+	}
+	var pools [2][]int
+	for i, y := range ds.Y {
+		pools[int(y)] = append(pools[int(y)], i)
+	}
+	rng.Shuffle(len(pools[0]), func(i, j int) { pools[0][i], pools[0][j] = pools[0][j], pools[0][i] })
+	rng.Shuffle(len(pools[1]), func(i, j int) { pools[1][i], pools[1][j] = pools[1][j], pools[1][i] })
+	shards := make([]Dataset, n)
+	per := ds.Len() / n
+	take := func(label int) (int, bool) {
+		if len(pools[label]) == 0 {
+			label = 1 - label
+		}
+		if len(pools[label]) == 0 {
+			return 0, false
+		}
+		idx := pools[label][len(pools[label])-1]
+		pools[label] = pools[label][:len(pools[label])-1]
+		return idx, true
+	}
+	for s := 0; s < n; s++ {
+		preferred := s % 2
+		for i := 0; i < per; i++ {
+			label := preferred
+			if !rng.Bernoulli(skew) {
+				label = rng.Intn(2)
+			}
+			idx, ok := take(label)
+			if !ok {
+				break
+			}
+			shards[s].X = append(shards[s].X, ds.X[idx])
+			shards[s].Y = append(shards[s].Y, ds.Y[idx])
+		}
+	}
+	// Distribute the remainder round-robin.
+	s := 0
+	for {
+		idx, ok := take(0)
+		if !ok {
+			break
+		}
+		shards[s%n].X = append(shards[s%n].X, ds.X[idx])
+		shards[s%n].Y = append(shards[s%n].Y, ds.Y[idx])
+		s++
+	}
+	return shards
+}

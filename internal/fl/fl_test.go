@@ -1,0 +1,337 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	rng := stats.NewRNG(1)
+	ds, truth := GenerateSynthetic(rng, SyntheticOptions{Samples: 500, Dim: 5})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 || len(truth) != 5 {
+		t.Fatalf("shape: %d samples, %d dims", ds.Len(), len(truth))
+	}
+	// The ground truth should classify its own data well.
+	if acc := Accuracy(truth, ds); acc < 0.8 {
+		t.Fatalf("ground-truth accuracy %v too low", acc)
+	}
+	ones := 0
+	for _, y := range ds.Y {
+		if y == 1 {
+			ones++
+		}
+	}
+	if ones < 100 || ones > 400 {
+		t.Fatalf("label balance off: %d/500 ones", ones)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad options must panic")
+		}
+	}()
+	GenerateSynthetic(rng, SyntheticOptions{})
+}
+
+func TestDatasetValidate(t *testing.T) {
+	bad := []Dataset{
+		{X: [][]float64{{1}}, Y: []float64{}},
+		{X: [][]float64{{1}, {1, 2}}, Y: []float64{0, 1}},
+		{X: [][]float64{{1}}, Y: []float64{2}},
+	}
+	for i, ds := range bad {
+		if err := ds.Validate(); err == nil {
+			t.Fatalf("dataset %d: expected error", i)
+		}
+	}
+	if err := (Dataset{}).Validate(); err != nil {
+		t.Fatal("empty dataset is valid")
+	}
+}
+
+func TestPartitionIID(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 103, Dim: 3})
+	shards := PartitionIID(rng, ds, 10)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() < 10 || s.Len() > 11 {
+			t.Fatalf("shard size %d not near-equal", s.Len())
+		}
+	}
+	if total != 103 {
+		t.Fatalf("samples lost: %d", total)
+	}
+}
+
+func TestPartitionNonIID(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 400, Dim: 3})
+	shards := PartitionNonIID(rng, ds, 8, 0.95)
+	total := 0
+	skewed := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() == 0 {
+			continue
+		}
+		ones := 0.0
+		for _, y := range s.Y {
+			ones += y
+		}
+		frac := ones / float64(s.Len())
+		if frac > 0.8 || frac < 0.2 {
+			skewed++
+		}
+	}
+	if total != 400 {
+		t.Fatalf("samples lost: %d", total)
+	}
+	if skewed < 4 {
+		t.Fatalf("only %d/8 shards are label-skewed", skewed)
+	}
+}
+
+func TestLossGradConsistency(t *testing.T) {
+	// Finite-difference check of the gradient.
+	rng := stats.NewRNG(4)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 60, Dim: 4})
+	w := []float64{0.3, -0.2, 0.5, 0.1}
+	g := Grad(w, ds, 0.01)
+	const h = 1e-6
+	for j := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[j] += h
+		wm[j] -= h
+		fd := (Loss(wp, ds, 0.01) - Loss(wm, ds, 0.01)) / (2 * h)
+		if math.Abs(fd-g[j]) > 1e-4 {
+			t.Fatalf("gradient component %d: analytic %v vs numeric %v", j, g[j], fd)
+		}
+	}
+}
+
+func TestLocalUpdateMeetsTheta(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 200, Dim: 4})
+	for _, theta := range []float64{0.3, 0.6, 0.9} {
+		c := &Client{ID: 0, Data: ds, Theta: theta, LR: 0.5, MaxLocalIters: 2000}
+		w0 := make([]float64, 4)
+		g0 := Norm(Grad(w0, ds, 0.01))
+		w1, iters := c.LocalUpdate(w0, 0.01)
+		g1 := Norm(Grad(w1, ds, 0.01))
+		if g1 > theta*g0+1e-9 {
+			t.Fatalf("θ=%v: ‖∇F‖ %v > θ·‖∇F₀‖ %v after %d iters", theta, g1, theta*g0, iters)
+		}
+		if iters == 0 {
+			t.Fatalf("θ=%v: no local work performed", theta)
+		}
+	}
+	// Smaller θ must take at least as many local iterations — the
+	// computation/communication trade-off Eq. (2) captures.
+	w0 := make([]float64, 4)
+	strict := &Client{ID: 0, Data: ds, Theta: 0.3, LR: 0.5}
+	loose := &Client{ID: 0, Data: ds, Theta: 0.9, LR: 0.5}
+	_, itStrict := strict.LocalUpdate(w0, 0.01)
+	_, itLoose := loose.LocalUpdate(w0, 0.01)
+	if itStrict < itLoose {
+		t.Fatalf("θ=0.3 used %d iters < θ=0.9's %d", itStrict, itLoose)
+	}
+}
+
+func TestTrainConvergesIID(t *testing.T) {
+	rng := stats.NewRNG(6)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 1200, Dim: 5})
+	shards := PartitionIID(rng, ds, 10)
+	clients := map[int]*Client{}
+	for i, s := range shards {
+		clients[i] = &Client{ID: i, Data: s, Theta: 0.5, LR: 0.5}
+	}
+	if err := ValidateClients(clients); err != nil {
+		t.Fatal(err)
+	}
+	schedule := make([][]int, 30)
+	for r := range schedule {
+		schedule[r] = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	}
+	res, err := Train(clients, schedule, ds, TrainConfig{Dim: 5, Rounds: 30, Epsilon: 0.05, L2: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not reach ε: final grad %v", res.History[len(res.History)-1].GradNorm)
+	}
+	final := res.History[len(res.History)-1]
+	if final.Accuracy < 0.75 {
+		t.Fatalf("final accuracy %v too low", final.Accuracy)
+	}
+	// Gradient norms should broadly decrease.
+	if res.History[0].GradNorm <= final.GradNorm {
+		t.Fatalf("no gradient progress: %v → %v", res.History[0].GradNorm, final.GradNorm)
+	}
+}
+
+func TestTrainWithPartialParticipationAndDropout(t *testing.T) {
+	rng := stats.NewRNG(7)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 800, Dim: 4})
+	shards := PartitionNonIID(rng, ds, 8, 0.7)
+	clients := map[int]*Client{}
+	for i, s := range shards {
+		clients[i] = &Client{ID: i, Data: s, Theta: 0.5, LR: 0.4, DropoutProb: 0.2}
+	}
+	// Rotating participation: 3 clients per round, as an auction schedule
+	// would produce.
+	schedule := make([][]int, 40)
+	for r := range schedule {
+		schedule[r] = []int{r % 8, (r + 3) % 8, (r + 5) % 8}
+	}
+	res, err := Train(clients, schedule, ds, TrainConfig{Dim: 4, Rounds: 40, L2: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for _, h := range res.History {
+		dropped += len(h.Dropped)
+		if len(h.Participants)+len(h.Dropped) != 3 {
+			t.Fatalf("round %d: %d participants + %d dropped ≠ 3", h.Round, len(h.Participants), len(h.Dropped))
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("dropout probability 0.2 never fired in 120 draws")
+	}
+	if final := res.History[len(res.History)-1]; final.Accuracy < 0.7 {
+		t.Fatalf("final accuracy %v too low under dropouts", final.Accuracy)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	clients := map[int]*Client{0: {ID: 0, Theta: 0.5, LR: 0.1}}
+	if _, err := Train(clients, [][]int{{0}}, Dataset{}, TrainConfig{Dim: 0, Rounds: 1}); err == nil {
+		t.Fatal("Dim=0 must error")
+	}
+	if _, err := Train(clients, nil, Dataset{}, TrainConfig{Dim: 2, Rounds: 1}); err == nil {
+		t.Fatal("short schedule must error")
+	}
+	if _, err := Train(clients, [][]int{{42}}, Dataset{}, TrainConfig{Dim: 2, Rounds: 1}); err == nil {
+		t.Fatal("unknown client must error")
+	}
+}
+
+func TestValidateClients(t *testing.T) {
+	good := map[int]*Client{0: {ID: 0, Theta: 0.5, LR: 0.1}}
+	if err := ValidateClients(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []map[int]*Client{
+		{0: nil},
+		{0: {ID: 1, Theta: 0.5, LR: 0.1}},
+		{0: {ID: 0, Theta: 0, LR: 0.1}},
+		{0: {ID: 0, Theta: 0.5, LR: 0}},
+		{0: {ID: 0, Theta: 0.5, LR: 0.1, DropoutProb: 1.5}},
+		{0: {ID: 0, Theta: 0.5, LR: 0.1, Data: Dataset{X: [][]float64{{1}}, Y: []float64{3}}}},
+	}
+	for i, m := range bad {
+		if err := ValidateClients(m); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestScheduleFromSlots(t *testing.T) {
+	slots := map[int][]int{
+		7: {1, 3},
+		2: {1, 2},
+		5: {4},
+	}
+	sched := ScheduleFromSlots(4, slots)
+	want := [][]int{{2, 7}, {2}, {7}, {5}}
+	for r := range want {
+		if len(sched[r]) != len(want[r]) {
+			t.Fatalf("round %d: %v, want %v", r+1, sched[r], want[r])
+		}
+		for i := range want[r] {
+			if sched[r][i] != want[r][i] {
+				t.Fatalf("round %d: %v, want %v", r+1, sched[r], want[r])
+			}
+		}
+	}
+	// Out-of-range slots are dropped.
+	sched = ScheduleFromSlots(2, map[int][]int{1: {0, 3, 2}})
+	if len(sched[0]) != 0 || len(sched[1]) != 1 {
+		t.Fatalf("out-of-range handling wrong: %v", sched)
+	}
+}
+
+func TestEffectiveLocalIters(t *testing.T) {
+	rng := stats.NewRNG(8)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 300, Dim: 4})
+	strict := &Client{ID: 0, Data: ds, Theta: 0.2, LR: 0.5}
+	loose := &Client{ID: 1, Data: ds, Theta: 0.8, LR: 0.5}
+	if EffectiveLocalIters(strict, 4, 0.01) < EffectiveLocalIters(loose, 4, 0.01) {
+		t.Fatal("stricter θ should need at least as many local iterations")
+	}
+}
+
+func TestMiniBatchSGD(t *testing.T) {
+	rng := stats.NewRNG(31)
+	ds, _ := GenerateSynthetic(rng, SyntheticOptions{Samples: 400, Dim: 4})
+	c := &Client{ID: 0, Data: ds, Theta: 0.5, LR: 0.3, BatchSize: 32, Seed: 1, MaxLocalIters: 3000}
+	w0 := make([]float64, 4)
+	g0 := Norm(Grad(w0, ds, 0.01))
+	w1, iters, achieved := c.LocalUpdateAchieved(w0, 0.01)
+	if iters == 0 {
+		t.Fatal("no SGD steps taken")
+	}
+	if achieved > c.Theta+1e-9 && iters < c.MaxLocalIters {
+		t.Fatalf("stopped early at achieved %v > θ", achieved)
+	}
+	if g1 := Norm(Grad(w1, ds, 0.01)); g1 > g0 {
+		t.Fatalf("mini-batch SGD increased the gradient norm: %v → %v", g0, g1)
+	}
+	// Determinism from the client seed.
+	c2 := &Client{ID: 0, Data: ds, Theta: 0.5, LR: 0.3, BatchSize: 32, Seed: 1, MaxLocalIters: 3000}
+	w2, iters2, _ := c2.LocalUpdateAchieved(w0, 0.01)
+	if iters != iters2 {
+		t.Fatalf("iters %d vs %d with equal seeds", iters, iters2)
+	}
+	for j := range w1 {
+		if w1[j] != w2[j] {
+			t.Fatal("mini-batch training not reproducible from seed")
+		}
+	}
+	// A batch size ≥ the shard degrades to full gradients.
+	cFull := &Client{ID: 0, Data: ds, Theta: 0.5, LR: 0.3, BatchSize: ds.Len() + 10}
+	cRef := &Client{ID: 0, Data: ds, Theta: 0.5, LR: 0.3}
+	wa, _, _ := cFull.LocalUpdateAchieved(w0, 0.01)
+	wb, _, _ := cRef.LocalUpdateAchieved(w0, 0.01)
+	for j := range wa {
+		if wa[j] != wb[j] {
+			t.Fatal("oversized batch must equal full-gradient training")
+		}
+	}
+}
+
+// Property: sigmoid stays in (0,1) and loss stays finite and non-negative.
+func TestNumericStability(t *testing.T) {
+	f := func(z float64) bool {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		s := sigmoid(z)
+		return s > 0 && s < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	ds := Dataset{X: [][]float64{{1e8}, {-1e8}}, Y: []float64{1, 0}}
+	l := Loss([]float64{1}, ds, 0)
+	if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+		t.Fatalf("loss unstable: %v", l)
+	}
+}

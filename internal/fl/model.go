@@ -1,0 +1,93 @@
+package fl
+
+import "math"
+
+// sigmoid is the logistic function, clamped away from exact 0/1 so the
+// loss stays finite.
+func sigmoid(z float64) float64 {
+	switch {
+	case z > 35:
+		return 1 - 1e-15
+	case z < -35:
+		return 1e-15
+	default:
+		return 1 / (1 + math.Exp(-z))
+	}
+}
+
+// dot returns w·x.
+func dot(w, x []float64) float64 {
+	var s float64
+	for j := range w {
+		s += w[j] * x[j]
+	}
+	return s
+}
+
+// Loss returns the mean logistic loss plus (l2/2)·‖w‖² on the dataset.
+func Loss(w []float64, ds Dataset, l2 float64) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range ds.X {
+		p := sigmoid(dot(w, x))
+		if ds.Y[i] > 0.5 {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	loss := sum / float64(ds.Len())
+	for _, wj := range w {
+		loss += l2 / 2 * wj * wj
+	}
+	return loss
+}
+
+// Grad returns the gradient of Loss at w.
+func Grad(w []float64, ds Dataset, l2 float64) []float64 {
+	g := make([]float64, len(w))
+	if ds.Len() == 0 {
+		return g
+	}
+	for i, x := range ds.X {
+		err := sigmoid(dot(w, x)) - ds.Y[i]
+		for j := range g {
+			g[j] += err * x[j]
+		}
+	}
+	inv := 1 / float64(ds.Len())
+	for j := range g {
+		g[j] = g[j]*inv + l2*w[j]
+	}
+	return g
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Accuracy returns the fraction of correctly classified samples at the
+// 0.5 threshold.
+func Accuracy(w []float64, ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range ds.X {
+		pred := 0.0
+		if sigmoid(dot(w, x)) >= 0.5 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

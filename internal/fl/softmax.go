@@ -1,0 +1,346 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// MultiDataset is a labeled design matrix for multiclass classification;
+// labels are class indices in [0, Classes).
+type MultiDataset struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d MultiDataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension (0 when empty).
+func (d MultiDataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks shape and label consistency.
+func (d MultiDataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("fl: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("fl: %d classes, need ≥ 2", d.Classes)
+	}
+	dim := d.Dim()
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("fl: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("fl: label %d is %d, want [0,%d)", i, y, d.Classes)
+		}
+	}
+	return nil
+}
+
+// MultiSyntheticOptions configures GenerateSyntheticMulti.
+type MultiSyntheticOptions struct {
+	Samples int
+	Dim     int
+	Classes int
+	// LabelNoise is the probability a label is resampled uniformly.
+	LabelNoise float64
+}
+
+// GenerateSyntheticMulti draws a softmax-classification task: one
+// Gaussian prototype per class, samples scattered around prototypes. It
+// returns the dataset and the flattened ground-truth weights (class-major,
+// length Classes·Dim).
+func GenerateSyntheticMulti(rng *stats.RNG, opts MultiSyntheticOptions) (MultiDataset, []float64) {
+	if opts.Samples < 1 || opts.Dim < 1 || opts.Classes < 2 {
+		panic(fmt.Sprintf("fl: bad multi synthetic options %+v", opts))
+	}
+	protos := make([][]float64, opts.Classes)
+	truth := make([]float64, opts.Classes*opts.Dim)
+	for c := range protos {
+		protos[c] = make([]float64, opts.Dim)
+		for j := range protos[c] {
+			protos[c][j] = rng.Gaussian(0, 2)
+			truth[c*opts.Dim+j] = protos[c][j]
+		}
+	}
+	ds := MultiDataset{
+		X:       make([][]float64, opts.Samples),
+		Y:       make([]int, opts.Samples),
+		Classes: opts.Classes,
+	}
+	for i := 0; i < opts.Samples; i++ {
+		c := rng.Intn(opts.Classes)
+		row := make([]float64, opts.Dim)
+		for j := range row {
+			row[j] = protos[c][j] + rng.Gaussian(0, 1)
+		}
+		if rng.Bernoulli(opts.LabelNoise) {
+			c = rng.Intn(opts.Classes)
+		}
+		ds.X[i] = row
+		ds.Y[i] = c
+	}
+	return ds, truth
+}
+
+// PartitionMultiNonIID splits a multiclass dataset into n shards, each
+// preferring one class (round-robin) with probability skew.
+func PartitionMultiNonIID(rng *stats.RNG, ds MultiDataset, n int, skew float64) []MultiDataset {
+	if n < 1 {
+		panic("fl: PartitionMultiNonIID needs n ≥ 1")
+	}
+	pools := make([][]int, ds.Classes)
+	for i, y := range ds.Y {
+		pools[y] = append(pools[y], i)
+	}
+	for c := range pools {
+		rng.Shuffle(len(pools[c]), func(i, j int) { pools[c][i], pools[c][j] = pools[c][j], pools[c][i] })
+	}
+	take := func(pref int) (int, bool) {
+		if len(pools[pref]) > 0 {
+			idx := pools[pref][len(pools[pref])-1]
+			pools[pref] = pools[pref][:len(pools[pref])-1]
+			return idx, true
+		}
+		for c := range pools {
+			if len(pools[c]) > 0 {
+				idx := pools[c][len(pools[c])-1]
+				pools[c] = pools[c][:len(pools[c])-1]
+				return idx, true
+			}
+		}
+		return 0, false
+	}
+	shards := make([]MultiDataset, n)
+	for s := range shards {
+		shards[s].Classes = ds.Classes
+	}
+	per := ds.Len() / n
+	for s := 0; s < n; s++ {
+		pref := s % ds.Classes
+		for i := 0; i < per; i++ {
+			label := pref
+			if !rng.Bernoulli(skew) {
+				label = rng.Intn(ds.Classes)
+			}
+			idx, ok := take(label)
+			if !ok {
+				break
+			}
+			shards[s].X = append(shards[s].X, ds.X[idx])
+			shards[s].Y = append(shards[s].Y, ds.Y[idx])
+		}
+	}
+	s := 0
+	for {
+		idx, ok := take(0)
+		if !ok {
+			break
+		}
+		shards[s%n].X = append(shards[s%n].X, ds.X[idx])
+		shards[s%n].Y = append(shards[s%n].Y, ds.Y[idx])
+		s++
+	}
+	return shards
+}
+
+// softmaxProbs returns the class probabilities of one sample under the
+// flattened class-major weights.
+func softmaxProbs(w []float64, x []float64, classes int) []float64 {
+	dim := len(x)
+	logits := make([]float64, classes)
+	maxL := math.Inf(-1)
+	for c := 0; c < classes; c++ {
+		var z float64
+		for j, xj := range x {
+			z += w[c*dim+j] * xj
+		}
+		logits[c] = z
+		maxL = math.Max(maxL, z)
+	}
+	var sum float64
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxL)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// SoftmaxLoss returns the mean cross-entropy plus (l2/2)·‖w‖².
+func SoftmaxLoss(w []float64, ds MultiDataset, l2 float64) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range ds.X {
+		p := softmaxProbs(w, x, ds.Classes)[ds.Y[i]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		sum -= math.Log(p)
+	}
+	loss := sum / float64(ds.Len())
+	for _, wj := range w {
+		loss += l2 / 2 * wj * wj
+	}
+	return loss
+}
+
+// SoftmaxGrad returns the gradient of SoftmaxLoss at w.
+func SoftmaxGrad(w []float64, ds MultiDataset, l2 float64) []float64 {
+	g := make([]float64, len(w))
+	if ds.Len() == 0 {
+		return g
+	}
+	dim := ds.Dim()
+	for i, x := range ds.X {
+		probs := softmaxProbs(w, x, ds.Classes)
+		for c := 0; c < ds.Classes; c++ {
+			err := probs[c]
+			if c == ds.Y[i] {
+				err -= 1
+			}
+			base := c * dim
+			for j, xj := range x {
+				g[base+j] += err * xj
+			}
+		}
+	}
+	inv := 1 / float64(ds.Len())
+	for j := range g {
+		g[j] = g[j]*inv + l2*w[j]
+	}
+	return g
+}
+
+// SoftmaxAccuracy returns the argmax classification accuracy.
+func SoftmaxAccuracy(w []float64, ds MultiDataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range ds.X {
+		probs := softmaxProbs(w, x, ds.Classes)
+		best := 0
+		for c := 1; c < ds.Classes; c++ {
+			if probs[c] > probs[best] {
+				best = c
+			}
+		}
+		if best == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// MultiClient is a federated participant holding a multiclass shard. It
+// mirrors Client's local-accuracy contract on the softmax objective.
+type MultiClient struct {
+	ID            int
+	Data          MultiDataset
+	Theta         float64
+	LR            float64
+	MaxLocalIters int
+}
+
+func (c *MultiClient) maxLocalIters() int {
+	if c.MaxLocalIters <= 0 {
+		return 200
+	}
+	return c.MaxLocalIters
+}
+
+// LocalUpdate trains until ‖∇F(w')‖ ≤ θ·‖∇F(w)‖ or the cap.
+func (c *MultiClient) LocalUpdate(w []float64, l2 float64) ([]float64, int) {
+	cur := make([]float64, len(w))
+	copy(cur, w)
+	if c.Data.Len() == 0 {
+		return cur, 0
+	}
+	g0 := Norm(SoftmaxGrad(cur, c.Data, l2))
+	if g0 == 0 {
+		return cur, 0
+	}
+	target := c.Theta * g0
+	iters := 0
+	for ; iters < c.maxLocalIters(); iters++ {
+		g := SoftmaxGrad(cur, c.Data, l2)
+		if Norm(g) <= target {
+			break
+		}
+		for j := range cur {
+			cur[j] -= c.LR * g[j]
+		}
+	}
+	return cur, iters
+}
+
+// TrainMulti runs FedAvg over multiclass clients; schedule[r] lists the
+// client IDs of global iteration r+1.
+func TrainMulti(clients map[int]*MultiClient, schedule [][]int, eval MultiDataset, cfg TrainConfig) (TrainResult, error) {
+	if cfg.Dim < 1 {
+		return TrainResult{}, fmt.Errorf("fl: Dim=%d must be ≥ 1", cfg.Dim)
+	}
+	if cfg.Rounds < 1 || len(schedule) < cfg.Rounds {
+		return TrainResult{}, fmt.Errorf("fl: need a schedule for all %d rounds, got %d", cfg.Rounds, len(schedule))
+	}
+	w := make([]float64, cfg.Dim)
+	res := TrainResult{Weights: w}
+	g0 := Norm(SoftmaxGrad(w, eval, cfg.L2))
+	for r := 0; r < cfg.Rounds; r++ {
+		stat := RoundStats{Round: r + 1}
+		sumW := make([]float64, cfg.Dim)
+		var total float64
+		for _, id := range schedule[r] {
+			c, ok := clients[id]
+			if !ok {
+				return TrainResult{}, fmt.Errorf("fl: schedule names unknown client %d", id)
+			}
+			nw, iters := c.LocalUpdate(w, cfg.L2)
+			stat.LocalIters += iters
+			stat.Participants = append(stat.Participants, id)
+			weight := float64(c.Data.Len())
+			for j := range sumW {
+				sumW[j] += weight * nw[j]
+			}
+			total += weight
+		}
+		if total > 0 {
+			for j := range w {
+				w[j] = sumW[j] / total
+			}
+		}
+		stat.GradNorm = Norm(SoftmaxGrad(w, eval, cfg.L2))
+		stat.Loss = SoftmaxLoss(w, eval, cfg.L2)
+		stat.Accuracy = SoftmaxAccuracy(w, eval)
+		res.History = append(res.History, stat)
+		res.RoundsRun = r + 1
+		if cfg.Epsilon > 0 && g0 > 0 && stat.GradNorm <= cfg.Epsilon*g0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Weights = w
+	if cfg.Epsilon <= 0 {
+		res.Converged = true
+	} else if !res.Converged && g0 > 0 && len(res.History) > 0 {
+		last := res.History[len(res.History)-1].GradNorm
+		res.Converged = last <= cfg.Epsilon*g0
+	}
+	return res, nil
+}

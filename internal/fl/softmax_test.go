@@ -1,0 +1,158 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func TestGenerateSyntheticMulti(t *testing.T) {
+	rng := stats.NewRNG(41)
+	ds, truth := GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 600, Dim: 4, Classes: 3})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 600 || len(truth) != 12 || ds.Dim() != 4 {
+		t.Fatalf("shape wrong: %d samples, %d truth, dim %d", ds.Len(), len(truth), ds.Dim())
+	}
+	// Prototype weights should classify their own data well above chance.
+	if acc := SoftmaxAccuracy(truth, ds); acc < 0.6 {
+		t.Fatalf("ground-truth accuracy %v too low", acc)
+	}
+	// All classes present.
+	seen := map[int]bool{}
+	for _, y := range ds.Y {
+		seen[y] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("classes present: %v", seen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad options must panic")
+		}
+	}()
+	GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 1, Dim: 1, Classes: 1})
+}
+
+func TestMultiDatasetValidate(t *testing.T) {
+	bad := []MultiDataset{
+		{X: [][]float64{{1}}, Y: []int{}, Classes: 2},
+		{X: [][]float64{{1}}, Y: []int{0}, Classes: 1},
+		{X: [][]float64{{1}, {1, 2}}, Y: []int{0, 1}, Classes: 2},
+		{X: [][]float64{{1}}, Y: []int{5}, Classes: 2},
+	}
+	for i, ds := range bad {
+		if err := ds.Validate(); err == nil {
+			t.Fatalf("dataset %d must fail validation", i)
+		}
+	}
+}
+
+func TestSoftmaxGradConsistency(t *testing.T) {
+	rng := stats.NewRNG(42)
+	ds, _ := GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 40, Dim: 3, Classes: 3})
+	w := make([]float64, 9)
+	for j := range w {
+		w[j] = rng.Gaussian(0, 0.5)
+	}
+	g := SoftmaxGrad(w, ds, 0.01)
+	const h = 1e-6
+	for j := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[j] += h
+		wm[j] -= h
+		fd := (SoftmaxLoss(wp, ds, 0.01) - SoftmaxLoss(wm, ds, 0.01)) / (2 * h)
+		if math.Abs(fd-g[j]) > 1e-4 {
+			t.Fatalf("component %d: analytic %v vs numeric %v", j, g[j], fd)
+		}
+	}
+}
+
+func TestPartitionMultiNonIID(t *testing.T) {
+	rng := stats.NewRNG(43)
+	ds, _ := GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 600, Dim: 3, Classes: 3})
+	shards := PartitionMultiNonIID(rng, ds, 6, 0.9)
+	total := 0
+	skewed := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() == 0 {
+			continue
+		}
+		counts := make([]int, s.Classes)
+		for _, y := range s.Y {
+			counts[y]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if float64(maxC)/float64(s.Len()) > 0.6 {
+			skewed++
+		}
+	}
+	if total != 600 {
+		t.Fatalf("samples lost: %d", total)
+	}
+	if skewed < 3 {
+		t.Fatalf("only %d/6 shards skewed", skewed)
+	}
+}
+
+func TestTrainMultiConverges(t *testing.T) {
+	rng := stats.NewRNG(44)
+	ds, _ := GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 900, Dim: 4, Classes: 3})
+	shards := PartitionMultiNonIID(rng, ds, 6, 0.5)
+	clients := map[int]*MultiClient{}
+	for i, s := range shards {
+		clients[i] = &MultiClient{ID: i, Data: s, Theta: 0.5, LR: 0.3}
+	}
+	schedule := make([][]int, 25)
+	for r := range schedule {
+		schedule[r] = []int{r % 6, (r + 2) % 6, (r + 4) % 6}
+	}
+	res, err := TrainMulti(clients, schedule, ds, TrainConfig{Dim: 12, Rounds: 25, L2: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.History[len(res.History)-1]
+	if final.Accuracy < 0.7 {
+		t.Fatalf("final multiclass accuracy %v too low", final.Accuracy)
+	}
+	if res.History[0].GradNorm <= final.GradNorm {
+		t.Fatal("no gradient progress")
+	}
+}
+
+func TestTrainMultiErrors(t *testing.T) {
+	clients := map[int]*MultiClient{0: {ID: 0, Theta: 0.5, LR: 0.1}}
+	if _, err := TrainMulti(clients, [][]int{{0}}, MultiDataset{Classes: 2}, TrainConfig{Dim: 0, Rounds: 1}); err == nil {
+		t.Fatal("Dim=0 must error")
+	}
+	if _, err := TrainMulti(clients, nil, MultiDataset{Classes: 2}, TrainConfig{Dim: 2, Rounds: 1}); err == nil {
+		t.Fatal("short schedule must error")
+	}
+	if _, err := TrainMulti(clients, [][]int{{9}}, MultiDataset{Classes: 2}, TrainConfig{Dim: 2, Rounds: 1}); err == nil {
+		t.Fatal("unknown client must error")
+	}
+}
+
+func TestMultiClientLocalAccuracyContract(t *testing.T) {
+	rng := stats.NewRNG(45)
+	ds, _ := GenerateSyntheticMulti(rng, MultiSyntheticOptions{Samples: 300, Dim: 3, Classes: 3})
+	c := &MultiClient{ID: 0, Data: ds, Theta: 0.5, LR: 0.3, MaxLocalIters: 2000}
+	w0 := make([]float64, 9)
+	g0 := Norm(SoftmaxGrad(w0, ds, 0.01))
+	w1, iters := c.LocalUpdate(w0, 0.01)
+	if iters == 0 {
+		t.Fatal("no local work")
+	}
+	if g1 := Norm(SoftmaxGrad(w1, ds, 0.01)); g1 > 0.5*g0+1e-9 {
+		t.Fatalf("θ contract broken: %v > %v", g1, 0.5*g0)
+	}
+}

@@ -1,0 +1,270 @@
+package fl
+
+import (
+	"fmt"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Client is one federated participant holding a private shard.
+type Client struct {
+	// ID identifies the client; schedules refer to it.
+	ID int
+	// Data is the local shard.
+	Data Dataset
+	// Theta is the local accuracy the client promised in its winning bid:
+	// per global iteration it trains until ‖∇F(w')‖ ≤ θ·‖∇F(w)‖.
+	Theta float64
+	// LR is the local gradient-descent step size.
+	LR float64
+	// MaxLocalIters caps local iterations per global round (safety net
+	// for unreachable θ). Zero means 200.
+	MaxLocalIters int
+	// DropoutProb is the per-round probability that the client fails to
+	// return an update (battery, network), echoing the paper's
+	// future-work discussion. Zero disables dropouts.
+	DropoutProb float64
+	// BatchSize switches local training to mini-batch SGD with batches of
+	// this size (sampled without replacement per step). Zero uses full
+	// gradients. The θ stopping criterion is always evaluated on the full
+	// local gradient.
+	BatchSize int
+	// Seed drives the client's mini-batch sampling. Clients with equal
+	// seeds and data train identically.
+	Seed int64
+
+	rng *stats.RNG
+}
+
+func (c *Client) sampler() *stats.RNG {
+	if c.rng == nil {
+		c.rng = stats.NewRNG(c.Seed)
+	}
+	return c.rng
+}
+
+func (c *Client) maxLocalIters() int {
+	if c.MaxLocalIters <= 0 {
+		return 200
+	}
+	return c.MaxLocalIters
+}
+
+// LocalUpdate runs local gradient descent from w until the client's θ is
+// met (relative gradient-norm reduction) or the iteration cap is hit. It
+// returns the new weights and the number of local iterations spent.
+func (c *Client) LocalUpdate(w []float64, l2 float64) ([]float64, int) {
+	nw, iters, _ := c.LocalUpdateAchieved(w, l2)
+	return nw, iters
+}
+
+// LocalUpdateAchieved is LocalUpdate plus the achieved local accuracy
+// ‖∇F(w')‖ / ‖∇F(w)‖ — the quantity an auditing server compares against
+// the θ the client's winning bid promised. A client with no data or an
+// already-stationary model reports an achieved accuracy of 0 (nothing
+// left to reduce).
+func (c *Client) LocalUpdateAchieved(w []float64, l2 float64) (nw []float64, iters int, achieved float64) {
+	cur := make([]float64, len(w))
+	copy(cur, w)
+	if c.Data.Len() == 0 {
+		return cur, 0, 0
+	}
+	g0 := Norm(Grad(cur, c.Data, l2))
+	if g0 == 0 {
+		return cur, 0, 0
+	}
+	target := c.Theta * g0
+	gNow := g0
+	for ; iters < c.maxLocalIters(); iters++ {
+		full := Grad(cur, c.Data, l2)
+		gNow = Norm(full)
+		if gNow <= target {
+			break
+		}
+		step := full
+		if c.BatchSize > 0 && c.BatchSize < c.Data.Len() {
+			step = c.batchGrad(cur, l2)
+		}
+		for j := range cur {
+			cur[j] -= c.LR * step[j]
+		}
+	}
+	if iters == c.maxLocalIters() {
+		gNow = Norm(Grad(cur, c.Data, l2))
+	}
+	return cur, iters, gNow / g0
+}
+
+// batchGrad returns the gradient on a uniformly sampled mini-batch.
+func (c *Client) batchGrad(w []float64, l2 float64) []float64 {
+	rng := c.sampler()
+	batch := Dataset{
+		X: make([][]float64, 0, c.BatchSize),
+		Y: make([]float64, 0, c.BatchSize),
+	}
+	for _, i := range rng.SampleWithoutReplacement(c.BatchSize, 0, c.Data.Len()-1) {
+		batch.X = append(batch.X, c.Data.X[i])
+		batch.Y = append(batch.Y, c.Data.Y[i])
+	}
+	return Grad(w, batch, l2)
+}
+
+// TrainConfig drives a federated training run.
+type TrainConfig struct {
+	// Dim is the model dimension.
+	Dim int
+	// Rounds is the number of global iterations T_g.
+	Rounds int
+	// Epsilon is the target global accuracy: training may stop early once
+	// ‖∇J(w)‖ ≤ ε·‖∇J(w₀)‖. Zero disables early stopping.
+	Epsilon float64
+	// L2 is the ridge penalty.
+	L2 float64
+	// Seed drives dropout draws.
+	Seed int64
+}
+
+// RoundStats records one global iteration.
+type RoundStats struct {
+	Round        int
+	Participants []int // client IDs that returned updates
+	Dropped      []int // scheduled clients that dropped out
+	LocalIters   int   // total local iterations across participants
+	GradNorm     float64
+	Loss         float64
+	Accuracy     float64
+}
+
+// TrainResult is the outcome of Train.
+type TrainResult struct {
+	Weights []float64
+	History []RoundStats
+	// Converged reports whether the ε target was reached.
+	Converged bool
+	// RoundsRun is the number of global iterations executed.
+	RoundsRun int
+}
+
+// Train runs FedAvg: at each global iteration the scheduled clients
+// (schedule[r] lists client IDs for round r+1, as produced by an auction
+// solution) compute local updates to their promised local accuracy and
+// the server aggregates them weighted by shard size. The eval dataset
+// drives the reported loss/accuracy/gradient metrics.
+func Train(clients map[int]*Client, schedule [][]int, eval Dataset, cfg TrainConfig) (TrainResult, error) {
+	if cfg.Dim < 1 {
+		return TrainResult{}, fmt.Errorf("fl: Dim=%d must be ≥ 1", cfg.Dim)
+	}
+	if cfg.Rounds < 1 || len(schedule) < cfg.Rounds {
+		return TrainResult{}, fmt.Errorf("fl: need a schedule for all %d rounds, got %d", cfg.Rounds, len(schedule))
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	w := make([]float64, cfg.Dim)
+	res := TrainResult{Weights: w}
+	g0 := Norm(Grad(w, eval, cfg.L2))
+	for r := 0; r < cfg.Rounds; r++ {
+		stat := RoundStats{Round: r + 1}
+		sumW := make([]float64, cfg.Dim)
+		var totalSamples float64
+		for _, id := range schedule[r] {
+			c, ok := clients[id]
+			if !ok {
+				return TrainResult{}, fmt.Errorf("fl: schedule names unknown client %d", id)
+			}
+			if c.DropoutProb > 0 && rng.Bernoulli(c.DropoutProb) {
+				stat.Dropped = append(stat.Dropped, id)
+				continue
+			}
+			nw, iters := c.LocalUpdate(w, cfg.L2)
+			stat.LocalIters += iters
+			stat.Participants = append(stat.Participants, id)
+			weight := float64(c.Data.Len())
+			for j := range sumW {
+				sumW[j] += weight * nw[j]
+			}
+			totalSamples += weight
+		}
+		if totalSamples > 0 {
+			for j := range w {
+				w[j] = sumW[j] / totalSamples
+			}
+		}
+		stat.GradNorm = Norm(Grad(w, eval, cfg.L2))
+		stat.Loss = Loss(w, eval, cfg.L2)
+		stat.Accuracy = Accuracy(w, eval)
+		res.History = append(res.History, stat)
+		res.RoundsRun = r + 1
+		if cfg.Epsilon > 0 && g0 > 0 && stat.GradNorm <= cfg.Epsilon*g0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Weights = w
+	if cfg.Epsilon <= 0 {
+		res.Converged = true
+	} else if !res.Converged && g0 > 0 {
+		last := res.History[len(res.History)-1].GradNorm
+		res.Converged = last <= cfg.Epsilon*g0
+	}
+	return res, nil
+}
+
+// ScheduleFromSlots converts per-winner slot lists (1-based global
+// iterations, as in core.Winner) into the per-round client-ID lists Train
+// expects.
+func ScheduleFromSlots(rounds int, slots map[int][]int) [][]int {
+	schedule := make([][]int, rounds)
+	for id, ts := range slots {
+		for _, t := range ts {
+			if t >= 1 && t <= rounds {
+				schedule[t-1] = append(schedule[t-1], id)
+			}
+		}
+	}
+	for r := range schedule {
+		sortInts(schedule[r])
+	}
+	return schedule
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// EffectiveLocalIters estimates T_l(θ) for reporting: the simulator's
+// analogue of Eq. (2), measured rather than assumed. It runs one local
+// update from w0 and returns the iterations used.
+func EffectiveLocalIters(c *Client, dim int, l2 float64) int {
+	w0 := make([]float64, dim)
+	_, iters := c.LocalUpdate(w0, l2)
+	return iters
+}
+
+// ValidateClients guards long simulations: a θ outside (0,1) would make
+// LocalUpdate spin to its iteration cap every round.
+func ValidateClients(clients map[int]*Client) error {
+	for id, c := range clients {
+		if c == nil {
+			return fmt.Errorf("fl: client %d is nil", id)
+		}
+		if c.ID != id {
+			return fmt.Errorf("fl: client map key %d ≠ ID %d", id, c.ID)
+		}
+		if c.Theta <= 0 || c.Theta >= 1 {
+			return fmt.Errorf("fl: client %d θ=%v outside (0,1)", id, c.Theta)
+		}
+		if c.LR <= 0 {
+			return fmt.Errorf("fl: client %d learning rate %v must be positive", id, c.LR)
+		}
+		if c.DropoutProb < 0 || c.DropoutProb > 1 {
+			return fmt.Errorf("fl: client %d dropout %v outside [0,1]", id, c.DropoutProb)
+		}
+		if err := c.Data.Validate(); err != nil {
+			return fmt.Errorf("fl: client %d: %w", id, err)
+		}
+	}
+	return nil
+}

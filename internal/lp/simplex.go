@@ -1,0 +1,469 @@
+// Package lp implements a self-contained two-phase primal simplex solver
+// for linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {≤,=,≥} b_i   for every constraint i
+//	            x ≥ 0.
+//
+// It is the numerical substrate behind the column-generation lower bounds
+// (internal/colgen) and the exact branch-and-bound solver (internal/exact)
+// used to compute the paper's performance-ratio figures. The implementation
+// favors robustness over raw speed: a dense tableau, Dantzig pricing with a
+// Bland's-rule fallback to guarantee termination, and explicit artificial
+// variables in phase one.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation compares a constraint's left-hand side with its right-hand side.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // a·x ≤ b
+	GE                     // a·x ≥ b
+	EQ                     // a·x = b
+)
+
+// String returns the relation symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return "?"
+	}
+}
+
+// Constraint is one row a·x {≤,=,≥} b. Coef must have exactly NumVars
+// entries when the problem is solved.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is a linear program in the package's canonical form.
+type Problem struct {
+	// NumVars is the number of decision variables (all non-negative).
+	NumVars int
+	// Objective holds the cost coefficients c (length NumVars).
+	Objective []float64
+	// Constraints holds the rows.
+	Constraints []Constraint
+}
+
+// Status classifies the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X is the optimal primal point (length NumVars) when Status == Optimal.
+	X []float64
+	// Objective is c·X when Status == Optimal.
+	Objective float64
+	// Duals holds one dual multiplier per constraint (length
+	// len(Constraints)) when Status == Optimal. Sign convention: for a
+	// minimization problem, y_i ≥ 0 for ≥-rows, y_i ≤ 0 for ≤-rows, free
+	// for =-rows, and c·X == Σ y_i·b_i at optimality.
+	Duals []float64
+}
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const (
+	eps          = 1e-9
+	maxDantzig   = 5000 // pricing iterations before switching to Bland's rule
+	maxIterTotal = 200000
+)
+
+// Solve runs the two-phase simplex method on p.
+func Solve(p Problem) (Solution, error) {
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	t := newTableau(p)
+	if !t.phaseOne() {
+		return Solution{Status: Infeasible}, nil
+	}
+	switch t.phaseTwo() {
+	case Unbounded:
+		return Solution{Status: Unbounded}, nil
+	default:
+		return t.extract(p), nil
+	}
+}
+
+func validate(p Problem) error {
+	if p.NumVars < 1 {
+		return fmt.Errorf("%w: NumVars=%d", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("%w: objective length %d ≠ NumVars %d", ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coef) != p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients, want %d", ErrBadProblem, i, len(c.Coef), p.NumVars)
+		}
+		switch c.Rel {
+		case LE, GE, EQ:
+		default:
+			return fmt.Errorf("%w: constraint %d has unknown relation %d", ErrBadProblem, i, c.Rel)
+		}
+		for j, v := range c.Coef {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: constraint %d coefficient %d is %v", ErrBadProblem, i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("%w: constraint %d RHS is %v", ErrBadProblem, i, c.RHS)
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: objective coefficient %d is %v", ErrBadProblem, j, v)
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau with explicit slack, surplus and
+// artificial columns.
+//
+// Column layout: [0, n) structural; [n, n+s) slack/surplus; [n+s, n+s+a)
+// artificial. Row i of a holds the constraint coefficients; b holds the
+// (non-negative) right-hand sides; basis[i] is the basic column of row i.
+type tableau struct {
+	m, n     int // rows, structural columns
+	cols     int // total columns
+	a        [][]float64
+	b        []float64
+	basis    []int
+	cost     []float64 // phase-2 costs per column
+	artStart int
+	numArt   int
+	// Per-row metadata for dual extraction.
+	rowSlack     []int     // slack/surplus column of row i, or -1
+	rowSlackSign []float64 // +1 slack (≤), −1 surplus (≥)
+	rowArt       []int     // artificial column of row i, or -1
+	rowFlipped   []bool    // row was negated to normalize b ≥ 0
+}
+
+func newTableau(p Problem) *tableau {
+	m := len(p.Constraints)
+	n := p.NumVars
+	// Count slack/surplus columns.
+	s := 0
+	for _, c := range p.Constraints {
+		if c.Rel != EQ {
+			s++
+		}
+	}
+	t := &tableau{
+		m:            m,
+		n:            n,
+		cols:         n + s + m, // at most one artificial per row
+		b:            make([]float64, m),
+		basis:        make([]int, m),
+		rowSlack:     make([]int, m),
+		rowSlackSign: make([]float64, m),
+		rowArt:       make([]int, m),
+		rowFlipped:   make([]bool, m),
+	}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.cols)
+	}
+	t.cost = make([]float64, t.cols)
+	copy(t.cost, p.Objective)
+
+	slack := n
+	t.artStart = n + s
+	art := t.artStart
+	for i, c := range p.Constraints {
+		t.rowSlack[i] = -1
+		t.rowArt[i] = -1
+		row := t.a[i]
+		copy(row, c.Coef)
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			// Normalize to b ≥ 0 by negating the row.
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			t.rowFlipped[i] = true
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		t.b[i] = rhs
+		switch rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			t.rowSlack[i] = slack
+			t.rowSlackSign[i] = 1
+			slack++
+		case GE:
+			row[slack] = -1
+			t.rowSlack[i] = slack
+			t.rowSlackSign[i] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			t.rowArt[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			t.rowArt[i] = art
+			art++
+		}
+	}
+	t.numArt = art - t.artStart
+	t.cols = art // trim unused artificial columns
+	for i := range t.a {
+		t.a[i] = t.a[i][:t.cols]
+	}
+	t.cost = t.cost[:t.cols]
+	return t
+}
+
+// phaseOne drives artificials out of the basis; reports feasibility.
+func (t *tableau) phaseOne() bool {
+	if t.numArt == 0 {
+		return true
+	}
+	phase1 := make([]float64, t.cols)
+	for j := t.artStart; j < t.cols; j++ {
+		phase1[j] = 1
+	}
+	if t.iterate(phase1) == Unbounded {
+		return false // cannot happen: phase-1 objective bounded below by 0
+	}
+	// Feasible iff the artificial sum is (numerically) zero.
+	var sum float64
+	for i, bi := range t.basis {
+		if bi >= t.artStart {
+			sum += t.b[i]
+		}
+	}
+	if sum > 1e-7 {
+		return false
+	}
+	// Pivot remaining degenerate artificials out of the basis when
+	// possible; rows with no eligible pivot are redundant and harmless.
+	for i, bi := range t.basis {
+		if bi < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (t *tableau) phaseTwo() Status {
+	return t.iterate(t.cost)
+}
+
+// iterate runs simplex pivots minimizing the given cost vector until
+// optimality or unboundedness. Artificial columns are never re-entered.
+func (t *tableau) iterate(cost []float64) Status {
+	// Reduced costs against the current basis: z_j = c_j − c_B·B⁻¹A_j.
+	// The tableau rows stay in canonical basis-reduced form, so the
+	// reduction is a single pass over the basic rows.
+	z := make([]float64, t.cols)
+	copy(z, cost)
+	t.reduceInto(z)
+	for iter := 0; iter < maxIterTotal; iter++ {
+		enter := -1
+		if iter < maxDantzig {
+			best := -eps
+			for j := 0; j < t.cols; j++ {
+				if t.isArtificial(j) && cost[j] == 0 {
+					continue // keep artificials out in phase 2
+				}
+				if z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.cols; j++ {
+				if t.isArtificial(j) && cost[j] == 0 {
+					continue
+				}
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		leave := -1
+		// Expel a degenerate basic artificial on any nonzero entry first:
+		// pivoting there keeps every artificial pinned at zero, so a basic
+		// artificial can never silently regain a positive value in
+		// phase 2 (which would mean leaving the feasible region).
+		// (Phase 2 only — there cost[artificial] == 0; in phase 1
+		// artificials are priced and the ordinary ratio test applies.)
+		for i := 0; i < t.m; i++ {
+			bi := t.basis[i]
+			if bi >= t.artStart && cost[bi] == 0 && t.b[i] <= 1e-9 && math.Abs(t.a[i][enter]) > eps {
+				leave = i
+				break
+			}
+		}
+		if leave >= 0 {
+			t.pivot(leave, enter)
+			copy(z, cost)
+			t.reduceInto(z)
+			continue
+		}
+		minRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < minRatio-eps || (ratio < minRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					minRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		// Update reduced costs after the pivot.
+		copy(z, cost)
+		t.reduceInto(z)
+	}
+	return Optimal // iteration cap: return the best basis found
+}
+
+// reduceInto subtracts the basic components from z so z holds reduced
+// costs for the current basis.
+func (t *tableau) reduceInto(z []float64) {
+	for i, bi := range t.basis {
+		cb := z[bi]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			z[j] -= cb * row[j]
+		}
+	}
+}
+
+func (t *tableau) isArtificial(j int) bool { return j >= t.artStart }
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	prow := t.a[row]
+	pv := prow[col]
+	inv := 1 / pv
+	for j := 0; j < t.cols; j++ {
+		prow[j] *= inv
+	}
+	t.b[row] *= inv
+	prow[col] = 1 // kill rounding noise on the pivot column
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		irow := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			irow[j] -= f * prow[j]
+		}
+		irow[col] = 0
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}
+
+// extract reads the primal point, objective, and duals out of the final
+// tableau.
+func (t *tableau) extract(p Problem) Solution {
+	sol := Solution{Status: Optimal, X: make([]float64, p.NumVars), Duals: make([]float64, t.m)}
+	for i, bi := range t.basis {
+		if bi < p.NumVars {
+			sol.X[bi] = t.b[i]
+		}
+	}
+	for j, c := range p.Objective {
+		sol.Objective += c * sol.X[j]
+	}
+	// Duals y = c_B·B⁻¹, read off the reduced costs of the columns that
+	// formed the initial identity: for a slack column (+e_i) the reduced
+	// cost is −y_i, for a surplus column (−e_i) it is +y_i, and for an
+	// artificial column (+e_i, zero phase-2 cost) it is −y_i. Rows that
+	// were negated to normalize b ≥ 0 flip the sign back.
+	z := make([]float64, t.cols)
+	copy(z, t.cost)
+	t.reduceInto(z)
+	for i := 0; i < t.m; i++ {
+		var y float64
+		switch {
+		case t.rowSlack[i] >= 0:
+			y = -t.rowSlackSign[i] * z[t.rowSlack[i]]
+		case t.rowArt[i] >= 0:
+			y = -z[t.rowArt[i]]
+		}
+		if t.rowFlipped[i] {
+			y = -y
+		}
+		sol.Duals[i] = y
+	}
+	return sol
+}

@@ -1,0 +1,455 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func mustSolve(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// min −3x −5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=−36.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coef: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coef: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Fatalf("X = %v, want [2 6]", sol.X)
+	}
+	if math.Abs(sol.Objective+36) > 1e-7 {
+		t.Fatalf("objective = %v, want -36", sol.Objective)
+	}
+}
+
+func TestSolveGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x = 4 → x=4, y=6, obj=26.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, RHS: 10},
+			{Coef: []float64{1, 0}, Rel: EQ, RHS: 4},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Fatalf("X = %v, want [4 6]", sol.X)
+	}
+	if math.Abs(sol.Objective-26) > 1e-7 {
+		t.Fatalf("objective = %v", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, RHS: 5},
+			{Coef: []float64{1}, Rel: LE, RHS: 3},
+		},
+	}
+	if sol := mustSolve(t, p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, RHS: 0},
+		},
+	}
+	if sol := mustSolve(t, p); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −5 (i.e. x ≥ 5) → x=5.
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{-1}, Rel: LE, RHS: -5},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.X[0]-5) > 1e-7 {
+		t.Fatalf("sol = %+v, want x=5", sol)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	bad := []Problem{
+		{NumVars: 0},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coef: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coef: []float64{1}, Rel: 0, RHS: 1}}},
+		{NumVars: 1, Objective: []float64{math.NaN()}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coef: []float64{math.Inf(1)}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coef: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); !errors.Is(err, ErrBadProblem) {
+			t.Fatalf("problem %d: want ErrBadProblem, got %v", i, err)
+		}
+	}
+}
+
+func TestDualityOnSmallLPs(t *testing.T) {
+	// Strong duality: c·x* == Σ y_i b_i, with sign-feasible duals.
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		p := randomFeasibleLP(rng)
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal {
+			continue
+		}
+		var yb float64
+		for i, c := range p.Constraints {
+			y := sol.Duals[i]
+			yb += y * c.RHS
+			switch c.Rel {
+			case GE:
+				if y < -1e-6 {
+					t.Fatalf("trial %d: ≥-row dual %v negative", trial, y)
+				}
+			case LE:
+				if y > 1e-6 {
+					t.Fatalf("trial %d: ≤-row dual %v positive", trial, y)
+				}
+			}
+		}
+		if math.Abs(yb-sol.Objective) > 1e-5*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: duality gap: y·b=%v, c·x=%v", trial, yb, sol.Objective)
+		}
+		// Dual feasibility: Aᵀy ≤ c.
+		for j := 0; j < p.NumVars; j++ {
+			var ay float64
+			for i, c := range p.Constraints {
+				ay += sol.Duals[i] * c.Coef[j]
+			}
+			if ay > p.Objective[j]+1e-5 {
+				t.Fatalf("trial %d: dual infeasible at var %d: %v > %v", trial, j, ay, p.Objective[j])
+			}
+		}
+	}
+}
+
+// TestAgainstVertexEnumeration cross-checks the simplex optimum against
+// brute-force enumeration of basic feasible points on random 2-3 variable
+// problems with ≤-rows (bounded by a box so the optimum exists).
+func TestAgainstVertexEnumeration(t *testing.T) {
+	rng := stats.NewRNG(67)
+	for trial := 0; trial < 300; trial++ {
+		nv := rng.IntRange(2, 3)
+		nc := rng.IntRange(1, 4)
+		p := Problem{NumVars: nv, Objective: make([]float64, nv)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.FloatRange(-5, 5)
+		}
+		for i := 0; i < nc; i++ {
+			c := Constraint{Coef: make([]float64, nv), Rel: LE, RHS: rng.FloatRange(0, 10)}
+			for j := range c.Coef {
+				c.Coef[j] = rng.FloatRange(-2, 3)
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Box: x_j ≤ 10 bounds the problem; x=0 is always feasible.
+		for j := 0; j < nv; j++ {
+			coef := make([]float64, nv)
+			coef[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, RHS: 10})
+		}
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v on a bounded feasible LP", trial, sol.Status)
+		}
+		want := bruteForceMin(p)
+		if math.Abs(sol.Objective-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v, brute force %v", trial, sol.Objective, want)
+		}
+		// Primal feasibility of the returned point.
+		for i, c := range p.Constraints {
+			var ax float64
+			for j, v := range c.Coef {
+				ax += v * sol.X[j]
+			}
+			if ax > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, ax, c.RHS)
+			}
+		}
+		for j, x := range sol.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: negative variable %d = %v", trial, j, x)
+			}
+		}
+	}
+}
+
+// bruteForceMin enumerates all vertices of {Ax ≤ b, x ≥ 0} by solving all
+// n×n subsystems of active constraints and returns the minimum objective
+// over feasible vertices (the optimum of a bounded LP lies at a vertex).
+func bruteForceMin(p Problem) float64 {
+	n := p.NumVars
+	// Build the full row set: constraints plus x_j ≥ 0 (as −x_j ≤ 0).
+	var rows []lpRow
+	for _, c := range p.Constraints {
+		rows = append(rows, lpRow{a: c.Coef, b: c.RHS})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = -1
+		rows = append(rows, lpRow{a: a, b: 0})
+	}
+	best := math.Inf(1)
+	idx := make([]int, n)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == n {
+			x, ok := solveSquare(rows, idx, n)
+			if !ok {
+				return
+			}
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for _, r := range rows {
+				var ax float64
+				for j := 0; j < n; j++ {
+					ax += r.a[j] * x[j]
+				}
+				if ax > r.b+1e-7 {
+					return
+				}
+			}
+			var obj float64
+			for j := 0; j < n; j++ {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// lpRow is one inequality a·x ≤ b of the brute-force enumeration.
+type lpRow struct {
+	a []float64
+	b float64
+}
+
+// solveSquare solves the n×n system formed by the chosen active rows via
+// Gaussian elimination; ok is false for singular systems.
+func solveSquare(rows []lpRow, idx []int, n int) ([]float64, bool) {
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n+1)
+		copy(m[i], rows[idx[i]].a)
+		m[i][n] = rows[idx[i]].b
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if math.Abs(m[r][col]) > 1e-9 && (piv == -1 || math.Abs(m[r][col]) > math.Abs(m[piv][col])) {
+				piv = r
+			}
+		}
+		if piv == -1 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		f := m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] /= f
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			g := m[r][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= g * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n]
+	}
+	return x, true
+}
+
+// randomFeasibleLP generates a small LP guaranteed feasible (x=0 satisfies
+// every row) and bounded (box constraints).
+func randomFeasibleLP(rng *stats.RNG) Problem {
+	nv := rng.IntRange(2, 4)
+	p := Problem{NumVars: nv, Objective: make([]float64, nv)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.FloatRange(0.1, 5) // positive costs keep min bounded
+	}
+	nc := rng.IntRange(1, 5)
+	for i := 0; i < nc; i++ {
+		c := Constraint{Coef: make([]float64, nv), RHS: rng.FloatRange(1, 10)}
+		for j := range c.Coef {
+			c.Coef[j] = rng.FloatRange(0, 3)
+		}
+		// Mix of row types; ≥-rows need a nonzero coefficient to stay
+		// feasible, which positive coefficients provide.
+		switch rng.Intn(3) {
+		case 0:
+			c.Rel = LE
+		case 1:
+			c.Rel = GE
+			ok := false
+			for _, v := range c.Coef {
+				if v > 0.5 {
+					ok = true
+				}
+			}
+			if !ok {
+				c.Coef[rng.Intn(nv)] = 1 + rng.Float64()
+			}
+		case 2:
+			c.Rel = EQ
+			ok := false
+			for _, v := range c.Coef {
+				if v > 0.5 {
+					ok = true
+				}
+			}
+			if !ok {
+				c.Coef[rng.Intn(nv)] = 1 + rng.Float64()
+			}
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+func TestStatusAndRelationStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(0).String() != "unknown" {
+		t.Fatal("status strings wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" || Relation(0).String() != "?" {
+		t.Fatal("relation strings wrong")
+	}
+}
+
+func TestDegenerateAndRedundantLPs(t *testing.T) {
+	// Duplicate equality rows create redundant constraints whose
+	// artificials stay basic at zero after phase 1; phase 2 must not let
+	// them regain value.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coef: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coef: []float64{2, 2}, Rel: EQ, RHS: 8},
+			{Coef: []float64{1, 0}, Rel: GE, RHS: 1},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// min x+2y with x+y=4, x≥1 → x=4, y=0, obj=4.
+	if math.Abs(sol.Objective-4) > 1e-7 {
+		t.Fatalf("objective %v, want 4", sol.Objective)
+	}
+	// Zero objective: any feasible vertex is optimal at 0.
+	p2 := Problem{
+		NumVars:   2,
+		Objective: []float64{0, 0},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, RHS: 2},
+		},
+	}
+	sol2 := mustSolve(t, p2)
+	if sol2.Status != Optimal || sol2.Objective != 0 {
+		t.Fatalf("zero-objective LP: %+v", sol2)
+	}
+	// Conflicting duplicated equalities are infeasible.
+	p3 := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: EQ, RHS: 1},
+			{Coef: []float64{1}, Rel: EQ, RHS: 2},
+		},
+	}
+	if sol3 := mustSolve(t, p3); sol3.Status != Infeasible {
+		t.Fatalf("conflicting equalities: %v", sol3.Status)
+	}
+}
+
+func TestLargeSparseLP(t *testing.T) {
+	// A 120-row covering LP: min Σx s.t. each of 120 elements covered by
+	// 3 of 200 sets. Optimum is 120/3 = 40 when sets partition evenly.
+	const rows, cols = 120, 200
+	p := Problem{NumVars: cols, Objective: make([]float64, cols)}
+	for j := range p.Objective {
+		p.Objective[j] = 1
+	}
+	for i := 0; i < rows; i++ {
+		coef := make([]float64, cols)
+		coef[i%cols] = 1
+		coef[(i+40)%cols] = 1
+		coef[(i+80)%cols] = 1
+		p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: GE, RHS: 1})
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Objective <= 0 || sol.Objective > rows {
+		t.Fatalf("objective %v out of range", sol.Objective)
+	}
+	// Cover check.
+	for i, c := range p.Constraints {
+		var ax float64
+		for j, v := range c.Coef {
+			ax += v * sol.X[j]
+		}
+		if ax < 1-1e-6 {
+			t.Fatalf("row %d uncovered: %v", i, ax)
+		}
+	}
+}

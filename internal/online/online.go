@@ -1,0 +1,175 @@
+// Package online implements a posted-price online procurement mechanism
+// in the style of Zhou et al., "An Efficient Cloud Market Mechanism for
+// Computing Jobs with Soft Deadlines" (the paper's [17]), adapted to the
+// FL setting: clients arrive one by one, the server maintains a marginal
+// price for every global iteration that decays exponentially from U to L
+// as the iteration fills,
+//
+//	p_t(γ) = U·(L/U)^(γ/K),
+//
+// and an arriving client is accepted — irrevocably — iff the posted
+// prices of its best schedule cover its claimed cost. Winners are paid
+// exactly those posted prices.
+//
+// Because the prices a client faces are fixed before it reports anything,
+// the mechanism is a posted-price mechanism: reporting the true cost is a
+// dominant strategy (the report only decides accept/decline at prices the
+// client cannot influence), which the test suite asserts exactly. The
+// price of this simplicity is coverage: unlike A_FL, the online mechanism
+// may end with under-covered iterations; Result.Coverage reports the fill
+// rate. baseline.AOnline wraps the same pricing with a repair pass so its
+// social cost is comparable to the offline algorithms in the paper's
+// figures; this package is the mechanism itself, incentives intact.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Tg is the number of global iterations to fill.
+	Tg int
+	// K is the target number of participants per iteration.
+	K int
+	// L and U bound the marginal price per participation slot. Zero
+	// values are auto-derived from the bid population's per-round prices
+	// (min and max of b_ij/c_ij) — a convenience that technically makes
+	// the posted prices depend on the reports; set L and U exogenously
+	// (e.g. from market knowledge, as [17] assumes) for exact
+	// truthfulness.
+	L, U float64
+}
+
+// Result reports an online run.
+type Result struct {
+	// Winners lists accepted clients with schedules and posted-price
+	// payments.
+	Winners []core.Winner
+	// Cost is Σ claimed costs of winners; Payment is Σ posted prices.
+	Cost, Payment float64
+	// FilledSlots counts participation slots covered (≤ K per iteration);
+	// Coverage is FilledSlots / (K·Tg).
+	FilledSlots int
+	Coverage    float64
+}
+
+// Run executes the mechanism over the bids in the given arrival order
+// (indices into bids; each client's bids must arrive together — the first
+// acceptable one is taken, the rest are declined since only one bid per
+// client can win). Bids never mutate.
+func Run(bids []core.Bid, arrival []int, cfg Config) (Result, error) {
+	if cfg.Tg < 1 || cfg.K < 1 {
+		return Result{}, fmt.Errorf("online: bad config %+v", cfg)
+	}
+	lo, hi := cfg.L, cfg.U
+	if lo <= 0 || hi <= 0 {
+		alo, ahi := autoBounds(bids, arrival)
+		if lo <= 0 {
+			lo = alo
+		}
+		if hi <= 0 {
+			hi = ahi
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	gamma := make([]int, cfg.Tg)
+	price := func(t int) float64 {
+		if gamma[t-1] >= cfg.K {
+			return 0 // full iterations post price zero: no value in more
+		}
+		return hi * math.Pow(lo/hi, float64(gamma[t-1])/float64(cfg.K))
+	}
+	res := Result{}
+	taken := make(map[int]bool)
+	for _, idx := range arrival {
+		if idx < 0 || idx >= len(bids) {
+			return Result{}, fmt.Errorf("online: arrival index %d out of range", idx)
+		}
+		b := bids[idx]
+		if taken[b.Client] {
+			continue
+		}
+		slots, pay := bestSchedule(b, cfg.Tg, price)
+		if slots == nil || pay < b.Price {
+			continue // posted prices do not cover the claimed cost
+		}
+		taken[b.Client] = true
+		for _, t := range slots {
+			if gamma[t-1] < cfg.K {
+				res.FilledSlots++
+			}
+			gamma[t-1]++
+		}
+		res.Winners = append(res.Winners, core.Winner{
+			BidIndex: idx, Bid: b, Slots: slots, Payment: pay,
+		})
+		res.Cost += b.Price
+		res.Payment += pay
+	}
+	res.Coverage = float64(res.FilledSlots) / float64(cfg.K*cfg.Tg)
+	return res, nil
+}
+
+// ArrivalByStart orders bid indices by window start (the natural online
+// arrival model for availability windows), ties by index.
+func ArrivalByStart(bids []core.Bid) []int {
+	order := make([]int, len(bids))
+	for i := range bids {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bids[order[a]].Start < bids[order[b]].Start
+	})
+	return order
+}
+
+// bestSchedule picks the c_ij iterations of the window with the highest
+// posted prices; the schedule's total price is what the client would be
+// paid.
+func bestSchedule(b core.Bid, tg int, price func(int) float64) ([]int, float64) {
+	hi := min(b.End, tg)
+	if hi-b.Start+1 < b.Rounds {
+		return nil, 0
+	}
+	cand := make([]int, 0, hi-b.Start+1)
+	for t := b.Start; t <= hi; t++ {
+		cand = append(cand, t)
+	}
+	sort.SliceStable(cand, func(x, y int) bool {
+		return price(cand[x]) > price(cand[y])
+	})
+	cand = cand[:b.Rounds]
+	var sum float64
+	for _, t := range cand {
+		sum += price(t)
+	}
+	sort.Ints(cand)
+	return cand, sum
+}
+
+// autoBounds derives price bounds from the per-round prices of the bids.
+func autoBounds(bids []core.Bid, arrival []int) (lo, hi float64) {
+	lo, hi = math.Inf(1), 0
+	for _, idx := range arrival {
+		if idx < 0 || idx >= len(bids) {
+			continue
+		}
+		pr := bids[idx].Price / float64(bids[idx].Rounds)
+		lo = math.Min(lo, pr)
+		hi = math.Max(hi, pr)
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 1, 1
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	return lo, hi
+}

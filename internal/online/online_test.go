@@ -1,0 +1,212 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+func randomInstance(rng *stats.RNG) ([]core.Bid, int, int) {
+	tg := rng.IntRange(3, 10)
+	k := rng.IntRange(1, 3)
+	clients := rng.IntRange(k+2, 16)
+	var bids []core.Bid
+	for c := 0; c < clients; c++ {
+		start := rng.IntRange(1, tg)
+		end := rng.IntRange(start, tg)
+		bids = append(bids, core.Bid{
+			Client: c,
+			Price:  float64(rng.IntRange(1, 40)),
+			Theta:  0.4,
+			Start:  start,
+			End:    end,
+			Rounds: rng.IntRange(1, end-start+1),
+		})
+	}
+	return bids, tg, k
+}
+
+func TestRunBasics(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 60; trial++ {
+		bids, tg, k := randomInstance(rng)
+		res, err := Run(bids, ArrivalByStart(bids), Config{Tg: tg, K: k, L: 1, U: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage < 0 || res.Coverage > 1 {
+			t.Fatalf("coverage %v", res.Coverage)
+		}
+		clients := map[int]bool{}
+		cover := make([]int, tg+1)
+		for _, w := range res.Winners {
+			if clients[w.Bid.Client] {
+				t.Fatal("client accepted twice")
+			}
+			clients[w.Bid.Client] = true
+			if len(w.Slots) != w.Bid.Rounds {
+				t.Fatalf("winner %v scheduled %d slots", w.Bid, len(w.Slots))
+			}
+			for _, s := range w.Slots {
+				if s < w.Bid.Start || s > w.Bid.End || s > tg {
+					t.Fatalf("slot %d outside window of %v", s, w.Bid)
+				}
+				cover[s]++
+			}
+			// Posted-price individual rationality.
+			if w.Payment < w.Bid.Price-1e-9 {
+				t.Fatalf("winner %v paid %v below cost", w.Bid, w.Payment)
+			}
+		}
+		filled := 0
+		for s := 1; s <= tg; s++ {
+			filled += min(cover[s], k)
+		}
+		if filled != res.FilledSlots {
+			t.Fatalf("filled slots %d, reported %d", filled, res.FilledSlots)
+		}
+		if res.Payment < res.Cost-1e-9 {
+			t.Fatalf("payments %v below costs %v", res.Payment, res.Cost)
+		}
+	}
+}
+
+// TestPostedPriceTruthfulness asserts the defining property exactly: with
+// exogenous price bounds and fixed arrival order, no unilateral price
+// misreport by a (single-bid) client improves its utility.
+func TestPostedPriceTruthfulness(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 80; trial++ {
+		bids, tg, k := randomInstance(rng)
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		cfg := Config{Tg: tg, K: k, L: 1, U: 40}
+		arrival := ArrivalByStart(bids)
+		victim := rng.Intn(len(bids))
+		truthful := utility(bids, arrival, victim, bids[victim].Price, cfg)
+		for _, factor := range []float64{0.2, 0.6, 0.9, 1.1, 1.6, 3} {
+			lying := utility(bids, arrival, victim, bids[victim].Price*factor, cfg)
+			if lying > truthful+1e-9 {
+				t.Fatalf("trial %d: posted-price mechanism manipulable: %v > %v at ×%v",
+					trial, lying, truthful, factor)
+			}
+		}
+	}
+}
+
+func utility(bids []core.Bid, arrival []int, victim int, claimed float64, cfg Config) float64 {
+	mod := make([]core.Bid, len(bids))
+	copy(mod, bids)
+	mod[victim].Price = claimed
+	res, err := Run(mod, arrival, cfg)
+	if err != nil {
+		return 0
+	}
+	for _, w := range res.Winners {
+		if w.BidIndex == victim {
+			return w.Payment - bids[victim].TrueCost
+		}
+	}
+	return 0
+}
+
+func TestCoverageTradeoffVsOffline(t *testing.T) {
+	// The posted-price mechanism sacrifices coverage; the offline greedy
+	// covers fully whenever feasible. Confirm the direction of the trade
+	// and that online coverage is still substantial on average.
+	rng := stats.NewRNG(3)
+	var coverage []float64
+	for trial := 0; trial < 60; trial++ {
+		bids, tg, k := randomInstance(rng)
+		cfg := core.Config{T: tg, K: k}
+		off := core.SolveWDP(bids, core.Qualified(bids, tg, cfg), tg, cfg)
+		if !off.Feasible {
+			continue
+		}
+		on, err := Run(bids, ArrivalByStart(bids), Config{Tg: tg, K: k, L: 1, U: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coverage = append(coverage, on.Coverage)
+		if on.Coverage > 1+1e-9 {
+			t.Fatalf("coverage above 1: %v", on.Coverage)
+		}
+	}
+	if len(coverage) < 10 {
+		t.Fatalf("only %d feasible instances", len(coverage))
+	}
+	var sum float64
+	for _, c := range coverage {
+		sum += c
+	}
+	if mean := sum / float64(len(coverage)); mean < 0.3 {
+		t.Fatalf("online coverage unexpectedly poor: %.3f", mean)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bids := []core.Bid{{Client: 0, Price: 1, Theta: 0.4, Start: 1, End: 2, Rounds: 1}}
+	if _, err := Run(bids, []int{0}, Config{Tg: 0, K: 1}); err == nil {
+		t.Fatal("Tg=0 must error")
+	}
+	if _, err := Run(bids, []int{5}, Config{Tg: 2, K: 1}); err == nil {
+		t.Fatal("bad arrival index must error")
+	}
+	// Empty arrival: zero coverage, no winners.
+	res, err := Run(bids, nil, Config{Tg: 2, K: 1})
+	if err != nil || len(res.Winners) != 0 || res.Coverage != 0 {
+		t.Fatalf("empty arrival: %+v, %v", res, err)
+	}
+}
+
+func TestAutoBounds(t *testing.T) {
+	bids := []core.Bid{
+		{Client: 0, Price: 10, Theta: 0.4, Start: 1, End: 4, Rounds: 2}, // 5/round
+		{Client: 1, Price: 30, Theta: 0.4, Start: 1, End: 4, Rounds: 1}, // 30/round
+	}
+	lo, hi := autoBounds(bids, []int{0, 1})
+	if lo != 5 || hi != 30 {
+		t.Fatalf("auto bounds = (%v, %v), want (5, 30)", lo, hi)
+	}
+	lo, hi = autoBounds(nil, nil)
+	if lo != 1 || hi != 1 {
+		t.Fatalf("empty bounds = (%v, %v)", lo, hi)
+	}
+	// Auto bounds engage when Config.L/U are zero.
+	res, err := Run(bids, []int{0, 1}, Config{Tg: 4, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("auto-bound run accepted nobody")
+	}
+	if math.IsNaN(res.Coverage) {
+		t.Fatal("NaN coverage")
+	}
+}
+
+func TestPricesDecayWithFill(t *testing.T) {
+	// Two identical single-slot bids: the first is paid U, the second a
+	// strictly lower posted price.
+	bids := []core.Bid{
+		{Client: 0, Price: 1, Theta: 0.4, Start: 1, End: 1, Rounds: 1},
+		{Client: 1, Price: 1, Theta: 0.4, Start: 1, End: 1, Rounds: 1},
+		{Client: 2, Price: 1, Theta: 0.4, Start: 1, End: 1, Rounds: 1},
+	}
+	res, err := Run(bids, []int{0, 1, 2}, Config{Tg: 1, K: 2, L: 1, U: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) < 2 {
+		t.Fatalf("winners = %d", len(res.Winners))
+	}
+	if res.Winners[0].Payment != 16 {
+		t.Fatalf("first payment %v, want U=16", res.Winners[0].Payment)
+	}
+	if res.Winners[1].Payment >= res.Winners[0].Payment {
+		t.Fatalf("prices did not decay: %v then %v", res.Winners[0].Payment, res.Winners[1].Payment)
+	}
+}

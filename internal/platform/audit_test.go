@@ -1,0 +1,198 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// TestAccuracyAudit checks the θ-enforcement behind the paper's
+// truthfulness-in-θ argument: a client that promises a stricter local
+// accuracy than it actually trains to is detected and forfeits payment.
+func TestAccuracyAudit(t *testing.T) {
+	rng := stats.NewRNG(21)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 600, Dim: 4})
+	shards := fl.PartitionIID(rng, ds, 6)
+	job := Job{Name: "audit", T: 5, K: 2, TMax: 60, Dim: 4}
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 2 * time.Second})
+
+	serverConns := make(map[int]Conn)
+	var agents []*Agent
+	var agentConns []Conn
+	for i := 0; i < 6; i++ {
+		sc, ac := Pipe(64)
+		serverConns[i] = sc
+		theta := 0.5
+		learnerTheta := theta
+		price := 10.0 + float64(i)
+		if i == 0 {
+			// The cheater: promises θ=0.45 in its bid but its learner
+			// only ever trains to θ=0.9 (far less local work).
+			theta = 0.45
+			learnerTheta = 0.9
+			price = 1 // cheap enough to win
+		}
+		agents = append(agents, &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price: price, Theta: theta, Start: 1, End: 5, Rounds: 3,
+				CompTime: 5, CommTime: 10,
+			}},
+			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: learnerTheta, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 15 * time.Second,
+		})
+		agentConns = append(agentConns, ac)
+	}
+	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	if !report.Auction.Feasible {
+		t.Fatal("auction infeasible")
+	}
+	won := false
+	for _, w := range report.Auction.Winners {
+		if w.Bid.Client == 0 {
+			won = true
+		}
+	}
+	if !won {
+		t.Skip("cheater did not win; audit path not exercised")
+	}
+	if agentReports[0].Paid != 0 || agentReports[0].PayReason != "accuracy violated" {
+		t.Fatalf("cheater settlement = %+v, want accuracy-violation refusal", agentReports[0])
+	}
+	sawViolation := false
+	for _, rr := range report.Rounds {
+		for _, id := range rr.Violations {
+			if id == 0 {
+				sawViolation = true
+			}
+		}
+	}
+	if !sawViolation {
+		t.Fatal("violation never recorded in round reports")
+	}
+	// Honest winners still get paid.
+	honest := 0
+	for _, e := range report.Ledger.Entries() {
+		if e.Client != 0 && e.Amount > 0 {
+			honest++
+		}
+	}
+	if honest == 0 {
+		t.Fatal("no honest winner was paid")
+	}
+}
+
+// TestAuditDisabled confirms a negative tolerance turns the audit off.
+func TestAuditDisabled(t *testing.T) {
+	rng := stats.NewRNG(22)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 400, Dim: 3})
+	shards := fl.PartitionIID(rng, ds, 4)
+	job := Job{Name: "noaudit", T: 4, K: 1, TMax: 60, Dim: 3}
+	server := NewServer(ServerConfig{
+		Job: job, L2: 0.01, Eval: ds,
+		RecvTimeout:    2 * time.Second,
+		ThetaTolerance: -1,
+	})
+	serverConns := make(map[int]Conn)
+	var agents []*Agent
+	var agentConns []Conn
+	for i := 0; i < 4; i++ {
+		sc, ac := Pipe(64)
+		serverConns[i] = sc
+		agents = append(agents, &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price: 5 + float64(i), Theta: 0.4, Start: 1, End: 4, Rounds: 2,
+				CompTime: 5, CommTime: 10,
+			}},
+			// Every learner under-delivers; with the audit off nobody is
+			// penalized for it.
+			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: 0.95, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 15 * time.Second,
+		})
+		agentConns = append(agentConns, ac)
+	}
+	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	if !report.Auction.Feasible {
+		t.Skip("auction infeasible")
+	}
+	for _, rr := range report.Rounds {
+		if len(rr.Violations) != 0 {
+			t.Fatalf("audit disabled but violations recorded: %v", rr.Violations)
+		}
+	}
+	for _, e := range report.Ledger.Entries() {
+		if e.Reason == "accuracy violated" {
+			t.Fatalf("audit disabled but payment refused: %+v", e)
+		}
+	}
+}
+
+// TestWindowMisreportForfeitsPayment exercises the enforcement behind
+// truthfulness in the availability window: a client that claims [1, T]
+// but is truly available only through iteration 2 wins with the longer
+// window, misses its later scheduled rounds, and forfeits payment.
+func TestWindowMisreportForfeitsPayment(t *testing.T) {
+	rng := stats.NewRNG(33)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 600, Dim: 4})
+	shards := fl.PartitionIID(rng, ds, 6)
+	job := Job{Name: "window", T: 6, K: 2, TMax: 60, Dim: 4}
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 300 * time.Millisecond})
+
+	serverConns := make(map[int]Conn)
+	var agents []*Agent
+	var agentConns []Conn
+	for i := 0; i < 6; i++ {
+		sc, ac := Pipe(64)
+		serverConns[i] = sc
+		a := &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price: 10 + float64(i), Theta: 0.5, Start: 1, End: 6, Rounds: 4,
+				CompTime: 5, CommTime: 10,
+			}},
+			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 15 * time.Second,
+		}
+		agents = append(agents, a)
+		agentConns = append(agentConns, ac)
+	}
+	// Agent 0 lies about its window: claims [1,6] but vanishes after
+	// iteration 2. Cheap enough to win.
+	agents[0].Bids[0].Price = 1
+	agents[0].Behavior.UnavailableAfter = 2
+
+	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	if !report.Auction.Feasible {
+		t.Skip("auction infeasible")
+	}
+	won := false
+	for _, w := range report.Auction.Winners {
+		if w.Bid.Client == 0 {
+			// The schedule must include an iteration beyond 2, or the lie
+			// goes unexercised.
+			beyond := false
+			for _, s := range w.Slots {
+				if s > 2 {
+					beyond = true
+				}
+			}
+			if !beyond {
+				t.Skip("misreported window never scheduled beyond the true one")
+			}
+			won = true
+		}
+	}
+	if !won {
+		t.Skip("cheater did not win")
+	}
+	if agentReports[0].Paid != 0 || agentReports[0].PayReason != "dropped out" {
+		t.Fatalf("window misreporter settlement = %+v, want refusal", agentReports[0])
+	}
+}

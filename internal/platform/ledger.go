@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LedgerEntry records one settlement decision.
+type LedgerEntry struct {
+	Client int
+	Amount float64
+	Reason string
+}
+
+// Ledger is a concurrency-safe record of payments the auctioneer settles
+// at session end.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []LedgerEntry
+}
+
+// Record appends a settlement.
+func (l *Ledger) Record(client int, amount float64, reason string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, LedgerEntry{Client: client, Amount: amount, Reason: reason})
+}
+
+// Entries returns a copy of all settlements, ordered by client.
+func (l *Ledger) Entries() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LedgerEntry, len(l.entries))
+	copy(out, l.entries)
+	sort.Slice(out, func(a, b int) bool { return out[a].Client < out[b].Client })
+	return out
+}
+
+// Total returns the sum of all amounts paid.
+func (l *Ledger) Total() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for _, e := range l.entries {
+		sum += e.Amount
+	}
+	return sum
+}
+
+// String renders the ledger for reports.
+func (l *Ledger) String() string {
+	var sb strings.Builder
+	for _, e := range l.Entries() {
+		fmt.Fprintf(&sb, "client %d: %.2f (%s)\n", e.Client, e.Amount, e.Reason)
+	}
+	return sb.String()
+}

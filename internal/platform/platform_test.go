@@ -1,0 +1,479 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// testSession builds a small but complete FL marketplace: 8 clients with
+// shards of a synthetic task, each bidding one window.
+func testSession(t *testing.T, mutate func(agents []*Agent)) (*Server, map[int]Conn, []*Agent, []Conn) {
+	t.Helper()
+	rng := stats.NewRNG(42)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 800, Dim: 4})
+	shards := fl.PartitionIID(rng, ds, 8)
+	job := Job{Name: "test-job", T: 6, K: 2, TMax: 60, Dim: 4}
+	server := NewServer(ServerConfig{
+		Job:         job,
+		L2:          0.01,
+		Eval:        ds,
+		RecvTimeout: 2 * time.Second,
+	})
+	serverConns := make(map[int]Conn)
+	var agents []*Agent
+	var agentConns []Conn
+	for i := 0; i < 8; i++ {
+		sc, ac := Pipe(64)
+		serverConns[i] = sc
+		start := 1 + i%3
+		end := start + 3
+		if end > job.T {
+			end = job.T
+		}
+		agents = append(agents, &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price:    float64(10 + i),
+				Theta:    0.5,
+				Start:    start,
+				End:      end,
+				Rounds:   2,
+				CompTime: 5,
+				CommTime: 10,
+			}},
+			Learner: &fl.Client{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
+			L2:      0.01,
+			// Longer than the server's per-phase timeout so an agent that
+			// ignores a round request is still listening at settlement.
+			RecvTimeout: 15 * time.Second,
+		})
+		agentConns = append(agentConns, ac)
+	}
+	if mutate != nil {
+		mutate(agents)
+	}
+	return server, serverConns, agents, agentConns
+}
+
+func runSession(t *testing.T, server *Server, serverConns map[int]Conn, agents []*Agent, agentConns []Conn) (SessionReport, []AgentReport) {
+	t.Helper()
+	reports := make([]AgentReport, len(agents))
+	var wg sync.WaitGroup
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			r, err := a.Run(agentConns[i])
+			if err != nil {
+				t.Errorf("agent %d: %v", a.ID, err)
+			}
+			reports[i] = r
+		}(i, a)
+	}
+	report, err := server.RunSession(serverConns)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for _, c := range serverConns {
+		c.Close()
+	}
+	wg.Wait()
+	return report, reports
+}
+
+func TestFullSessionInMemory(t *testing.T) {
+	server, serverConns, agents, agentConns := testSession(t, nil)
+	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+
+	if report.ClientsBid != 8 {
+		t.Fatalf("ClientsBid = %d, want 8", report.ClientsBid)
+	}
+	if !report.Auction.Feasible {
+		t.Fatal("auction should be feasible")
+	}
+	if len(report.Rounds) != report.Auction.Tg {
+		t.Fatalf("%d round reports for T_g=%d", len(report.Rounds), report.Auction.Tg)
+	}
+	// Every round must have K responders (no faults injected).
+	for _, rr := range report.Rounds {
+		if len(rr.Responded) < server.cfg.Job.K {
+			t.Fatalf("round %d: %d responders < K", rr.Iteration, len(rr.Responded))
+		}
+		if len(rr.Failed) != 0 {
+			t.Fatalf("round %d: unexpected failures %v", rr.Iteration, rr.Failed)
+		}
+	}
+	// Settlement: winners paid ≥ their price; losers zero.
+	paidTotal := report.Ledger.Total()
+	if paidTotal <= 0 {
+		t.Fatal("no payments settled")
+	}
+	winners := map[int]core.Winner{}
+	for _, w := range report.Auction.Winners {
+		winners[w.Bid.Client] = w
+	}
+	for i, ar := range agentReports {
+		if w, ok := winners[i]; ok {
+			if !ar.Won {
+				t.Fatalf("agent %d won but was not told", i)
+			}
+			if ar.Paid != w.Payment {
+				t.Fatalf("agent %d paid %v, award said %v", i, ar.Paid, w.Payment)
+			}
+			if ar.Paid < agents[i].Bids[0].Price-1e-9 {
+				t.Fatalf("agent %d paid %v below its price", i, ar.Paid)
+			}
+			if ar.RoundsRun != len(w.Slots) {
+				t.Fatalf("agent %d ran %d rounds, scheduled %d", i, ar.RoundsRun, len(w.Slots))
+			}
+		} else if ar.Won || ar.Paid != 0 {
+			t.Fatalf("agent %d lost but Won=%v Paid=%v", i, ar.Won, ar.Paid)
+		}
+	}
+	// Model should actually learn.
+	final := report.Rounds[len(report.Rounds)-1]
+	if final.Accuracy < 0.7 {
+		t.Fatalf("final accuracy %v too low", final.Accuracy)
+	}
+}
+
+func TestSessionWithDropout(t *testing.T) {
+	server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
+		// Make every agent cheap except the dropper, so the dropper wins.
+		agents[0].Behavior.DropAfterRounds = 1
+		agents[0].Bids[0].Price = 1
+	})
+	server.cfg.RecvTimeout = 300 * time.Millisecond
+	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	if !report.Auction.Feasible {
+		t.Skip("auction infeasible in this configuration")
+	}
+	won0 := false
+	for _, w := range report.Auction.Winners {
+		if w.Bid.Client == 0 {
+			won0 = true
+		}
+	}
+	if !won0 {
+		t.Skip("agent 0 did not win; dropout path not exercised")
+	}
+	// Agent 0 must be refused payment.
+	if agentReports[0].Paid != 0 || agentReports[0].PayReason != "dropped out" {
+		t.Fatalf("dropper settlement = %+v, want refusal", agentReports[0])
+	}
+	for _, e := range report.Ledger.Entries() {
+		if e.Client == 0 && e.Amount != 0 {
+			t.Fatalf("ledger paid the dropper: %+v", e)
+		}
+	}
+	// Some round must record the failure.
+	sawFailure := false
+	for _, rr := range report.Rounds {
+		for _, id := range rr.Failed {
+			if id == 0 {
+				sawFailure = true
+			}
+		}
+	}
+	if !sawFailure {
+		t.Fatal("dropout never recorded in round reports")
+	}
+}
+
+func TestSessionWithSilentClient(t *testing.T) {
+	server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
+		agents[3].Behavior.Silent = true
+	})
+	// Short bid timeout so the silent client doesn't stall the test.
+	server.cfg.RecvTimeout = 200 * time.Millisecond
+	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	if report.ClientsBid != 7 {
+		t.Fatalf("ClientsBid = %d, want 7 (one silent)", report.ClientsBid)
+	}
+	for _, w := range report.Auction.Winners {
+		if w.Bid.Client == 3 {
+			t.Fatal("silent client cannot win")
+		}
+	}
+}
+
+func TestFullSessionOverTCP(t *testing.T) {
+	rng := stats.NewRNG(7)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 400, Dim: 3})
+	shards := fl.PartitionIID(rng, ds, 4)
+	job := Job{Name: "tcp-job", T: 4, K: 1, TMax: 60, Dim: 3}
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 3 * time.Second})
+
+	serverConns := make(map[int]Conn)
+	var mu sync.Mutex
+	accepted := make(chan Conn, 4)
+	addr, stop, err := Listen("127.0.0.1:0", 4, func(c Conn) { accepted <- c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	var wg sync.WaitGroup
+	reports := make([]AgentReport, 4)
+	for i := 0; i < 4; i++ {
+		conn, err := Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent := &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price: float64(5 + i), Theta: 0.5, Start: 1, End: 4, Rounds: 2,
+				CompTime: 5, CommTime: 10,
+			}},
+			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 3 * time.Second,
+		}
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			r, err := agent.Run(c)
+			if err != nil {
+				t.Errorf("agent %d: %v", i, err)
+			}
+			mu.Lock()
+			reports[i] = r
+			mu.Unlock()
+		}(i, conn)
+	}
+	// The server needs the connections in ID order: the accept order is
+	// nondeterministic, so handshake by matching the first bid message...
+	// simpler: agents dialed sequentially, but accept order can still
+	// vary. Collect all four and probe each with a tiny announce-free
+	// assumption: IDs are carried in the bids message, so the server maps
+	// by the order bids arrive. For the test we just assign accepted
+	// conns arbitrary IDs — the server overrides bid ownership by
+	// connection, which is exactly what we assert here.
+	for i := 0; i < 4; i++ {
+		select {
+		case c := <-accepted:
+			serverConns[i] = c
+		case <-time.After(2 * time.Second):
+			t.Fatal("accept timeout")
+		}
+	}
+	report, err := server.RunSession(serverConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range serverConns {
+		c.Close()
+	}
+	wg.Wait()
+	if report.ClientsBid != 4 {
+		t.Fatalf("ClientsBid = %d", report.ClientsBid)
+	}
+	if !report.Auction.Feasible {
+		t.Fatal("auction infeasible over TCP")
+	}
+	if len(report.FinalWeights) != 3 {
+		t.Fatalf("final weights %v", report.FinalWeights)
+	}
+	paid := 0
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range reports {
+		if r.Paid > 0 {
+			paid++
+		}
+	}
+	if paid == 0 {
+		t.Fatal("nobody was paid over TCP")
+	}
+}
+
+func TestPipeSemantics(t *testing.T) {
+	a, b := Pipe(1)
+	msg := Message{Type: MsgBye}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(time.Second)
+	if err != nil || got.Type != MsgBye {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := b.Recv(50 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	// Invalid messages are rejected before transmission.
+	if err := a.Send(Message{Type: MsgRound}); err == nil {
+		t.Fatal("round without payload must fail validation")
+	}
+	a.Close()
+	if err := a.Send(msg); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := b.Recv(50 * time.Millisecond); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestPipeDrainsQueuedAfterClose(t *testing.T) {
+	a, b := Pipe(4)
+	_ = a.Send(Message{Type: MsgBye})
+	a.Close()
+	if got, err := b.Recv(time.Second); err != nil || got.Type != MsgBye {
+		t.Fatalf("queued message lost after close: %v, %v", got, err)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.Record(2, 5, "x")
+	l.Record(1, 3, "y")
+	if l.Total() != 8 {
+		t.Fatalf("total = %v", l.Total())
+	}
+	es := l.Entries()
+	if len(es) != 2 || es[0].Client != 1 || es[1].Client != 2 {
+		t.Fatalf("entries = %v", es)
+	}
+	if l.String() == "" {
+		t.Fatal("empty ledger report")
+	}
+}
+
+func TestMessageValidate(t *testing.T) {
+	bad := []Message{
+		{Type: MsgAnnounce},
+		{Type: MsgBids},
+		{Type: MsgAward},
+		{Type: MsgRound},
+		{Type: MsgUpdate},
+		{Type: MsgPayment},
+		{Type: "bogus"},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("message %d must fail validation", i)
+		}
+	}
+	ok := Message{Type: MsgBids, Bids: []core.Bid{}}
+	if err := ok.Validate(); err == nil {
+		// Bids:nil fails; empty non-nil slice passes.
+		t.Log("empty bids accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+func TestListenBadAddress(t *testing.T) {
+	if _, _, err := Listen("256.0.0.1:99999", 1, func(Conn) {}); err == nil {
+		t.Fatal("bad listen address must fail")
+	}
+}
+
+func TestTCPConnRejectsInvalidMessages(t *testing.T) {
+	accepted := make(chan Conn, 1)
+	addr, stop, err := Listen("127.0.0.1:0", 1, func(c Conn) { accepted <- c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	serverSide := <-accepted
+	defer serverSide.Close()
+	if err := client.Send(Message{Type: MsgRound}); err == nil {
+		t.Fatal("invalid message must be rejected before transmission")
+	}
+	// Valid round trip still works on the same conn.
+	if err := client.Send(Message{Type: MsgBye}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := serverSide.Recv(time.Second)
+	if err != nil || got.Type != MsgBye {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+	// Timeout semantics over TCP.
+	if _, err := serverSide.Recv(100 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+// TestLargeSessionSoak runs a 50-agent in-memory session end to end —
+// a smoke test for goroutine/channel pressure at a more realistic scale.
+func TestLargeSessionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := stats.NewRNG(606)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 2000, Dim: 4})
+	shards := fl.PartitionIID(rng, ds, 50)
+	job := Job{Name: "soak", T: 10, K: 6, TMax: 60, Dim: 4}
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 5 * time.Second})
+	serverConns := make(map[int]Conn, 50)
+	reports := make([]AgentReport, 50)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		sc, ac := Pipe(64)
+		serverConns[i] = sc
+		theta := rng.FloatRange(0.4, 0.7)
+		start := rng.IntRange(1, 3)
+		end := rng.IntRange(job.T-2, job.T)
+		a := &Agent{
+			ID: i,
+			Bids: []core.Bid{{
+				Price: rng.FloatRange(10, 50), Theta: theta,
+				Start: start, End: end, Rounds: rng.IntRange(2, end-start),
+				CompTime: rng.FloatRange(5, 10), CommTime: rng.FloatRange(10, 15),
+			}},
+			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: theta, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: 20 * time.Second,
+		}
+		wg.Add(1)
+		go func(i int, a *Agent, c Conn) {
+			defer wg.Done()
+			r, err := a.Run(c)
+			if err != nil {
+				t.Errorf("agent %d: %v", i, err)
+			}
+			reports[i] = r
+		}(i, a, ac)
+	}
+	report, err := server.RunSession(serverConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range serverConns {
+		c.Close()
+	}
+	wg.Wait()
+	if !report.Auction.Feasible {
+		t.Fatal("soak auction infeasible")
+	}
+	if report.ClientsBid != 50 {
+		t.Fatalf("ClientsBid = %d", report.ClientsBid)
+	}
+	for _, rr := range report.Rounds {
+		if len(rr.Responded) < job.K {
+			t.Fatalf("round %d under-covered: %d < K", rr.Iteration, len(rr.Responded))
+		}
+	}
+	paid := 0.0
+	for _, r := range reports {
+		paid += r.Paid
+	}
+	if paid != report.Ledger.Total() {
+		t.Fatalf("agent-side %v vs ledger %v", paid, report.Ledger.Total())
+	}
+}

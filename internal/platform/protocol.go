@@ -1,0 +1,156 @@
+// Package platform implements the distributed system of Fig. 1 of the
+// paper: a cloud auctioneer server and mobile client agents exchanging
+// messages over pluggable transports (in-process channels for simulation,
+// newline-delimited JSON over TCP for real sockets).
+//
+// A session proceeds through the paper's phases:
+//
+//  1. the server announces the FL job (T, K, t_max);
+//  2. clients submit sealed bids;
+//  3. the server runs the A_FL auction and notifies winners of their
+//     schedules and losers of rejection;
+//  4. training rounds run: the server pushes the global model to the
+//     clients scheduled in each global iteration, clients train locally to
+//     their promised θ and return updates, the server aggregates (FedAvg);
+//  5. settlement: winners that honored their schedule are paid their
+//     critical-value remuneration, recorded in a Ledger; clients that
+//     dropped out forfeit payment, matching the enforcement that backs the
+//     paper's truthfulness argument for θ/window/round misreports.
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// MsgType tags protocol messages.
+type MsgType string
+
+// Protocol message types, in session order.
+const (
+	MsgAnnounce MsgType = "announce"
+	MsgBids     MsgType = "bids"
+	MsgAward    MsgType = "award"
+	MsgRound    MsgType = "round"
+	MsgUpdate   MsgType = "update"
+	MsgPayment  MsgType = "payment"
+	MsgBye      MsgType = "bye"
+)
+
+// Job is the FL job announcement.
+type Job struct {
+	Name string  `json:"name"`
+	T    int     `json:"t"`
+	K    int     `json:"k"`
+	TMax float64 `json:"t_max"`
+	Dim  int     `json:"dim"`
+}
+
+// Award tells a client the auction outcome for its bids.
+type Award struct {
+	Won bool `json:"won"`
+	// BidIndex is the client-local index j of the accepted bid.
+	BidIndex int `json:"bid_index"`
+	// Slots lists the global iterations the client must participate in.
+	Slots []int `json:"slots,omitempty"`
+	// Payment is the critical-value remuneration, paid after the client
+	// honors its schedule.
+	Payment float64 `json:"payment"`
+	Tg      int     `json:"tg"`
+}
+
+// Round asks a client to produce a local update for one global iteration.
+type Round struct {
+	Iteration int       `json:"iteration"`
+	Weights   []float64 `json:"weights"`
+}
+
+// Update is a client's local training result.
+type Update struct {
+	Iteration  int       `json:"iteration"`
+	Weights    []float64 `json:"weights"`
+	Samples    int       `json:"samples"`
+	LocalIters int       `json:"local_iters"`
+	// AchievedTheta is the relative gradient-norm reduction the client
+	// actually reached this round. The server audits it against the θ
+	// the winning bid promised and refuses payment on violations —
+	// the enforcement behind the paper's truthfulness-in-θ argument.
+	AchievedTheta float64 `json:"achieved_theta"`
+}
+
+// Payment settles a client's remuneration at session end.
+type Payment struct {
+	Amount float64 `json:"amount"`
+	// Reason explains zero payments ("dropped out", "lost auction").
+	Reason string `json:"reason,omitempty"`
+}
+
+// Message is the protocol envelope. Exactly one payload field matching
+// Type is set.
+type Message struct {
+	Type     MsgType    `json:"type"`
+	ClientID int        `json:"client_id,omitempty"`
+	Job      *Job       `json:"job,omitempty"`
+	Bids     []core.Bid `json:"bids,omitempty"`
+	Award    *Award     `json:"award,omitempty"`
+	Round    *Round     `json:"round,omitempty"`
+	Update   *Update    `json:"update,omitempty"`
+	Payment  *Payment   `json:"payment,omitempty"`
+}
+
+// Validate checks that the envelope carries the payload its type claims.
+func (m Message) Validate() error {
+	switch m.Type {
+	case MsgAnnounce:
+		if m.Job == nil {
+			return fmt.Errorf("platform: %s without job", m.Type)
+		}
+	case MsgBids:
+		if m.Bids == nil {
+			return fmt.Errorf("platform: %s without bids", m.Type)
+		}
+	case MsgAward:
+		if m.Award == nil {
+			return fmt.Errorf("platform: %s without award", m.Type)
+		}
+	case MsgRound:
+		if m.Round == nil {
+			return fmt.Errorf("platform: %s without round", m.Type)
+		}
+	case MsgUpdate:
+		if m.Update == nil {
+			return fmt.Errorf("platform: %s without update", m.Type)
+		}
+	case MsgPayment:
+		if m.Payment == nil {
+			return fmt.Errorf("platform: %s without payment", m.Type)
+		}
+	case MsgBye:
+	default:
+		return fmt.Errorf("platform: unknown message type %q", m.Type)
+	}
+	return nil
+}
+
+// encode marshals the message as one JSON line.
+func (m Message) encode() ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("platform: encode %s: %w", m.Type, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeMessage parses one JSON line.
+func decodeMessage(line []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("platform: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,305 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/fl"
+)
+
+// ServerConfig configures an auctioneer session.
+type ServerConfig struct {
+	// Job is announced to every connected client.
+	Job Job
+	// Auction parameterizes A_FL. Job.T/K/TMax take precedence when set.
+	Auction core.Config
+	// L2 is the ridge penalty of the global objective.
+	L2 float64
+	// Eval is the server-side evaluation set for reporting loss/accuracy.
+	Eval fl.Dataset
+	// RecvTimeout bounds every per-client receive. Zero means 5s.
+	RecvTimeout time.Duration
+	// ThetaTolerance is the audit slack: a winner whose reported achieved
+	// accuracy exceeds its promised θ by more than this (additively) in
+	// any round forfeits payment. Zero means 0.05; negative disables the
+	// audit.
+	ThetaTolerance float64
+	// Transcript, when non-nil, receives one JSON line per protocol
+	// message the server sends or receives (payload bodies elided). Use
+	// ReadTranscript to parse it back.
+	Transcript io.Writer
+}
+
+func (c ServerConfig) thetaTolerance() float64 {
+	if c.ThetaTolerance == 0 {
+		return 0.05
+	}
+	return c.ThetaTolerance
+}
+
+func (c ServerConfig) recvTimeout() time.Duration {
+	if c.RecvTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.RecvTimeout
+}
+
+// RoundReport summarizes one global iteration of a session.
+type RoundReport struct {
+	Iteration int
+	Scheduled []int
+	Responded []int
+	Failed    []int
+	// Violations lists clients whose reported achieved accuracy broke
+	// their promised θ this round (their updates are still aggregated,
+	// but they forfeit payment at settlement).
+	Violations []int
+	GradNorm   float64
+	Loss       float64
+	Accuracy   float64
+}
+
+// SessionReport is the outcome of Server.RunSession.
+type SessionReport struct {
+	// Auction is the A_FL result over the received bids.
+	Auction core.Result
+	// Rounds reports every executed global iteration.
+	Rounds []RoundReport
+	// FinalWeights is the aggregated model after the last round.
+	FinalWeights []float64
+	// Ledger records all settlements.
+	Ledger *Ledger
+	// ClientsBid counts clients that submitted bids in time.
+	ClientsBid int
+}
+
+// Server is the cloud auctioneer of Fig. 1.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer returns a server for one session configuration.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{cfg: cfg}
+}
+
+// RunSession drives a full auction + training session over the given
+// client connections (client ID → connection). It always returns a report
+// (possibly partial) alongside any fatal error.
+func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
+	report := SessionReport{Ledger: &Ledger{}}
+	cfg := s.auctionConfig()
+	timeout := s.cfg.recvTimeout()
+
+	if tr := newTranscript(s.cfg.Transcript); tr != nil {
+		wrapped := make(map[int]Conn, len(conns))
+		for id, c := range conns {
+			wrapped[id] = recordedConn{Conn: c, id: id, tr: tr}
+		}
+		conns = wrapped
+	}
+
+	ids := make([]int, 0, len(conns))
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Phase 1: announce.
+	job := s.cfg.Job
+	for _, id := range ids {
+		if err := conns[id].Send(Message{Type: MsgAnnounce, Job: &job}); err != nil {
+			return report, fmt.Errorf("announce to client %d: %w", id, err)
+		}
+	}
+
+	// Phase 2: collect sealed bids. Silent or malformed clients are
+	// excluded, not fatal.
+	var bids []core.Bid
+	for _, id := range ids {
+		msg, err := recvType(conns[id], MsgBids, timeout)
+		if err != nil {
+			continue
+		}
+		for j, b := range msg.Bids {
+			b.Client = id // the transport endpoint is authoritative
+			b.Index = j
+			if err := b.Validate(cfg.T); err != nil {
+				continue
+			}
+			bids = append(bids, b)
+		}
+		report.ClientsBid++
+	}
+
+	// Phase 3: run A_FL.
+	if len(bids) > 0 {
+		res, err := core.RunAuction(bids, cfg)
+		if err != nil {
+			return report, fmt.Errorf("auction: %w", err)
+		}
+		report.Auction = res
+	}
+	winners := make(map[int]core.Winner)
+	for _, w := range report.Auction.Winners {
+		winners[w.Bid.Client] = w
+	}
+	for _, id := range ids {
+		award := &Award{Won: false, Tg: report.Auction.Tg}
+		if w, ok := winners[id]; ok {
+			award = &Award{Won: true, BidIndex: w.Bid.Index, Slots: w.Slots, Payment: w.Payment, Tg: report.Auction.Tg}
+		}
+		_ = conns[id].Send(Message{Type: MsgAward, Award: award})
+	}
+	if !report.Auction.Feasible {
+		s.settle(conns, ids, winners, nil, &report)
+		return report, nil
+	}
+
+	// Phase 4: training rounds.
+	schedule := make([][]int, report.Auction.Tg)
+	for id, w := range winners {
+		for _, t := range w.Slots {
+			schedule[t-1] = append(schedule[t-1], id)
+		}
+	}
+	weights := make([]float64, s.cfg.Job.Dim)
+	failed := make(map[int]string) // client → forfeiture reason
+	tol := s.cfg.thetaTolerance()
+	for t := 1; t <= report.Auction.Tg; t++ {
+		rr := RoundReport{Iteration: t}
+		scheduled := schedule[t-1]
+		sort.Ints(scheduled)
+		rr.Scheduled = scheduled
+		for _, id := range scheduled {
+			if failed[id] == "dropped out" {
+				rr.Failed = append(rr.Failed, id)
+				continue
+			}
+			_ = conns[id].Send(Message{Type: MsgRound, Round: &Round{Iteration: t, Weights: weights}})
+		}
+		sumW := make([]float64, len(weights))
+		var total float64
+		for _, id := range scheduled {
+			if failed[id] == "dropped out" {
+				continue
+			}
+			msg, err := recvUpdate(conns[id], t, timeout)
+			if err != nil {
+				failed[id] = "dropped out"
+				rr.Failed = append(rr.Failed, id)
+				continue
+			}
+			rr.Responded = append(rr.Responded, id)
+			// Audit the achieved local accuracy against the promise.
+			if tol >= 0 && msg.Update.AchievedTheta > winners[id].Bid.Theta+tol {
+				if failed[id] == "" {
+					failed[id] = "accuracy violated"
+				}
+				rr.Violations = append(rr.Violations, id)
+			}
+			n := float64(msg.Update.Samples)
+			if n <= 0 {
+				n = 1
+			}
+			for j := range sumW {
+				sumW[j] += n * msg.Update.Weights[j]
+			}
+			total += n
+		}
+		if total > 0 {
+			for j := range weights {
+				weights[j] = sumW[j] / total
+			}
+		}
+		if s.cfg.Eval.Len() > 0 {
+			rr.GradNorm = fl.Norm(fl.Grad(weights, s.cfg.Eval, s.cfg.L2))
+			rr.Loss = fl.Loss(weights, s.cfg.Eval, s.cfg.L2)
+			rr.Accuracy = fl.Accuracy(weights, s.cfg.Eval)
+		}
+		report.Rounds = append(report.Rounds, rr)
+	}
+	report.FinalWeights = weights
+
+	// Phase 5: settlement.
+	s.settle(conns, ids, winners, failed, &report)
+	return report, nil
+}
+
+// settle pays reliable winners, refuses dropouts and accuracy violators,
+// notifies losers, and says goodbye.
+func (s *Server) settle(conns map[int]Conn, ids []int, winners map[int]core.Winner, failed map[int]string, report *SessionReport) {
+	for _, id := range ids {
+		var pay Payment
+		switch {
+		case !report.Auction.Feasible:
+			pay = Payment{Amount: 0, Reason: "auction infeasible"}
+		case failed[id] != "":
+			pay = Payment{Amount: 0, Reason: failed[id]}
+			report.Ledger.Record(id, 0, failed[id])
+		default:
+			if w, ok := winners[id]; ok {
+				pay = Payment{Amount: w.Payment}
+				report.Ledger.Record(id, w.Payment, "schedule honored")
+			} else {
+				pay = Payment{Amount: 0, Reason: "lost auction"}
+			}
+		}
+		_ = conns[id].Send(Message{Type: MsgPayment, Payment: &pay})
+		_ = conns[id].Send(Message{Type: MsgBye})
+	}
+}
+
+func (s *Server) auctionConfig() core.Config {
+	cfg := s.cfg.Auction
+	if s.cfg.Job.T > 0 {
+		cfg.T = s.cfg.Job.T
+	}
+	if s.cfg.Job.K > 0 {
+		cfg.K = s.cfg.Job.K
+	}
+	if s.cfg.Job.TMax > 0 {
+		cfg.TMax = s.cfg.Job.TMax
+	}
+	return cfg
+}
+
+// recvType reads until a message of the wanted type arrives (discarding
+// stale messages) or the timeout budget is spent.
+func recvType(c Conn, want MsgType, timeout time.Duration) (Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, ErrTimeout
+		}
+		msg, err := c.Recv(remain)
+		if err != nil {
+			return Message{}, err
+		}
+		if msg.Type == want {
+			return msg, nil
+		}
+	}
+}
+
+// recvUpdate reads until an update for the given iteration arrives.
+func recvUpdate(c Conn, iteration int, timeout time.Duration) (Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, ErrTimeout
+		}
+		msg, err := c.Recv(remain)
+		if err != nil {
+			return Message{}, err
+		}
+		if msg.Type == MsgUpdate && msg.Update.Iteration == iteration {
+			return msg, nil
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package platform
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TranscriptEntry is one line of a session transcript: a compact record
+// of a protocol message (payload bodies like model weights are elided;
+// the transcript captures the conversation, not the tensors).
+type TranscriptEntry struct {
+	// Dir is "send" (server → client) or "recv" (client → server).
+	Dir    string  `json:"dir"`
+	Client int     `json:"client"`
+	Type   MsgType `json:"type"`
+	// Iteration is set for round/update messages.
+	Iteration int `json:"iteration,omitempty"`
+	// Bids is the bid count of a bids message.
+	Bids int `json:"bids,omitempty"`
+	// Amount is the payment of a payment message, or the award payment.
+	Amount float64 `json:"amount,omitempty"`
+	// Won is set on award messages.
+	Won bool `json:"won,omitempty"`
+}
+
+// transcript serializes entries as JSON lines, safely across goroutines.
+type transcript struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newTranscript(w io.Writer) *transcript {
+	if w == nil {
+		return nil
+	}
+	return &transcript{enc: json.NewEncoder(w)}
+}
+
+// log records one message. A nil transcript is a no-op, so call sites
+// stay unconditional.
+func (t *transcript) log(dir string, client int, m Message) {
+	if t == nil {
+		return
+	}
+	e := TranscriptEntry{Dir: dir, Client: client, Type: m.Type}
+	switch {
+	case m.Round != nil:
+		e.Iteration = m.Round.Iteration
+	case m.Update != nil:
+		e.Iteration = m.Update.Iteration
+	case m.Bids != nil:
+		e.Bids = len(m.Bids)
+	case m.Payment != nil:
+		e.Amount = m.Payment.Amount
+	case m.Award != nil:
+		e.Won = m.Award.Won
+		e.Amount = m.Award.Payment
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(e)
+}
+
+// recordedConn wraps a Conn so every message crossing it lands in the
+// transcript.
+type recordedConn struct {
+	Conn
+	id int
+	tr *transcript
+}
+
+// Send implements Conn.
+func (c recordedConn) Send(m Message) error {
+	err := c.Conn.Send(m)
+	if err == nil {
+		c.tr.log("send", c.id, m)
+	}
+	return err
+}
+
+// Recv implements Conn.
+func (c recordedConn) Recv(timeout time.Duration) (Message, error) {
+	m, err := c.Conn.Recv(timeout)
+	if err == nil {
+		c.tr.log("recv", c.id, m)
+	}
+	return m, err
+}
+
+// ReadTranscript parses a JSONL transcript back into entries.
+func ReadTranscript(r io.Reader) ([]TranscriptEntry, error) {
+	dec := json.NewDecoder(r)
+	var out []TranscriptEntry
+	for {
+		var e TranscriptEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSessionTranscript(t *testing.T) {
+	var buf syncBuffer
+	server, serverConns, agents, agentConns := testSession(t, nil)
+	server.cfg.Transcript = &buf
+	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	if !report.Auction.Feasible {
+		t.Fatal("auction infeasible")
+	}
+	entries, err := ReadTranscript(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty transcript")
+	}
+	// Protocol ordering per client: announce → bids → award → … → payment → bye.
+	perClient := map[int][]TranscriptEntry{}
+	for _, e := range entries {
+		perClient[e.Client] = append(perClient[e.Client], e)
+	}
+	if len(perClient) != 8 {
+		t.Fatalf("transcript covers %d clients, want 8", len(perClient))
+	}
+	for id, es := range perClient {
+		if es[0].Type != MsgAnnounce || es[0].Dir != "send" {
+			t.Fatalf("client %d: first entry %+v, want announce", id, es[0])
+		}
+		if es[1].Type != MsgBids || es[1].Dir != "recv" || es[1].Bids != 1 {
+			t.Fatalf("client %d: second entry %+v, want bids(1)", id, es[1])
+		}
+		if es[2].Type != MsgAward {
+			t.Fatalf("client %d: third entry %+v, want award", id, es[2])
+		}
+		last := es[len(es)-1]
+		if last.Type != MsgBye {
+			t.Fatalf("client %d: last entry %+v, want bye", id, last)
+		}
+		if es[len(es)-2].Type != MsgPayment {
+			t.Fatalf("client %d: penultimate entry %+v, want payment", id, es[len(es)-2])
+		}
+		// Round/update pairs carry iterations.
+		for _, e := range es {
+			if (e.Type == MsgRound || e.Type == MsgUpdate) && e.Iteration < 1 {
+				t.Fatalf("client %d: %s without iteration", id, e.Type)
+			}
+		}
+	}
+	// Winners' award entries carry the payment amount.
+	sawPaidAward := false
+	for _, e := range entries {
+		if e.Type == MsgAward && e.Won && e.Amount > 0 {
+			sawPaidAward = true
+		}
+	}
+	if !sawPaidAward {
+		t.Fatal("no winning award recorded")
+	}
+}
+
+func TestReadTranscriptErrors(t *testing.T) {
+	if _, err := ReadTranscript(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("malformed transcript must error")
+	}
+	got, err := ReadTranscript(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty transcript: %v, %v", got, err)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the transcript writer.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}

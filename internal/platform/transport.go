@@ -1,0 +1,174 @@
+package platform
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a bidirectional, message-oriented connection between the server
+// and one client agent.
+type Conn interface {
+	// Send delivers a message to the peer.
+	Send(Message) error
+	// Recv blocks for the next message, up to the timeout. A timeout
+	// returns ErrTimeout.
+	Recv(timeout time.Duration) (Message, error)
+	// Close releases the connection; pending and future calls fail.
+	Close() error
+}
+
+// ErrTimeout reports that Recv hit its deadline.
+var ErrTimeout = errors.New("platform: receive timeout")
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("platform: connection closed")
+
+// memConn is one endpoint of an in-process connection pair.
+type memConn struct {
+	in   chan Message
+	out  chan Message
+	done chan struct{}
+	once sync.Once
+}
+
+// Pipe returns the two endpoints of an in-process connection with the
+// given buffer capacity per direction.
+func Pipe(buffer int) (Conn, Conn) {
+	if buffer < 1 {
+		buffer = 16
+	}
+	ab := make(chan Message, buffer)
+	ba := make(chan Message, buffer)
+	done := make(chan struct{})
+	a := &memConn{in: ba, out: ab, done: done}
+	b := &memConn{in: ab, out: ba, done: done}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *memConn) Send(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// Check closure first: with buffer space free, a bare select could
+	// pick the send case even after Close.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case c.out <- m:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *memConn) Recv(timeout time.Duration) (Message, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	case m := <-c.in:
+		return m, nil
+	case <-timer.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+// Close implements Conn. Closing either endpoint closes the pair.
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// tcpConn adapts a net.Conn with a newline-delimited JSON codec.
+type tcpConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn in the platform codec.
+func NewTCPConn(conn net.Conn) Conn {
+	return &tcpConn{conn: conn, r: bufio.NewReaderSize(conn, 1<<20)}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := m.encode()
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(b); err != nil {
+		return fmt.Errorf("platform: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv(timeout time.Duration) (Message, error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Message{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return Message{}, ErrTimeout
+		}
+		return Message{}, fmt.Errorf("platform: recv: %w", err)
+	}
+	return decodeMessage(line)
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.conn.Close() }
+
+// Listen accepts n platform connections on the given TCP address, calling
+// accepted for each as it arrives. It returns the bound address
+// immediately; the accept loop runs until n connections arrived or the
+// listener is closed via the returned stop function.
+func Listen(addr string, n int, accepted func(Conn)) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("platform: listen: %w", err)
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted(NewTCPConn(conn))
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close() }, nil
+}
+
+// Dial connects a client agent to a platform server.
+func Dial(addr string, timeout time.Duration) (Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("platform: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(conn), nil
+}

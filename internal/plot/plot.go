@@ -1,0 +1,211 @@
+// Package plot renders experiment results as ASCII line charts and CSV
+// files. The paper's figures were produced with MATLAB; this repository
+// emits every figure as a CSV series (for external plotting) plus a
+// terminal rendering good enough to read the shape — who wins, by how
+// much, and where crossovers fall.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a renderable multi-series line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// markers distinguish series in the grid; series beyond the set reuse the
+// last marker.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart on a width×height character grid with axes and a
+// legend. Degenerate charts (no finite points) render a note instead.
+func (c Chart) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			finite++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if finite == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := markers[min(si, len(markers)-1)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+	yHi := formatTick(maxY)
+	yLo := formatTick(minY)
+	pad := max(len(yHi), len(yLo))
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[min(si, len(markers)-1)], s.Name)
+	}
+	return sb.String()
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000 || (math.Abs(v) < 0.01 && v != 0):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// CSV renders the chart's series as CSV rows: the first column is x, one
+// column per series (aligned on the union of x values; missing cells stay
+// empty).
+func (c Chart) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	var sb strings.Builder
+	sb.WriteString(csvEscape(firstNonEmpty(c.XLabel, "x")))
+	for _, s := range c.Series {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(s.Name))
+	}
+	sb.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range c.Series {
+			sb.WriteByte(',')
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&sb, "%g", p.Y)
+					break
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// Table renders rows with aligned columns for terminal reports.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

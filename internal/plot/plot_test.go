@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "cost",
+		Series: []Series{
+			{Name: "A", Points: []Point{{1, 1}, {2, 2}, {3, 3}}},
+			{Name: "B", Points: []Point{{1, 3}, {2, 2}, {3, 1}}},
+		},
+	}
+	out := c.Render(40, 10)
+	for _, want := range []string{"demo", "*", "o", "A", "B", "x: n   y: cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	if out := (Chart{Title: "empty"}).Render(40, 10); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+	c := Chart{Series: []Series{{Name: "nan", Points: []Point{{math.NaN(), 1}, {1, math.Inf(1)}}}}}
+	if out := c.Render(40, 10); !strings.Contains(out, "(no data)") {
+		t.Fatalf("non-finite-only chart rendered %q", out)
+	}
+	// A single point must not divide by zero.
+	c2 := Chart{Series: []Series{{Name: "pt", Points: []Point{{5, 7}}}}}
+	if out := c2.Render(40, 10); !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	// Tiny requested sizes are clamped.
+	if out := c2.Render(1, 1); out == "" {
+		t.Fatal("clamped render empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	c := Chart{
+		XLabel: "I",
+		Series: []Series{
+			{Name: "A_FL", Points: []Point{{100, 1.5}, {200, 2.5}}},
+			{Name: "FCFS", Points: []Point{{200, 5}, {300, 6}}},
+		},
+	}
+	got := c.CSV()
+	want := "I,A_FL,FCFS\n100,1.5,\n200,2.5,5\n300,,6\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	// Escaping.
+	c2 := Chart{Series: []Series{{Name: `a,"b"`, Points: []Point{{1, 2}}}}}
+	if !strings.Contains(c2.CSV(), `"a,""b"""`) {
+		t.Fatalf("CSV escaping wrong: %q", c2.CSV())
+	}
+	// Default x label.
+	if !strings.HasPrefix((Chart{}).CSV(), "x") {
+		t.Fatal("default x header missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"algo", "cost"}, [][]string{
+		{"A_FL", "417.9"},
+		{"FCFS", "1694.0"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "algo") || !strings.Contains(lines[0], "cost") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+}

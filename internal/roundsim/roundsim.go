@@ -1,0 +1,130 @@
+// Package roundsim simulates the wall-clock execution of an auctioned
+// schedule under synchronous FedAvg: in every global iteration the server
+// waits for the slowest scheduled participant, whose round time is
+//
+//	t_ij = T_l(θ_ij)·t_i^cmp + t_i^com           (the paper's Eq. (2) time)
+//
+// perturbed by multiplicative jitter (hardware variation, the paper's
+// §VIII caveat). Participants that exceed the per-iteration budget t_max
+// are cut off as stragglers; an iteration that retains fewer than K
+// on-time participants fails.
+//
+// The simulator quantifies what constraint (6d) buys: with the constraint
+// enforced at auction time, even jittered rounds rarely exceed t_max;
+// with it disabled, makespan and failure rates degrade.
+package roundsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Jitter is the standard deviation of the multiplicative lognormal
+	// noise applied to each participant's round time (0 = deterministic).
+	Jitter float64
+	// TMax is the per-iteration cutoff; participants slower than this are
+	// dropped from the round. Zero disables the cutoff.
+	TMax float64
+	// LocalIters maps θ to local iterations. Nil selects the paper's
+	// simplified ⌊10(1−θ)⌋.
+	LocalIters core.LocalIterFunc
+	// Seed drives the jitter draws.
+	Seed int64
+}
+
+// RoundTiming reports one simulated global iteration.
+type RoundTiming struct {
+	Iteration int
+	// Duration is the wall-clock time of the round: the slowest on-time
+	// participant (or the cutoff when stragglers were dropped).
+	Duration float64
+	// OnTime and Stragglers partition the scheduled participants.
+	OnTime     int
+	Stragglers int
+	// Failed is set when fewer than K participants finished on time.
+	Failed bool
+}
+
+// Result aggregates a simulated schedule execution.
+type Result struct {
+	Rounds []RoundTiming
+	// Makespan is the total wall-clock time of the job.
+	Makespan float64
+	// FailedRounds counts iterations with fewer than K on-time updates.
+	FailedRounds int
+	// StragglerRate is the fraction of scheduled participations cut off.
+	StragglerRate float64
+}
+
+// String summarizes the execution.
+func (r Result) String() string {
+	return fmt.Sprintf("rounds=%d makespan=%.1f failed=%d stragglers=%.1f%%",
+		len(r.Rounds), r.Makespan, r.FailedRounds, 100*r.StragglerRate)
+}
+
+// Simulate executes an auction outcome under the timing model. The bids
+// slice must be the one the auction ran on (winners index into it).
+func Simulate(res core.Result, k int, opts Options) (Result, error) {
+	if !res.Feasible {
+		return Result{}, fmt.Errorf("roundsim: cannot simulate an infeasible auction result")
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("roundsim: K=%d must be ≥ 1", k)
+	}
+	localIters := opts.LocalIters
+	if localIters == nil {
+		localIters = core.PaperLocalIters
+	}
+	rng := stats.NewRNG(opts.Seed)
+	// Scheduled participants per iteration with their nominal times.
+	perRound := make([][]float64, res.Tg)
+	for _, w := range res.Winners {
+		nominal := w.Bid.PerRoundTime(localIters)
+		for _, t := range w.Slots {
+			if t >= 1 && t <= res.Tg {
+				perRound[t-1] = append(perRound[t-1], nominal)
+			}
+		}
+	}
+	out := Result{}
+	totalScheduled, totalStragglers := 0, 0
+	for t := 1; t <= res.Tg; t++ {
+		rt := RoundTiming{Iteration: t}
+		var slowest float64
+		for _, nominal := range perRound[t-1] {
+			totalScheduled++
+			actual := nominal
+			if opts.Jitter > 0 {
+				actual = nominal * math.Exp(rng.Gaussian(0, opts.Jitter))
+			}
+			if opts.TMax > 0 && actual > opts.TMax {
+				rt.Stragglers++
+				totalStragglers++
+				continue
+			}
+			rt.OnTime++
+			slowest = math.Max(slowest, actual)
+		}
+		rt.Duration = slowest
+		if opts.TMax > 0 && rt.Stragglers > 0 {
+			// The server waited until the cutoff before giving up on the
+			// stragglers.
+			rt.Duration = opts.TMax
+		}
+		if rt.OnTime < k {
+			rt.Failed = true
+			out.FailedRounds++
+		}
+		out.Makespan += rt.Duration
+		out.Rounds = append(out.Rounds, rt)
+	}
+	if totalScheduled > 0 {
+		out.StragglerRate = float64(totalStragglers) / float64(totalScheduled)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package stats provides the deterministic random-number, sampling, and
+// summary-statistics primitives shared by the workload generators, the
+// federated-learning simulator, and the experiment harness.
+//
+// All randomness in this repository flows through *stats.RNG so that every
+// experiment is reproducible from a single seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RNG is a seeded source of the random primitives used across the
+// repository. It wraps math/rand.Rand with the distributions the paper's
+// evaluation setup needs (uniform ranges, non-repeated draws, Gaussians).
+//
+// RNG is not safe for concurrent use; derive independent streams with Split.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed. Equal seeds yield identical
+// streams on all platforms.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent generator from the current stream. The
+// derived stream is a deterministic function of the parent's state, so a
+// fixed seed still reproduces the whole experiment tree.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// IntRange returns a uniform integer in the closed interval [lo, hi].
+func (g *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("stats: IntRange bounds inverted [%d, %d]", lo, hi))
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// FloatRange returns a uniform float64 in the half-open interval [lo, hi).
+func (g *RNG) FloatRange(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("stats: FloatRange bounds inverted [%g, %g]", lo, hi))
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// the closed interval [lo, hi], in ascending order. The paper's evaluation
+// setup uses this to carve 2J non-repeated draws into J availability
+// windows. It panics if the interval holds fewer than k integers.
+func (g *RNG) SampleWithoutReplacement(k, lo, hi int) []int {
+	n := hi - lo + 1
+	if k > n {
+		panic(fmt.Sprintf("stats: cannot draw %d distinct values from [%d, %d]", k, lo, hi))
+	}
+	// Floyd's algorithm: O(k) expected work, no O(n) scratch space.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := lo + g.r.Intn(j+1)
+		if _, dup := chosen[t]; dup {
+			t = lo + j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WeightedSampleWithoutReplacement draws k distinct indices from
+// [0, len(weights)) with probability proportional to the (non-negative)
+// weights, removing each chosen index from the pool. The result is
+// ascending. It panics when k exceeds the number of positive weights.
+func (g *RNG) WeightedSampleWithoutReplacement(k int, weights []float64) []int {
+	pool := make([]float64, len(weights))
+	var total float64
+	positive := 0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("stats: negative weight %g at %d", w, i))
+		}
+		pool[i] = w
+		total += w
+		if w > 0 {
+			positive++
+		}
+	}
+	if k > positive {
+		panic(fmt.Sprintf("stats: cannot draw %d distinct values from %d positive weights", k, positive))
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		target := g.r.Float64() * total
+		var acc float64
+		chosen := -1
+		for i, w := range pool {
+			if w == 0 {
+				continue
+			}
+			acc += w
+			if target < acc {
+				chosen = i
+				break
+			}
+		}
+		if chosen == -1 {
+			// Float accumulation landed past the end; take the last
+			// remaining positive weight.
+			for i := len(pool) - 1; i >= 0; i-- {
+				if pool[i] > 0 {
+					chosen = i
+					break
+				}
+			}
+		}
+		out = append(out, chosen)
+		total -= pool[chosen]
+		pool[chosen] = 0
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Exponential returns an exponential variate with the given rate λ.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("stats: Exponential rate must be positive, got %g", rate))
+	}
+	return -math.Log(1-g.r.Float64()) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }

@@ -1,0 +1,374 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("equal seeds must yield identical streams")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	s1 := parent.Split()
+	s2 := parent.Split()
+	if s1.Float64() == s2.Float64() && s1.Float64() == s2.Float64() {
+		t.Fatal("split streams look identical")
+	}
+	// Splitting is deterministic given the parent seed.
+	p2 := NewRNG(1)
+	r1 := p2.Split()
+	orig := NewRNG(1).Split()
+	for i := 0; i < 20; i++ {
+		if r1.Float64() != orig.Float64() {
+			t.Fatal("split streams not reproducible from parent seed")
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	rng := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if got := rng.IntRange(4, 4); got != 4 {
+		t.Fatalf("degenerate range = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range must panic")
+		}
+	}()
+	rng.IntRange(5, 4)
+}
+
+func TestFloatRange(t *testing.T) {
+	rng := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.FloatRange(1.5, 2.5)
+		if v < 1.5 || v >= 2.5 {
+			t.Fatalf("FloatRange(1.5,2.5) = %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range must panic")
+		}
+	}()
+	rng.FloatRange(2, 1)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		k := rng.IntRange(1, 10)
+		lo := rng.IntRange(0, 20)
+		hi := lo + rng.IntRange(k-1, k+20)
+		got := rng.SampleWithoutReplacement(k, lo, hi)
+		if len(got) != k {
+			t.Fatalf("len = %d, want %d", len(got), k)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("not sorted: %v", got)
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < lo || v > hi {
+				t.Fatalf("value %d outside [%d,%d]", v, lo, hi)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d in %v", v, got)
+			}
+			seen[v] = true
+		}
+	}
+	// Exhaustive draw returns the whole interval.
+	got := rng.SampleWithoutReplacement(5, 3, 7)
+	for i, want := range []int{3, 4, 5, 6, 7} {
+		if got[i] != want {
+			t.Fatalf("exhaustive draw = %v", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized draw must panic")
+		}
+	}()
+	rng.SampleWithoutReplacement(3, 1, 2)
+}
+
+func TestSampleWithoutReplacementUniformCoverage(t *testing.T) {
+	// Every value of a small interval should be hit over many draws.
+	rng := NewRNG(11)
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		for _, v := range rng.SampleWithoutReplacement(2, 0, 9) {
+			counts[v]++
+		}
+	}
+	for v := 0; v <= 9; v++ {
+		if counts[v] == 0 {
+			t.Fatalf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestExponentialAndBernoulli(t *testing.T) {
+	rng := NewRNG(13)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := rng.Exponential(2)
+		if x < 0 {
+			t.Fatalf("negative exponential %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exponential(2) mean = %v, want ≈ 0.5", mean)
+	}
+	heads := 0
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(0.3) {
+			heads++
+		}
+	}
+	if p := float64(heads) / n; math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive rate must panic")
+		}
+	}()
+	rng.Exponential(0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s.Stddev)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Fatal("empty sample must yield zero summary")
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("singleton percentile = %v", got)
+	}
+	// Percentile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+	for _, bad := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%v must panic", bad)
+				}
+			}()
+			Percentile(xs, bad)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample must panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Sum wrong")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {4, 25.0 / 12},
+	}
+	for _, tc := range tests {
+		if got := Harmonic(tc.n); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Harmonic(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	// H_n ≈ ln n + γ for large n.
+	if got := Harmonic(100000); math.Abs(got-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Fatalf("Harmonic(1e5) = %v", got)
+	}
+}
+
+// Property: percentile bounds and monotonicity on random samples.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p25 := Percentile(xs, 25)
+		p50 := Percentile(xs, 50)
+		p75 := Percentile(xs, 75)
+		s := Summarize(xs)
+		return p25 <= p50 && p50 <= p75 && s.Min <= p25 && p75 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize mean lies within [min, max].
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean) && s.Mean <= s.Max+1e-9*math.Abs(s.Max) && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	rng := NewRNG(17)
+	weights := []float64{0, 1, 5, 0, 2}
+	counts := map[int]int{}
+	for trial := 0; trial < 3000; trial++ {
+		got := rng.WeightedSampleWithoutReplacement(2, weights)
+		if len(got) != 2 || got[0] == got[1] || !sort.IntsAreSorted(got) {
+			t.Fatalf("bad sample %v", got)
+		}
+		for _, i := range got {
+			if weights[i] == 0 {
+				t.Fatalf("zero-weight index %d drawn", i)
+			}
+			counts[i]++
+		}
+	}
+	// Index 2 has the dominant weight; it must be drawn most often.
+	if counts[2] <= counts[1] || counts[2] <= counts[4] {
+		t.Fatalf("weighting ignored: %v", counts)
+	}
+	// Exhaustive draw over positive weights.
+	got := rng.WeightedSampleWithoutReplacement(3, weights)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("exhaustive draw = %v", got)
+	}
+	for _, bad := range []func(){
+		func() { rng.WeightedSampleWithoutReplacement(4, weights) },
+		func() { rng.WeightedSampleWithoutReplacement(1, []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestRNGMiscPrimitives(t *testing.T) {
+	rng := NewRNG(21)
+	if v := rng.Int63(); v < 0 {
+		t.Fatalf("Int63 negative: %d", v)
+	}
+	if v := rng.Intn(5); v < 0 || v >= 5 {
+		t.Fatalf("Intn out of range: %d", v)
+	}
+	g := rng.Gaussian(10, 0)
+	if g != 10 {
+		t.Fatalf("zero-σ Gaussian = %v", g)
+	}
+	perm := rng.Perm(6)
+	seen := map[int]bool{}
+	for _, v := range perm {
+		if v < 0 || v >= 6 || seen[v] {
+			t.Fatalf("bad permutation %v", perm)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+	var sumN float64
+	for i := 0; i < 10000; i++ {
+		sumN += rng.NormFloat64()
+	}
+	if m := sumN / 10000; m < -0.1 || m > 0.1 {
+		t.Fatalf("NormFloat64 mean %v", m)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float64 sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample yields
+// the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// String renders the summary in a compact single-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Stddev, s.Min, s.Median, s.Max)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It panics on an empty sample or an
+// out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of [0,100]", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Harmonic returns the n-th harmonic number H_n = sum_{t=1..n} 1/t, the
+// quantity the paper's approximation ratio H_{T̂_g}·ω is built from
+// (Lemma 5). Harmonic(0) is 0.
+func Harmonic(n int) float64 {
+	var h float64
+	for t := 1; t <= n; t++ {
+		h += 1 / float64(t)
+	}
+	return h
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// WriteBidsJSON writes a bid population as a JSON array.
+func WriteBidsJSON(w io.Writer, bids []core.Bid) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bids); err != nil {
+		return fmt.Errorf("workload: encode bids: %w", err)
+	}
+	return nil
+}
+
+// ReadBidsJSON reads a JSON array of bids.
+func ReadBidsJSON(r io.Reader) ([]core.Bid, error) {
+	var bids []core.Bid
+	if err := json.NewDecoder(r).Decode(&bids); err != nil {
+		return nil, fmt.Errorf("workload: decode bids: %w", err)
+	}
+	return bids, nil
+}
+
+// csvHeader is the canonical column order of the CSV bid format.
+var csvHeader = []string{
+	"client", "index", "price", "true_cost", "theta",
+	"start", "end", "rounds", "comp_time", "comm_time",
+}
+
+// WriteBidsCSV writes a bid population in the canonical CSV format
+// (header row plus one row per bid).
+func WriteBidsCSV(w io.Writer, bids []core.Bid) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("workload: write CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	for _, b := range bids {
+		row := []string{
+			d(b.Client), d(b.Index), f(b.Price), f(b.TrueCost), f(b.Theta),
+			d(b.Start), d(b.End), d(b.Rounds), f(b.CompTime), f(b.CommTime),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: write CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: flush CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadBidsCSV reads bids in the canonical CSV format. The header row is
+// validated so column drift fails loudly instead of silently misparsing.
+func ReadBidsCSV(r io.Reader) ([]core.Bid, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read CSV header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("workload: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var bids []core.Bid
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: read CSV line %d: %w", line, err)
+		}
+		b, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d: %w", line, err)
+		}
+		bids = append(bids, b)
+	}
+	return bids, nil
+}
+
+func parseCSVRow(row []string) (core.Bid, error) {
+	var b core.Bid
+	ints := []struct {
+		dst *int
+		col int
+	}{
+		{&b.Client, 0}, {&b.Index, 1}, {&b.Start, 5}, {&b.End, 6}, {&b.Rounds, 7},
+	}
+	for _, spec := range ints {
+		v, err := strconv.Atoi(row[spec.col])
+		if err != nil {
+			return core.Bid{}, fmt.Errorf("column %s: %w", csvHeader[spec.col], err)
+		}
+		*spec.dst = v
+	}
+	floats := []struct {
+		dst *float64
+		col int
+	}{
+		{&b.Price, 2}, {&b.TrueCost, 3}, {&b.Theta, 4}, {&b.CompTime, 8}, {&b.CommTime, 9},
+	}
+	for _, spec := range floats {
+		v, err := strconv.ParseFloat(row[spec.col], 64)
+		if err != nil {
+			return core.Bid{}, fmt.Errorf("column %s: %w", csvHeader[spec.col], err)
+		}
+		*spec.dst = v
+	}
+	return b, nil
+}

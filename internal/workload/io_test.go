@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+func samplePopulation(t *testing.T) []core.Bid {
+	t.Helper()
+	p := NewDefaultParams()
+	p.Clients = 25
+	bids, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bids
+}
+
+func TestBidsJSONRoundTrip(t *testing.T) {
+	bids := samplePopulation(t)
+	var buf bytes.Buffer
+	if err := WriteBidsJSON(&buf, bids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBidsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bids) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(bids))
+	}
+	for i := range bids {
+		if got[i] != bids[i] {
+			t.Fatalf("bid %d differs after JSON round trip", i)
+		}
+	}
+	if _, err := ReadBidsJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestBidsCSVRoundTrip(t *testing.T) {
+	bids := samplePopulation(t)
+	var buf bytes.Buffer
+	if err := WriteBidsCSV(&buf, bids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBidsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bids) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(bids))
+	}
+	for i := range bids {
+		if got[i] != bids[i] {
+			t.Fatalf("bid %d differs after CSV round trip:\n%+v\n%+v", i, got[i], bids[i])
+		}
+	}
+}
+
+func TestBidsCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f,g,h,i,j\n"},
+		{"short row", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n1,2,3\n"},
+		{"bad int", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\nX,0,1,1,0.5,1,2,1,5,10\n"},
+		{"bad float", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,X,1,0.5,1,2,1,5,10\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBidsCSV(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("expected parse error")
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Package workload generates bid populations following the evaluation
+// setup of §VII-A of the paper:
+//
+//   - I = 1000 clients, J = 5 bids each, T = 50, K = 20 by default;
+//   - t_i^cmp ~ U[5,10], t_i^com ~ U[10,15] per client;
+//   - local accuracy θ_ij ~ U[0.3, 0.8];
+//   - availability windows from 2J non-repeated draws in [1, T], sorted,
+//     paired into J disjoint periods;
+//   - participation rounds c_ij ~ U[1, d_ij − a_ij];
+//   - claimed cost b_ij ~ U[10, 50] (CostUniform) or proportional to the
+//     bid's computation + communication load (CostResource);
+//   - t_max = 60.
+//
+// All draws flow through a seeded stats.RNG, so populations are fully
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// CostModel selects how claimed costs are generated.
+type CostModel int
+
+const (
+	// CostUniform draws b_ij ~ U[CostLo, CostHi] as stated in §VII-A.
+	CostUniform CostModel = iota
+	// CostResource prices a bid proportionally to its resource usage:
+	// b_ij = (α·T_l(θ_ij)·t_i^cmp + β·t_i^com)·c_ij·(1+noise). It makes
+	// computation dominate bids with small θ (many local iterations) and
+	// communication dominate bids with many rounds — the structure the
+	// paper's Fig. 7 narrative relies on.
+	CostResource
+)
+
+// String names the cost model.
+func (m CostModel) String() string {
+	switch m {
+	case CostUniform:
+		return "uniform"
+	case CostResource:
+		return "resource"
+	default:
+		return "unknown"
+	}
+}
+
+// Params describes a bid population. NewDefaultParams matches §VII-A.
+type Params struct {
+	Clients     int     // I
+	BidsPerUser int     // J
+	T           int     // maximum global iterations
+	K           int     // participants per iteration
+	TMax        float64 // t_max
+
+	CompLo, CompHi float64 // t_i^cmp range
+	CommLo, CommHi float64 // t_i^com range
+	ThetaLo        float64 // local accuracy range
+	ThetaHi        float64
+	CostLo, CostHi float64 // claimed cost range (CostUniform)
+
+	CostModel CostModel
+	// Alpha and Beta weight computation and communication load in
+	// CostResource; Noise is the relative perturbation amplitude.
+	Alpha, Beta, Noise float64
+
+	// Diurnal biases availability windows toward the late portion of the
+	// horizon (phones idle and charging in the evening): window endpoints
+	// are drawn with weight 1 + DiurnalPeak·exp(−((t − ¾T)/(0.15T))²)
+	// instead of uniformly. Zero DiurnalPeak keeps the §VII-A uniform
+	// draws.
+	DiurnalPeak float64
+
+	Seed int64
+}
+
+// NewDefaultParams returns the §VII-A defaults.
+func NewDefaultParams() Params {
+	return Params{
+		Clients:     1000,
+		BidsPerUser: 5,
+		T:           50,
+		K:           20,
+		TMax:        60,
+		CompLo:      5, CompHi: 10,
+		CommLo: 10, CommHi: 15,
+		ThetaLo: 0.3, ThetaHi: 0.8,
+		CostLo: 10, CostHi: 50,
+		CostModel: CostUniform,
+		Alpha:     0.2, Beta: 0.25, Noise: 0.15,
+		Seed: 1,
+	}
+}
+
+// Config converts the population parameters into an auction configuration.
+func (p Params) Config() core.Config {
+	return core.Config{T: p.T, K: p.K, TMax: p.TMax}
+}
+
+// Validate checks the parameters for internal consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.Clients < 1:
+		return fmt.Errorf("workload: Clients=%d must be ≥ 1", p.Clients)
+	case p.BidsPerUser < 1:
+		return fmt.Errorf("workload: BidsPerUser=%d must be ≥ 1", p.BidsPerUser)
+	case p.T < 2:
+		return fmt.Errorf("workload: T=%d must be ≥ 2", p.T)
+	case 2*p.BidsPerUser > p.T:
+		return fmt.Errorf("workload: 2J=%d non-repeated draws cannot fit in [1,%d]", 2*p.BidsPerUser, p.T)
+	case p.K < 1:
+		return fmt.Errorf("workload: K=%d must be ≥ 1", p.K)
+	case p.ThetaLo <= 0 || p.ThetaHi >= 1 || p.ThetaLo > p.ThetaHi:
+		return fmt.Errorf("workload: θ range [%g,%g] must lie in (0,1)", p.ThetaLo, p.ThetaHi)
+	case p.CostLo <= 0 || p.CostLo > p.CostHi:
+		return fmt.Errorf("workload: cost range [%g,%g] invalid", p.CostLo, p.CostHi)
+	case p.CompLo < 0 || p.CompLo > p.CompHi:
+		return fmt.Errorf("workload: t_cmp range [%g,%g] invalid", p.CompLo, p.CompHi)
+	case p.CommLo < 0 || p.CommLo > p.CommHi:
+		return fmt.Errorf("workload: t_com range [%g,%g] invalid", p.CommLo, p.CommHi)
+	}
+	return nil
+}
+
+// Generate draws a bid population. The same Params (including Seed) always
+// produce the same population.
+func Generate(p Params) ([]core.Bid, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(p.Seed)
+	bids := make([]core.Bid, 0, p.Clients*p.BidsPerUser)
+	for c := 0; c < p.Clients; c++ {
+		bids = append(bids, generateClient(rng, p, c)...)
+	}
+	return bids, nil
+}
+
+// generateClient draws one client's J bids: disjoint windows from 2J
+// non-repeated numbers, per-client timing, per-bid accuracy/rounds/cost.
+func generateClient(rng *stats.RNG, p Params, client int) []core.Bid {
+	comp := rng.FloatRange(p.CompLo, p.CompHi)
+	comm := rng.FloatRange(p.CommLo, p.CommHi)
+	var marks []int
+	if p.DiurnalPeak > 0 {
+		weights := make([]float64, p.T)
+		center := 0.75 * float64(p.T)
+		width := 0.15 * float64(p.T)
+		for t := 1; t <= p.T; t++ {
+			d := (float64(t) - center) / width
+			weights[t-1] = 1 + p.DiurnalPeak*math.Exp(-d*d)
+		}
+		for _, i := range rng.WeightedSampleWithoutReplacement(2*p.BidsPerUser, weights) {
+			marks = append(marks, i+1)
+		}
+	} else {
+		marks = rng.SampleWithoutReplacement(2*p.BidsPerUser, 1, p.T)
+	}
+	bids := make([]core.Bid, 0, p.BidsPerUser)
+	for j := 0; j < p.BidsPerUser; j++ {
+		start, end := marks[2*j], marks[2*j+1]
+		// Rounds ~ U[1, d−a]; adjacent marks can touch (d−a of at least
+		// 1 is guaranteed because marks are distinct and sorted).
+		rounds := rng.IntRange(1, end-start)
+		theta := rng.FloatRange(p.ThetaLo, p.ThetaHi)
+		b := core.Bid{
+			Client:   client,
+			Index:    j,
+			Theta:    theta,
+			Start:    start,
+			End:      end,
+			Rounds:   rounds,
+			CompTime: comp,
+			CommTime: comm,
+		}
+		b.Price = price(rng, p, b)
+		b.TrueCost = b.Price
+		bids = append(bids, b)
+	}
+	return bids
+}
+
+func price(rng *stats.RNG, p Params, b core.Bid) float64 {
+	switch p.CostModel {
+	case CostResource:
+		load := p.Alpha*core.PaperLocalIters(b.Theta)*b.CompTime + p.Beta*b.CommTime
+		v := load * float64(b.Rounds) * (1 + p.Noise*(2*rng.Float64()-1))
+		if v < p.CostLo {
+			v = p.CostLo
+		}
+		return v
+	default:
+		return rng.FloatRange(p.CostLo, p.CostHi)
+	}
+}

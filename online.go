@@ -1,0 +1,24 @@
+package afl
+
+import "github.com/fedauction/afl/internal/online"
+
+// Posted-price online procurement (the paper's comparison mechanism [17],
+// incentives intact: clients face prices they cannot influence, so
+// truthful reporting is dominant; coverage is best-effort rather than
+// guaranteed).
+type (
+	// OnlineConfig parameterizes RunOnline.
+	OnlineConfig = online.Config
+	// OnlineResult reports an online run.
+	OnlineResult = online.Result
+)
+
+// RunOnline executes the posted-price mechanism over the bids in the
+// given arrival order (indices into bids).
+func RunOnline(bids []Bid, arrival []int, cfg OnlineConfig) (OnlineResult, error) {
+	return online.Run(bids, arrival, cfg)
+}
+
+// ArrivalByStart orders bid indices by availability-window start, the
+// natural arrival model for scheduling windows.
+func ArrivalByStart(bids []Bid) []int { return online.ArrivalByStart(bids) }

@@ -1,0 +1,47 @@
+package afl
+
+import (
+	"time"
+
+	"github.com/fedauction/afl/internal/platform"
+)
+
+// Networked marketplace types (Fig. 1 of the paper): an auctioneer server
+// and client agents exchanging announce/bid/award/round/payment messages
+// over in-memory or TCP transports.
+type (
+	// Server is the cloud auctioneer.
+	Server = platform.Server
+	// ServerConfig configures a session.
+	ServerConfig = platform.ServerConfig
+	// SessionReport is the server's view of a completed session.
+	SessionReport = platform.SessionReport
+	// Agent is a mobile client: bids, trains when scheduled, gets paid.
+	Agent = platform.Agent
+	// AgentBehavior injects faults (silence, dropouts) for experiments.
+	AgentBehavior = platform.AgentBehavior
+	// AgentReport is the agent's view of a completed session.
+	AgentReport = platform.AgentReport
+	// Conn is a message-oriented connection between server and agent.
+	Conn = platform.Conn
+	// Job is the FL job announcement.
+	Job = platform.Job
+	// Ledger records settlement decisions.
+	Ledger = platform.Ledger
+)
+
+// NewServer returns an auctioneer for one session configuration.
+func NewServer(cfg ServerConfig) *Server { return platform.NewServer(cfg) }
+
+// Pipe returns the two endpoints of an in-process connection.
+func Pipe(buffer int) (Conn, Conn) { return platform.Pipe(buffer) }
+
+// Listen accepts n marketplace connections on a TCP address.
+func Listen(addr string, n int, accepted func(Conn)) (string, func(), error) {
+	return platform.Listen(addr, n, accepted)
+}
+
+// Dial connects an agent to a marketplace server over TCP.
+func Dial(addr string, timeout time.Duration) (Conn, error) {
+	return platform.Dial(addr, timeout)
+}

@@ -1,0 +1,22 @@
+package afl
+
+import "github.com/fedauction/afl/internal/roundsim"
+
+// Wall-clock round simulation (synchronous FedAvg timing, stragglers,
+// t_max cutoffs — the execution-time counterpart of constraint (6d)).
+type (
+	// RoundSimOptions configures SimulateRounds.
+	RoundSimOptions = roundsim.Options
+	// RoundSimResult aggregates a simulated schedule execution.
+	RoundSimResult = roundsim.Result
+	// RoundTiming reports one simulated global iteration.
+	RoundTiming = roundsim.RoundTiming
+)
+
+// SimulateRounds executes an auction outcome under the timing model:
+// per-round duration is the slowest on-time participant, participants
+// exceeding the cutoff are dropped as stragglers, and rounds retaining
+// fewer than k on-time participants fail.
+func SimulateRounds(res Result, k int, opts RoundSimOptions) (RoundSimResult, error) {
+	return roundsim.Simulate(res, k, opts)
+}

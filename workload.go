@@ -1,0 +1,42 @@
+package afl
+
+import (
+	"io"
+
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// Workload generation (the paper's §VII-A evaluation setup).
+type (
+	// WorkloadParams describes a synthetic bid population.
+	WorkloadParams = workload.Params
+	// CostModel selects uniform or resource-proportional claimed costs.
+	CostModel = workload.CostModel
+)
+
+// Cost models.
+const (
+	// CostUniform draws claimed costs uniformly (paper text).
+	CostUniform = workload.CostUniform
+	// CostResource prices bids by their computation/communication load.
+	CostResource = workload.CostResource
+)
+
+// DefaultWorkloadParams returns the paper's defaults: I=1000 clients, J=5
+// bids each, T=50, K=20, t_max=60, cost U[10,50], θ U[0.3,0.8].
+func DefaultWorkloadParams() WorkloadParams { return workload.NewDefaultParams() }
+
+// GenerateWorkload draws a reproducible bid population.
+func GenerateWorkload(p WorkloadParams) ([]Bid, error) { return workload.Generate(p) }
+
+// WriteBidsJSON writes a bid population as a JSON array.
+func WriteBidsJSON(w io.Writer, bids []Bid) error { return workload.WriteBidsJSON(w, bids) }
+
+// ReadBidsJSON reads a JSON array of bids.
+func ReadBidsJSON(r io.Reader) ([]Bid, error) { return workload.ReadBidsJSON(r) }
+
+// WriteBidsCSV writes a bid population in the canonical CSV format.
+func WriteBidsCSV(w io.Writer, bids []Bid) error { return workload.WriteBidsCSV(w, bids) }
+
+// ReadBidsCSV reads bids in the canonical CSV format.
+func ReadBidsCSV(r io.Reader) ([]Bid, error) { return workload.ReadBidsCSV(r) }
