@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures ablations vet clean
+.PHONY: all build test test-race race cover bench bench-json fuzz figures ablations vet clean
 
 all: build test
 
@@ -15,11 +15,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+test-race: race
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate BENCH_core.json: incremental sweep engine vs the frozen seed
+# solver at I ∈ {100, 500, 1000}.
+bench-json:
+	$(GO) run ./cmd/benchcore -out BENCH_core.json
+
+# Short fuzzing pass over both fuzz targets (regression corpus always runs
+# as part of `make test`).
+fuzz:
+	$(GO) test -run=FuzzValidateBids -fuzz=FuzzValidateBids -fuzztime=30s ./internal/core/
+	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
 
 # Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
 figures:

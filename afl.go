@@ -26,6 +26,11 @@ type (
 	// LocalIterFunc maps local accuracy θ to local iteration counts
 	// (Eq. (2)).
 	LocalIterFunc = core.LocalIterFunc
+	// Engine is the reusable incremental A_FL solver: it precomputes the
+	// shared per-auction context (qualification delta lists, client
+	// groupings) once and serves repeated sweeps and fixed-T̂_g solves
+	// from it. All methods are safe for concurrent use.
+	Engine = core.Engine
 )
 
 // Payment rules.
@@ -62,6 +67,15 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 // winner-determination problem with A_winner (Algorithm 2).
 func RunWDP(bids []Bid, tg int, cfg Config) (WDPResult, error) {
 	return core.RunWDP(bids, tg, cfg)
+}
+
+// NewEngine validates the bid population and precomputes the shared
+// incremental-auction context. Use it when the same population is solved
+// more than once (what-if sweeps, re-pricing studies, serving layers);
+// Engine.Run and Engine.RunConcurrent return results bit-identical to
+// RunAuction and RunAuctionConcurrent.
+func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
+	return core.NewEngine(bids, cfg)
 }
 
 // Qualified returns the indices of bids qualified for a fixed T̂_g (line 6

@@ -10,12 +10,14 @@ package afl_test
 // figure benchmarks.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/fedauction/afl"
 	"github.com/fedauction/afl/internal/baseline"
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/experiments"
+	"github.com/fedauction/afl/internal/seedwdp"
 )
 
 func benchFigure(b *testing.B, id string) {
@@ -138,6 +140,97 @@ func BenchmarkBaselines(b *testing.B) {
 				out := m.Solve(bids, qual, cfg.T, cfg)
 				if !out.Feasible {
 					b.Fatal("baseline infeasible")
+				}
+			}
+		})
+	}
+}
+
+// --- incremental engine vs the frozen seed solver ---
+//
+// BenchmarkSweep* compare the T̂_g sweep across implementations at
+// I ∈ {100, 500, 1000} (J=5, T=50, K=20): the frozen pre-refactor solver
+// (internal/seedwdp), the incremental sequential and concurrent paths, and
+// a reused Engine. cmd/benchcore runs the same pairs and writes
+// BENCH_core.json; the differential suite guarantees all paths return
+// bit-identical results, so these measure pure overhead.
+
+var sweepSizes = []int{100, 500, 1000}
+
+// sweepBids is paperBids with the coverage demand scaled down below
+// I=200: the paper's K=20 is infeasible for a 100-client population.
+func sweepBids(b *testing.B, clients int) ([]afl.Bid, afl.Config) {
+	b.Helper()
+	p := afl.DefaultWorkloadParams()
+	p.Clients = clients
+	if clients < 200 {
+		p.K = 10
+	}
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bids, p.Config()
+}
+
+func benchSweep(b *testing.B, run func(bids []afl.Bid, cfg afl.Config) bool) {
+	b.Helper()
+	for _, clients := range sweepSizes {
+		b.Run(fmt.Sprintf("I%d", clients), func(b *testing.B) {
+			bids, cfg := sweepBids(b, clients)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !run(bids, cfg) {
+					b.Fatal("sweep infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepSeed is the pre-refactor baseline: per-T̂_g re-filtering
+// and map-based solver state, frozen verbatim in internal/seedwdp.
+func BenchmarkSweepSeed(b *testing.B) {
+	benchSweep(b, func(bids []afl.Bid, cfg afl.Config) bool {
+		res, err := seedwdp.RunAuction(bids, cfg)
+		return err == nil && res.Feasible
+	})
+}
+
+// BenchmarkSweepIncremental is the shared-context sequential sweep behind
+// RunAuction.
+func BenchmarkSweepIncremental(b *testing.B) {
+	benchSweep(b, func(bids []afl.Bid, cfg afl.Config) bool {
+		res, err := afl.RunAuction(bids, cfg)
+		return err == nil && res.Feasible
+	})
+}
+
+// BenchmarkSweepIncrementalConcurrent fans the per-T̂_g solves over
+// GOMAXPROCS workers on the shared context.
+func BenchmarkSweepIncrementalConcurrent(b *testing.B) {
+	benchSweep(b, func(bids []afl.Bid, cfg afl.Config) bool {
+		res, err := afl.RunAuctionConcurrent(bids, cfg, 0)
+		return err == nil && res.Feasible
+	})
+}
+
+// BenchmarkSweepEngineReuse re-runs the sweep on one prebuilt Engine,
+// isolating the steady-state cost once context construction is amortized.
+func BenchmarkSweepEngineReuse(b *testing.B) {
+	for _, clients := range sweepSizes {
+		b.Run(fmt.Sprintf("I%d", clients), func(b *testing.B) {
+			bids, cfg := sweepBids(b, clients)
+			eng, err := afl.NewEngine(bids, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !eng.Run().Feasible {
+					b.Fatal("sweep infeasible")
 				}
 			}
 		})

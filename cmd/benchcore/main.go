@@ -1,0 +1,205 @@
+// Command benchcore benchmarks the incremental T̂_g-sweep engine against
+// the frozen pre-refactor solver (internal/seedwdp) and writes the
+// comparison to a machine-readable JSON report (BENCH_core.json at the
+// repo root, regenerated with `make bench-json`).
+//
+// The differential test suite guarantees every measured path returns
+// bit-identical results, so the numbers isolate pure implementation
+// overhead: per-T̂_g re-filtering and map-based solver state in the seed
+// versus shared qualification delta lists and pooled slice-backed scratch
+// in the engine.
+//
+// Usage:
+//
+//	benchcore [-out BENCH_core.json] [-sizes 100,500,1000] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl"
+	"github.com/fedauction/afl/internal/seedwdp"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+type measurement struct {
+	Path        string  `json:"path"`
+	Clients     int     `json:"clients"`
+	K           int     `json:"k"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type summary struct {
+	// All ratios compare the seed baseline with a live path at the largest
+	// measured population; > 1 means the live path is better.
+	Clients            int     `json:"clients"`
+	SpeedupSequential  float64 `json:"speedup_sequential"`
+	SpeedupConcurrent  float64 `json:"speedup_concurrent"`
+	SpeedupEngineReuse float64 `json:"speedup_engine_reuse"`
+	AllocRatio         float64 `json:"alloc_ratio"`
+	BytesRatio         float64 `json:"bytes_ratio"`
+}
+
+type report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	CPUs        int           `json:"cpus"`
+	BidsPerUser int           `json:"bids_per_user"`
+	T           int           `json:"t"`
+	K           int           `json:"k"`
+	Results     []measurement `json:"results"`
+	Summary     summary       `json:"summary"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file")
+	sizesArg := flag.String("sizes", "100,500,1000", "comma-separated client counts")
+	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
+	flag.Parse()
+
+	// testing.Benchmark reads the (unregistered) -test.benchtime flag;
+	// registering the testing flags lets us set it programmatically.
+	testing.Init()
+	benchtime := "2s"
+	if *quick {
+		benchtime = "1x"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fatal(err)
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -sizes entry %q", s))
+		}
+		sizes = append(sizes, n)
+	}
+
+	p := workload.NewDefaultParams()
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		BidsPerUser: p.BidsPerUser,
+		T:           p.T,
+		K:           p.K,
+	}
+
+	paths := []struct {
+		name string
+		run  func(bids []afl.Bid, cfg afl.Config) func() bool
+	}{
+		{"seed", func(bids []afl.Bid, cfg afl.Config) func() bool {
+			return func() bool {
+				res, err := seedwdp.RunAuction(bids, cfg)
+				return err == nil && res.Feasible
+			}
+		}},
+		{"incremental", func(bids []afl.Bid, cfg afl.Config) func() bool {
+			return func() bool {
+				res, err := afl.RunAuction(bids, cfg)
+				return err == nil && res.Feasible
+			}
+		}},
+		{"incremental_concurrent", func(bids []afl.Bid, cfg afl.Config) func() bool {
+			return func() bool {
+				res, err := afl.RunAuctionConcurrent(bids, cfg, 0)
+				return err == nil && res.Feasible
+			}
+		}},
+		{"engine_reuse", func(bids []afl.Bid, cfg afl.Config) func() bool {
+			eng, err := afl.NewEngine(bids, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			return func() bool { return eng.Run().Feasible }
+		}},
+	}
+
+	perPath := map[string]measurement{} // at the largest size
+	for _, clients := range sizes {
+		p := workload.NewDefaultParams()
+		p.Clients = clients
+		if clients < 200 {
+			p.K = 10 // the paper's K=20 is infeasible below ~200 clients
+		}
+		bids, err := workload.Generate(p)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := p.Config()
+		for _, path := range paths {
+			op := path.run(bids, cfg)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if !op() {
+						b.Fatal("sweep infeasible")
+					}
+				}
+			})
+			m := measurement{
+				Path:        path.name,
+				Clients:     clients,
+				K:           p.K,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			rep.Results = append(rep.Results, m)
+			perPath[path.name] = m
+			fmt.Fprintf(os.Stderr, "%-24s I=%-5d %12.0f ns/op %10d allocs/op %12d B/op\n",
+				path.name, clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		}
+	}
+
+	seed := perPath["seed"]
+	ratio := func(a, b float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return a / b
+	}
+	rep.Summary = summary{
+		Clients:            seed.Clients,
+		SpeedupSequential:  ratio(seed.NsPerOp, perPath["incremental"].NsPerOp),
+		SpeedupConcurrent:  ratio(seed.NsPerOp, perPath["incremental_concurrent"].NsPerOp),
+		SpeedupEngineReuse: ratio(seed.NsPerOp, perPath["engine_reuse"].NsPerOp),
+		AllocRatio:         ratio(float64(seed.AllocsPerOp), float64(perPath["incremental"].AllocsPerOp)),
+		BytesRatio:         ratio(float64(seed.BytesPerOp), float64(perPath["incremental"].BytesPerOp)),
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx)\n",
+		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcore:", err)
+	os.Exit(1)
+}

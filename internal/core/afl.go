@@ -7,6 +7,14 @@ package core
 // minimum-social-cost solution with its schedules, critical-value payments
 // and dual certificate.
 //
+// The sweep runs on the incremental WDP engine: one shared immutable
+// auction context (monotone qualification delta lists, client groupings)
+// and one pooled scratch arena serve every candidate T̂_g, so per-T̂_g
+// work is proportional to the solve itself, not to rebuilding state.
+// Results are bit-identical to solving each WDP independently from
+// scratch (the differential harness in differential_test.go enforces
+// this against a frozen copy of the pre-engine solver).
+//
 // The returned Result is infeasible (Feasible == false) when no T̂_g admits
 // K participants in every global iteration.
 func RunAuction(bids []Bid, cfg Config) (Result, error) {
@@ -16,24 +24,7 @@ func RunAuction(bids []Bid, cfg Config) (Result, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return Result{}, err
 	}
-	res := Result{}
-	t0 := MinTg(bids)
-	for tg := t0; tg <= cfg.T; tg++ {
-		qualified := Qualified(bids, tg, cfg)
-		wdp := SolveWDP(bids, qualified, tg, cfg)
-		res.WDPs = append(res.WDPs, wdp)
-		if !wdp.Feasible {
-			continue
-		}
-		if !res.Feasible || wdp.Cost < res.Cost {
-			res.Feasible = true
-			res.Tg = wdp.Tg
-			res.Cost = wdp.Cost
-			res.Winners = wdp.Winners
-			res.Dual = wdp.Dual
-		}
-	}
-	return res, nil
+	return newAuctionContext(bids, cfg).run(), nil
 }
 
 // RunWDP is a convenience wrapper that qualifies bids for a fixed T̂_g and

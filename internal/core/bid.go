@@ -86,6 +86,14 @@ func (b Bid) String() string {
 // price, θ ∈ (0,1), a well-formed window inside [1, maxT], and a round
 // count that fits the window.
 func (b Bid) Validate(maxT int) error {
+	// NaN fails every ordered comparison, so the range checks below would
+	// silently accept it (and ±Inf passes one-sided checks); reject
+	// non-finite floats up front.
+	for _, v := range [...]float64{b.Price, b.TrueCost, b.Theta, b.CompTime, b.CommTime} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("bid %s: non-finite field value %v", b, v)
+		}
+	}
 	switch {
 	case b.Client < 0:
 		return fmt.Errorf("bid %s: negative client index", b)

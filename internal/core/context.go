@@ -1,0 +1,150 @@
+package core
+
+import "sort"
+
+// auctionContext is the shared immutable per-auction state of the
+// incremental WDP engine. It is built once per auction and then read by
+// every SolveWDP call of the T̂_g sweep (sequentially or from concurrent
+// workers), replacing the seed behaviour of re-deriving qualification
+// sets, client groupings and slot indices from scratch for each of the
+// T − T_0 + 1 candidate iteration counts.
+//
+// The key observation is that the qualification predicate of Algorithm 1
+// line 6 is monotone in T̂_g:
+//
+//   - θ_ij ≤ 1 − 1/T̂_g becomes easier as T̂_g grows (1 − 1/T̂_g is
+//     non-decreasing, and float64 division is correctly rounded, hence
+//     weakly monotone, so this holds bit-exactly, not just in ℝ);
+//   - a_ij + c_ij − 1 ≤ T̂_g becomes easier as T̂_g grows;
+//   - the t_max and reserve-price checks do not depend on T̂_g at all.
+//
+// A bid therefore has a single entry point enterTg: the smallest T̂_g at
+// which it qualifies (or none within [1, T]). Sorting bids by
+// (enterTg, index) yields one shared backing array whose prefixes are
+// exactly the qualified sets — J_{T̂_g} = qualOrder[:qualCount[T̂_g]] —
+// so the sweep performs zero re-filtering and zero per-T̂_g allocation
+// for qualification.
+//
+// All fields are written only by newAuctionContext and read-only
+// afterwards, which is what makes sharing the context across the worker
+// pool of RunAuctionConcurrent safe.
+type auctionContext struct {
+	bids []Bid
+	cfg  Config
+	// t0 is T_0 = ⌈1/(1−θ_min)⌉, the start of the T̂_g sweep.
+	t0 int
+
+	// qualOrder lists bid indices sorted by (enterTg, bid index).
+	qualOrder []int
+	// qualCount[tg] is |J_{T̂_g}| for tg ∈ [0, cfg.T]; the qualified set
+	// for tg is qualOrder[:qualCount[tg]].
+	qualCount []int
+	// clientBids groups ALL bid indices by client, superseding the
+	// per-call per-qualified grouping of the seed path. Using the
+	// all-bids grouping in the winner pruning of Algorithm 2 line 13 is
+	// sound: clearing the candidate flag of a bid that was never
+	// qualified is a no-op.
+	clientBids map[int][]int
+}
+
+// newAuctionContext precomputes the shared state for one auction. bids
+// must already have passed ValidateBids; the context retains (and never
+// mutates) the slice.
+func newAuctionContext(bids []Bid, cfg Config) *auctionContext {
+	ax := &auctionContext{
+		bids:       bids,
+		cfg:        cfg,
+		t0:         MinTg(bids),
+		clientBids: make(map[int][]int),
+	}
+	T := cfg.T
+	// enter[tg] lists the bids whose smallest qualifying T̂_g is tg.
+	enter := make([][]int, T+1)
+	localIters := cfg.localIters()
+	// The tolerance must match Qualified exactly: the delta lists are
+	// required to reproduce its qualified sets bit-for-bit.
+	const eps = 1e-12
+	for idx, b := range bids {
+		ax.clientBids[b.Client] = append(ax.clientBids[b.Client], idx)
+		if cfg.TMax > 0 && b.PerRoundTime(localIters) > cfg.TMax+eps {
+			continue
+		}
+		if cfg.ReservePrice > 0 && b.Price > cfg.ReservePrice+eps {
+			continue
+		}
+		// Smallest tg satisfying the θ constraint, located by binary
+		// search over the monotone predicate using the exact float
+		// expression of Qualified.
+		thetaOK := func(tg int) bool {
+			thetaMax := 1 - 1/float64(tg)
+			return !(b.Theta > thetaMax+eps)
+		}
+		if !thetaOK(T) {
+			continue // never qualifies within the horizon
+		}
+		enterTg := sort.Search(T, func(i int) bool { return thetaOK(i + 1) }) + 1
+		// The window-fit constraint a_ij + c_ij − 1 ≤ T̂_g.
+		if fit := b.Start + b.Rounds - 1; fit > enterTg {
+			enterTg = fit
+		}
+		if enterTg > T {
+			continue
+		}
+		enter[enterTg] = append(enter[enterTg], idx)
+	}
+	ax.qualOrder = make([]int, 0, len(bids))
+	ax.qualCount = make([]int, T+1)
+	for tg := 1; tg <= T; tg++ {
+		ax.qualOrder = append(ax.qualOrder, enter[tg]...)
+		ax.qualCount[tg] = len(ax.qualOrder)
+	}
+	return ax
+}
+
+// qualifiedAt returns the qualified bid set J_{T̂_g} as a capped
+// read-only prefix of the shared qualification order. The slice must not
+// be mutated or appended to by callers; SolveWDP treats it as read-only.
+//
+// The returned set is Qualified(bids, tg, cfg) up to ordering: entries
+// are sorted by (enterTg, index) rather than by index alone. Every
+// consumer of a qualified set — heap construction (total order on
+// (key, bid)), ψ_max maxima, slot-index m decrements, client pruning and
+// the tight-dual minimum — is order-independent, so the two orderings
+// produce bit-identical WDP results; the differential harness locks this
+// in empirically.
+func (ax *auctionContext) qualifiedAt(tg int) []int {
+	if tg < 1 {
+		return nil
+	}
+	if tg > ax.cfg.T {
+		tg = ax.cfg.T
+	}
+	n := ax.qualCount[tg]
+	return ax.qualOrder[:n:n]
+}
+
+// run executes the sequential incremental T̂_g sweep: one pooled scratch
+// arena, one shared context, qualification by prefix extension.
+func (ax *auctionContext) run() Result {
+	res := Result{}
+	if ax.t0 > ax.cfg.T {
+		return res
+	}
+	sc := acquireScratch(len(ax.bids), ax.cfg.T)
+	defer releaseScratch(sc)
+	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
+		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids)
+		res.WDPs = append(res.WDPs, wdp)
+		if !wdp.Feasible {
+			continue
+		}
+		if !res.Feasible || wdp.Cost < res.Cost {
+			res.Feasible = true
+			res.Tg = wdp.Tg
+			res.Cost = wdp.Cost
+			res.Winners = wdp.Winners
+			res.Dual = wdp.Dual
+		}
+	}
+	return res
+}

@@ -1,0 +1,299 @@
+package core_test
+
+// Differential-testing harness for the incremental WDP engine.
+//
+// Every workload is solved four ways through the live code — RunAuction,
+// RunAuctionConcurrent, Engine.Run and Engine.RunConcurrent — and once
+// through internal/seedwdp, a frozen verbatim copy of the pre-engine
+// solver. The four live paths must agree byte-for-byte (reflect.DeepEqual
+// on the full Result, including unexported dual bookkeeping), and the
+// live result must match the seed oracle on everything the oracle
+// exposes: feasibility, T_g*, social cost, winners, schedules, payments,
+// per-WDP outcomes and the complete dual certificate.
+//
+// This is the correctness lock that lets the engine share qualification
+// delta lists, client groupings and pooled scratch arenas across the
+// T̂_g sweep: any divergence in greedy order, tie-breaking, payments or
+// duals fails here on one of ~200 seeded workloads spanning varied
+// I, J, T, K, window shapes and degenerate cases (K beyond supply,
+// single-slot windows, uniform prices, boundary accuracies).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/seedwdp"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// diffCase is one differential workload: a bid population plus an
+// auction configuration.
+type diffCase struct {
+	name string
+	bids []core.Bid
+	cfg  core.Config
+}
+
+// generatedCases draws seeded §VII-A-style populations at varied scale
+// and configuration. With 8 parameter variants × seeds it contributes
+// the bulk of the ~200 workloads.
+func generatedCases(t *testing.T) []diffCase {
+	t.Helper()
+	type variant struct {
+		name     string
+		clients  int
+		bidsPer  int
+		T, K     int
+		model    workload.CostModel
+		diurnal  float64
+		schedule core.ScheduleRule
+		rule     core.PaymentRule
+		exclude  bool
+		reserve  float64
+	}
+	variants := []variant{
+		{name: "tiny", clients: 4, bidsPer: 1, T: 4, K: 1},
+		{name: "small", clients: 12, bidsPer: 2, T: 8, K: 2},
+		{name: "mid", clients: 30, bidsPer: 3, T: 10, K: 3},
+		{name: "wide", clients: 24, bidsPer: 5, T: 14, K: 2},
+		{name: "tight-k", clients: 10, bidsPer: 2, T: 6, K: 5}, // often infeasible
+		{name: "resource", clients: 20, bidsPer: 3, T: 10, K: 2, model: workload.CostResource},
+		{name: "diurnal", clients: 20, bidsPer: 3, T: 12, K: 2, diurnal: 2.5},
+		{name: "earliest", clients: 16, bidsPer: 3, T: 10, K: 2, schedule: core.ScheduleEarliest},
+		{name: "paybid", clients: 14, bidsPer: 2, T: 8, K: 2, rule: core.RulePayBid},
+		{name: "reserve", clients: 18, bidsPer: 3, T: 9, K: 2, reserve: 35},
+		{name: "exact-critical", clients: 8, bidsPer: 2, T: 5, K: 1,
+			rule: core.RuleExactCritical, exclude: true, reserve: 120},
+	}
+	const seedsPerVariant = 18
+	var cases []diffCase
+	for _, v := range variants {
+		for seed := int64(1); seed <= seedsPerVariant; seed++ {
+			p := workload.NewDefaultParams()
+			p.Clients = v.clients
+			p.BidsPerUser = v.bidsPer
+			p.T = v.T
+			p.K = v.K
+			p.Seed = seed
+			p.CostModel = v.model
+			p.DiurnalPeak = v.diurnal
+			bids, err := workload.Generate(p)
+			if err != nil {
+				t.Fatalf("variant %s seed %d: %v", v.name, seed, err)
+			}
+			cfg := p.Config()
+			cfg.ScheduleRule = v.schedule
+			cfg.PaymentRule = v.rule
+			cfg.ExcludeOwnBids = v.exclude
+			cfg.ReservePrice = v.reserve
+			cases = append(cases, diffCase{
+				name: fmt.Sprintf("%s/seed%d", v.name, seed),
+				bids: bids,
+				cfg:  cfg,
+			})
+		}
+	}
+	return cases
+}
+
+// degenerateCases hand-builds the edge shapes random draws rarely hit.
+func degenerateCases() []diffCase {
+	singleSlot := func(n int) []core.Bid {
+		var bids []core.Bid
+		for i := 0; i < n; i++ {
+			t := 1 + i%5
+			bids = append(bids, core.Bid{
+				Client: i, Price: float64(1 + i), Theta: 0.5,
+				Start: t, End: t, Rounds: 1,
+			})
+		}
+		return bids
+	}
+	uniformPrice := func(n int) []core.Bid {
+		var bids []core.Bid
+		for i := 0; i < n; i++ {
+			bids = append(bids, core.Bid{
+				Client: i, Price: 10, Theta: 0.5,
+				Start: 1 + i%3, End: 4 + i%3, Rounds: 2,
+			})
+		}
+		return bids
+	}
+	boundaryTheta := func() []core.Bid {
+		var bids []core.Bid
+		for tg := 2; tg <= 6; tg++ {
+			theta := 1 - 1/float64(tg)
+			bids = append(bids, core.Bid{
+				Client: tg, Price: float64(tg), Theta: theta,
+				Start: 1, End: 6, Rounds: 2,
+			})
+		}
+		return bids
+	}
+	multiMinded := func() []core.Bid {
+		var bids []core.Bid
+		for c := 0; c < 3; c++ {
+			for j := 0; j < 4; j++ {
+				bids = append(bids, core.Bid{
+					Client: c, Index: j, Price: float64(2 + c + j), Theta: 0.5,
+					Start: 1 + j, End: 4 + j, Rounds: 1 + j%2,
+				})
+			}
+		}
+		return bids
+	}
+	return []diffCase{
+		{name: "degenerate/k-beyond-supply", bids: singleSlot(3), cfg: core.Config{T: 5, K: 4}},
+		{name: "degenerate/single-slot-windows", bids: singleSlot(10), cfg: core.Config{T: 5, K: 2}},
+		{name: "degenerate/one-bid", bids: singleSlot(1), cfg: core.Config{T: 5, K: 1}},
+		{name: "degenerate/uniform-prices", bids: uniformPrice(8), cfg: core.Config{T: 6, K: 2}},
+		{name: "degenerate/uniform-prices-paybid", bids: uniformPrice(8),
+			cfg: core.Config{T: 6, K: 2, PaymentRule: core.RulePayBid}},
+		{name: "degenerate/boundary-theta", bids: boundaryTheta(), cfg: core.Config{T: 6, K: 1}},
+		{name: "degenerate/multi-minded", bids: multiMinded(), cfg: core.Config{T: 7, K: 2}},
+		{name: "degenerate/multi-minded-exclude", bids: multiMinded(),
+			cfg: core.Config{T: 7, K: 2, PaymentRule: core.RuleExactCritical,
+				ExcludeOwnBids: true, ReservePrice: 50}},
+		{name: "degenerate/paper-example", bids: []core.Bid{
+			{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+			{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+			{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+		}, cfg: core.Config{T: 3, K: 1}},
+	}
+}
+
+// assertSeedEqual compares a live Result with the frozen-oracle Result on
+// every field the oracle exposes. Floats are compared with ==: the claim
+// is bit-identity, not approximation.
+func assertSeedEqual(t *testing.T, got core.Result, want seedwdp.Result) {
+	t.Helper()
+	if got.Feasible != want.Feasible {
+		t.Fatalf("Feasible = %v, seed oracle %v", got.Feasible, want.Feasible)
+	}
+	if got.Tg != want.Tg || got.Cost != want.Cost {
+		t.Fatalf("Tg/Cost = %d/%v, seed oracle %d/%v", got.Tg, got.Cost, want.Tg, want.Cost)
+	}
+	assertSeedWinnersEqual(t, "auction", got.Winners, want.Winners)
+	if !reflect.DeepEqual(got.Dual, want.Dual) {
+		t.Fatalf("Dual = %+v, seed oracle %+v", got.Dual, want.Dual)
+	}
+	if len(got.WDPs) != len(want.WDPs) {
+		t.Fatalf("len(WDPs) = %d, seed oracle %d", len(got.WDPs), len(want.WDPs))
+	}
+	for i := range got.WDPs {
+		g, w := got.WDPs[i], want.WDPs[i]
+		if g.Tg != w.Tg || g.Feasible != w.Feasible || g.Cost != w.Cost || g.Rounds != w.Rounds {
+			t.Fatalf("WDP[%d] = {Tg %d Feasible %v Cost %v Rounds %d}, seed oracle {Tg %d Feasible %v Cost %v Rounds %d}",
+				i, g.Tg, g.Feasible, g.Cost, g.Rounds, w.Tg, w.Feasible, w.Cost, w.Rounds)
+		}
+		assertSeedWinnersEqual(t, fmt.Sprintf("WDP[%d]", i), g.Winners, w.Winners)
+		if g.Feasible && !reflect.DeepEqual(g.Dual, w.Dual) {
+			t.Fatalf("WDP[%d] dual diverged from seed oracle", i)
+		}
+	}
+}
+
+func assertSeedWinnersEqual(t *testing.T, where string, got []core.Winner, want []seedwdp.Winner) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d winners, seed oracle %d", where, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.BidIndex != w.BidIndex || g.Bid != w.Bid ||
+			g.Payment != w.Payment || g.AvgCost != w.AvgCost ||
+			!reflect.DeepEqual(g.Slots, w.Slots) {
+			t.Fatalf("%s winner %d = {bid %d pay %v avg %v slots %v}, seed oracle {bid %d pay %v avg %v slots %v}",
+				where, i, g.BidIndex, g.Payment, g.AvgCost, g.Slots,
+				w.BidIndex, w.Payment, w.AvgCost, w.Slots)
+		}
+	}
+}
+
+// TestDifferentialEngineVsSeed is the harness entry point: ~200 seeded
+// workloads, four live paths, one frozen oracle, full bit-identity.
+func TestDifferentialEngineVsSeed(t *testing.T) {
+	cases := append(generatedCases(t), degenerateCases()...)
+	if len(cases) < 200 {
+		t.Fatalf("harness shrank to %d workloads; keep it near 200", len(cases))
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := core.RunAuction(tc.bids, tc.cfg)
+			if err != nil {
+				t.Fatalf("RunAuction: %v", err)
+			}
+			conc, err := core.RunAuctionConcurrent(tc.bids, tc.cfg, 3)
+			if err != nil {
+				t.Fatalf("RunAuctionConcurrent: %v", err)
+			}
+			if !reflect.DeepEqual(seq, conc) {
+				t.Fatal("RunAuctionConcurrent diverged from RunAuction")
+			}
+			eng, err := core.NewEngine(tc.bids, tc.cfg)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			if got := eng.Run(); !reflect.DeepEqual(seq, got) {
+				t.Fatal("Engine.Run diverged from RunAuction")
+			}
+			if got := eng.RunConcurrent(2); !reflect.DeepEqual(seq, got) {
+				t.Fatal("Engine.RunConcurrent diverged from RunAuction")
+			}
+			oracle, err := seedwdp.RunAuction(tc.bids, tc.cfg)
+			if err != nil {
+				t.Fatalf("seed oracle: %v", err)
+			}
+			assertSeedEqual(t, seq, oracle)
+			if seq.Feasible {
+				if err := core.CheckSolution(tc.bids, seq, tc.cfg); err != nil {
+					t.Fatalf("solution fails ILP(6) verification: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialFixedTg sweeps every T̂_g of a mid-size population
+// through the standalone SolveWDP, the Engine's context path and the
+// seed oracle, covering the fixed-T̂_g entry points (RunWDP, Fig. 3/7
+// experiments) that the full-auction harness exercises only indirectly.
+func TestDifferentialFixedTg(t *testing.T) {
+	p := workload.NewDefaultParams()
+	p.Clients = 25
+	p.BidsPerUser = 3
+	p.T = 12
+	p.K = 2
+	for seed := int64(1); seed <= 6; seed++ {
+		p.Seed = seed
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.Config()
+		eng, err := core.NewEngine(bids, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tg := 1; tg <= cfg.T; tg++ {
+			direct := core.SolveWDP(bids, core.Qualified(bids, tg, cfg), tg, cfg)
+			viaEngine := eng.SolveWDP(tg)
+			if !reflect.DeepEqual(direct, viaEngine) {
+				t.Fatalf("seed %d tg=%d: Engine.SolveWDP diverged from SolveWDP", seed, tg)
+			}
+			oracle := seedwdp.SolveWDP(bids, seedwdp.Qualified(bids, tg, cfg), tg, cfg)
+			if direct.Tg != oracle.Tg || direct.Feasible != oracle.Feasible ||
+				direct.Cost != oracle.Cost || direct.Rounds != oracle.Rounds {
+				t.Fatalf("seed %d tg=%d: WDP outcome diverged from seed oracle", seed, tg)
+			}
+			assertSeedWinnersEqual(t, fmt.Sprintf("seed %d tg=%d", seed, tg), direct.Winners, oracle.Winners)
+			if direct.Feasible && !reflect.DeepEqual(direct.Dual, oracle.Dual) {
+				t.Fatalf("seed %d tg=%d: dual diverged from seed oracle", seed, tg)
+			}
+		}
+	}
+}

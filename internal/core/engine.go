@@ -1,0 +1,74 @@
+package core
+
+// Engine is the reusable incremental A_FL solver. It wraps the shared
+// immutable auction context — per-bid qualification thresholds (delta
+// lists exploiting the monotonicity of line 6 of Algorithm 1 in T̂_g),
+// the client bid grouping, and the feasible sweep range [T_0, T] — so a
+// caller that runs the same bid population several times (re-pricing
+// studies, what-if sweeps, serving layers) pays the precomputation once.
+//
+// RunAuction and RunAuctionConcurrent are one-shot wrappers over exactly
+// this engine; constructing an Engine yields bit-identical results to
+// them on every method.
+//
+// The Engine retains (and never mutates) the bid slice passed to
+// NewEngine; callers must not mutate it while the Engine is in use. All
+// methods are safe for concurrent use: the context is read-only and all
+// mutable solver state lives in pooled per-call scratch arenas.
+type Engine struct {
+	ax *auctionContext
+}
+
+// NewEngine validates the configuration and bid population and
+// precomputes the shared auction context.
+func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return nil, err
+	}
+	return &Engine{ax: newAuctionContext(bids, cfg)}, nil
+}
+
+// T0 returns T_0 = ⌈1/(1−θ_min)⌉, the smallest candidate number of
+// global iterations of the sweep.
+func (e *Engine) T0() int { return e.ax.t0 }
+
+// Run executes the full A_FL sweep sequentially on the shared context.
+func (e *Engine) Run() Result { return e.ax.run() }
+
+// RunConcurrent executes the sweep with the independent per-T̂_g WDPs
+// fanned out over a worker pool (workers ≤ 0 selects GOMAXPROCS).
+func (e *Engine) RunConcurrent(workers int) Result {
+	return e.ax.runConcurrent(workers)
+}
+
+// SolveWDP solves the single winner-determination problem for a fixed
+// T̂_g using the precomputed qualification. tg must lie in [1, cfg.T];
+// out-of-range values yield an infeasible result.
+func (e *Engine) SolveWDP(tg int) WDPResult {
+	if tg < 1 || tg > e.ax.cfg.T {
+		return WDPResult{Tg: tg}
+	}
+	qualified := e.ax.qualifiedAt(tg)
+	if len(qualified) == 0 {
+		return WDPResult{Tg: tg}
+	}
+	sc := acquireScratch(len(e.ax.bids), tg)
+	defer releaseScratch(sc)
+	return solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids)
+}
+
+// QualifiedAt returns a copy of the qualified bid set J_{T̂_g} from the
+// precomputed delta lists. It equals Qualified(bids, tg, cfg) as a set;
+// entries are ordered by (first qualifying T̂_g, bid index).
+func (e *Engine) QualifiedAt(tg int) []int {
+	q := e.ax.qualifiedAt(tg)
+	if q == nil {
+		return nil
+	}
+	out := make([]int, len(q))
+	copy(out, q)
+	return out
+}

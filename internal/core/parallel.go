@@ -12,6 +12,10 @@ import (
 // deterministic per-WDP greedy, the same minimum-cost tie-breaking by
 // smaller T̂_g).
 //
+// All workers read the same immutable auction context — qualification is
+// a prefix of one shared array, client groupings are computed once — and
+// each worker holds one pooled scratch arena for the WDPs it drains.
+//
 // workers ≤ 0 selects GOMAXPROCS.
 func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -20,13 +24,17 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return Result{}, err
 	}
+	return newAuctionContext(bids, cfg).runConcurrent(workers), nil
+}
+
+// runConcurrent fans the per-T̂_g WDPs of the sweep over a worker pool.
+func (ax *auctionContext) runConcurrent(workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	t0 := MinTg(bids)
-	n := cfg.T - t0 + 1
+	n := ax.cfg.T - ax.t0 + 1
 	if n <= 0 {
-		return Result{}, nil
+		return Result{}
 	}
 	wdps := make([]WDPResult, n)
 	var wg sync.WaitGroup
@@ -35,9 +43,11 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := acquireScratch(len(ax.bids), ax.cfg.T)
+			defer releaseScratch(sc)
 			for i := range next {
-				tg := t0 + i
-				wdps[i] = SolveWDP(bids, Qualified(bids, tg, cfg), tg, cfg)
+				tg := ax.t0 + i
+				wdps[i] = solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids)
 			}
 		}()
 	}
@@ -60,5 +70,5 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 			res.Dual = wdp.Dual
 		}
 	}
-	return res, nil
+	return res
 }

@@ -41,8 +41,10 @@ func (r PaymentRule) String() string {
 
 // applyPaymentRule post-processes the payments of a feasible WDP result
 // according to cfg.PaymentRule. RuleCritical payments were already computed
-// during the greedy run.
-func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, res *WDPResult) {
+// during the greedy run. clientBids is the solve's client grouping, passed
+// through so the bisection probes of RuleExactCritical reuse it instead of
+// regrouping per probe.
+func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, res *WDPResult) {
 	switch cfg.PaymentRule {
 	case RulePayBid:
 		for i := range res.Winners {
@@ -50,7 +52,7 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, res *WDPR
 		}
 	case RuleExactCritical:
 		for i := range res.Winners {
-			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, res.Winners[i])
+			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, clientBids, res.Winners[i])
 		}
 	}
 }
@@ -63,14 +65,15 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, res *WDPR
 //
 // When the bid wins at any price (no competing supply), the Algorithm 3
 // payment — its own claimed price, by the fallback of A_payment — is kept.
-func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, win Winner) float64 {
+func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, win Winner) float64 {
 	probeCfg := cfg
 	probeCfg.PaymentRule = RuleCritical // probes only need the allocation
 	probeQual := qualified
 	if cfg.ExcludeOwnBids {
 		// Drop the winner's sibling bids from the probe instance so a
 		// multi-minded client cannot move its own critical value by
-		// re-pricing its other bids.
+		// re-pricing its other bids. (clientBids may still list the
+		// siblings; pruning a bid outside the qualified set is a no-op.)
 		probeQual = make([]int, 0, len(qualified))
 		for _, idx := range qualified {
 			if idx == win.BidIndex || bids[idx].Client != win.Bid.Client {
@@ -79,10 +82,14 @@ func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, win W
 		}
 	}
 	probe := make([]Bid, len(bids))
+	// One pooled scratch serves every probe of the bisection: each
+	// solveWDP call fully re-initializes the state it touches.
+	sc := acquireScratch(len(bids), tg)
+	defer releaseScratch(sc)
 	wins := func(price float64) bool {
 		copy(probe, bids)
 		probe[win.BidIndex].Price = price
-		res := SolveWDP(probe, probeQual, tg, probeCfg)
+		res := solveWDP(probe, probeQual, tg, probeCfg, sc, clientBids)
 		if !res.Feasible {
 			return false
 		}

@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// wdpScratch is the reusable allocation arena of one A_winner run. The
+// seed solver allocated its entire working state — membership maps,
+// slot indices, heaps, dual accumulators — afresh for every SolveWDP
+// call, i.e. O(I·J) allocations per candidate T̂_g. The scratch arena
+// turns all of that into flat slices that persist across calls (via a
+// sync.Pool), so a solve only allocates what escapes into its result:
+// the winner records, their schedules, and the dual certificate —
+// O(winners + T̂_g) instead of O(I·J).
+//
+// Correct reuse relies on every field being (re)initialized by
+// wdpScratch.init before it is read: gamma, the φ/ψ accumulators and the
+// per-slot bid lists are reset for t ∈ [1, tg]; m, inC and inG are
+// (re)written for exactly the qualified bid indices, which are the only
+// indices the solver ever reads (heap entries, slot lists and the
+// candidate pruning all range over qualified bids; stale values at
+// unqualified indices are dead). Nothing is cleared on release.
+type wdpScratch struct {
+	// state is the embedded solver state, reused so a solve performs no
+	// per-call wdpState allocation.
+	state wdpState
+
+	// Indexed by global iteration t−1; capacity grows to the largest tg
+	// seen.
+	gamma                            []int
+	slotBids                         [][]int
+	phiMax, phiMin, phiPrime, psiMax []float64
+
+	// Indexed by bid index; capacity grows to the largest bid slice seen.
+	m        []int
+	inC, inG []bool
+
+	// Greedy selection heaps and the peek restore buffer.
+	heapC, heapG entryHeap
+	kept         []heapEntry
+
+	// Representative-schedule and tight-dual work buffers.
+	cand, avail []int
+	top         []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(wdpScratch) }}
+
+// acquireScratch returns a scratch arena sized for nBids bids and a
+// horizon of tg iterations. Pair with releaseScratch.
+func acquireScratch(nBids, tg int) *wdpScratch {
+	sc := scratchPool.Get().(*wdpScratch)
+	sc.ensure(nBids, tg)
+	return sc
+}
+
+// releaseScratch returns the arena to the pool. References held by the
+// embedded state are dropped so pooled memory cannot pin a caller's
+// bids or results.
+func releaseScratch(sc *wdpScratch) {
+	sc.state = wdpState{}
+	scratchPool.Put(sc)
+}
+
+// ensure grows the arena to the requested dimensions, preserving any
+// capacity (including the inner slot-list capacity) already acquired.
+func (sc *wdpScratch) ensure(nBids, tg int) {
+	if len(sc.m) < nBids {
+		sc.m = make([]int, nBids)
+		sc.inC = make([]bool, nBids)
+		sc.inG = make([]bool, nBids)
+	}
+	if len(sc.gamma) < tg {
+		old := sc.slotBids
+		sc.slotBids = make([][]int, tg)
+		copy(sc.slotBids, old)
+		sc.gamma = make([]int, tg)
+		sc.phiMax = make([]float64, tg)
+		sc.phiMin = make([]float64, tg)
+		sc.phiPrime = make([]float64, tg)
+		sc.psiMax = make([]float64, tg)
+	}
+}

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/fedauction/afl/internal/stats"
@@ -15,16 +15,46 @@ import (
 // payments (Algorithm 3), and assembles the dual certificate of Lemma 5.
 //
 // bids is the full bid slice of the auction; qualified indexes into it.
-// The function never mutates bids.
+// The function never mutates bids or qualified. Working state comes from
+// a pooled scratch arena, so a call only allocates what escapes into the
+// returned WDPResult.
 func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
+	if tg < 1 || len(qualified) == 0 {
+		return WDPResult{Tg: tg}
+	}
+	if cfg.K > math.MaxInt/tg {
+		// Guard before sizing the arena: a K·tg that overflows int is
+		// unfillable demand, not a tg-sized allocation request.
+		return WDPResult{Tg: tg}
+	}
+	sc := acquireScratch(len(bids), tg)
+	res := solveWDP(bids, qualified, tg, cfg, sc, nil)
+	releaseScratch(sc)
+	return res
+}
+
+// solveWDP is the engine behind SolveWDP: the same greedy, payments and
+// dual bookkeeping, but with caller-provided scratch (reused across the
+// T̂_g sweep and across payment-probe re-runs) and an optional shared
+// client grouping (clientBids may cover all bids, not just qualified
+// ones; pruning unqualified siblings is a no-op). Passing clientBids nil
+// builds the grouping from the qualified set, as the seed path did.
+func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, clientBids map[int][]int) WDPResult {
 	res := WDPResult{Tg: tg}
 	if tg < 1 || len(qualified) == 0 {
 		return res
 	}
-	w := newWDPState(bids, qualified, tg, cfg)
+	if cfg.K > math.MaxInt/tg {
+		// K·tg overflows int: demand this large can never be covered by
+		// a validated bid population, so the WDP is infeasible. (The
+		// pre-guard seed code wrapped the target negative and declared
+		// an empty selection feasible.)
+		return res
+	}
+	w := sc.init(bids, qualified, tg, cfg, clientBids)
 	target := cfg.K * tg
 	for w.covered < target {
-		e, ok := w.popValid(&w.heapC, w.inC)
+		e, ok := w.popValid(&sc.heapC, w.inC)
 		if !ok {
 			return res // not enough supply: this WDP is infeasible
 		}
@@ -37,16 +67,19 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 		res.Cost += win.Bid.Price
 	}
 	res.Dual = w.finalizeDual(cfg.K)
-	applyPaymentRule(bids, qualified, tg, cfg, &res)
+	applyPaymentRule(bids, qualified, tg, cfg, w.clientBids, &res)
 	return res
 }
 
-// wdpState is the mutable state of one A_winner run.
+// wdpState is the mutable state of one A_winner run. All of its storage
+// is backed by a wdpScratch arena; only result data (winners, schedules,
+// duals) is freshly allocated.
 type wdpState struct {
 	bids      []Bid
 	qualified []int
 	tg        int
 	cfg       Config
+	sc        *wdpScratch
 
 	// gamma[t-1] is γ_t, the number of clients scheduled at iteration t.
 	gamma []int
@@ -54,26 +87,24 @@ type wdpState struct {
 	covered int
 	// m[idx] is the number of still-available (γ_t < K) iterations inside
 	// bid idx's effective window; the bid's marginal utility is
-	// R = min(c, m). m is tracked only for qualified bids.
-	m map[int]int
+	// R = min(c, m). m is valid only at qualified bid indices.
+	m []int
 	// slotBids[t-1] lists the qualified bids whose effective window
 	// contains t, so m can be decremented when t fills up.
 	slotBids [][]int
-	// clientBids groups qualified bid indices by client for the
-	// one-bid-per-client pruning of line 13.
+	// clientBids groups bid indices by client for the one-bid-per-client
+	// pruning of line 13. It may cover all bids (shared auction context)
+	// or just the qualified ones (standalone solve).
 	clientBids map[int][]int
 
 	// inC / inG are membership flags for the candidate set C and the grand
-	// set G of Algorithm 2. C drops every bid of a winning client; G drops
-	// only the selected schedule.
-	inC map[int]bool
-	inG map[int]bool
-	// heapC / heapG are lazy min-heaps over average cost. Entries carry a
+	// set G of Algorithm 2, valid at qualified bid indices. C drops every
+	// bid of a winning client; G drops only the selected schedule.
+	// (The selection heaps live in sc.heapC / sc.heapG: entries carry a
 	// snapshot of m; a popped entry whose snapshot is stale is re-keyed
-	// and reinserted (average cost only grows as slots fill, so the lazy
-	// strategy preserves exact greedy order).
-	heapC entryHeap
-	heapG entryHeap
+	// and reinserted — average cost only grows as slots fill, so the lazy
+	// strategy preserves exact greedy order.)
+	inC, inG []bool
 
 	winners []Winner
 
@@ -88,27 +119,47 @@ type wdpState struct {
 	psiMax []float64
 }
 
-func newWDPState(bids []Bid, qualified []int, tg int, cfg Config) *wdpState {
-	w := &wdpState{
+// init resets the arena for one solve and builds the initial A_winner
+// state: slot indices, marginal-utility counters, membership flags and
+// the two selection heaps. It touches exactly the state the solve will
+// read, which is what makes pooled reuse safe without any clearing on
+// release.
+func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int) *wdpState {
+	w := &sc.state
+	*w = wdpState{
 		bids:       bids,
 		qualified:  qualified,
 		tg:         tg,
 		cfg:        cfg,
-		gamma:      make([]int, tg),
-		m:          make(map[int]int, len(qualified)),
-		slotBids:   make([][]int, tg),
-		clientBids: make(map[int][]int),
-		inC:        make(map[int]bool, len(qualified)),
-		inG:        make(map[int]bool, len(qualified)),
-		phiMax:     make([]float64, tg),
-		phiMin:     make([]float64, tg),
-		phiPrime:   make([]float64, tg),
-		psiMax:     make([]float64, tg),
+		sc:         sc,
+		gamma:      sc.gamma[:tg],
+		m:          sc.m,
+		slotBids:   sc.slotBids[:tg],
+		clientBids: clientBids,
+		inC:        sc.inC,
+		inG:        sc.inG,
+		phiMax:     sc.phiMax[:tg],
+		phiMin:     sc.phiMin[:tg],
+		phiPrime:   sc.phiPrime[:tg],
+		psiMax:     sc.psiMax[:tg],
 	}
 	for t := 0; t < tg; t++ {
+		w.gamma[t] = 0
+		w.slotBids[t] = w.slotBids[t][:0]
+		w.phiMax[t] = 0
 		w.phiMin[t] = math.Inf(1)
 		w.phiPrime[t] = math.Inf(1)
+		w.psiMax[t] = 0
 	}
+	if w.clientBids == nil {
+		w.clientBids = make(map[int][]int)
+		for _, idx := range qualified {
+			c := bids[idx].Client
+			w.clientBids[c] = append(w.clientBids[c], idx)
+		}
+	}
+	sc.heapC = sc.heapC[:0]
+	sc.heapG = sc.heapG[:0]
 	for _, idx := range qualified {
 		b := bids[idx]
 		lo, hi := w.window(b)
@@ -125,15 +176,14 @@ func newWDPState(bids []Bid, qualified []int, tg int, cfg Config) *wdpState {
 		for t := slo; t <= shi; t++ {
 			w.slotBids[t-1] = append(w.slotBids[t-1], idx)
 		}
-		w.clientBids[b.Client] = append(w.clientBids[b.Client], idx)
 		w.inC[idx] = true
 		w.inG[idx] = true
 		e := w.entryFor(idx)
-		w.heapC = append(w.heapC, e)
-		w.heapG = append(w.heapG, e)
+		sc.heapC = append(sc.heapC, e)
+		sc.heapG = append(sc.heapG, e)
 	}
-	heap.Init(&w.heapC)
-	heap.Init(&w.heapG)
+	sc.heapC.init()
+	sc.heapG.init()
 	return w
 }
 
@@ -186,15 +236,15 @@ func (w *wdpState) entryFor(idx int) heapEntry {
 
 // popValid pops the minimum-average-cost entry of h whose membership flag
 // is set and whose m snapshot is current, lazily re-keying stale entries.
-func (w *wdpState) popValid(h *entryHeap, in map[int]bool) (heapEntry, bool) {
+func (w *wdpState) popValid(h *entryHeap, in []bool) (heapEntry, bool) {
 	for h.Len() > 0 {
-		e := heap.Pop(h).(heapEntry)
+		e := h.pop()
 		if !in[e.bid] {
 			continue
 		}
 		if e.mSnap != w.m[e.bid] {
 			if w.marginal(e.bid) > 0 {
-				heap.Push(h, w.entryFor(e.bid))
+				h.push(w.entryFor(e.bid))
 			}
 			continue
 		}
@@ -210,8 +260,8 @@ func (w *wdpState) popValid(h *entryHeap, in map[int]bool) (heapEntry, bool) {
 // restoring every entry it inspected. It is used for the critical-value
 // payment (second-smallest average cost in C) and for the best unselected
 // schedule (i#, l#) in G.
-func (w *wdpState) peekValid(h *entryHeap, in map[int]bool, skip func(bid int) bool) (heapEntry, bool) {
-	var kept []heapEntry
+func (w *wdpState) peekValid(h *entryHeap, in []bool, skip func(bid int) bool) (heapEntry, bool) {
+	kept := w.sc.kept[:0]
 	var found heapEntry
 	ok := false
 	for h.Len() > 0 {
@@ -228,42 +278,79 @@ func (w *wdpState) peekValid(h *entryHeap, in map[int]bool, skip func(bid int) b
 		break
 	}
 	for _, e := range kept {
-		heap.Push(h, e)
+		h.push(e)
 	}
+	w.sc.kept = kept[:0]
 	return found, ok
 }
 
-// representativeSchedule returns the bid's representative schedule l_ij —
-// the c_ij iterations with the smallest coverage count γ_t inside the
-// effective window, ties broken by iteration index — and the subset F_il
-// of those that are still available.
-func (w *wdpState) representativeSchedule(idx int) (slots, available []int) {
+// repCandidates computes the bid's representative schedule l_ij — the
+// c_ij iterations with the smallest coverage count γ_t inside the
+// effective window, ties broken by iteration index — into buf, in
+// least-covered-first order.
+func (w *wdpState) repCandidates(idx int, buf []int) []int {
 	b := w.bids[idx]
 	lo, hi := w.slotRange(b)
-	cand := make([]int, 0, hi-lo+1)
+	cand := buf[:0]
 	for t := lo; t <= hi; t++ {
 		cand = append(cand, t)
 	}
 	if w.cfg.ScheduleRule != ScheduleEarliest {
-		sort.Slice(cand, func(a, b int) bool {
-			ga, gb := w.gamma[cand[a]-1], w.gamma[cand[b]-1]
-			if ga != gb {
-				return ga < gb
+		// (γ_t, t) is a total order — no equal keys — so the unstable
+		// slices.SortFunc yields the same permutation sort.Slice did,
+		// without the reflect-based swapper allocation.
+		slices.SortFunc(cand, func(a, b int) int {
+			if ga, gb := w.gamma[a-1], w.gamma[b-1]; ga != gb {
+				return ga - gb
 			}
-			return cand[a] < cand[b]
+			return a - b
 		})
 	}
 	if len(cand) > b.Rounds {
 		cand = cand[:b.Rounds]
 	}
-	slots = cand
-	for _, t := range slots {
+	return cand
+}
+
+// representativeSchedule returns the bid's representative schedule (slots,
+// ascending) and the subset F_il that is still available (γ_t < K, in
+// least-covered order). Both slices escape into the Winner record, so
+// they are freshly allocated; the candidate work happens in scratch.
+func (w *wdpState) representativeSchedule(idx int) (slots, available []int) {
+	cand := w.repCandidates(idx, w.sc.cand)
+	w.sc.cand = cand[:0]
+	navail := 0
+	for _, t := range cand {
+		if w.gamma[t-1] < w.cfg.K {
+			navail++
+		}
+	}
+	available = make([]int, 0, navail)
+	for _, t := range cand {
 		if w.gamma[t-1] < w.cfg.K {
 			available = append(available, t)
 		}
 	}
+	slots = make([]int, len(cand))
+	copy(slots, cand)
 	sort.Ints(slots)
 	return slots, available
+}
+
+// repAvailable returns the still-available subset of the bid's
+// representative schedule using scratch buffers only (nothing escapes);
+// it feeds the best-unselected dual bookkeeping.
+func (w *wdpState) repAvailable(idx int) []int {
+	cand := w.repCandidates(idx, w.sc.cand)
+	w.sc.cand = cand[:0]
+	avail := w.sc.avail[:0]
+	for _, t := range cand {
+		if w.gamma[t-1] < w.cfg.K {
+			avail = append(avail, t)
+		}
+	}
+	w.sc.avail = avail[:0]
+	return avail
 }
 
 // selectWinner performs lines 9-14 of Algorithm 2 for the popped minimum
@@ -289,12 +376,11 @@ func (w *wdpState) selectWinner(e heapEntry) {
 
 	// Lines 11-12: record the best schedule in the grand set G, which at
 	// this point still includes the selected schedule itself.
-	if ge, ok := w.peekValid(&w.heapG, w.inG, nil); ok {
+	if ge, ok := w.peekValid(&w.sc.heapG, w.inG, nil); ok {
 		gb := w.bids[ge.bid]
 		gr := w.marginal(ge.bid)
 		gphi := gb.Price / float64(gr)
-		_, gavail := w.representativeSchedule(ge.bid)
-		for _, t := range gavail {
+		for _, t := range w.repAvailable(ge.bid) {
 			if gphi < w.phiPrime[t-1] {
 				w.phiPrime[t-1] = gphi
 			}
@@ -304,9 +390,9 @@ func (w *wdpState) selectWinner(e heapEntry) {
 	// Lines 13-14: C drops every bid of the winning client; G drops only
 	// the selected schedule.
 	for _, sib := range w.clientBids[b.Client] {
-		delete(w.inC, sib)
+		w.inC[sib] = false
 	}
-	delete(w.inG, idx)
+	w.inG[idx] = false
 
 	w.winners = append(w.winners, Winner{
 		BidIndex: idx,
@@ -347,7 +433,7 @@ func (w *wdpState) criticalPayment(idx int, b Bid, r int) float64 {
 	}
 	// The winner's entry has already been popped from heapC, but its
 	// sibling bids (same client) may remain and are skipped per the rule.
-	if ce, ok := w.peekValid(&w.heapC, w.inC, skip); ok {
+	if ce, ok := w.peekValid(&w.sc.heapC, w.inC, skip); ok {
 		critAvg := w.bids[ce.bid].Price / float64(w.marginal(ce.bid))
 		return float64(r) * critAvg
 	}
@@ -416,7 +502,7 @@ func (w *wdpState) tightDualObjective(k int) float64 {
 		return 0
 	}
 	scale := math.Inf(1)
-	top := make([]float64, 0, w.tg)
+	top := w.sc.top[:0]
 	for _, idx := range w.qualified {
 		b := w.bids[idx]
 		lo, hi := w.window(b)
@@ -427,9 +513,11 @@ func (w *wdpState) tightDualObjective(k int) float64 {
 		for t := lo; t <= hi; t++ {
 			top = append(top, w.phiMax[t-1])
 		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(top)))
+		// Ascending sort, summed from the tail: the same descending value
+		// sequence as sort.Reverse without its per-call allocations.
+		slices.Sort(top)
 		var worst float64
-		for i := 0; i < b.Rounds; i++ {
+		for i := len(top) - 1; i >= len(top)-b.Rounds; i-- {
 			worst += top[i]
 		}
 		if worst > 0 {
@@ -438,6 +526,7 @@ func (w *wdpState) tightDualObjective(k int) float64 {
 			}
 		}
 	}
+	w.sc.top = top[:0]
 	if math.IsInf(scale, 1) {
 		return 0
 	}
@@ -463,14 +552,61 @@ func (h entryHeap) Less(a, b int) bool {
 }
 func (h entryHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
 
-// Push implements heap.Interface.
-func (h *entryHeap) Push(x any) { *h = append(*h, x.(heapEntry)) }
+// The typed heap operations below replicate container/heap verbatim on
+// the concrete element type. heap.Push/heap.Pop box every heapEntry in an
+// interface — one allocation per call, the dominant allocator of the whole
+// sweep — and the lazy re-keying in popValid makes pops and re-pushes the
+// hot path. The element movement is identical to container/heap's, so the
+// heap layout, and with it every pop order, is bit-for-bit unchanged.
 
-// Pop implements heap.Interface.
-func (h *entryHeap) Pop() any {
+func (h *entryHeap) init() {
+	n := h.Len()
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h *entryHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	h.up(h.Len() - 1)
+}
+
+func (h *entryHeap) pop() heapEntry {
+	n := h.Len() - 1
+	h.Swap(0, n)
+	h.down(0, n)
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	e := old[n]
+	*h = old[:n]
 	return e
+}
+
+func (h *entryHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func (h *entryHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
 }
