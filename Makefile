@@ -28,11 +28,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchcore -out BENCH_core.json
 
-# Short fuzzing pass over both fuzz targets (regression corpus always runs
+# Short fuzzing pass over the fuzz targets (regression corpus always runs
 # as part of `make test`).
 fuzz:
 	$(GO) test -run=FuzzValidateBids -fuzz=FuzzValidateBids -fuzztime=30s ./internal/core/
 	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
+	$(GO) test -run=FuzzWorkloadJSON -fuzz=FuzzWorkloadJSON -fuzztime=30s ./internal/workload/
 
 # Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
 figures:

@@ -1,56 +1,70 @@
 // Command flplatform runs the networked auction marketplace over real TCP
-// sockets in three modes:
+// sockets in four modes:
 //
 //	flplatform -mode demo                  # server + agents in one process
 //	flplatform -mode server -addr :7001 -agents 6
 //	flplatform -mode client -addr host:7001 -id 3
+//	flplatform -mode chaos -seed 42 -drop 0.1 -crash 2:3
 //
 // The server announces the FL job, collects sealed bids, runs A_FL,
 // drives the training rounds over the winning schedule, and settles
 // payments; each client process holds a private synthetic shard and bids
-// from its own resource profile.
+// from its own resource profile. Chaos mode replays one deterministic
+// fault schedule on a virtual clock and checks the session invariants.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/fedauction/afl"
+	"github.com/fedauction/afl/internal/chaos"
 )
 
 func main() {
-	mode := flag.String("mode", "demo", "demo, server, or client")
+	mode := flag.String("mode", "demo", "demo, server, client, or chaos")
 	addr := flag.String("addr", "127.0.0.1:7001", "listen/dial address")
-	agents := flag.Int("agents", 6, "number of agents (demo/server)")
+	agents := flag.Int("agents", 6, "number of agents (demo/server/chaos)")
 	id := flag.Int("id", 0, "client id (client mode)")
 	seed := flag.Int64("seed", 5, "RNG seed")
 	maxT := flag.Int("T", 8, "maximum global iterations")
 	k := flag.Int("K", 2, "participants per iteration")
 	dim := flag.Int("dim", 6, "model dimension")
+	retries := flag.Int("retries", 1, "attempts per expected client update (server/demo/chaos)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff, doubled per attempt")
+	drop := flag.Float64("drop", 0, "chaos: per-message drop probability")
+	delay := flag.Float64("delay", 0, "chaos: per-message delay probability")
+	dup := flag.Float64("dup", 0, "chaos: per-message duplication probability")
+	crash := flag.String("crash", "", "chaos: comma-separated client:round crash points, e.g. 2:3,5:1")
 	flag.Parse()
 
+	retry := afl.RetryPolicy{Attempts: *retries, Backoff: *backoff}
 	switch *mode {
 	case "demo":
-		runDemo(*agents, *seed, *maxT, *k, *dim)
+		runDemo(*agents, *seed, *maxT, *k, *dim, retry)
 	case "server":
-		runServer(*addr, *agents, *seed, *maxT, *k, *dim)
+		runServer(*addr, *agents, *seed, *maxT, *k, *dim, retry)
 	case "client":
 		runClient(*addr, *id, *seed, *maxT, *dim)
+	case "chaos":
+		runChaos(*agents, *seed, *maxT, *k, *dim, retry, *drop, *delay, *dup, *crash)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 }
 
-func newServer(seed int64, agents, maxT, k, dim int) (*afl.Server, afl.Dataset) {
+func newServer(seed int64, agents, maxT, k, dim int, retry afl.RetryPolicy) (*afl.Server, afl.Dataset) {
 	rng := afl.NewRNG(seed)
 	eval, _ := afl.GenerateSynthetic(rng, afl.SyntheticOptions{Samples: 1000, Dim: dim})
 	job := afl.Job{Name: "flplatform", T: maxT, K: k, TMax: 60, Dim: dim}
 	return afl.NewServer(afl.ServerConfig{
-		Job: job, L2: 0.01, Eval: eval, RecvTimeout: 10 * time.Second,
+		Job: job, L2: 0.01, Eval: eval, RecvTimeout: 10 * time.Second, Retry: retry,
 	}), eval
 }
 
@@ -88,8 +102,8 @@ func printReport(report afl.SessionReport) {
 	fmt.Print(report.Ledger.String())
 }
 
-func runServer(addr string, agents int, seed int64, maxT, k, dim int) {
-	server, _ := newServer(seed, agents, maxT, k, dim)
+func runServer(addr string, agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy) {
+	server, _ := newServer(seed, agents, maxT, k, dim, retry)
 	conns := make(map[int]afl.Conn, agents)
 	var mu sync.Mutex
 	done := make(chan struct{})
@@ -134,8 +148,68 @@ func runClient(addr string, id int, seed int64, maxT, dim int) {
 		id, report.Won, report.RoundsRun, report.Paid, report.PayReason)
 }
 
-func runDemo(agents int, seed int64, maxT, k, dim int) {
-	server, _ := newServer(seed, agents, maxT, k, dim)
+// parseCrash turns "2:3,5:1" into {2: 3, 5: 1} (client → crash round).
+func parseCrash(spec string) (map[int]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[int]int)
+	for _, part := range strings.Split(spec, ",") {
+		cr := strings.SplitN(part, ":", 2)
+		if len(cr) != 2 {
+			return nil, fmt.Errorf("crash point %q is not client:round", part)
+		}
+		client, err := strconv.Atoi(strings.TrimSpace(cr[0]))
+		if err != nil {
+			return nil, fmt.Errorf("crash point %q: %w", part, err)
+		}
+		round, err := strconv.Atoi(strings.TrimSpace(cr[1]))
+		if err != nil {
+			return nil, fmt.Errorf("crash point %q: %w", part, err)
+		}
+		out[client] = round
+	}
+	return out, nil
+}
+
+func runChaos(agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy, drop, delay, dup float64, crashSpec string) {
+	crash, err := parseCrash(crashSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scenario := chaos.Scenario{
+		Seed:   seed,
+		Agents: agents,
+		Job:    afl.Job{Name: "flplatform-chaos", T: maxT, K: k, TMax: 60, Dim: dim},
+		Faults: chaos.FaultPlan{
+			Seed: seed, Drop: drop, Delay: delay, Duplicate: dup, Crash: crash,
+		},
+		Retry: retry,
+	}
+	out, err := chaos.Run(scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printReport(out.Report)
+	for _, rep := range out.Report.Repairs {
+		fmt.Printf("repair at round %d: dropped %v, repaired=%v promoted=%v pay=%.2f\n",
+			rep.Round, rep.Dropped, rep.Repaired, rep.Promoted, rep.Payments)
+	}
+	for i, r := range out.AgentReports {
+		fmt.Printf("agent %d: won=%v rounds=%d paid=%.2f %s\n",
+			i, r.Won, r.RoundsRun, r.Paid, r.PayReason)
+	}
+	if err := chaos.Check(scenario, out); err != nil {
+		fmt.Fprintf(os.Stderr, "invariant violation: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("all session invariants hold")
+}
+
+func runDemo(agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy) {
+	server, _ := newServer(seed, agents, maxT, k, dim, retry)
 	conns := make(map[int]afl.Conn, agents)
 	reports := make([]afl.AgentReport, agents)
 	var wg sync.WaitGroup

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl"
+)
 
 func TestNewAgentDeterministic(t *testing.T) {
 	a := newAgent(3, 5, 8, 6)
@@ -25,7 +30,7 @@ func TestNewAgentDeterministic(t *testing.T) {
 }
 
 func TestNewServerConfig(t *testing.T) {
-	server, eval := newServer(5, 4, 8, 2, 6)
+	server, eval := newServer(5, 4, 8, 2, 6, afl.RetryPolicy{Attempts: 2, Backoff: 50 * time.Millisecond})
 	if server == nil {
 		t.Fatal("nil server")
 	}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fedauction/afl/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current outputs")
+
+// goldenWinner pins one accepted bid with its schedule.
+type goldenWinner struct {
+	Client int   `json:"client"`
+	Index  int   `json:"index"`
+	Slots  []int `json:"slots"`
+}
+
+// goldenOutcome pins one (workload, mechanism) result.
+type goldenOutcome struct {
+	Seed      int64          `json:"seed"`
+	Mechanism string         `json:"mechanism"`
+	Feasible  bool           `json:"feasible"`
+	Tg        int            `json:"tg,omitempty"`
+	Cost      float64        `json:"cost,omitempty"`
+	Payment   float64        `json:"payment,omitempty"`
+	Winners   []goldenWinner `json:"winners,omitempty"`
+}
+
+// round pins floats at a precision safely inside float64 determinism but
+// readable in the golden file.
+func round(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// goldenOutcomes runs every baseline over the seeded workloads,
+// mirroring the differential approach internal/seedwdp uses for A_FL:
+// the exact winners, schedules, costs and payments are pinned so any
+// behavioural drift in FCFS/Greedy/A_online fails loudly.
+func goldenOutcomes(t *testing.T) []goldenOutcome {
+	t.Helper()
+	var out []goldenOutcome
+	for _, seed := range []int64{101, 202, 303} {
+		p := workload.NewDefaultParams()
+		p.Seed = seed
+		p.Clients = 40
+		p.BidsPerUser = 2
+		p.T = 12
+		p.K = 4
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.Config()
+		for _, m := range mechanisms() {
+			res, ok := RunOverTg(m, bids, cfg)
+			g := goldenOutcome{Seed: seed, Mechanism: m.Name(), Feasible: ok}
+			if ok {
+				g.Tg = res.Tg
+				g.Cost = round(res.Cost)
+				g.Payment = round(res.Payment)
+				for _, w := range res.Winners {
+					g.Winners = append(g.Winners, goldenWinner{
+						Client: w.Bid.Client, Index: w.Bid.Index,
+						Slots: append([]int(nil), w.Slots...),
+					})
+				}
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// TestGoldenBaselines compares the current baseline outputs against the
+// checked-in golden file. Regenerate intentionally with
+//
+//	go test ./internal/baseline -run TestGoldenBaselines -update-golden
+func TestGoldenBaselines(t *testing.T) {
+	got := goldenOutcomes(t)
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d outcomes", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create it): %v", err)
+	}
+	var want []goldenOutcome
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("outcome count drifted: %d vs golden %d", len(got), len(want))
+	}
+	for i := range want {
+		if diff := diffOutcome(want[i], got[i]); diff != "" {
+			t.Errorf("outcome %d (%s seed %d): %s", i, want[i].Mechanism, want[i].Seed, diff)
+		}
+	}
+}
+
+func diffOutcome(want, got goldenOutcome) string {
+	switch {
+	case want.Seed != got.Seed || want.Mechanism != got.Mechanism:
+		return fmt.Sprintf("identity drifted: got %s/%d", got.Mechanism, got.Seed)
+	case want.Feasible != got.Feasible:
+		return fmt.Sprintf("feasible = %v, golden %v", got.Feasible, want.Feasible)
+	case want.Tg != got.Tg:
+		return fmt.Sprintf("tg = %d, golden %d", got.Tg, want.Tg)
+	case math.Abs(want.Cost-got.Cost) > 1e-6:
+		return fmt.Sprintf("cost = %v, golden %v", got.Cost, want.Cost)
+	case math.Abs(want.Payment-got.Payment) > 1e-6:
+		return fmt.Sprintf("payment = %v, golden %v", got.Payment, want.Payment)
+	case len(want.Winners) != len(got.Winners):
+		return fmt.Sprintf("%d winners, golden %d", len(got.Winners), len(want.Winners))
+	}
+	for j := range want.Winners {
+		w, g := want.Winners[j], got.Winners[j]
+		if w.Client != g.Client || w.Index != g.Index {
+			return fmt.Sprintf("winner %d is %d/%d, golden %d/%d", j, g.Client, g.Index, w.Client, w.Index)
+		}
+		if len(w.Slots) != len(g.Slots) {
+			return fmt.Sprintf("winner %d schedule length drifted", j)
+		}
+		for s := range w.Slots {
+			if w.Slots[s] != g.Slots[s] {
+				return fmt.Sprintf("winner %d slots %v, golden %v", j, g.Slots, w.Slots)
+			}
+		}
+	}
+	return ""
+}
+
+// TestGoldenWorkloadsAreSane guards the golden inputs themselves: every
+// pinned outcome must describe a valid solution of its workload (winner
+// schedules inside windows, coverage satisfied when feasible), so the
+// golden file can never silently pin a broken state.
+func TestGoldenWorkloadsAreSane(t *testing.T) {
+	for _, g := range goldenOutcomes(t) {
+		if !g.Feasible {
+			t.Errorf("%s on seed %d infeasible; golden workloads should all be solvable", g.Mechanism, g.Seed)
+			continue
+		}
+		covered := make(map[int]int)
+		for _, w := range g.Winners {
+			for _, s := range w.Slots {
+				if s < 1 || s > g.Tg {
+					t.Errorf("%s seed %d: slot %d outside [1, %d]", g.Mechanism, g.Seed, s, g.Tg)
+				}
+				covered[s]++
+			}
+		}
+		for s := 1; s <= g.Tg; s++ {
+			if covered[s] < 4 { // K of the golden workloads
+				t.Errorf("%s seed %d: iteration %d covered %d < K", g.Mechanism, g.Seed, s, covered[s])
+			}
+		}
+		if g.Cost <= 0 || g.Payment < g.Cost-1e-6 {
+			t.Errorf("%s seed %d: cost %v payment %v inconsistent", g.Mechanism, g.Seed, g.Cost, g.Payment)
+		}
+	}
+}

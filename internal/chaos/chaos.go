@@ -1,0 +1,131 @@
+// Package chaos provides deterministic fault injection for the networked
+// auction platform: seeded fault schedules (message drops, delays,
+// duplication and mid-session client crashes) layered over the platform's
+// virtual-clock connections, a scenario harness that runs complete
+// auction + training sessions under a fault plan, and session invariants
+// that must hold on every schedule.
+//
+// Everything is a pure function of the scenario seed: the same seed
+// replays the same session byte for byte (transcripts included), so a
+// failing schedule is a permanent reproducer, not a flake.
+package chaos
+
+import (
+	"time"
+
+	"github.com/fedauction/afl/internal/platform"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// FaultPlan is a deterministic fault schedule for one session. Each
+// directed link (server→client, client→server) draws from its own RNG
+// stream seeded from Seed and the client ID, so fault decisions depend
+// only on the message sequence of that direction — never on goroutine
+// scheduling.
+type FaultPlan struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// Drop is the per-message probability of silent loss.
+	Drop float64
+	// Delay is the per-message probability of delivery latency, drawn
+	// uniformly from (0, MaxDelay]. Delayed messages can overtake later
+	// traffic, so this also models reordering.
+	Delay float64
+	// MaxDelay bounds injected latency. Zero with Delay > 0 means 1s.
+	MaxDelay time.Duration
+	// Duplicate is the per-message probability of a second delivery.
+	Duplicate float64
+	// Crash maps client ID → global iteration r: from round r on, the
+	// client is unreachable for training — round requests with iteration
+	// ≥ r and its updates for iterations ≥ r are swallowed. The rule is a
+	// pure function of message content, which keeps concurrent sessions
+	// deterministic (no shared link state whose flip order could race).
+	Crash map[int]int
+}
+
+// zero reports whether the plan injects no faults at all.
+func (p FaultPlan) zero() bool {
+	return p.Drop == 0 && p.Delay == 0 && p.Duplicate == 0 && len(p.Crash) == 0
+}
+
+// linkSeed derives the RNG seed of one directed link. dir is 0 for
+// server→client, 1 for client→server.
+func linkSeed(seed int64, client, dir int) int64 {
+	return seed*1_000_003 + int64(client)*2 + int64(dir) + 1
+}
+
+// Link returns a server-side and client-side connection pair for one
+// client, backed by a VirtualPipe on clk with the plan's faults applied
+// to every send. Each endpoint must have a single sender and a single
+// receiver (the discipline the platform already imposes).
+func Link(clk *platform.VirtualClock, plan FaultPlan, client int) (server, agent platform.Conn) {
+	s, c := platform.VirtualPipe(clk)
+	crash := plan.Crash[client]
+	server = &chaosConn{
+		Conn:     s,
+		ds:       s.(platform.DelayedSender),
+		rng:      stats.NewRNG(linkSeed(plan.Seed, client, 0)),
+		plan:     plan,
+		crash:    crash,
+		toClient: true,
+	}
+	agent = &chaosConn{
+		Conn:  c,
+		ds:    c.(platform.DelayedSender),
+		rng:   stats.NewRNG(linkSeed(plan.Seed, client, 1)),
+		plan:  plan,
+		crash: crash,
+	}
+	return server, agent
+}
+
+// chaosConn applies a fault plan to the send side of one directed link.
+// Receives pass through untouched: every fault is modelled at the sender,
+// where a fixed draw order (drop, delay, delay amount, duplicate — all
+// drawn for every message) keeps the RNG stream aligned with the
+// direction's message sequence.
+type chaosConn struct {
+	platform.Conn
+	ds       platform.DelayedSender
+	rng      *stats.RNG
+	plan     FaultPlan
+	crash    int
+	toClient bool
+}
+
+// Send implements platform.Conn.
+func (c *chaosConn) Send(m platform.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	dropDraw := c.rng.Float64()
+	delayDraw := c.rng.Float64()
+	delayFrac := c.rng.Float64()
+	dupDraw := c.rng.Float64()
+	if c.crash > 0 {
+		if c.toClient && m.Type == platform.MsgRound && m.Round.Iteration >= c.crash {
+			return nil // the client is gone: the request vanishes
+		}
+		if !c.toClient && m.Type == platform.MsgUpdate && m.Update.Iteration >= c.crash {
+			return nil // and nothing it would have trained comes back
+		}
+	}
+	if dropDraw < c.plan.Drop {
+		return nil
+	}
+	var d time.Duration
+	if delayDraw < c.plan.Delay {
+		max := c.plan.MaxDelay
+		if max <= 0 {
+			max = time.Second
+		}
+		d = time.Duration(delayFrac * float64(max))
+	}
+	if err := c.ds.SendDelayed(m, d); err != nil {
+		return err
+	}
+	if dupDraw < c.plan.Duplicate {
+		return c.ds.SendDelayed(m, d)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/platform"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// scenarioForSeed derives a varied fault schedule from one seed: every
+// probability, the retry budget and any crash point are functions of the
+// seed alone.
+func scenarioForSeed(seed int64) Scenario {
+	r := stats.NewRNG(seed)
+	plan := FaultPlan{
+		Seed:      seed,
+		Drop:      r.Float64() * 0.15,
+		Delay:     r.Float64() * 0.5,
+		MaxDelay:  time.Duration(1+r.Intn(4)) * 500 * time.Millisecond,
+		Duplicate: r.Float64() * 0.25,
+	}
+	agents := 6 + r.Intn(4)
+	if r.Bernoulli(0.5) {
+		plan.Crash = map[int]int{r.Intn(agents): 1 + r.Intn(6)}
+	}
+	return Scenario{
+		Seed:   seed,
+		Agents: agents,
+		Faults: plan,
+		Retry:  platform.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond},
+	}
+}
+
+// TestChaosSchedules replays hundreds of seeded fault schedules and
+// asserts the session invariants on every one. Any failure reports the
+// seed, which reproduces the exact session deterministically.
+func TestChaosSchedules(t *testing.T) {
+	n := 220
+	if testing.Short() {
+		n = 48
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(1000 + i)
+		s := scenarioForSeed(seed)
+		out, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Check(s, out); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestChaosDeterministic runs the same seeds twice and demands byte-
+// identical transcripts and identical settlement: the fault injector, the
+// virtual clock and the server must be free of scheduling nondeterminism.
+func TestChaosDeterministic(t *testing.T) {
+	seeds := []int64{1001, 1007, 1013, 1042, 1077, 1099, 1123, 1160, 1191, 1219}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		s := scenarioForSeed(seed)
+		a, errA := Run(s)
+		b, errB := Run(s)
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: %v / %v", seed, errA, errB)
+		}
+		if !bytes.Equal(a.Transcript, b.Transcript) {
+			t.Fatalf("seed %d: transcripts differ between identical runs", seed)
+		}
+		if a.Report.Ledger.Total() != b.Report.Ledger.Total() {
+			t.Fatalf("seed %d: ledger totals differ: %v vs %v",
+				seed, a.Report.Ledger.Total(), b.Report.Ledger.Total())
+		}
+		if len(a.Report.Rounds) != len(b.Report.Rounds) {
+			t.Fatalf("seed %d: round counts differ", seed)
+		}
+	}
+}
+
+// TestZeroFaultMatchesWallClockTransport runs the identical fault-free
+// workload over the virtual stack and over the original channel pipes on
+// the wall clock: the transcripts must be byte-identical. This pins the
+// guarantee that the fault-tolerant runtime changes nothing on the
+// fault-free path.
+func TestZeroFaultMatchesWallClockTransport(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		virtual := Scenario{Seed: seed}
+		wall := Scenario{Seed: seed, WallClock: true}
+		a, errA := Run(virtual)
+		b, errB := Run(wall)
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: %v / %v", seed, errA, errB)
+		}
+		if !bytes.Equal(a.Transcript, b.Transcript) {
+			t.Fatalf("seed %d: virtual transcript diverges from the wall-clock transport", seed)
+		}
+		if err := Check(virtual, a); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// repairProbeScenario is a hand-built session in which the single winner
+// crashes at round 2 and the repair must promote a losing bid: agent 0
+// wins all four rounds at price 1; agents 1-3 are losers priced so the
+// residual market has a clear promotion order and a finite critical
+// value.
+func repairProbeScenario(probePrice float64, crash int) Scenario {
+	bid := func(price float64) []core.Bid {
+		return []core.Bid{{
+			Price: price, Theta: 0.5, Start: 1, End: 4, Rounds: 4,
+			CompTime: 2, CommTime: 5,
+		}}
+	}
+	return Scenario{
+		Seed:   77,
+		Agents: 4,
+		Job:    platform.Job{Name: "probe", T: 4, K: 1, TMax: 60, Dim: 2},
+		Rule:   core.RuleExactCritical,
+		Bids: map[int][]core.Bid{
+			0: bid(1),
+			1: bid(probePrice),
+			2: bid(40),
+			3: bid(60),
+		},
+		Faults: FaultPlan{Seed: 77, Crash: map[int]int{0: crash}},
+		Retry:  platform.RetryPolicy{Attempts: 2, Backoff: 10 * time.Millisecond},
+	}
+}
+
+func promotedPayment(t *testing.T, out Outcome, client int) (float64, bool) {
+	t.Helper()
+	for _, r := range out.Report.Repairs {
+		for _, w := range r.Awards {
+			if w.Bid.Client == client {
+				return w.Payment, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestRepairPromotionIsTruthful is the session-level misreport probe on
+// the repair path: a promoted replacement's payment is its critical value
+// in the residual market, so underbidding cannot change it and
+// overbidding past it forfeits the promotion.
+func TestRepairPromotionIsTruthful(t *testing.T) {
+	base := repairProbeScenario(20, 2)
+	out, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(base, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Report.Auction.Winners) != 1 || out.Report.Auction.Winners[0].Bid.Client != 0 {
+		t.Fatalf("setup: want agent 0 as sole winner, got %+v", out.Report.Auction.Winners)
+	}
+	pay, promoted := promotedPayment(t, out, 1)
+	if !promoted {
+		t.Fatalf("setup: agent 1 was not promoted; repairs: %+v", out.Report.Repairs)
+	}
+	if pay < 20 {
+		t.Fatalf("promotion pays %v below the probe's price", pay)
+	}
+
+	// Underbidding: the promotion and its payment must not move.
+	for _, lower := range []float64{5, 10, 19} {
+		s := repairProbeScenario(lower, 2)
+		o, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o.Report.Auction.Winners) != 1 || o.Report.Auction.Winners[0].Bid.Client != 0 {
+			t.Fatalf("underbid %v changed the original auction", lower)
+		}
+		got, ok := promotedPayment(t, o, 1)
+		if !ok {
+			t.Fatalf("underbid %v lost the promotion", lower)
+		}
+		if math.Abs(got-pay) > 1e-6 {
+			t.Fatalf("underbid %v moved the promotion payment: %v vs %v", lower, got, pay)
+		}
+	}
+
+	// Overbidding past the critical value forfeits the promotion (a
+	// cheaper competitor replaces the probe instead).
+	over := repairProbeScenario(pay*1.01, 2)
+	o, err := Run(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := promotedPayment(t, o, 1); ok {
+		t.Fatalf("probe promoted despite bidding %v above its critical value %v", pay*1.01, pay)
+	}
+	if _, ok := promotedPayment(t, o, 2); !ok {
+		t.Fatalf("no replacement promoted after the probe overbid; repairs: %+v", o.Report.Repairs)
+	}
+	if err := Check(over, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashTriggersRepairAndSettlement checks the graceful-degradation
+// story end to end on the hand-built scenario: the crashed winner is
+// refused payment, the replacement is paid, and the affected rounds are
+// either repaired or flagged.
+func TestCrashTriggersRepairAndSettlement(t *testing.T) {
+	s := repairProbeScenario(20, 2)
+	out, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AgentReports[0].Paid != 0 {
+		t.Fatalf("crashed winner was paid %v", out.AgentReports[0].Paid)
+	}
+	paidDropper := false
+	for _, e := range out.Report.Ledger.Entries() {
+		if e.Client == 0 && e.Amount != 0 {
+			paidDropper = true
+		}
+	}
+	if paidDropper {
+		t.Fatal("ledger paid the crashed winner")
+	}
+	if len(out.Report.Repairs) == 0 || !out.Report.Repairs[0].Repaired {
+		t.Fatalf("crash did not trigger a successful repair: %+v", out.Report.Repairs)
+	}
+	// Once coverage is repaired, later rounds must not be under-covered.
+	from := out.Report.Repairs[0].CoveredFrom
+	for _, rr := range out.Report.Rounds {
+		if rr.Iteration >= from && rr.UnderCovered {
+			t.Fatalf("round %d under-covered after repair from %d", rr.Iteration, from)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/platform"
+)
+
+// Check verifies the session invariants that must hold under every fault
+// schedule:
+//
+//   - a round is flagged under-covered exactly when it aggregated fewer
+//     than K updates, and any under-coverage is accounted for by a
+//     recorded repair attempt (unless repair was disabled);
+//   - the ledger is internally consistent (non-negative amounts, at most
+//     one settlement per client, total equals the sum of entries);
+//   - every honored settlement pays the client its award — which is at
+//     least its bid price (individual rationality), for original winners
+//     and promoted replacements alike;
+//   - whatever an agent believes it was paid appears identically in the
+//     server's ledger;
+//   - the server's protocol transcript is a legal conversation
+//     (platform.AuditTranscript) no matter what the network did.
+func Check(s Scenario, out Outcome) error {
+	job := s.job()
+	rep := out.Report
+
+	// Coverage accounting.
+	underCovered := false
+	for _, rr := range rep.Rounds {
+		if got := len(rr.Responded) < job.K; rr.UnderCovered != got {
+			return fmt.Errorf("round %d: UnderCovered=%v but %d/%d responders",
+				rr.Iteration, rr.UnderCovered, len(rr.Responded), job.K)
+		}
+		if rr.UnderCovered {
+			underCovered = true
+		}
+	}
+	if underCovered && !s.DisableRepair && len(rep.Repairs) == 0 {
+		return fmt.Errorf("under-covered round without any recorded repair attempt")
+	}
+
+	// Ledger consistency.
+	var total float64
+	seen := map[int]bool{}
+	for _, e := range rep.Ledger.Entries() {
+		if e.Amount < 0 {
+			return fmt.Errorf("ledger: negative amount %v for client %d", e.Amount, e.Client)
+		}
+		if seen[e.Client] {
+			return fmt.Errorf("ledger: duplicate settlement for client %d", e.Client)
+		}
+		seen[e.Client] = true
+		total += e.Amount
+	}
+	if math.Abs(total-rep.Ledger.Total()) > 1e-9 {
+		return fmt.Errorf("ledger: Total()=%v but entries sum to %v", rep.Ledger.Total(), total)
+	}
+
+	// Final award per client: the initial auction, overridden by repairs.
+	awards := map[int]core.Winner{}
+	for _, w := range rep.Auction.Winners {
+		awards[w.Bid.Client] = w
+	}
+	for _, r := range rep.Repairs {
+		for _, w := range r.Awards {
+			awards[w.Bid.Client] = w
+		}
+	}
+	for _, e := range rep.Ledger.Entries() {
+		if e.Reason != "schedule honored" {
+			continue
+		}
+		w, ok := awards[e.Client]
+		if !ok {
+			return fmt.Errorf("ledger: client %d paid without an award", e.Client)
+		}
+		if math.Abs(e.Amount-w.Payment) > 1e-9 {
+			return fmt.Errorf("ledger: client %d paid %v, award says %v", e.Client, e.Amount, w.Payment)
+		}
+		if e.Amount < w.Bid.Price-1e-9 {
+			return fmt.Errorf("ledger: client %d paid %v below its price %v (IR violated)",
+				e.Client, e.Amount, w.Bid.Price)
+		}
+	}
+
+	// Agent-side payment agreement. The converse need not hold: the
+	// payment message itself can be lost in transit.
+	for i, ar := range out.AgentReports {
+		if ar.Paid <= 0 {
+			continue
+		}
+		w, ok := awards[i]
+		if !ok {
+			return fmt.Errorf("agent %d believes it was paid %v without an award", i, ar.Paid)
+		}
+		if math.Abs(ar.Paid-w.Payment) > 1e-9 {
+			return fmt.Errorf("agent %d believes it was paid %v, award says %v", i, ar.Paid, w.Payment)
+		}
+		found := false
+		for _, e := range rep.Ledger.Entries() {
+			if e.Client == i && math.Abs(e.Amount-ar.Paid) <= 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("agent %d believes it was paid %v but the ledger disagrees", i, ar.Paid)
+		}
+	}
+
+	// Protocol legality.
+	entries, err := platform.ReadTranscript(bytes.NewReader(out.Transcript))
+	if err != nil {
+		return fmt.Errorf("transcript: %w", err)
+	}
+	if err := platform.AuditTranscript(entries); err != nil {
+		return fmt.Errorf("transcript: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/platform"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Scenario describes one self-contained session to run under a fault
+// plan: the workload (datasets and bids) is generated deterministically
+// from Seed unless explicit Bids are given.
+type Scenario struct {
+	// Seed generates the workload (datasets, bid windows, prices).
+	Seed int64
+	// Agents is the number of clients. Zero means 8.
+	Agents int
+	// Job is the announced FL job. A zero job means
+	// {T: 6, K: 2, TMax: 60, Dim: 2}.
+	Job platform.Job
+	// Rule selects the payment rule of the auction.
+	Rule core.PaymentRule
+	// Faults is the fault schedule. The zero plan is fault-free.
+	Faults FaultPlan
+	// Retry is the server's per-message retry policy.
+	Retry platform.RetryPolicy
+	// RecvTimeout is the server's per-receive deadline. Zero means 2s.
+	RecvTimeout time.Duration
+	// DisableRepair turns off mid-session coverage repair.
+	DisableRepair bool
+	// Bids, when non-nil, overrides the generated bids per client.
+	// Clients without an entry still connect and submit an empty bid
+	// list.
+	Bids map[int][]core.Bid
+	// WallClock runs the session over plain channel pipes on the real
+	// clock instead of the virtual stack. Only valid for fault-free
+	// plans; used to prove the virtual path is bit-identical to the
+	// original transport.
+	WallClock bool
+}
+
+func (s Scenario) agents() int {
+	if s.Agents <= 0 {
+		return 8
+	}
+	return s.Agents
+}
+
+func (s Scenario) job() platform.Job {
+	if s.Job == (platform.Job{}) {
+		return platform.Job{Name: "chaos", T: 6, K: 2, TMax: 60, Dim: 2}
+	}
+	return s.Job
+}
+
+func (s Scenario) recvTimeout() time.Duration {
+	if s.RecvTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return s.RecvTimeout
+}
+
+// Outcome is everything a chaos invariant can look at: both sides'
+// reports plus the server's protocol transcript.
+type Outcome struct {
+	Report       platform.SessionReport
+	AgentReports []platform.AgentReport
+	Transcript   []byte
+}
+
+// Workload is the deterministic session input generated from a scenario
+// seed: per-client datasets and bids.
+type Workload struct {
+	Eval   fl.Dataset
+	Shards []fl.Dataset
+	Bids   map[int][]core.Bid
+	Thetas map[int]float64
+}
+
+// BuildWorkload generates the scenario's workload. It is a pure function
+// of (Seed, Agents, Job), shared by the virtual and wall-clock paths so
+// both run literally the same session input.
+func BuildWorkload(s Scenario) Workload {
+	n := s.agents()
+	job := s.job()
+	rng := stats.NewRNG(s.Seed)
+	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 60, Dim: job.Dim})
+	w := Workload{
+		Eval:   ds,
+		Shards: fl.PartitionIID(rng, ds, n),
+		Bids:   make(map[int][]core.Bid, n),
+		Thetas: make(map[int]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		theta := rng.FloatRange(0.4, 0.7)
+		start := rng.IntRange(1, 1+(job.T-1)/2)
+		end := rng.IntRange(start, job.T)
+		rounds := rng.IntRange(1, end-start+1)
+		w.Thetas[i] = theta
+		w.Bids[i] = []core.Bid{{
+			Price:    rng.FloatRange(5, 50),
+			Theta:    theta,
+			Start:    start,
+			End:      end,
+			Rounds:   rounds,
+			CompTime: rng.FloatRange(2, 6),
+			CommTime: rng.FloatRange(5, 12),
+		}}
+	}
+	if s.Bids != nil {
+		w.Bids = s.Bids
+	}
+	for i := 0; i < n; i++ {
+		if w.Bids[i] == nil {
+			// Agents always answer the announcement; a client with nothing
+			// to offer submits an empty (but well-formed) bid list.
+			w.Bids[i] = []core.Bid{}
+		}
+	}
+	return w
+}
+
+// Run executes the scenario end to end and returns the outcome. Agent
+// failures surface as errors; a session that merely degrades (dropped
+// clients, under-covered rounds) is a normal outcome, not an error.
+func Run(s Scenario) (Outcome, error) {
+	if s.WallClock && !s.Faults.zero() {
+		return Outcome{}, fmt.Errorf("chaos: fault injection requires the virtual clock")
+	}
+	n := s.agents()
+	job := s.job()
+	w := BuildWorkload(s)
+
+	var transcript bytes.Buffer
+	cfg := platform.ServerConfig{
+		Job:           job,
+		Auction:       core.Config{PaymentRule: s.Rule},
+		L2:            0.01,
+		RecvTimeout:   s.recvTimeout(),
+		Retry:         s.Retry,
+		DisableRepair: s.DisableRepair,
+		Transcript:    &transcript,
+	}
+
+	buildAgent := func(i int, recvTimeout time.Duration) *platform.Agent {
+		theta := w.Thetas[i]
+		if bs := w.Bids[i]; len(bs) > 0 {
+			theta = bs[0].Theta
+		}
+		return &platform.Agent{
+			ID:          i,
+			Bids:        w.Bids[i],
+			Learner:     &fl.Client{ID: i, Data: w.Shards[i], Theta: theta, LR: 0.4},
+			L2:          0.01,
+			RecvTimeout: recvTimeout,
+		}
+	}
+
+	out := Outcome{AgentReports: make([]platform.AgentReport, n)}
+	agentErrs := make([]error, n)
+	var serverErr error
+
+	if s.WallClock {
+		server := platform.NewServer(cfg)
+		conns := make(map[int]platform.Conn, n)
+		done := make(chan struct{})
+		for i := 0; i < n; i++ {
+			sc, ac := platform.Pipe(64)
+			conns[i] = sc
+			a := buildAgent(i, 15*time.Second)
+			go func(i int, a *platform.Agent, c platform.Conn) {
+				out.AgentReports[i], agentErrs[i] = a.Run(c)
+				done <- struct{}{}
+			}(i, a, ac)
+		}
+		out.Report, serverErr = server.RunSession(conns)
+		for _, c := range conns {
+			c.Close()
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	} else {
+		clk := platform.NewVirtualClock()
+		cfg.Clock = clk
+		server := platform.NewServer(cfg)
+		conns := make(map[int]platform.Conn, n)
+		for i := 0; i < n; i++ {
+			sc, ac := Link(clk, s.Faults, i)
+			conns[i] = sc
+			a := buildAgent(i, 30*time.Minute)
+			clk.Go(func() {
+				out.AgentReports[i], agentErrs[i] = a.Run(ac)
+			})
+		}
+		clk.Go(func() {
+			out.Report, serverErr = server.RunSession(conns)
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+		clk.Wait()
+	}
+
+	if serverErr != nil {
+		return out, fmt.Errorf("chaos: server: %w", serverErr)
+	}
+	for i, err := range agentErrs {
+		if err != nil {
+			return out, fmt.Errorf("chaos: agent %d: %w", i, err)
+		}
+	}
+	out.Transcript = transcript.Bytes()
+	return out, nil
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/exact"
 	"github.com/fedauction/afl/internal/stats"
+	"github.com/fedauction/afl/internal/workload"
 )
 
 func allIdx(bids []core.Bid) []int {
@@ -168,6 +169,53 @@ func TestApproximationCertificateAgainstColgen(t *testing.T) {
 		}
 		if g.Cost > g.Dual.RatioBound*cg.LowerBound+1e-5 {
 			t.Fatalf("trial %d: cost %v exceeds τ·LB = %v·%v", trial, g.Cost, g.Dual.RatioBound, cg.LowerBound)
+		}
+	}
+}
+
+// TestLowerBoundOnGeneratedWorkloads runs the LP lower bound against the
+// greedy A_FL solution on populations from the paper's workload
+// generator (rather than the synthetic instances above): on every
+// feasible (workload, T̂_g) pair, LB ≤ greedy cost, with a positive bound
+// and the Lemma 5 certificate intact.
+func TestLowerBoundOnGeneratedWorkloads(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33, 44} {
+		p := workload.NewDefaultParams()
+		p.Seed = seed
+		p.Clients = 30
+		p.BidsPerUser = 2
+		p.T = 10
+		p.K = 3
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.Config()
+		checked := 0
+		for tg := 2; tg <= p.T; tg++ {
+			qual := core.Qualified(bids, tg, cfg)
+			g := core.SolveWDP(bids, qual, tg, cfg)
+			if !g.Feasible {
+				continue
+			}
+			cg := LowerBound(bids, qual, tg, cfg, Options{})
+			if !cg.Feasible {
+				t.Fatalf("seed %d tg %d: greedy feasible but colgen not seeded", seed, tg)
+			}
+			if cg.LowerBound <= 0 {
+				t.Fatalf("seed %d tg %d: non-positive bound %v", seed, tg, cg.LowerBound)
+			}
+			if cg.LowerBound > g.Cost+1e-5 {
+				t.Fatalf("seed %d tg %d: LB %v exceeds greedy cost %v", seed, tg, cg.LowerBound, g.Cost)
+			}
+			if g.Cost > g.Dual.RatioBound*cg.LowerBound+1e-5 {
+				t.Fatalf("seed %d tg %d: cost %v breaks τ·LB = %v·%v",
+					seed, tg, g.Cost, g.Dual.RatioBound, cg.LowerBound)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("seed %d: no feasible T̂_g", seed)
 		}
 	}
 }

@@ -133,7 +133,7 @@ func (ax *auctionContext) run() Result {
 	sc := acquireScratch(len(ax.bids), ax.cfg.T)
 	defer releaseScratch(sc)
 	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
-		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids)
+		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
 		res.WDPs = append(res.WDPs, wdp)
 		if !wdp.Feasible {
 			continue

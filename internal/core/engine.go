@@ -57,7 +57,7 @@ func (e *Engine) SolveWDP(tg int) WDPResult {
 	}
 	sc := acquireScratch(len(e.ax.bids), tg)
 	defer releaseScratch(sc)
-	return solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids)
+	return solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids, nil)
 }
 
 // QualifiedAt returns a copy of the qualified bid set J_{T̂_g} from the

@@ -47,7 +47,7 @@ func (ax *auctionContext) runConcurrent(workers int) Result {
 			defer releaseScratch(sc)
 			for i := range next {
 				tg := ax.t0 + i
-				wdps[i] = solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids)
+				wdps[i] = solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
 			}
 		}()
 	}

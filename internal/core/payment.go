@@ -43,8 +43,10 @@ func (r PaymentRule) String() string {
 // according to cfg.PaymentRule. RuleCritical payments were already computed
 // during the greedy run. clientBids is the solve's client grouping, passed
 // through so the bisection probes of RuleExactCritical reuse it instead of
-// regrouping per probe.
-func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, res *WDPResult) {
+// regrouping per probe. base is the pre-committed coverage of the solve
+// (nil for a full market); probes must replay the same residual market or
+// the bisection would price the wrong instance.
+func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult) {
 	switch cfg.PaymentRule {
 	case RulePayBid:
 		for i := range res.Winners {
@@ -52,7 +54,7 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 		}
 	case RuleExactCritical:
 		for i := range res.Winners {
-			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, clientBids, res.Winners[i])
+			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, clientBids, base, res.Winners[i])
 		}
 	}
 }
@@ -65,7 +67,7 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 //
 // When the bid wins at any price (no competing supply), the Algorithm 3
 // payment — its own claimed price, by the fallback of A_payment — is kept.
-func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, win Winner) float64 {
+func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, win Winner) float64 {
 	probeCfg := cfg
 	probeCfg.PaymentRule = RuleCritical // probes only need the allocation
 	probeQual := qualified
@@ -89,7 +91,7 @@ func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clien
 	wins := func(price float64) bool {
 		copy(probe, bids)
 		probe[win.BidIndex].Price = price
-		res := solveWDP(probe, probeQual, tg, probeCfg, sc, clientBids)
+		res := solveWDP(probe, probeQual, tg, probeCfg, sc, clientBids, base)
 		if !res.Feasible {
 			return false
 		}

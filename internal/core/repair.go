@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// RepairRequest describes a mid-session coverage repair: some winners
+// dropped out after iterations already ran, and the caller wants the
+// missing per-iteration coverage bought back from the losing bids.
+type RepairRequest struct {
+	// Tg is the session's committed number of global iterations (the
+	// T̂_g the original auction selected). Must lie in [1, cfg.T].
+	Tg int
+	// From is the first iteration (1-based) replacements may serve.
+	// Iterations before From are history; the caller should mark them
+	// satisfied in Base (≥ K), since no replacement can re-run them.
+	From int
+	// Base[t-1] is the coverage iteration t already has from surviving
+	// winners. Length must be Tg; entries must be non-negative.
+	Base []int
+	// Exclude bars clients from promotion: current and former winners
+	// (they are already committed or already failed) and any client the
+	// caller no longer trusts.
+	Exclude map[int]bool
+}
+
+// RepairResult is the outcome of Engine.Repair.
+type RepairResult struct {
+	// Feasible reports whether a replacement set restoring full coverage
+	// K on every iteration in [From, Tg] exists.
+	Feasible bool
+	// Cost is the total claimed price of the promoted schedules.
+	Cost float64
+	// Winners are the promoted replacements. BidIndex refers to the
+	// engine's original bid slice; Bid carries the residual window that
+	// was actually awarded (clamped to [From, Tg]); Slots ⊆ [From, Tg];
+	// Payment is the critical value in the residual market, so the
+	// re-award inherits the truthfulness of the original mechanism.
+	Winners []Winner
+	// Deficit lists the iterations (1-based, ≥ From) short of K under
+	// Base alone — the rounds that run under-covered when no repair
+	// exists.
+	Deficit []int
+}
+
+// Repair runs a critical-value-consistent re-award on the residual
+// market left by mid-session dropouts. It clamps every non-excluded
+// bid's availability window to [From, Tg], re-qualifies the clamped
+// population, and solves the winner-determination problem with the
+// surviving coverage pre-committed, so the greedy buys exactly the
+// missing coverage at minimum average cost and pays critical values in
+// that residual market. The engine's bid slice and shared context are
+// never mutated; Repair is safe for concurrent use like every other
+// Engine method.
+func (e *Engine) Repair(req RepairRequest) (RepairResult, error) {
+	cfg := e.ax.cfg
+	bids := e.ax.bids
+	if req.Tg < 1 || req.Tg > cfg.T {
+		return RepairResult{}, fmt.Errorf("core: repair Tg=%d outside [1,%d]", req.Tg, cfg.T)
+	}
+	if req.From < 1 || req.From > req.Tg {
+		return RepairResult{}, fmt.Errorf("core: repair From=%d outside [1,%d]", req.From, req.Tg)
+	}
+	if len(req.Base) != req.Tg {
+		return RepairResult{}, fmt.Errorf("core: repair base has %d entries, want %d", len(req.Base), req.Tg)
+	}
+	res := RepairResult{}
+	for t := req.From; t <= req.Tg; t++ {
+		g := req.Base[t-1]
+		if g < 0 {
+			return RepairResult{}, fmt.Errorf("core: repair base[%d]=%d is negative", t-1, g)
+		}
+		if g < cfg.K {
+			res.Deficit = append(res.Deficit, t)
+		}
+	}
+	if len(res.Deficit) == 0 {
+		res.Feasible = true // nothing to buy: the survivors still cover K
+		return res, nil
+	}
+
+	// Build the residual bid population: losing bids clamped to the
+	// remaining horizon. Rounds caps to the clamped window so the bids
+	// stay internally valid.
+	residual := make([]Bid, 0, len(bids))
+	orig := make([]int, 0, len(bids))
+	for idx, b := range bids {
+		if req.Exclude[b.Client] {
+			continue
+		}
+		lo, hi := b.Start, b.End
+		if lo < req.From {
+			lo = req.From
+		}
+		if hi > req.Tg {
+			hi = req.Tg
+		}
+		if lo > hi {
+			continue // window entirely in the past or beyond the horizon
+		}
+		rb := b
+		rb.Start, rb.End = lo, hi
+		if n := hi - lo + 1; rb.Rounds > n {
+			rb.Rounds = n
+		}
+		residual = append(residual, rb)
+		orig = append(orig, idx)
+	}
+	if len(residual) == 0 {
+		return res, nil
+	}
+	qualified := Qualified(residual, req.Tg, cfg)
+	if len(qualified) == 0 {
+		return res, nil
+	}
+	sc := acquireScratch(len(residual), req.Tg)
+	defer releaseScratch(sc)
+	wdp := solveWDP(residual, qualified, req.Tg, cfg, sc, nil, req.Base)
+	if !wdp.Feasible {
+		return res, nil
+	}
+	res.Feasible = true
+	res.Cost = wdp.Cost
+	res.Winners = wdp.Winners
+	for i := range res.Winners {
+		// Map back to the auction's bid slice; the Bid field keeps the
+		// clamped window that was actually awarded.
+		res.Winners[i].BidIndex = orig[res.Winners[i].BidIndex]
+	}
+	return res, nil
+}

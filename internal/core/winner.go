@@ -28,7 +28,7 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 		return WDPResult{Tg: tg}
 	}
 	sc := acquireScratch(len(bids), tg)
-	res := solveWDP(bids, qualified, tg, cfg, sc, nil)
+	res := solveWDP(bids, qualified, tg, cfg, sc, nil, nil)
 	releaseScratch(sc)
 	return res
 }
@@ -39,7 +39,14 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 // client grouping (clientBids may cover all bids, not just qualified
 // ones; pruning unqualified siblings is a no-op). Passing clientBids nil
 // builds the grouping from the qualified set, as the seed path did.
-func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, clientBids map[int][]int) WDPResult {
+//
+// base, when non-nil, pre-commits base[t-1] units of coverage to
+// iteration t before the greedy starts — the residual market of a
+// mid-session repair, where surviving winners already cover part of the
+// demand. The greedy then only buys the missing coverage; payments are
+// critical values in that residual market. base is read-only; nil keeps
+// the original empty-market behaviour bit-for-bit.
+func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, clientBids map[int][]int, base []int) WDPResult {
 	res := WDPResult{Tg: tg}
 	if tg < 1 || len(qualified) == 0 {
 		return res
@@ -51,7 +58,7 @@ func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, c
 		// an empty selection feasible.)
 		return res
 	}
-	w := sc.init(bids, qualified, tg, cfg, clientBids)
+	w := sc.init(bids, qualified, tg, cfg, clientBids, base)
 	target := cfg.K * tg
 	for w.covered < target {
 		e, ok := w.popValid(&sc.heapC, w.inC)
@@ -67,7 +74,7 @@ func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, c
 		res.Cost += win.Bid.Price
 	}
 	res.Dual = w.finalizeDual(cfg.K)
-	applyPaymentRule(bids, qualified, tg, cfg, w.clientBids, &res)
+	applyPaymentRule(bids, qualified, tg, cfg, w.clientBids, base, &res)
 	return res
 }
 
@@ -124,7 +131,7 @@ type wdpState struct {
 // the two selection heaps. It touches exactly the state the solve will
 // read, which is what makes pooled reuse safe without any clearing on
 // release.
-func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int) *wdpState {
+func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int) *wdpState {
 	w := &sc.state
 	*w = wdpState{
 		bids:       bids,
@@ -144,7 +151,16 @@ func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clie
 		psiMax:     sc.psiMax[:tg],
 	}
 	for t := 0; t < tg; t++ {
-		w.gamma[t] = 0
+		g := 0
+		if base != nil {
+			g = base[t]
+		}
+		w.gamma[t] = g
+		if g >= cfg.K {
+			w.covered += cfg.K
+		} else {
+			w.covered += g
+		}
 		w.slotBids[t] = w.slotBids[t][:0]
 		w.phiMax[t] = 0
 		w.phiMin[t] = math.Inf(1)
@@ -172,7 +188,19 @@ func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clie
 		// schedule can draw from: the whole window under the paper's
 		// least-covered rule, only the fixed earliest-fit slots otherwise.
 		slo, shi := w.slotRange(b)
-		w.m[idx] = shi - slo + 1
+		if base == nil {
+			w.m[idx] = shi - slo + 1
+		} else {
+			// Pre-committed coverage consumes slot capacity before the
+			// greedy starts: m counts only the still-open iterations.
+			n := 0
+			for t := slo; t <= shi; t++ {
+				if w.gamma[t-1] < cfg.K {
+					n++
+				}
+			}
+			w.m[idx] = n
+		}
 		for t := slo; t <= shi; t++ {
 			w.slotBids[t-1] = append(w.slotBids[t-1], idx)
 		}

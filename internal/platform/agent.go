@@ -64,6 +64,12 @@ func (a *Agent) recvTimeout() time.Duration {
 // connection closes, or a receive times out.
 func (a *Agent) Run(conn Conn) (AgentReport, error) {
 	report := AgentReport{}
+	// sent caches the update produced for each iteration so duplicated or
+	// retried round requests (the server re-sends after a timeout, and a
+	// faulty network may duplicate messages outright) are answered
+	// idempotently: the cached update is re-sent without retraining, so
+	// retries can neither double-count local work nor skew RoundsRun.
+	sent := make(map[int]*Update)
 	for {
 		msg, err := conn.Recv(a.recvTimeout())
 		if err != nil {
@@ -93,6 +99,12 @@ func (a *Agent) Run(conn Conn) (AgentReport, error) {
 			if a.Learner == nil {
 				continue
 			}
+			if u, ok := sent[msg.Round.Iteration]; ok {
+				if err := conn.Send(Message{Type: MsgUpdate, ClientID: a.ID, Update: u}); err != nil {
+					return report, fmt.Errorf("agent %d: resend update: %w", a.ID, err)
+				}
+				continue
+			}
 			w, iters, achieved := a.Learner.LocalUpdateAchieved(msg.Round.Weights, a.L2)
 			report.RoundsRun++
 			report.LocalIters += iters
@@ -103,6 +115,7 @@ func (a *Agent) Run(conn Conn) (AgentReport, error) {
 				LocalIters:    iters,
 				AchievedTheta: achieved,
 			}
+			sent[msg.Round.Iteration] = update
 			if err := conn.Send(Message{Type: MsgUpdate, ClientID: a.ID, Update: update}); err != nil {
 				return report, fmt.Errorf("agent %d: send update: %w", a.ID, err)
 			}

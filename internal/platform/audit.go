@@ -1,0 +1,121 @@
+package platform
+
+import "fmt"
+
+// AuditTranscript verifies that a completed session's transcript is a
+// legal protocol conversation from the server's point of view, for every
+// client independently:
+//
+//   - the first message to a client is the announcement, sent exactly once;
+//   - bids arrive only after the announcement;
+//   - awards (initial or repair promotions) follow the announcement;
+//   - round requests go only to clients that hold an award, with
+//     non-decreasing iteration numbers (equal numbers are retries);
+//   - every received update answers a round request actually sent to that
+//     client with that iteration number;
+//   - settlement is exactly one payment (with a non-negative amount)
+//     followed by exactly one goodbye, and nothing after the goodbye.
+//
+// Chaos testing replays this audit over every fault schedule: whatever
+// the network drops, delays or duplicates, the server must never emit an
+// out-of-order conversation.
+func AuditTranscript(entries []TranscriptEntry) error {
+	type clientState struct {
+		announced bool
+		awarded   bool
+		lastRound int
+		rounds    map[int]bool // iterations requested from this client
+		paid      bool
+		bye       bool
+	}
+	states := make(map[int]*clientState)
+	state := func(id int) *clientState {
+		st := states[id]
+		if st == nil {
+			st = &clientState{rounds: make(map[int]bool)}
+			states[id] = st
+		}
+		return st
+	}
+	for i, e := range entries {
+		st := state(e.Client)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("transcript entry %d (client %d, %s %s): %s",
+				i, e.Client, e.Dir, e.Type, fmt.Sprintf(format, args...))
+		}
+		if st.bye {
+			return fail("traffic after goodbye")
+		}
+		switch e.Dir {
+		case "send":
+			switch e.Type {
+			case MsgAnnounce:
+				if st.announced {
+					return fail("duplicate announcement")
+				}
+				st.announced = true
+			case MsgAward:
+				if !st.announced {
+					return fail("award before announcement")
+				}
+				if e.Won {
+					st.awarded = true
+				}
+				if e.Amount < 0 {
+					return fail("negative award payment %v", e.Amount)
+				}
+			case MsgRound:
+				if !st.awarded {
+					return fail("round request without a winning award")
+				}
+				if e.Iteration < 1 {
+					return fail("iteration %d < 1", e.Iteration)
+				}
+				if e.Iteration < st.lastRound {
+					return fail("iteration went backwards: %d after %d", e.Iteration, st.lastRound)
+				}
+				st.lastRound = e.Iteration
+				st.rounds[e.Iteration] = true
+			case MsgPayment:
+				if !st.announced {
+					return fail("payment before announcement")
+				}
+				if st.paid {
+					return fail("duplicate payment")
+				}
+				if e.Amount < 0 {
+					return fail("negative payment %v", e.Amount)
+				}
+				st.paid = true
+			case MsgBye:
+				if !st.paid {
+					return fail("goodbye before payment")
+				}
+				st.bye = true
+			default:
+				return fail("server never sends this type")
+			}
+		case "recv":
+			switch e.Type {
+			case MsgBids:
+				if !st.announced {
+					return fail("bids before announcement")
+				}
+			case MsgUpdate:
+				if !st.rounds[e.Iteration] {
+					return fail("update for iteration %d never requested", e.Iteration)
+				}
+			default:
+				return fail("server never accepts this type")
+			}
+		default:
+			return fail("unknown direction %q", e.Dir)
+		}
+	}
+	for id, st := range states {
+		if st.announced && !st.bye {
+			return fmt.Errorf("transcript: client %d never received a goodbye", id)
+		}
+	}
+	return nil
+}

@@ -13,17 +13,18 @@ import (
 // truthfulness-in-θ argument: a client that promises a stricter local
 // accuracy than it actually trains to is detected and forfeits payment.
 func TestAccuracyAudit(t *testing.T) {
+	clk := NewVirtualClock()
 	rng := stats.NewRNG(21)
 	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 600, Dim: 4})
 	shards := fl.PartitionIID(rng, ds, 6)
 	job := Job{Name: "audit", T: 5, K: 2, TMax: 60, Dim: 4}
-	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 2 * time.Second})
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 2 * time.Second, Clock: clk})
 
 	serverConns := make(map[int]Conn)
 	var agents []*Agent
 	var agentConns []Conn
 	for i := 0; i < 6; i++ {
-		sc, ac := Pipe(64)
+		sc, ac := VirtualPipe(clk)
 		serverConns[i] = sc
 		theta := 0.5
 		learnerTheta := theta
@@ -43,11 +44,11 @@ func TestAccuracyAudit(t *testing.T) {
 			}},
 			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: learnerTheta, LR: 0.4},
 			L2:          0.01,
-			RecvTimeout: 15 * time.Second,
+			RecvTimeout: 120 * time.Second,
 		})
 		agentConns = append(agentConns, ac)
 	}
-	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	report, agentReports := runSession(t, clk, server, serverConns, agents, agentConns)
 	if !report.Auction.Feasible {
 		t.Fatal("auction infeasible")
 	}
@@ -88,6 +89,7 @@ func TestAccuracyAudit(t *testing.T) {
 
 // TestAuditDisabled confirms a negative tolerance turns the audit off.
 func TestAuditDisabled(t *testing.T) {
+	clk := NewVirtualClock()
 	rng := stats.NewRNG(22)
 	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 400, Dim: 3})
 	shards := fl.PartitionIID(rng, ds, 4)
@@ -96,12 +98,13 @@ func TestAuditDisabled(t *testing.T) {
 		Job: job, L2: 0.01, Eval: ds,
 		RecvTimeout:    2 * time.Second,
 		ThetaTolerance: -1,
+		Clock:          clk,
 	})
 	serverConns := make(map[int]Conn)
 	var agents []*Agent
 	var agentConns []Conn
 	for i := 0; i < 4; i++ {
-		sc, ac := Pipe(64)
+		sc, ac := VirtualPipe(clk)
 		serverConns[i] = sc
 		agents = append(agents, &Agent{
 			ID: i,
@@ -113,11 +116,11 @@ func TestAuditDisabled(t *testing.T) {
 			// penalized for it.
 			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: 0.95, LR: 0.4},
 			L2:          0.01,
-			RecvTimeout: 15 * time.Second,
+			RecvTimeout: 120 * time.Second,
 		})
 		agentConns = append(agentConns, ac)
 	}
-	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	report, _ := runSession(t, clk, server, serverConns, agents, agentConns)
 	if !report.Auction.Feasible {
 		t.Skip("auction infeasible")
 	}
@@ -138,17 +141,18 @@ func TestAuditDisabled(t *testing.T) {
 // but is truly available only through iteration 2 wins with the longer
 // window, misses its later scheduled rounds, and forfeits payment.
 func TestWindowMisreportForfeitsPayment(t *testing.T) {
+	clk := NewVirtualClock()
 	rng := stats.NewRNG(33)
 	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 600, Dim: 4})
 	shards := fl.PartitionIID(rng, ds, 6)
 	job := Job{Name: "window", T: 6, K: 2, TMax: 60, Dim: 4}
-	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 300 * time.Millisecond})
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 300 * time.Millisecond, Clock: clk})
 
 	serverConns := make(map[int]Conn)
 	var agents []*Agent
 	var agentConns []Conn
 	for i := 0; i < 6; i++ {
-		sc, ac := Pipe(64)
+		sc, ac := VirtualPipe(clk)
 		serverConns[i] = sc
 		a := &Agent{
 			ID: i,
@@ -158,7 +162,7 @@ func TestWindowMisreportForfeitsPayment(t *testing.T) {
 			}},
 			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
 			L2:          0.01,
-			RecvTimeout: 15 * time.Second,
+			RecvTimeout: 120 * time.Second,
 		}
 		agents = append(agents, a)
 		agentConns = append(agentConns, ac)
@@ -168,7 +172,7 @@ func TestWindowMisreportForfeitsPayment(t *testing.T) {
 	agents[0].Bids[0].Price = 1
 	agents[0].Behavior.UnavailableAfter = 2
 
-	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	report, agentReports := runSession(t, clk, server, serverConns, agents, agentConns)
 	if !report.Auction.Feasible {
 		t.Skip("auction infeasible")
 	}

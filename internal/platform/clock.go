@@ -1,0 +1,24 @@
+package platform
+
+import "time"
+
+// Clock abstracts time for the session runtime: receive deadlines, retry
+// backoff and straggler accounting all go through it, so tests can drive
+// whole sessions on a deterministic virtual clock (see VirtualClock)
+// while production uses the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks the caller for the given duration.
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now/time.Sleep clock. It is the default
+// wherever a Clock is optional.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }

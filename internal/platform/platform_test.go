@@ -11,9 +11,12 @@ import (
 )
 
 // testSession builds a small but complete FL marketplace: 8 clients with
-// shards of a synthetic task, each bidding one window.
-func testSession(t *testing.T, mutate func(agents []*Agent)) (*Server, map[int]Conn, []*Agent, []Conn) {
+// shards of a synthetic task, each bidding one window. The whole session
+// runs on a virtual clock, so timeouts cost no wall time and every
+// schedule is deterministic.
+func testSession(t *testing.T, mutate func(agents []*Agent)) (*VirtualClock, *Server, map[int]Conn, []*Agent, []Conn) {
 	t.Helper()
+	clk := NewVirtualClock()
 	rng := stats.NewRNG(42)
 	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 800, Dim: 4})
 	shards := fl.PartitionIID(rng, ds, 8)
@@ -23,12 +26,13 @@ func testSession(t *testing.T, mutate func(agents []*Agent)) (*Server, map[int]C
 		L2:          0.01,
 		Eval:        ds,
 		RecvTimeout: 2 * time.Second,
+		Clock:       clk,
 	})
 	serverConns := make(map[int]Conn)
 	var agents []*Agent
 	var agentConns []Conn
 	for i := 0; i < 8; i++ {
-		sc, ac := Pipe(64)
+		sc, ac := VirtualPipe(clk)
 		serverConns[i] = sc
 		start := 1 + i%3
 		end := start + 3
@@ -48,47 +52,49 @@ func testSession(t *testing.T, mutate func(agents []*Agent)) (*Server, map[int]C
 			}},
 			Learner: &fl.Client{ID: i, Data: shards[i], Theta: 0.5, LR: 0.4},
 			L2:      0.01,
-			// Longer than the server's per-phase timeout so an agent that
-			// ignores a round request is still listening at settlement.
-			RecvTimeout: 15 * time.Second,
+			// Longer than the server's worst-case sequence of per-phase
+			// timeouts so an agent that ignores a round request is still
+			// listening at settlement. Virtual time makes this free.
+			RecvTimeout: 120 * time.Second,
 		})
 		agentConns = append(agentConns, ac)
 	}
 	if mutate != nil {
 		mutate(agents)
 	}
-	return server, serverConns, agents, agentConns
+	return clk, server, serverConns, agents, agentConns
 }
 
-func runSession(t *testing.T, server *Server, serverConns map[int]Conn, agents []*Agent, agentConns []Conn) (SessionReport, []AgentReport) {
+func runSession(t *testing.T, clk *VirtualClock, server *Server, serverConns map[int]Conn, agents []*Agent, agentConns []Conn) (SessionReport, []AgentReport) {
 	t.Helper()
 	reports := make([]AgentReport, len(agents))
-	var wg sync.WaitGroup
 	for i, a := range agents {
-		wg.Add(1)
-		go func(i int, a *Agent) {
-			defer wg.Done()
+		clk.Go(func() {
 			r, err := a.Run(agentConns[i])
 			if err != nil {
 				t.Errorf("agent %d: %v", a.ID, err)
 			}
 			reports[i] = r
-		}(i, a)
+		})
 	}
-	report, err := server.RunSession(serverConns)
-	if err != nil {
-		t.Fatalf("server: %v", err)
+	var report SessionReport
+	var serverErr error
+	clk.Go(func() {
+		report, serverErr = server.RunSession(serverConns)
+		for _, c := range serverConns {
+			c.Close()
+		}
+	})
+	clk.Wait()
+	if serverErr != nil {
+		t.Fatalf("server: %v", serverErr)
 	}
-	for _, c := range serverConns {
-		c.Close()
-	}
-	wg.Wait()
 	return report, reports
 }
 
 func TestFullSessionInMemory(t *testing.T) {
-	server, serverConns, agents, agentConns := testSession(t, nil)
-	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	clk, server, serverConns, agents, agentConns := testSession(t, nil)
+	report, agentReports := runSession(t, clk, server, serverConns, agents, agentConns)
 
 	if report.ClientsBid != 8 {
 		t.Fatalf("ClientsBid = %d, want 8", report.ClientsBid)
@@ -143,13 +149,13 @@ func TestFullSessionInMemory(t *testing.T) {
 }
 
 func TestSessionWithDropout(t *testing.T) {
-	server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
+	clk, server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
 		// Make every agent cheap except the dropper, so the dropper wins.
 		agents[0].Behavior.DropAfterRounds = 1
 		agents[0].Bids[0].Price = 1
 	})
 	server.cfg.RecvTimeout = 300 * time.Millisecond
-	report, agentReports := runSession(t, server, serverConns, agents, agentConns)
+	report, agentReports := runSession(t, clk, server, serverConns, agents, agentConns)
 	if !report.Auction.Feasible {
 		t.Skip("auction infeasible in this configuration")
 	}
@@ -186,12 +192,12 @@ func TestSessionWithDropout(t *testing.T) {
 }
 
 func TestSessionWithSilentClient(t *testing.T) {
-	server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
+	clk, server, serverConns, agents, agentConns := testSession(t, func(agents []*Agent) {
 		agents[3].Behavior.Silent = true
 	})
-	// Short bid timeout so the silent client doesn't stall the test.
+	// Short bid timeout: 200ms of virtual time for the silent client.
 	server.cfg.RecvTimeout = 200 * time.Millisecond
-	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	report, _ := runSession(t, clk, server, serverConns, agents, agentConns)
 	if report.ClientsBid != 7 {
 		t.Fatalf("ClientsBid = %d, want 7 (one silent)", report.ClientsBid)
 	}
@@ -415,16 +421,16 @@ func TestLargeSessionSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
+	clk := NewVirtualClock()
 	rng := stats.NewRNG(606)
 	ds, _ := fl.GenerateSynthetic(rng, fl.SyntheticOptions{Samples: 2000, Dim: 4})
 	shards := fl.PartitionIID(rng, ds, 50)
 	job := Job{Name: "soak", T: 10, K: 6, TMax: 60, Dim: 4}
-	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 5 * time.Second})
+	server := NewServer(ServerConfig{Job: job, L2: 0.01, Eval: ds, RecvTimeout: 5 * time.Second, Clock: clk})
 	serverConns := make(map[int]Conn, 50)
 	reports := make([]AgentReport, 50)
-	var wg sync.WaitGroup
 	for i := 0; i < 50; i++ {
-		sc, ac := Pipe(64)
+		sc, ac := VirtualPipe(clk)
 		serverConns[i] = sc
 		theta := rng.FloatRange(0.4, 0.7)
 		start := rng.IntRange(1, 3)
@@ -438,26 +444,28 @@ func TestLargeSessionSoak(t *testing.T) {
 			}},
 			Learner:     &fl.Client{ID: i, Data: shards[i], Theta: theta, LR: 0.4},
 			L2:          0.01,
-			RecvTimeout: 20 * time.Second,
+			RecvTimeout: 300 * time.Second,
 		}
-		wg.Add(1)
-		go func(i int, a *Agent, c Conn) {
-			defer wg.Done()
-			r, err := a.Run(c)
+		clk.Go(func() {
+			r, err := a.Run(ac)
 			if err != nil {
 				t.Errorf("agent %d: %v", i, err)
 			}
 			reports[i] = r
-		}(i, a, ac)
+		})
 	}
-	report, err := server.RunSession(serverConns)
-	if err != nil {
-		t.Fatal(err)
+	var report SessionReport
+	var serverErr error
+	clk.Go(func() {
+		report, serverErr = server.RunSession(serverConns)
+		for _, c := range serverConns {
+			c.Close()
+		}
+	})
+	clk.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
 	}
-	for _, c := range serverConns {
-		c.Close()
-	}
-	wg.Wait()
 	if !report.Auction.Feasible {
 		t.Fatal("soak auction infeasible")
 	}

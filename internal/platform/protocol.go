@@ -59,6 +59,9 @@ type Award struct {
 	// honors its schedule.
 	Payment float64 `json:"payment"`
 	Tg      int     `json:"tg"`
+	// Repair marks a mid-session promotion: a losing bid re-awarded to
+	// replace a dropped winner. Absent on the initial award round.
+	Repair bool `json:"repair,omitempty"`
 }
 
 // Round asks a client to produce a local update for one global iteration.

@@ -22,6 +22,18 @@ type ServerConfig struct {
 	Eval fl.Dataset
 	// RecvTimeout bounds every per-client receive. Zero means 5s.
 	RecvTimeout time.Duration
+	// Retry bounds re-delivery of round requests to unresponsive winners.
+	// The zero value grants a single attempt (no retry), the historical
+	// behaviour.
+	Retry RetryPolicy
+	// Clock supplies time for receive deadlines and retry backoff. Nil
+	// means the wall clock; sessions driven over VirtualPipe connections
+	// must share the connections' VirtualClock.
+	Clock Clock
+	// DisableRepair switches off mid-session coverage repair: rounds a
+	// dropped winner leaves short of K then simply run under-covered
+	// (and are flagged in their RoundReport).
+	DisableRepair bool
 	// ThetaTolerance is the audit slack: a winner whose reported achieved
 	// accuracy exceeds its promised θ by more than this (additively) in
 	// any round forfeits payment. Zero means 0.05; negative disables the
@@ -31,6 +43,28 @@ type ServerConfig struct {
 	// message the server sends or receives (payload bodies elided). Use
 	// ReadTranscript to parse it back.
 	Transcript io.Writer
+}
+
+// RetryPolicy governs per-message fault tolerance on the server side: an
+// unresponsive winner gets Attempts deliveries of each round request,
+// each with a full RecvTimeout to answer, separated by a backoff that
+// doubles after every failure. A client that answers only after a retry
+// is counted as a straggler; one that exhausts all attempts is declared
+// dropped and triggers coverage repair.
+type RetryPolicy struct {
+	// Attempts is the total number of delivery attempts per round request
+	// (1 = no retry). Zero means 1.
+	Attempts int
+	// Backoff is the pause before the second attempt, doubling on each
+	// further one. Zero retries immediately.
+	Backoff time.Duration
+}
+
+func (r RetryPolicy) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
 }
 
 func (c ServerConfig) thetaTolerance() float64 {
@@ -47,6 +81,13 @@ func (c ServerConfig) recvTimeout() time.Duration {
 	return c.RecvTimeout
 }
 
+func (c ServerConfig) clock() Clock {
+	if c.Clock == nil {
+		return WallClock{}
+	}
+	return c.Clock
+}
+
 // RoundReport summarizes one global iteration of a session.
 type RoundReport struct {
 	Iteration int
@@ -57,9 +98,40 @@ type RoundReport struct {
 	// their promised θ this round (their updates are still aggregated,
 	// but they forfeit payment at settlement).
 	Violations []int
-	GradNorm   float64
-	Loss       float64
-	Accuracy   float64
+	// Stragglers lists clients that answered only after at least one
+	// retried round request.
+	Stragglers []int
+	// Promoted lists clients first scheduled into this round by a
+	// coverage repair (replacements for dropped winners).
+	Promoted []int
+	// UnderCovered marks a round that closed with fewer than K
+	// aggregated updates: a winner dropped and no repair existed.
+	UnderCovered bool
+	GradNorm     float64
+	Loss         float64
+	Accuracy     float64
+}
+
+// RepairRecord documents one mid-session coverage repair attempt.
+type RepairRecord struct {
+	// Round is the iteration in which the drop was detected.
+	Round int
+	// Dropped lists the clients newly declared dropped this round.
+	Dropped []int
+	// Promoted lists clients awarded replacement schedules.
+	Promoted []int
+	// Awards are the replacement awards: critical-value payments in the
+	// residual market, slots within [CoveredFrom, Tg].
+	Awards []core.Winner
+	// Payments is the total replacement payment volume.
+	Payments float64
+	// Repaired reports whether a replacement set restored coverage.
+	// False means the affected rounds run under-covered and flagged.
+	Repaired bool
+	// CoveredFrom is the first iteration from which coverage is restored:
+	// Round itself when the current round could still be repaired,
+	// Round+1 when only future rounds could, 0 when none.
+	CoveredFrom int
 }
 
 // SessionReport is the outcome of Server.RunSession.
@@ -74,6 +146,9 @@ type SessionReport struct {
 	Ledger *Ledger
 	// ClientsBid counts clients that submitted bids in time.
 	ClientsBid int
+	// Repairs documents every mid-session coverage repair attempt, in
+	// detection order.
+	Repairs []RepairRecord
 }
 
 // Server is the cloud auctioneer of Fig. 1.
@@ -93,6 +168,7 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 	report := SessionReport{Ledger: &Ledger{}}
 	cfg := s.auctionConfig()
 	timeout := s.cfg.recvTimeout()
+	clk := s.cfg.clock()
 
 	if tr := newTranscript(s.cfg.Transcript); tr != nil {
 		wrapped := make(map[int]Conn, len(conns))
@@ -120,7 +196,7 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 	// excluded, not fatal.
 	var bids []core.Bid
 	for _, id := range ids {
-		msg, err := recvType(conns[id], MsgBids, timeout)
+		msg, err := recvType(conns[id], clk, MsgBids, timeout)
 		if err != nil {
 			continue
 		}
@@ -135,13 +211,18 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 		report.ClientsBid++
 	}
 
-	// Phase 3: run A_FL.
+	// Phase 3: run A_FL. The engine is retained for mid-session coverage
+	// repair: re-awards reuse its precomputed qualification context, so
+	// replacement payments stay critical values (Engine.Run is
+	// bit-identical to RunAuction).
+	var eng *core.Engine
 	if len(bids) > 0 {
-		res, err := core.RunAuction(bids, cfg)
+		var err error
+		eng, err = core.NewEngine(bids, cfg)
 		if err != nil {
 			return report, fmt.Errorf("auction: %w", err)
 		}
-		report.Auction = res
+		report.Auction = eng.Run()
 	}
 	winners := make(map[int]core.Winner)
 	for _, w := range report.Auction.Winners {
@@ -181,32 +262,56 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 			}
 			_ = conns[id].Send(Message{Type: MsgRound, Round: &Round{Iteration: t, Weights: weights}})
 		}
+		// Collect updates; when a winner exhausts its delivery attempts it
+		// is declared dropped and the lost coverage is re-bought from the
+		// losing bids (replacements scheduled for this very round are
+		// asked immediately and collected on the next pass).
+		updates := make(map[int]*Update, len(scheduled))
+		pending := scheduled
+		for len(pending) > 0 {
+			var droppedNow []int
+			for _, id := range pending {
+				if failed[id] == "dropped out" {
+					continue
+				}
+				msg, attempts, err := s.collectUpdate(conns[id], clk, t, weights, timeout)
+				if err != nil {
+					failed[id] = "dropped out"
+					rr.Failed = append(rr.Failed, id)
+					droppedNow = append(droppedNow, id)
+					continue
+				}
+				if attempts > 1 {
+					rr.Stragglers = append(rr.Stragglers, id)
+				}
+				rr.Responded = append(rr.Responded, id)
+				// Audit the achieved local accuracy against the promise.
+				if tol >= 0 && msg.Update.AchievedTheta > winners[id].Bid.Theta+tol {
+					if failed[id] == "" {
+						failed[id] = "accuracy violated"
+					}
+					rr.Violations = append(rr.Violations, id)
+				}
+				updates[id] = msg.Update
+			}
+			if len(droppedNow) == 0 || eng == nil || s.cfg.DisableRepair {
+				break
+			}
+			pending = s.repairCoverage(t, droppedNow, eng, conns, winners, failed, schedule, weights, &report)
+			rr.Promoted = append(rr.Promoted, pending...)
+		}
+		// Aggregate (FedAvg) in responder order: originally scheduled
+		// clients first, then promoted replacements, both deterministic.
 		sumW := make([]float64, len(weights))
 		var total float64
-		for _, id := range scheduled {
-			if failed[id] == "dropped out" {
-				continue
-			}
-			msg, err := recvUpdate(conns[id], t, timeout)
-			if err != nil {
-				failed[id] = "dropped out"
-				rr.Failed = append(rr.Failed, id)
-				continue
-			}
-			rr.Responded = append(rr.Responded, id)
-			// Audit the achieved local accuracy against the promise.
-			if tol >= 0 && msg.Update.AchievedTheta > winners[id].Bid.Theta+tol {
-				if failed[id] == "" {
-					failed[id] = "accuracy violated"
-				}
-				rr.Violations = append(rr.Violations, id)
-			}
-			n := float64(msg.Update.Samples)
+		for _, id := range rr.Responded {
+			upd := updates[id]
+			n := float64(upd.Samples)
 			if n <= 0 {
 				n = 1
 			}
 			for j := range sumW {
-				sumW[j] += n * msg.Update.Weights[j]
+				sumW[j] += n * upd.Weights[j]
 			}
 			total += n
 		}
@@ -215,6 +320,7 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 				weights[j] = sumW[j] / total
 			}
 		}
+		rr.UnderCovered = len(rr.Responded) < cfg.K
 		if s.cfg.Eval.Len() > 0 {
 			rr.GradNorm = fl.Norm(fl.Grad(weights, s.cfg.Eval, s.cfg.L2))
 			rr.Loss = fl.Loss(weights, s.cfg.Eval, s.cfg.L2)
@@ -267,12 +373,120 @@ func (s *Server) auctionConfig() core.Config {
 	return cfg
 }
 
+// collectUpdate waits for a client's update for iteration t, re-sending
+// the round request per the retry policy with doubling backoff. It
+// returns the update alongside the number of delivery attempts consumed
+// (> 1 marks the client a straggler).
+func (s *Server) collectUpdate(c Conn, clk Clock, t int, weights []float64, timeout time.Duration) (Message, int, error) {
+	attempts := s.cfg.Retry.attempts()
+	backoff := s.cfg.Retry.Backoff
+	for a := 1; ; a++ {
+		msg, err := recvUpdate(c, clk, t, timeout)
+		if err == nil {
+			return msg, a, nil
+		}
+		if a >= attempts {
+			return Message{}, a, err
+		}
+		if backoff > 0 {
+			clk.Sleep(backoff)
+			backoff *= 2
+		}
+		_ = c.Send(Message{Type: MsgRound, Round: &Round{Iteration: t, Weights: weights}})
+	}
+}
+
+// repairCoverage runs the graceful-degradation path after the clients in
+// dropped exhausted their delivery attempts at round t: it asks the
+// auction engine for a critical-value-consistent re-award on the residual
+// market (losing bids clamped to the remaining horizon, surviving
+// coverage pre-committed), notifies the promoted replacements, splices
+// them into the schedule, and records the attempt in the session report.
+// When no replacement set restores coverage — not even conceding the
+// current round — nothing is promoted and the short rounds run flagged.
+// It returns the promoted clients whose replacement schedule includes
+// round t itself; the caller collects their updates next.
+func (s *Server) repairCoverage(t int, dropped []int, eng *core.Engine, conns map[int]Conn, winners map[int]core.Winner, failed map[int]string, schedule [][]int, weights []float64, report *SessionReport) []int {
+	tg := report.Auction.Tg
+	k := s.auctionConfig().K
+	rec := RepairRecord{Round: t, Dropped: append([]int(nil), dropped...)}
+	sort.Ints(rec.Dropped)
+
+	base := make([]int, tg)
+	for i := 0; i < t-1; i++ {
+		base[i] = k // history cannot be re-covered; treat it as satisfied
+	}
+	for id, w := range winners {
+		if failed[id] == "dropped out" {
+			continue
+		}
+		for _, slot := range w.Slots {
+			if slot >= t {
+				base[slot-1]++
+			}
+		}
+	}
+	exclude := make(map[int]bool, len(winners)+len(failed))
+	for id := range winners {
+		exclude[id] = true
+	}
+	for id := range failed {
+		exclude[id] = true
+	}
+
+	req := core.RepairRequest{Tg: tg, From: t, Base: base, Exclude: exclude}
+	res, err := eng.Repair(req)
+	coveredFrom := t
+	if err == nil && !res.Feasible && t < tg {
+		// The current round may be unrepairable (its collection window is
+		// nearly over) while the future is not: concede round t — it will
+		// be flagged under-covered — and repair from t+1.
+		next := append([]int(nil), base...)
+		next[t-1] = k
+		req.From, req.Base = t+1, next
+		if res2, err2 := eng.Repair(req); err2 == nil && res2.Feasible {
+			res, coveredFrom = res2, t+1
+		}
+	}
+	if err != nil || !res.Feasible {
+		report.Repairs = append(report.Repairs, rec)
+		return nil
+	}
+	rec.Repaired = true
+	rec.CoveredFrom = coveredFrom
+	rec.Awards = res.Winners
+	var now []int
+	for _, w := range res.Winners {
+		id := w.Bid.Client
+		winners[id] = w
+		rec.Promoted = append(rec.Promoted, id)
+		rec.Payments += w.Payment
+		_ = conns[id].Send(Message{Type: MsgAward, Award: &Award{
+			Won: true, BidIndex: w.Bid.Index, Slots: w.Slots,
+			Payment: w.Payment, Tg: tg, Repair: true,
+		}})
+		for _, slot := range w.Slots {
+			switch {
+			case slot == t:
+				now = append(now, id)
+			case slot > t:
+				schedule[slot-1] = append(schedule[slot-1], id)
+			}
+		}
+	}
+	for _, id := range now {
+		_ = conns[id].Send(Message{Type: MsgRound, Round: &Round{Iteration: t, Weights: weights}})
+	}
+	report.Repairs = append(report.Repairs, rec)
+	return now
+}
+
 // recvType reads until a message of the wanted type arrives (discarding
-// stale messages) or the timeout budget is spent.
-func recvType(c Conn, want MsgType, timeout time.Duration) (Message, error) {
-	deadline := time.Now().Add(timeout)
+// stale messages) or the timeout budget of clock time is spent.
+func recvType(c Conn, clk Clock, want MsgType, timeout time.Duration) (Message, error) {
+	deadline := clk.Now().Add(timeout)
 	for {
-		remain := time.Until(deadline)
+		remain := deadline.Sub(clk.Now())
 		if remain <= 0 {
 			return Message{}, ErrTimeout
 		}
@@ -286,11 +500,13 @@ func recvType(c Conn, want MsgType, timeout time.Duration) (Message, error) {
 	}
 }
 
-// recvUpdate reads until an update for the given iteration arrives.
-func recvUpdate(c Conn, iteration int, timeout time.Duration) (Message, error) {
-	deadline := time.Now().Add(timeout)
+// recvUpdate reads until an update for the given iteration arrives,
+// discarding stale traffic (duplicated or late updates of earlier
+// iterations, re-sent bids) within the same deadline budget.
+func recvUpdate(c Conn, clk Clock, iteration int, timeout time.Duration) (Message, error) {
+	deadline := clk.Now().Add(timeout)
 	for {
-		remain := time.Until(deadline)
+		remain := deadline.Sub(clk.Now())
 		if remain <= 0 {
 			return Message{}, ErrTimeout
 		}

@@ -9,9 +9,9 @@ import (
 
 func TestSessionTranscript(t *testing.T) {
 	var buf syncBuffer
-	server, serverConns, agents, agentConns := testSession(t, nil)
+	clk, server, serverConns, agents, agentConns := testSession(t, nil)
 	server.cfg.Transcript = &buf
-	report, _ := runSession(t, server, serverConns, agents, agentConns)
+	report, _ := runSession(t, clk, server, serverConns, agents, agentConns)
 	if !report.Auction.Feasible {
 		t.Fatal("auction infeasible")
 	}

@@ -1,0 +1,137 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockSleepAdvancesDeterministically(t *testing.T) {
+	clk := NewVirtualClock()
+	start := clk.Now()
+	var wake3, wake5 time.Time
+	clk.Go(func() {
+		clk.Sleep(5 * time.Second)
+		wake5 = clk.Now()
+	})
+	clk.Go(func() {
+		clk.Sleep(3 * time.Second)
+		wake3 = clk.Now()
+		clk.Sleep(10 * time.Second)
+	})
+	clk.Wait()
+	if got := wake3.Sub(start); got != 3*time.Second {
+		t.Fatalf("3s sleeper woke after %v", got)
+	}
+	if got := wake5.Sub(start); got != 5*time.Second {
+		t.Fatalf("5s sleeper woke after %v", got)
+	}
+	if got := clk.Now().Sub(start); got != 13*time.Second {
+		t.Fatalf("clock ended at +%v, want +13s", got)
+	}
+}
+
+func TestVirtualPipeDeliversInOrder(t *testing.T) {
+	clk := NewVirtualClock()
+	a, b := VirtualPipe(clk)
+	var got []int
+	clk.Go(func() {
+		for i := 1; i <= 3; i++ {
+			_ = a.Send(Message{Type: MsgRound, Round: &Round{Iteration: i}})
+		}
+	})
+	clk.Go(func() {
+		for range 3 {
+			m, err := b.Recv(time.Second)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, m.Round.Iteration)
+		}
+	})
+	clk.Wait()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("messages out of order: %v", got)
+	}
+}
+
+func TestVirtualPipeDelayReorders(t *testing.T) {
+	clk := NewVirtualClock()
+	a, b := VirtualPipe(clk)
+	ds := a.(DelayedSender)
+	var got []int
+	clk.Go(func() {
+		_ = ds.SendDelayed(Message{Type: MsgRound, Round: &Round{Iteration: 1}}, 10*time.Millisecond)
+		_ = a.Send(Message{Type: MsgRound, Round: &Round{Iteration: 2}})
+	})
+	clk.Go(func() {
+		for range 2 {
+			m, err := b.Recv(time.Second)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, m.Round.Iteration)
+		}
+	})
+	clk.Wait()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("delayed message should arrive second: %v", got)
+	}
+}
+
+func TestVirtualPipeTimeoutAndTieBreak(t *testing.T) {
+	clk := NewVirtualClock()
+	a, b := VirtualPipe(clk)
+	ds := a.(DelayedSender)
+
+	// A message landing exactly at the receive deadline is delivered:
+	// delivery beats deadline at ties.
+	_ = ds.SendDelayed(Message{Type: MsgBye}, 5*time.Second)
+	var tieMsg Message
+	var tieErr error
+	clk.Go(func() {
+		tieMsg, tieErr = b.Recv(5 * time.Second)
+	})
+	clk.Wait()
+	if tieErr != nil || tieMsg.Type != MsgBye {
+		t.Fatalf("tie should deliver the message, got (%v, %v)", tieMsg.Type, tieErr)
+	}
+
+	// With nothing in flight the receive times out at its virtual deadline.
+	start := clk.Now()
+	var toErr error
+	clk.Go(func() {
+		_, toErr = b.Recv(2 * time.Second)
+	})
+	clk.Wait()
+	if !errors.Is(toErr, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", toErr)
+	}
+	if got := clk.Now().Sub(start); got != 2*time.Second {
+		t.Fatalf("timeout consumed %v of virtual time, want 2s", got)
+	}
+}
+
+func TestVirtualPipeCloseDrainsThenFails(t *testing.T) {
+	clk := NewVirtualClock()
+	a, b := VirtualPipe(clk)
+	_ = a.Send(Message{Type: MsgBye})
+	_ = a.Close()
+	var first, second error
+	clk.Go(func() {
+		_, first = b.Recv(time.Second)
+		_, second = b.Recv(time.Second)
+	})
+	clk.Wait()
+	if first != nil {
+		t.Fatalf("queued message should drain after close, got %v", first)
+	}
+	if !errors.Is(second, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", second)
+	}
+	if err := a.Send(Message{Type: MsgBye}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed pipe: want ErrClosed, got %v", err)
+	}
+}

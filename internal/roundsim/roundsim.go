@@ -33,7 +33,13 @@ type Options struct {
 	// LocalIters maps θ to local iterations. Nil selects the paper's
 	// simplified ⌊10(1−θ)⌋.
 	LocalIters core.LocalIterFunc
-	// Seed drives the jitter draws.
+	// DropoutProb is the per-participation probability that a scheduled
+	// client vanishes mid-round (crash, network partition) and returns
+	// nothing — distinct from a straggler, which finishes but too late.
+	// Zero draws nothing from the RNG, so the zero path is bit-identical
+	// to a simulation without the option.
+	DropoutProb float64
+	// Seed drives the jitter and dropout draws.
 	Seed int64
 }
 
@@ -43,9 +49,11 @@ type RoundTiming struct {
 	// Duration is the wall-clock time of the round: the slowest on-time
 	// participant (or the cutoff when stragglers were dropped).
 	Duration float64
-	// OnTime and Stragglers partition the scheduled participants.
+	// OnTime, Stragglers and Dropouts partition the scheduled
+	// participants: finished in time, finished late, never returned.
 	OnTime     int
 	Stragglers int
+	Dropouts   int
 	// Failed is set when fewer than K participants finished on time.
 	Failed bool
 }
@@ -59,12 +67,18 @@ type Result struct {
 	FailedRounds int
 	// StragglerRate is the fraction of scheduled participations cut off.
 	StragglerRate float64
+	// Dropouts counts scheduled participations that never returned.
+	Dropouts int
 }
 
 // String summarizes the execution.
 func (r Result) String() string {
-	return fmt.Sprintf("rounds=%d makespan=%.1f failed=%d stragglers=%.1f%%",
+	s := fmt.Sprintf("rounds=%d makespan=%.1f failed=%d stragglers=%.1f%%",
 		len(r.Rounds), r.Makespan, r.FailedRounds, 100*r.StragglerRate)
+	if r.Dropouts > 0 {
+		s += fmt.Sprintf(" dropouts=%d", r.Dropouts)
+	}
+	return s
 }
 
 // Simulate executes an auction outcome under the timing model. The bids
@@ -98,6 +112,11 @@ func Simulate(res core.Result, k int, opts Options) (Result, error) {
 		var slowest float64
 		for _, nominal := range perRound[t-1] {
 			totalScheduled++
+			if opts.DropoutProb > 0 && rng.Float64() < opts.DropoutProb {
+				rt.Dropouts++
+				out.Dropouts++
+				continue
+			}
 			actual := nominal
 			if opts.Jitter > 0 {
 				actual = nominal * math.Exp(rng.Gaussian(0, opts.Jitter))
@@ -111,9 +130,9 @@ func Simulate(res core.Result, k int, opts Options) (Result, error) {
 			slowest = math.Max(slowest, actual)
 		}
 		rt.Duration = slowest
-		if opts.TMax > 0 && rt.Stragglers > 0 {
+		if opts.TMax > 0 && (rt.Stragglers > 0 || rt.Dropouts > 0) {
 			// The server waited until the cutoff before giving up on the
-			// stragglers.
+			// stragglers and dropouts.
 			rt.Duration = opts.TMax
 		}
 		if rt.OnTime < k {

@@ -103,6 +103,42 @@ func TestSimulateWithoutCutoff(t *testing.T) {
 	}
 }
 
+func TestSimulateDropouts(t *testing.T) {
+	_, res, cfg := solvedAuction(t, 60)
+	// Certain dropout: every scheduled participation vanishes, every round
+	// fails, and nobody is merely a straggler.
+	all, err := Simulate(res, cfg.K, Options{TMax: cfg.TMax, DropoutProb: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := 0
+	for _, rt := range all.Rounds {
+		scheduled += rt.OnTime + rt.Stragglers + rt.Dropouts
+	}
+	if all.Dropouts != scheduled || all.FailedRounds != res.Tg || all.StragglerRate != 0 {
+		t.Fatalf("full-dropout run inconsistent: %+v", all)
+	}
+	// Partial dropout: deterministic under a fixed seed, and the zero
+	// option draws nothing, leaving a jittered run bit-identical to one
+	// that never mentioned the field.
+	some, err := Simulate(res, cfg.K, Options{TMax: cfg.TMax, Jitter: 0.2, DropoutProb: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some.Dropouts == 0 {
+		t.Fatal("30% dropout produced none")
+	}
+	again, _ := Simulate(res, cfg.K, Options{TMax: cfg.TMax, Jitter: 0.2, DropoutProb: 0.3, Seed: 7})
+	if again.Makespan != some.Makespan || again.Dropouts != some.Dropouts {
+		t.Fatal("dropout simulation not reproducible")
+	}
+	base, _ := Simulate(res, cfg.K, Options{TMax: cfg.TMax, Jitter: 0.2, Seed: 7})
+	zero, _ := Simulate(res, cfg.K, Options{TMax: cfg.TMax, Jitter: 0.2, DropoutProb: 0, Seed: 7})
+	if zero.Makespan != base.Makespan || zero.StragglerRate != base.StragglerRate {
+		t.Fatal("DropoutProb=0 perturbed the jitter stream")
+	}
+}
+
 func TestSimulateErrors(t *testing.T) {
 	if _, err := Simulate(core.Result{}, 1, Options{}); err == nil {
 		t.Fatal("infeasible result must error")

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWorkloadJSON drives the JSON bid IO with arbitrary bytes: decoding
+// never panics, and any population the reader accepts must survive a full
+// encode → decode round trip unchanged and re-validate. The round trip is
+// what forces the reader's validation to be complete — a non-finite or
+// negative field that slipped through would either fail to re-encode or
+// come back different.
+func FuzzWorkloadJSON(f *testing.F) {
+	p := NewDefaultParams()
+	p.Clients = 3
+	if bids, err := Generate(p); err == nil {
+		var buf bytes.Buffer
+		if err := WriteBidsJSON(&buf, bids); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"client":0,"index":0,"price":2,"theta":0.5,"start":1,"end":2,"rounds":1}]`))
+	f.Add([]byte(`[{"price":-3,"theta":0.5,"start":1,"end":2,"rounds":1}]`))
+	f.Add([]byte(`[{"price":1e308,"true_cost":1e308,"theta":0.999,"start":1,"end":1,"rounds":1}]`))
+	f.Add([]byte(`[{"start":2,"end":1,"rounds":5}]`))
+	f.Add([]byte(`{"not":"an array"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bids, err := ReadBidsJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, b := range bids {
+			if err := validateBidFields(b); err != nil {
+				t.Fatalf("reader accepted invalid bid %d: %v", i, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBidsJSON(&buf, bids); err != nil {
+			t.Fatalf("accepted population failed to re-encode: %v", err)
+		}
+		again, err := ReadBidsJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded population failed to decode: %v", err)
+		}
+		if len(again) != len(bids) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(bids))
+		}
+		for i := range bids {
+			if again[i] != bids[i] {
+				t.Fatalf("bid %d changed across the round trip:\n%+v\n%+v", i, bids[i], again[i])
+			}
+		}
+	})
+}

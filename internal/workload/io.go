@@ -5,10 +5,53 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"github.com/fedauction/afl/internal/core"
 )
+
+// validateBidFields enforces the field-level sanity both readers share:
+// every float finite and non-negative, θ inside [0, 1), and a coherent
+// window. Full auction-level validation (against T and K) stays with
+// core.ValidateBids; this guard only keeps obviously corrupt input —
+// NaN prices, negative times, inverted windows — from flowing into the
+// rest of the pipeline as if it were data.
+func validateBidFields(b core.Bid) error {
+	floats := []struct {
+		name string
+		v    float64
+	}{
+		{"price", b.Price}, {"true_cost", b.TrueCost}, {"theta", b.Theta},
+		{"comp_time", b.CompTime}, {"comm_time", b.CommTime},
+	}
+	for _, f := range floats {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("field %s is not finite", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("field %s is negative (%g)", f.name, f.v)
+		}
+	}
+	if b.Theta >= 1 {
+		return fmt.Errorf("field theta = %g must lie in [0, 1)", b.Theta)
+	}
+	switch {
+	case b.Client < 0:
+		return fmt.Errorf("field client is negative (%d)", b.Client)
+	case b.Index < 0:
+		return fmt.Errorf("field index is negative (%d)", b.Index)
+	case b.Start < 1:
+		return fmt.Errorf("field start = %d must be ≥ 1", b.Start)
+	case b.End < b.Start:
+		return fmt.Errorf("window [%d, %d] is inverted", b.Start, b.End)
+	case b.Rounds < 1:
+		return fmt.Errorf("field rounds = %d must be ≥ 1", b.Rounds)
+	case b.Rounds > b.End-b.Start+1:
+		return fmt.Errorf("rounds = %d exceed window [%d, %d]", b.Rounds, b.Start, b.End)
+	}
+	return nil
+}
 
 // WriteBidsJSON writes a bid population as a JSON array.
 func WriteBidsJSON(w io.Writer, bids []core.Bid) error {
@@ -20,11 +63,16 @@ func WriteBidsJSON(w io.Writer, bids []core.Bid) error {
 	return nil
 }
 
-// ReadBidsJSON reads a JSON array of bids.
+// ReadBidsJSON reads a JSON array of bids and validates every field.
 func ReadBidsJSON(r io.Reader) ([]core.Bid, error) {
 	var bids []core.Bid
 	if err := json.NewDecoder(r).Decode(&bids); err != nil {
 		return nil, fmt.Errorf("workload: decode bids: %w", err)
+	}
+	for i, b := range bids {
+		if err := validateBidFields(b); err != nil {
+			return nil, fmt.Errorf("workload: bid %d: %w", i, err)
+		}
 	}
 	return bids, nil
 }
@@ -119,6 +167,9 @@ func parseCSVRow(row []string) (core.Bid, error) {
 			return core.Bid{}, fmt.Errorf("column %s: %w", csvHeader[spec.col], err)
 		}
 		*spec.dst = v
+	}
+	if err := validateBidFields(b); err != nil {
+		return core.Bid{}, err
 	}
 	return b, nil
 }

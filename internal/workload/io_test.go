@@ -42,6 +42,29 @@ func TestBidsJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBidsJSONRejectsInvalidFields(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"negative price", `[{"price":-3,"theta":0.5,"start":1,"end":2,"rounds":1}]`},
+		{"negative comp time", `[{"price":1,"theta":0.5,"start":1,"end":2,"rounds":1,"comptime":-4}]`},
+		{"theta at one", `[{"price":1,"theta":1,"start":1,"end":2,"rounds":1}]`},
+		{"zero start", `[{"price":1,"theta":0.5,"start":0,"end":2,"rounds":1}]`},
+		{"inverted window", `[{"price":1,"theta":0.5,"start":3,"end":2,"rounds":1}]`},
+		{"zero rounds", `[{"price":1,"theta":0.5,"start":1,"end":2,"rounds":0}]`},
+		{"rounds exceed window", `[{"price":1,"theta":0.5,"start":1,"end":2,"rounds":3}]`},
+		{"negative client", `[{"client":-1,"price":1,"theta":0.5,"start":1,"end":2,"rounds":1}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadBidsJSON(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
 func TestBidsCSVRoundTrip(t *testing.T) {
 	bids := samplePopulation(t)
 	var buf bytes.Buffer
@@ -72,6 +95,12 @@ func TestBidsCSVErrors(t *testing.T) {
 		{"short row", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n1,2,3\n"},
 		{"bad int", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\nX,0,1,1,0.5,1,2,1,5,10\n"},
 		{"bad float", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,X,1,0.5,1,2,1,5,10\n"},
+		{"NaN price", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,NaN,1,0.5,1,2,1,5,10\n"},
+		{"Inf time", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,1,1,0.5,1,2,1,+Inf,10\n"},
+		{"negative price", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,-1,1,0.5,1,2,1,5,10\n"},
+		{"theta out of range", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,1,1,1.5,1,2,1,5,10\n"},
+		{"inverted window", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,1,1,0.5,3,2,1,5,10\n"},
+		{"rounds exceed window", "client,index,price,true_cost,theta,start,end,rounds,comp_time,comm_time\n0,0,1,1,0.5,1,2,5,5,10\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

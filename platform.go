@@ -1,6 +1,7 @@
 package afl
 
 import (
+	"io"
 	"time"
 
 	"github.com/fedauction/afl/internal/platform"
@@ -28,6 +29,24 @@ type (
 	Job = platform.Job
 	// Ledger records settlement decisions.
 	Ledger = platform.Ledger
+	// RetryPolicy bounds per-message retries when collecting updates.
+	RetryPolicy = platform.RetryPolicy
+	// RoundReport is the server's record of one global iteration,
+	// including stragglers, promotions and coverage flags.
+	RoundReport = platform.RoundReport
+	// RepairRecord documents one coverage repair after a winner dropped.
+	RepairRecord = platform.RepairRecord
+	// Clock abstracts time so sessions can run on a virtual clock.
+	Clock = platform.Clock
+	// WallClock is the real-time Clock (the default).
+	WallClock = platform.WallClock
+	// VirtualClock is a deterministic clock for simulated sessions.
+	VirtualClock = platform.VirtualClock
+	// DelayedSender is implemented by virtual connections that can
+	// schedule a message for future delivery.
+	DelayedSender = platform.DelayedSender
+	// TranscriptEntry is one recorded protocol message.
+	TranscriptEntry = platform.TranscriptEntry
 )
 
 // NewServer returns an auctioneer for one session configuration.
@@ -44,4 +63,23 @@ func Listen(addr string, n int, accepted func(Conn)) (string, func(), error) {
 // Dial connects an agent to a marketplace server over TCP.
 func Dial(addr string, timeout time.Duration) (Conn, error) {
 	return platform.Dial(addr, timeout)
+}
+
+// NewVirtualClock returns a deterministic clock whose time advances only
+// when every party it manages is blocked waiting on it.
+func NewVirtualClock() *VirtualClock { return platform.NewVirtualClock() }
+
+// VirtualPipe returns the two endpoints of a connection whose delivery
+// order is governed by clk rather than goroutine scheduling.
+func VirtualPipe(clk *VirtualClock) (Conn, Conn) { return platform.VirtualPipe(clk) }
+
+// ReadTranscript decodes a recorded session transcript.
+func ReadTranscript(r io.Reader) ([]TranscriptEntry, error) {
+	return platform.ReadTranscript(r)
+}
+
+// AuditTranscript replays a transcript through the protocol's legality
+// rules and reports the first violation.
+func AuditTranscript(entries []TranscriptEntry) error {
+	return platform.AuditTranscript(entries)
 }
