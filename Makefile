@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json fuzz figures ablations vet clean
+.PHONY: all build test test-race race cover bench bench-json fuzz figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -44,6 +44,16 @@ ablations:
 
 vet:
 	$(GO) vet ./...
+
+# Diff the public API surface against the committed golden file. Run
+# `make api-update` after an intentional API change.
+api-check:
+	@$(GO) doc -all . > /tmp/afl_api_check.txt
+	@diff -u API.txt /tmp/afl_api_check.txt || \
+		(echo "API surface drifted from API.txt; run 'make api-update' if intentional" && exit 1)
+
+api-update:
+	$(GO) doc -all . > API.txt
 
 clean:
 	rm -rf results/*.csv

@@ -31,6 +31,9 @@ type (
 	// groupings) once and serves repeated sweeps and fixed-T̂_g solves
 	// from it. All methods are safe for concurrent use.
 	Engine = core.Engine
+	// RunOptions configures Engine.RunCtx (workers, observer, clock); the
+	// Run facade builds it from functional options instead.
+	RunOptions = core.RunOptions
 )
 
 // Payment rules.
@@ -43,14 +46,37 @@ const (
 	RulePayBid = core.RulePayBid
 )
 
-// ErrNoBids is returned when an auction is run without bids.
-var ErrNoBids = core.ErrNoBids
+// Error sentinels. Every layer of the stack (core solver, networked
+// platform, facade) returns errors matching these under errors.Is, so
+// callers branch on outcome classes instead of string-matching messages.
+var (
+	// ErrNoBids is returned when an auction is run without bids.
+	ErrNoBids = core.ErrNoBids
+	// ErrInfeasible is returned by Run when no T̂_g ∈ [T_0, T] admits K
+	// participants in every global iteration; the accompanying Result
+	// still carries every per-T̂_g WDP outcome for diagnosis.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrCanceled is returned by Run when its context is canceled
+	// mid-sweep; the error also matches the context cause
+	// (context.Canceled or context.DeadlineExceeded) under errors.Is.
+	ErrCanceled = core.ErrCanceled
+	// ErrUnderCoverage marks outcomes in which some global iteration has
+	// fewer than K participants: CheckSolution failures on constraint
+	// (6a), and degraded platform sessions (SessionReport.Err).
+	ErrUnderCoverage = core.ErrUnderCoverage
+)
 
 // RunAuction executes the full A_FL auction (Algorithm 1 of the paper):
 // it enumerates the feasible numbers of global iterations, solves a
 // winner-determination problem for each, and returns the minimum-cost
 // solution with schedules, critical-value payments, and the dual
 // certificate bounding its distance from optimal.
+//
+// Deprecated: use Run, which adds context cancellation, functional
+// options and the sentinel error surface. RunAuction(bids, cfg) behaves
+// exactly like Run(context.Background(), bids, cfg) except that an
+// infeasible auction returns (Result{Feasible: false}, nil) here and
+// (Result, ErrInfeasible) from Run. Results are bit-identical.
 func RunAuction(bids []Bid, cfg Config) (Result, error) {
 	return core.RunAuction(bids, cfg)
 }
@@ -59,6 +85,12 @@ func RunAuction(bids []Bid, cfg Config) (Result, error) {
 // winner-determination problems fanned out over a worker pool
 // (workers ≤ 0 selects GOMAXPROCS). Results are bit-identical to
 // RunAuction.
+//
+// Deprecated: use Run with WithWorkers, which adds context cancellation
+// and the sentinel error surface. RunAuctionConcurrent(bids, cfg, n)
+// matches Run(context.Background(), bids, cfg, WithWorkers(n)) for n > 0
+// and WithWorkers(-1) for n ≤ 0, modulo the infeasibility convention
+// described on RunAuction. Results are bit-identical.
 func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	return core.RunAuctionConcurrent(bids, cfg, workers)
 }

@@ -13,10 +13,13 @@
 //	aflauction -clients 200 -T 20 -K 5
 //	aflauction -input bids.json -T 50 -K 20 -rule exact
 //	aflauction -clients 100 -json > result.json
+//	aflauction -clients 500 -workers -1 -trace -metrics -cpuprofile cpu.pb.gz
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +42,24 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON on stdout")
 	simulate := flag.Bool("simulate", false, "after the auction, simulate wall-clock round execution")
 	jitter := flag.Float64("jitter", 0.1, "timing jitter for -simulate (σ of log round time)")
+	workers := flag.Int("workers", 1, "concurrent WDP workers (1: sequential, -1: GOMAXPROCS)")
+	trace := flag.Bool("trace", false, "print the structured phase trace to stderr")
+	metrics := flag.Bool("metrics", false, "print the metrics exposition to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := afl.StartProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			fatalf("profiles: %v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "aflauction: profiles:", err)
+			}
+		}()
+	}
 
 	cfg := afl.Config{T: *maxT, K: *k, TMax: *tmax, ReservePrice: *reserve}
 	switch *rule {
@@ -104,14 +124,35 @@ func main() {
 		}
 	}
 
-	res, err := afl.RunAuction(bids, cfg)
-	if err != nil {
+	var tr *afl.Trace
+	var met *afl.Metrics
+	var observers []afl.Observer
+	if *trace {
+		tr = &afl.Trace{}
+		observers = append(observers, tr)
+	}
+	if *metrics {
+		met = afl.NewMetrics(nil)
+		observers = append(observers, met)
+	}
+	opts := []afl.Option{afl.WithWorkers(*workers)}
+	if o := afl.MultiObserver(observers...); o != nil {
+		opts = append(opts, afl.WithObserver(o))
+	}
+	res, err := afl.Run(context.Background(), bids, cfg, opts...)
+	if err != nil && !errors.Is(err, afl.ErrInfeasible) {
 		fatalf("auction: %v", err)
 	}
 	if res.Feasible {
 		if err := afl.CheckSolution(bids, res, cfg); err != nil {
 			fatalf("solution failed verification: %v", err)
 		}
+	}
+	if tr != nil {
+		fmt.Fprint(os.Stderr, tr.String())
+	}
+	if met != nil {
+		fmt.Fprint(os.Stderr, met.Registry().String())
 	}
 
 	if *jsonOut {

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	benchcore [-out BENCH_core.json] [-sizes 100,500,1000] [-quick]
+//	          [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"github.com/fedauction/afl"
+	"github.com/fedauction/afl/internal/obs"
 	"github.com/fedauction/afl/internal/seedwdp"
 	"github.com/fedauction/afl/internal/workload"
 )
@@ -68,7 +70,21 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output file")
 	sizesArg := flag.String("sizes", "100,500,1000", "comma-separated client counts")
 	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := obs.StartProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchcore: profiles:", err)
+			}
+		}()
+	}
 
 	// testing.Benchmark reads the (unregistered) -test.benchtime flag;
 	// registering the testing flags lets us set it programmatically.

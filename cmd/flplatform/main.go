@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the -pprof server
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +26,16 @@ import (
 
 	"github.com/fedauction/afl"
 	"github.com/fedauction/afl/internal/chaos"
+)
+
+// Session instrumentation shared by the server-side modes; built once in
+// main from the observability flags.
+var (
+	traceRec  *afl.Trace
+	metRec    *afl.Metrics
+	observer  afl.Observer
+	wantTrace bool
+	wantMet   bool
 )
 
 func main() {
@@ -41,7 +53,27 @@ func main() {
 	delay := flag.Float64("delay", 0, "chaos: per-message delay probability")
 	dup := flag.Float64("dup", 0, "chaos: per-message duplication probability")
 	crash := flag.String("crash", "", "chaos: comma-separated client:round crash points, e.g. 2:3,5:1")
+	trace := flag.Bool("trace", false, "print the session's phase trace to stderr at exit")
+	metrics := flag.Bool("metrics", false, "print the metrics exposition to stderr at exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof/ and /metrics on this address (e.g. :6060)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := afl.StartProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiles:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "flplatform: profiles:", err)
+			}
+		}()
+	}
+	wantTrace, wantMet = *trace, *metrics
+	setupObserver(*pprofAddr)
 
 	retry := afl.RetryPolicy{Attempts: *retries, Backoff: *backoff}
 	switch *mode {
@@ -57,6 +89,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	dumpInstruments()
+}
+
+// setupObserver builds the shared observer from the observability flags:
+// a Trace for -trace, a Metrics registry for -metrics and/or the -pprof
+// HTTP server (which serves it at /metrics next to /debug/pprof/).
+func setupObserver(pprofAddr string) {
+	var list []afl.Observer
+	if wantTrace {
+		traceRec = &afl.Trace{}
+		list = append(list, traceRec)
+	}
+	if wantMet || pprofAddr != "" {
+		metRec = afl.NewMetrics(nil)
+		list = append(list, metRec)
+	}
+	if pprofAddr != "" {
+		http.Handle("/metrics", metRec.Registry())
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
+	observer = afl.MultiObserver(list...)
+}
+
+// dumpInstruments prints the collected trace and metrics to stderr.
+func dumpInstruments() {
+	if traceRec != nil {
+		fmt.Fprint(os.Stderr, traceRec.String())
+	}
+	if metRec != nil && wantMet {
+		fmt.Fprint(os.Stderr, metRec.Registry().String())
+	}
 }
 
 func newServer(seed int64, agents, maxT, k, dim int, retry afl.RetryPolicy) (*afl.Server, afl.Dataset) {
@@ -65,6 +132,7 @@ func newServer(seed int64, agents, maxT, k, dim int, retry afl.RetryPolicy) (*af
 	job := afl.Job{Name: "flplatform", T: maxT, K: k, TMax: 60, Dim: dim}
 	return afl.NewServer(afl.ServerConfig{
 		Job: job, L2: 0.01, Eval: eval, RecvTimeout: 10 * time.Second, Retry: retry,
+		Observer: observer,
 	}), eval
 }
 
@@ -185,7 +253,8 @@ func runChaos(agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy, d
 		Faults: chaos.FaultPlan{
 			Seed: seed, Drop: drop, Delay: delay, Duplicate: dup, Crash: crash,
 		},
-		Retry: retry,
+		Retry:    retry,
+		Observer: observer,
 	}
 	out, err := chaos.Run(scenario)
 	if err != nil {

@@ -24,10 +24,48 @@
 //
 //	bids, _ := afl.GenerateWorkload(afl.DefaultWorkloadParams())
 //	cfg := afl.Config{T: 50, K: 20, TMax: 60}
-//	res, err := afl.RunAuction(bids, cfg)
+//	res, err := afl.Run(context.Background(), bids, cfg)
 //	// res.Tg, res.Winners (schedules + payments), res.Cost,
 //	// res.Dual.RatioBound (per-instance approximation certificate)
 //
 // Experiment reproduction (the paper's Fig. 3–9) lives in cmd/aflsim and
 // the benchmarks in bench_test.go.
+//
+// # Migrating from RunAuction / RunAuctionConcurrent
+//
+// Run supersedes both one-shot entry points. The mapping is mechanical —
+// results are bit-identical for every worker count:
+//
+//	RunAuction(bids, cfg)               → Run(ctx, bids, cfg)
+//	RunAuctionConcurrent(bids, cfg, n)  → Run(ctx, bids, cfg, WithWorkers(n))   // n > 0
+//	RunAuctionConcurrent(bids, cfg, 0)  → Run(ctx, bids, cfg, WithWorkers(-1))  // GOMAXPROCS
+//
+// Two behavioural upgrades come with the move:
+//
+//   - Cancellation: Run honors ctx mid-sweep. A canceled run abandons the
+//     remaining winner-determination problems and returns an error
+//     matching both ErrCanceled and the context cause under errors.Is.
+//   - Sentinel errors: an infeasible auction — which RunAuction reported
+//     as (Result{Feasible: false}, nil) — surfaces as ErrInfeasible from
+//     Run, with the Result still carrying every per-T̂_g WDP outcome.
+//     Validation failures keep their sentinels (ErrNoBids et al.).
+//
+// Further options: WithObserver streams structured phase events (see
+// Observer, Trace, Metrics) at zero cost when omitted, WithNow injects a
+// deterministic clock for golden-testing traces, and WithPaymentRule
+// overrides cfg.PaymentRule for one call. Engines offer the same surface
+// via Engine.RunCtx and Engine.Observe.
+//
+// # Observability
+//
+// The stack emits structured phase events — auction started, each T̂_g's
+// WDP solved, winners accepted, payments computed, repairs, retries,
+// stragglers, dropouts, injected faults — through the Observer interface.
+// Attach one with WithObserver (auctions), ServerConfig.Observer
+// (sessions) or chaos Scenario.Observer (fault-injection runs). Trace
+// records events verbatim; NewMetrics folds them into counters, gauges
+// and latency histograms with deterministic text exposition
+// (Registry.WriteText / ServeHTTP). When no observer is attached the
+// instrumentation vanishes: nil checks guard every hook, so the hot path
+// performs no timing calls and no extra allocations.
 package afl

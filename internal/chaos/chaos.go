@@ -13,6 +13,7 @@ package chaos
 import (
 	"time"
 
+	"github.com/fedauction/afl/internal/obs"
 	"github.com/fedauction/afl/internal/platform"
 	"github.com/fedauction/afl/internal/stats"
 )
@@ -41,6 +42,13 @@ type FaultPlan struct {
 	// pure function of message content, which keeps concurrent sessions
 	// deterministic (no shared link state whose flip order could race).
 	Crash map[int]int
+	// Observer, when non-nil, receives one EvFaultInjected event per fault
+	// actually applied (Label "drop", "delay", "dup" or "crash"; Value is
+	// the injected latency in seconds for delays). Links send from
+	// concurrent goroutines, so the observer must be safe for concurrent
+	// use. The observer never influences fault decisions: the RNG draw
+	// order is identical with and without one.
+	Observer obs.Observer
 }
 
 // zero reports whether the plan injects no faults at all.
@@ -67,14 +75,16 @@ func Link(clk *platform.VirtualClock, plan FaultPlan, client int) (server, agent
 		rng:      stats.NewRNG(linkSeed(plan.Seed, client, 0)),
 		plan:     plan,
 		crash:    crash,
+		client:   client,
 		toClient: true,
 	}
 	agent = &chaosConn{
-		Conn:  c,
-		ds:    c.(platform.DelayedSender),
-		rng:   stats.NewRNG(linkSeed(plan.Seed, client, 1)),
-		plan:  plan,
-		crash: crash,
+		Conn:   c,
+		ds:     c.(platform.DelayedSender),
+		rng:    stats.NewRNG(linkSeed(plan.Seed, client, 1)),
+		plan:   plan,
+		crash:  crash,
+		client: client,
 	}
 	return server, agent
 }
@@ -90,7 +100,29 @@ type chaosConn struct {
 	rng      *stats.RNG
 	plan     FaultPlan
 	crash    int
+	client   int
 	toClient bool
+}
+
+// fault reports one applied fault to the plan's observer (if any). The
+// event's Round is the global iteration the faulted message belongs to
+// (0 for handshake traffic), and Value carries the injected latency in
+// seconds for delays.
+func (c *chaosConn) fault(label string, m platform.Message, d time.Duration) {
+	if c.plan.Observer == nil {
+		return
+	}
+	round := 0
+	switch {
+	case m.Type == platform.MsgRound && m.Round != nil:
+		round = m.Round.Iteration
+	case m.Type == platform.MsgUpdate && m.Update != nil:
+		round = m.Update.Iteration
+	}
+	c.plan.Observer.Observe(obs.Event{
+		Kind: obs.EvFaultInjected, Round: round, Client: c.client, Bid: -1,
+		Value: d.Seconds(), Label: label,
+	})
 }
 
 // Send implements platform.Conn.
@@ -104,13 +136,16 @@ func (c *chaosConn) Send(m platform.Message) error {
 	dupDraw := c.rng.Float64()
 	if c.crash > 0 {
 		if c.toClient && m.Type == platform.MsgRound && m.Round.Iteration >= c.crash {
+			c.fault("crash", m, 0)
 			return nil // the client is gone: the request vanishes
 		}
 		if !c.toClient && m.Type == platform.MsgUpdate && m.Update.Iteration >= c.crash {
+			c.fault("crash", m, 0)
 			return nil // and nothing it would have trained comes back
 		}
 	}
 	if dropDraw < c.plan.Drop {
+		c.fault("drop", m, 0)
 		return nil
 	}
 	var d time.Duration
@@ -120,11 +155,13 @@ func (c *chaosConn) Send(m platform.Message) error {
 			max = time.Second
 		}
 		d = time.Duration(delayFrac * float64(max))
+		c.fault("delay", m, d)
 	}
 	if err := c.ds.SendDelayed(m, d); err != nil {
 		return err
 	}
 	if dupDraw < c.plan.Duplicate {
+		c.fault("dup", m, d)
 		return c.ds.SendDelayed(m, d)
 	}
 	return nil

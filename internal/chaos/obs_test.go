@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
+	"github.com/fedauction/afl/internal/platform"
+)
+
+// metricValue extracts one metric sample from a registry's text
+// exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+// TestObserverMetricsDeterministic replays the crash-repair scenario
+// twice with a Metrics observer attached and requires byte-identical
+// registry snapshots: the event multiset — faults injected, drops,
+// retries, repairs, rounds — is a pure function of the scenario seed,
+// and the observer must not perturb the schedule.
+func TestObserverMetricsDeterministic(t *testing.T) {
+	run := func() (string, Outcome) {
+		met := obs.NewMetrics(nil)
+		s := repairProbeScenario(20, 2)
+		s.Observer = met
+		out, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.Registry().String(), out
+	}
+	text1, out := run()
+	text2, _ := run()
+	if text1 != text2 {
+		t.Fatalf("metrics snapshot not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", text1, text2)
+	}
+
+	// The observer must not change the session itself: the un-observed
+	// scenario yields the same outcome.
+	bare, err := Run(repairProbeScenario(20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bare.Transcript) != string(out.Transcript) {
+		t.Fatal("attaching an observer changed the session transcript")
+	}
+
+	// Cross-check the counters against the session report.
+	if got, want := metricValue(t, text1, "afl_rounds_total"), float64(len(out.Report.Rounds)); got != want {
+		t.Fatalf("afl_rounds_total = %v, report has %v rounds", got, want)
+	}
+	if got := metricValue(t, text1, "afl_auctions_total"); got != 1 {
+		t.Fatalf("afl_auctions_total = %v", got)
+	}
+	if got := metricValue(t, text1, "afl_winners_total"); got != float64(len(out.Report.Auction.Winners)) {
+		t.Fatalf("afl_winners_total = %v, auction had %d winners", got, len(out.Report.Auction.Winners))
+	}
+	if len(out.Report.Repairs) == 0 {
+		t.Fatal("scenario no longer triggers a repair")
+	}
+	if got := metricValue(t, text1, "afl_repairs_total"); got < 1 {
+		t.Fatalf("afl_repairs_total = %v despite %d repair records", got, len(out.Report.Repairs))
+	}
+	if got := metricValue(t, text1, "afl_faults_crash_total"); got < 1 {
+		t.Fatalf("afl_faults_crash_total = %v for a crash scenario", got)
+	}
+	dropped := map[int]bool{}
+	for _, rr := range out.Report.Rounds {
+		for _, id := range rr.Failed {
+			dropped[id] = true
+		}
+	}
+	if got := metricValue(t, text1, "afl_dropouts_total"); got != float64(len(dropped)) {
+		t.Fatalf("afl_dropouts_total = %v, report dropped %d clients", got, len(dropped))
+	}
+}
+
+// TestObserverSeesRetriesAndStragglers drives a lossy scenario with
+// retries enabled and checks the retry/straggler counters agree with the
+// session report, deterministically across replays.
+func TestObserverSeesRetriesAndStragglers(t *testing.T) {
+	scenario := func(o obs.Observer) Scenario {
+		return Scenario{
+			Seed:     7,
+			Agents:   10,
+			Faults:   FaultPlan{Seed: 7, Drop: 0.05},
+			Retry:    platform.RetryPolicy{Attempts: 3, Backoff: 10 * time.Millisecond},
+			Observer: o,
+		}
+	}
+	met := obs.NewMetrics(nil)
+	out, err := Run(scenario(met))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := met.Registry().String()
+
+	met2 := obs.NewMetrics(nil)
+	if _, err := Run(scenario(met2)); err != nil {
+		t.Fatal(err)
+	}
+	if text2 := met2.Registry().String(); text != text2 {
+		t.Fatalf("lossy-scenario metrics not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", text, text2)
+	}
+
+	stragglers := 0
+	for _, rr := range out.Report.Rounds {
+		stragglers += len(rr.Stragglers)
+	}
+	if got := metricValue(t, text, "afl_stragglers_total"); got != float64(stragglers) {
+		t.Fatalf("afl_stragglers_total = %v, report counted %d", got, stragglers)
+	}
+	retries := metricValue(t, text, "afl_retries_total")
+	if retries < float64(stragglers) {
+		t.Fatalf("afl_retries_total = %v < stragglers %d (every straggler needed a retry)", retries, stragglers)
+	}
+	if metricValue(t, text, "afl_faults_drop_total") < 1 {
+		t.Fatal("lossy plan injected no drops")
+	}
+}

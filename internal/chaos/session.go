@@ -7,6 +7,7 @@ import (
 
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/obs"
 	"github.com/fedauction/afl/internal/platform"
 	"github.com/fedauction/afl/internal/stats"
 )
@@ -41,6 +42,13 @@ type Scenario struct {
 	// plans; used to prove the virtual path is bit-identical to the
 	// original transport.
 	WallClock bool
+	// Observer, when non-nil, receives the session's phase events (auction
+	// sweep, retries, stragglers, dropouts, repairs, rounds) and one
+	// EvFaultInjected per applied fault. It is installed as both the
+	// server's observer and the fault plan's, and must be safe for
+	// concurrent use. The fault schedule and session outcome are
+	// byte-identical with and without an observer.
+	Observer obs.Observer
 }
 
 func (s Scenario) agents() int {
@@ -144,7 +152,10 @@ func Run(s Scenario) (Outcome, error) {
 		Retry:         s.Retry,
 		DisableRepair: s.DisableRepair,
 		Transcript:    &transcript,
+		Observer:      s.Observer,
 	}
+	faults := s.Faults
+	faults.Observer = s.Observer
 
 	buildAgent := func(i int, recvTimeout time.Duration) *platform.Agent {
 		theta := w.Thetas[i]
@@ -190,7 +201,7 @@ func Run(s Scenario) (Outcome, error) {
 		server := platform.NewServer(cfg)
 		conns := make(map[int]platform.Conn, n)
 		for i := 0; i < n; i++ {
-			sc, ac := Link(clk, s.Faults, i)
+			sc, ac := Link(clk, faults, i)
 			conns[i] = sc
 			a := buildAgent(i, 30*time.Minute)
 			clk.Go(func() {

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // auctionContext is the shared immutable per-auction state of the
 // incremental WDP engine. It is built once per auction and then read by
@@ -124,27 +127,10 @@ func (ax *auctionContext) qualifiedAt(tg int) []int {
 }
 
 // run executes the sequential incremental T̂_g sweep: one pooled scratch
-// arena, one shared context, qualification by prefix extension.
+// arena, one shared context, qualification by prefix extension. It is a
+// convenience wrapper over sweep with default options (sequential,
+// uninstrumented, background context).
 func (ax *auctionContext) run() Result {
-	res := Result{}
-	if ax.t0 > ax.cfg.T {
-		return res
-	}
-	sc := acquireScratch(len(ax.bids), ax.cfg.T)
-	defer releaseScratch(sc)
-	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
-		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
-		res.WDPs = append(res.WDPs, wdp)
-		if !wdp.Feasible {
-			continue
-		}
-		if !res.Feasible || wdp.Cost < res.Cost {
-			res.Feasible = true
-			res.Tg = wdp.Tg
-			res.Cost = wdp.Cost
-			res.Winners = wdp.Winners
-			res.Dual = wdp.Dual
-		}
-	}
+	res, _ := ax.sweep(context.Background(), RunOptions{})
 	return res
 }

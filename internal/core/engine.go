@@ -1,5 +1,12 @@
 package core
 
+import (
+	"context"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
+)
+
 // Engine is the reusable incremental A_FL solver. It wraps the shared
 // immutable auction context — per-bid qualification thresholds (delta
 // lists exploiting the monotonicity of line 6 of Algorithm 1 in T̂_g),
@@ -13,10 +20,16 @@ package core
 //
 // The Engine retains (and never mutates) the bid slice passed to
 // NewEngine; callers must not mutate it while the Engine is in use. All
-// methods are safe for concurrent use: the context is read-only and all
-// mutable solver state lives in pooled per-call scratch arenas.
+// methods are safe for concurrent use: the context is read-only, all
+// mutable solver state lives in pooled per-call scratch arenas, and the
+// attached observer (see Observe) is required to be concurrency-safe.
 type Engine struct {
 	ax *auctionContext
+	// obsv receives phase events from Run/RunConcurrent/RunCtx (unless
+	// overridden per call) and from Repair. Nil disables instrumentation.
+	obsv obs.Observer
+	// now supplies timestamps for phase latencies; nil means time.Now.
+	now func() time.Time
 }
 
 // NewEngine validates the configuration and bid population and
@@ -31,17 +44,63 @@ func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
 	return &Engine{ax: newAuctionContext(bids, cfg)}, nil
 }
 
+// Observe returns a copy of the engine that reports phase events to o,
+// timing phases with now (nil selects time.Now). The copy shares the
+// precomputed auction context with the receiver, so it costs nothing to
+// create; the receiver itself is unchanged, which keeps engines shared
+// across goroutines race-free. Passing a nil o returns an
+// un-instrumented copy. o must be safe for concurrent use.
+func (e *Engine) Observe(o obs.Observer, now func() time.Time) *Engine {
+	return &Engine{ax: e.ax, obsv: o, now: now}
+}
+
 // T0 returns T_0 = ⌈1/(1−θ_min)⌉, the smallest candidate number of
 // global iterations of the sweep.
 func (e *Engine) T0() int { return e.ax.t0 }
 
 // Run executes the full A_FL sweep sequentially on the shared context.
-func (e *Engine) Run() Result { return e.ax.run() }
+func (e *Engine) Run() Result {
+	res, _ := e.ax.sweep(context.Background(), RunOptions{Observer: e.obsv, Now: e.now})
+	return res
+}
 
 // RunConcurrent executes the sweep with the independent per-T̂_g WDPs
-// fanned out over a worker pool (workers ≤ 0 selects GOMAXPROCS).
+// fanned out over a worker pool (workers ≤ 0 selects GOMAXPROCS; counts
+// beyond the number of candidate T̂_g values are clamped).
 func (e *Engine) RunConcurrent(workers int) Result {
-	return e.ax.runConcurrent(workers)
+	if workers <= 0 {
+		workers = -1
+	}
+	res, _ := e.ax.sweep(context.Background(), RunOptions{Workers: workers, Observer: e.obsv, Now: e.now})
+	return res
+}
+
+// RunCtx executes the sweep honoring ctx and opts. An unset
+// opts.Observer falls back to the engine's attached observer. RunCtx
+// maps outcomes onto the sentinel error surface:
+//
+//   - ctx canceled mid-sweep: partial work is abandoned and the error
+//     matches both ErrCanceled and the context cause under errors.Is;
+//   - sweep complete but no T̂_g admits full coverage: ErrInfeasible,
+//     with the returned Result still carrying every per-T̂_g WDP outcome;
+//   - otherwise nil, with a Result bit-identical to Run (and to the
+//     deprecated RunAuction/RunAuctionConcurrent) for every Workers
+//     setting.
+func (e *Engine) RunCtx(ctx context.Context, opts RunOptions) (Result, error) {
+	if opts.Observer == nil {
+		opts.Observer = e.obsv
+		if opts.Now == nil {
+			opts.Now = e.now
+		}
+	}
+	res, err := e.ax.sweep(ctx, opts)
+	if err != nil {
+		return res, err
+	}
+	if !res.Feasible {
+		return res, ErrInfeasible
+	}
+	return res, nil
 }
 
 // SolveWDP solves the single winner-determination problem for a fixed

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Exported error sentinels unify the error surface of the auction stack.
+// Every layer (core solver, networked platform, public facade) returns
+// errors that match these with errors.Is, so callers branch on outcome
+// classes instead of string-matching messages. ErrNoBids (bid.go)
+// completes the set.
+var (
+	// ErrInfeasible reports that no T̂_g ∈ [T_0, T] admits K participants
+	// in every global iteration. Engine.RunCtx (and the afl.Run facade)
+	// return it alongside a Result that still carries the per-T̂_g WDP
+	// outcomes for diagnosis.
+	ErrInfeasible = errors.New("core: auction infeasible: no T̂_g admits full coverage")
+
+	// ErrCanceled reports that a sweep was abandoned mid-flight because
+	// its context was done. The returned error also wraps the context's
+	// cause, so errors.Is(err, context.Canceled) (or DeadlineExceeded)
+	// works too.
+	ErrCanceled = errors.New("core: sweep canceled")
+
+	// ErrUnderCoverage marks an outcome in which some global iteration
+	// has fewer than K participants: a solution failing constraint (6a)
+	// in CheckSolution, or a degraded session round on the platform.
+	ErrUnderCoverage = errors.New("core: iteration coverage below K")
+)
+
+// canceledErr wraps ErrCanceled around the context's cause so both
+// sentinels match under errors.Is.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
-	"runtime"
+	"context"
 	"sync"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
 )
 
 // RunAuctionConcurrent is RunAuction with the T̂_g enumeration fanned out
@@ -16,7 +19,13 @@ import (
 // a prefix of one shared array, client groupings are computed once — and
 // each worker holds one pooled scratch arena for the WDPs it drains.
 //
-// workers ≤ 0 selects GOMAXPROCS.
+// workers ≤ 0 selects GOMAXPROCS; requests beyond the number of
+// candidate T̂_g values are clamped (see clampWorkers).
+//
+// Deprecated: new code should use the afl.Run facade (or Engine.RunCtx)
+// with WithWorkers, which adds context cancellation and observability.
+// This wrapper is kept for compatibility and returns bit-identical
+// results.
 func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -27,18 +36,26 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	return newAuctionContext(bids, cfg).runConcurrent(workers), nil
 }
 
-// runConcurrent fans the per-T̂_g WDPs of the sweep over a worker pool.
+// runConcurrent adapts the historical workers convention (≤ 0 means
+// GOMAXPROCS) onto the unified sweep.
 func (ax *auctionContext) runConcurrent(workers int) Result {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1
 	}
+	res, _ := ax.sweep(context.Background(), RunOptions{Workers: workers})
+	return res
+}
+
+// sweepPar fans the per-T̂_g WDPs over a worker pool. workers has
+// already been clamped to [1, tasks]. On cancellation the feeder stops
+// handing out tasks, the workers drain the channel without solving, and
+// the partial results are discarded — no goroutine outlives the call.
+func (ax *auctionContext) sweepPar(ctx context.Context, res *Result, workers int, obsv obs.Observer, now func() time.Time) error {
 	n := ax.cfg.T - ax.t0 + 1
-	if n <= 0 {
-		return Result{}
-	}
 	wdps := make([]WDPResult, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -46,18 +63,39 @@ func (ax *auctionContext) runConcurrent(workers int) Result {
 			sc := acquireScratch(len(ax.bids), ax.cfg.T)
 			defer releaseScratch(sc)
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without solving
+				}
 				tg := ax.t0 + i
+				var t0 time.Time
+				if obsv != nil {
+					t0 = now()
+				}
 				wdps[i] = solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
+				if obsv != nil {
+					obsv.Observe(obs.Event{
+						Kind: obs.EvWDPSolved, Tg: tg, Client: -1, Bid: -1,
+						Value: wdps[i].Cost, OK: wdps[i].Feasible, Dur: now().Sub(t0),
+					})
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return canceledErr(ctx)
+	}
 
-	res := Result{WDPs: wdps}
+	res.WDPs = wdps
 	for _, wdp := range wdps {
 		if !wdp.Feasible {
 			continue
@@ -70,5 +108,5 @@ func (ax *auctionContext) runConcurrent(workers int) Result {
 			res.Dual = wdp.Dual
 		}
 	}
-	return res
+	return nil
 }

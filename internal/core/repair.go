@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
+)
 
 // RepairRequest describes a mid-session coverage repair: some winners
 // dropped out after iterations already ran, and the caller wants the
@@ -75,6 +80,28 @@ func (e *Engine) Repair(req RepairRequest) (RepairResult, error) {
 	if len(res.Deficit) == 0 {
 		res.Feasible = true // nothing to buy: the survivors still cover K
 		return res, nil
+	}
+	// Instrumentation: a repair is "triggered" once a real deficit exists.
+	// The engine's observer (attached via Observe) also times the residual
+	// solve; both hooks vanish when no observer is attached.
+	var start time.Time
+	now := e.now
+	if e.obsv != nil {
+		if now == nil {
+			now = time.Now
+		}
+		start = now()
+		e.obsv.Observe(obs.Event{
+			Kind: obs.EvRepairTriggered, Tg: req.Tg, Round: req.From,
+			Client: -1, Bid: -1, Value: float64(len(res.Deficit)),
+		})
+		defer func() {
+			e.obsv.Observe(obs.Event{
+				Kind: obs.EvRepairDone, Tg: req.Tg, Round: req.From,
+				Client: -1, Bid: -1, Value: res.Cost, OK: res.Feasible,
+				Dur: now().Sub(start),
+			})
+		}()
 	}
 
 	// Build the residual bid population: losing bids clamped to the

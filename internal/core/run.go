@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// RunOptions configures one execution of the A_FL sweep. The zero value
+// runs sequentially, uninstrumented — exactly the historical RunAuction
+// behaviour.
+type RunOptions struct {
+	// Workers selects the fan-out of the independent per-T̂_g
+	// winner-determination solves: 0 or 1 runs the sweep inline on the
+	// calling goroutine; n > 1 uses n workers (clamped to the number of
+	// candidate T̂_g values); n < 0 selects GOMAXPROCS. Every setting
+	// returns bit-identical results.
+	Workers int
+	// Observer receives structured phase events (sweep start, per-T̂_g
+	// solves, winners, payments, completion). Nil disables
+	// instrumentation entirely: the hot path then performs no timing
+	// calls and no additional allocations. With Workers > 1 the observer
+	// must be safe for concurrent use and per-T̂_g events arrive in
+	// worker completion order.
+	Observer obs.Observer
+	// Now supplies timestamps for phase latencies. Nil selects time.Now.
+	// Ignored when Observer is nil; inject a deterministic source for
+	// golden-testing traces.
+	Now func() time.Time
+}
+
+// clampWorkers is the single place worker counts are validated: negative
+// requests select GOMAXPROCS, and the result is clamped to [1, tasks] so
+// a sweep never spawns more goroutines than it has winner-determination
+// problems.
+func clampWorkers(workers, tasks int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// sweep executes the full T̂_g enumeration honoring ctx and opts. It is
+// the one implementation behind RunAuction, RunAuctionConcurrent,
+// Engine.Run, Engine.RunConcurrent and Engine.RunCtx. A nil error means
+// the sweep ran to completion (the result may still be infeasible); the
+// only error is cancellation, in which case partial work is abandoned
+// and an ErrCanceled-wrapping error is returned.
+func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	obsv := o.Observer
+	now := o.Now
+	if obsv != nil && now == nil {
+		now = time.Now
+	}
+	var start time.Time
+	if obsv != nil {
+		start = now()
+		obsv.Observe(obs.Event{
+			Kind: obs.EvAuctionStarted, Tg: ax.cfg.T, Round: ax.t0,
+			Client: -1, Bid: -1, Value: float64(len(ax.bids)),
+		})
+	}
+	res := Result{}
+	if n := ax.cfg.T - ax.t0 + 1; n > 0 {
+		var err error
+		if workers := clampWorkers(o.Workers, n); workers == 1 {
+			err = ax.sweepSeq(ctx, &res, obsv, now)
+		} else {
+			err = ax.sweepPar(ctx, &res, workers, obsv, now)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if obsv != nil {
+		for _, w := range res.Winners {
+			obsv.Observe(obs.Event{
+				Kind: obs.EvWinnerAccepted, Tg: res.Tg, Client: w.Bid.Client,
+				Bid: w.BidIndex, Value: w.Bid.Price, OK: true,
+			})
+			obsv.Observe(obs.Event{
+				Kind: obs.EvPaymentComputed, Tg: res.Tg, Client: w.Bid.Client,
+				Bid: w.BidIndex, Value: w.Payment, OK: true,
+			})
+		}
+		obsv.Observe(obs.Event{
+			Kind: obs.EvAuctionDone, Tg: res.Tg, Client: -1, Bid: -1,
+			Value: res.Cost, OK: res.Feasible, Dur: now().Sub(start),
+		})
+	}
+	return res, nil
+}
+
+// sweepSeq is the sequential incremental sweep: one pooled scratch
+// arena, one shared context, qualification by prefix extension.
+// Cancellation is checked between solves, so a canceled context abandons
+// the remaining candidates without tearing down a solve midway.
+func (ax *auctionContext) sweepSeq(ctx context.Context, res *Result, obsv obs.Observer, now func() time.Time) error {
+	sc := acquireScratch(len(ax.bids), ax.cfg.T)
+	defer releaseScratch(sc)
+	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
+		if ctx.Err() != nil {
+			return canceledErr(ctx)
+		}
+		var t0 time.Time
+		if obsv != nil {
+			t0 = now()
+		}
+		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
+		if obsv != nil {
+			obsv.Observe(obs.Event{
+				Kind: obs.EvWDPSolved, Tg: tg, Client: -1, Bid: -1,
+				Value: wdp.Cost, OK: wdp.Feasible, Dur: now().Sub(t0),
+			})
+		}
+		res.WDPs = append(res.WDPs, wdp)
+		if !wdp.Feasible {
+			continue
+		}
+		if !res.Feasible || wdp.Cost < res.Cost {
+			res.Feasible = true
+			res.Tg = wdp.Tg
+			res.Cost = wdp.Cost
+			res.Winners = wdp.Winners
+			res.Dual = wdp.Dual
+		}
+	}
+	return nil
+}

@@ -75,7 +75,7 @@ func CheckSolution(bids []Bid, res Result, cfg Config) error {
 	}
 	for t := 1; t <= res.Tg; t++ {
 		if coverage[t-1] < cfg.K {
-			return fmt.Errorf("core: iteration %d has %d participants, want ≥ %d (6a)", t, coverage[t-1], cfg.K)
+			return fmt.Errorf("%w: iteration %d has %d participants, want ≥ %d (6a)", ErrUnderCoverage, t, coverage[t-1], cfg.K)
 		}
 	}
 	if math.Abs(cost-res.Cost) > 1e-6*(1+math.Abs(cost)) {

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got, want := g.Value(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge after Set = %g, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+2+100; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Cumulative: ≤0.1 holds 0.05 and 0.1; ≤1 adds 0.5; ≤10 adds 2;
+	// +Inf adds 100.
+	want := []int64{2, 3, 4, 5}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.Buckets()[1]; got != 4 {
+		t.Fatalf("bucket ≤1 after 0.5s duration = %d, want 4", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("volume").Set(1.5)
+	h := r.Histogram("lat_seconds", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(3)
+	got := r.String()
+	want := strings.Join([]string{
+		"a_total 1",
+		"b_total 2",
+		`lat_seconds_count 2`,
+		`lat_seconds_sum 3.2`,
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"volume 1.5",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Get-or-create returns the same instances.
+	if r.Counter("a_total").Value() != 1 {
+		t.Fatal("Counter did not return the existing instance")
+	}
+	if r.Histogram("lat_seconds", nil).Count() != 2 {
+		t.Fatal("Histogram did not return the existing instance")
+	}
+}
+
+func TestMetricsObserver(t *testing.T) {
+	m := NewMetrics(nil)
+	events := []Event{
+		{Kind: EvAuctionStarted, Tg: 10, Client: -1, Bid: -1},
+		{Kind: EvWDPSolved, Tg: 3, OK: false, Client: -1, Bid: -1, Dur: time.Millisecond},
+		{Kind: EvWDPSolved, Tg: 4, OK: true, Value: 12, Client: -1, Bid: -1, Dur: 2 * time.Millisecond},
+		{Kind: EvWinnerAccepted, Client: 1, Bid: 5, Value: 7},
+		{Kind: EvPaymentComputed, Client: 1, Bid: 5, Value: 9},
+		{Kind: EvAuctionDone, OK: true, Tg: 4, Value: 12, Client: -1, Bid: -1, Dur: 3 * time.Millisecond},
+		{Kind: EvRepairTriggered, Round: 2, Client: -1, Bid: -1},
+		{Kind: EvRepairDone, OK: false, Client: -1, Bid: -1},
+		{Kind: EvRetryFired, Round: 2, Client: 3, Bid: -1},
+		{Kind: EvStragglerDetected, Round: 2, Client: 3, Bid: -1, Value: 2},
+		{Kind: EvDropDetected, Round: 3, Client: 4, Bid: -1},
+		{Kind: EvRoundDone, Round: 2, OK: false, Client: -1, Bid: -1},
+		{Kind: EvFaultInjected, Client: 3, Bid: -1, Label: "drop"},
+		{Kind: EvFaultInjected, Client: 3, Bid: -1, Label: "delay", Value: 0.25},
+	}
+	for _, e := range events {
+		m.Observe(e)
+	}
+	reg := m.Registry()
+	checks := map[string]int64{
+		"afl_auctions_total":             1,
+		"afl_auctions_infeasible_total":  0,
+		"afl_wdp_solves_total":           2,
+		"afl_wdp_infeasible_total":       1,
+		"afl_winners_total":              1,
+		"afl_repairs_total":              1,
+		"afl_repairs_failed_total":       1,
+		"afl_retries_total":              1,
+		"afl_stragglers_total":           1,
+		"afl_dropouts_total":             1,
+		"afl_rounds_total":               1,
+		"afl_rounds_under_covered_total": 1,
+		"afl_faults_drop_total":          1,
+		"afl_faults_delay_total":         1,
+		"afl_faults_dup_total":           0,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("afl_payment_volume").Value(); got != 9 {
+		t.Errorf("payment volume = %g, want 9", got)
+	}
+	if got := reg.Histogram("afl_wdp_solve_seconds", nil).Count(); got != 2 {
+		t.Errorf("wdp solve observations = %d, want 2", got)
+	}
+}
+
+func TestTraceAndFormat(t *testing.T) {
+	var tr Trace
+	tr.Observe(Event{Kind: EvAuctionStarted, Tg: 8, Round: 2, Client: -1, Bid: -1, Value: 5})
+	tr.Observe(Event{Kind: EvWinnerAccepted, Tg: 4, Client: 0, Bid: 3, Value: 2.5, OK: true})
+	tr.Observe(Event{Kind: EvFaultInjected, Client: 1, Bid: -1, Label: "dup"})
+	want := "auction_started tg=8 round=2 value=5 ok=false\n" +
+		"winner_accepted tg=4 client=0 bid=3 value=2.5 ok=true\n" +
+		"fault_injected client=1 ok=false label=dup\n"
+	if got := tr.String(); got != want {
+		t.Fatalf("trace mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.Len() != 3 || len(tr.Events()) != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset did not clear events")
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b Trace
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	if Multi(&a) != &a {
+		t.Fatal("Multi of one should collapse to it")
+	}
+	m := Multi(&a, nil, &b)
+	m.Observe(Event{Kind: EvRoundDone, Client: -1, Bid: -1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a.Len(), b.Len())
+	}
+	var n int
+	ObserverFunc(func(Event) { n++ }).Observe(Event{})
+	if n != 1 {
+		t.Fatal("ObserverFunc did not fire")
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Both paths empty: stop must be a no-op.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the standard Go profilers for a command run: when
+// cpuPath is non-empty, CPU profiling starts immediately; the returned
+// stop function ends it and, when memPath is non-empty, forces a GC and
+// writes an allocs-space heap profile there. Either path may be empty;
+// stop is always non-nil and idempotent-safe to defer.
+//
+// Commands pair this with the -cpuprofile/-memprofile flags so a slow
+// sweep or a leaky session can be inspected with `go tool pprof`.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: close cpu profile: %w", err)
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("obs: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

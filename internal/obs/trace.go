@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Trace is an Observer that records the raw event sequence. The zero
+// value is ready to use; Observe is safe for concurrent use (arrival
+// order across goroutines is whatever the scheduler produced — for a
+// deterministic trace, emit from one goroutine, e.g. a sequential sweep).
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observe implements Observer.
+func (t *Trace) Observe(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset discards all recorded events.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// String renders one line per event. The format is stable and includes
+// only the fields the event kind populates, so a trace taken with a
+// deterministic time source golden-tests cleanly.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, e := range t.Events() {
+		sb.WriteString(FormatEvent(e))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatEvent renders one event on one line: the kind followed by
+// space-separated key=value pairs for every populated field, in a fixed
+// order.
+func FormatEvent(e Event) string {
+	var sb strings.Builder
+	sb.WriteString(e.Kind.String())
+	if e.Tg != 0 {
+		fmt.Fprintf(&sb, " tg=%d", e.Tg)
+	}
+	if e.Round != 0 {
+		fmt.Fprintf(&sb, " round=%d", e.Round)
+	}
+	if e.Client >= 0 {
+		fmt.Fprintf(&sb, " client=%d", e.Client)
+	}
+	if e.Bid >= 0 {
+		fmt.Fprintf(&sb, " bid=%d", e.Bid)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&sb, " value=%g", e.Value)
+	}
+	fmt.Fprintf(&sb, " ok=%v", e.OK)
+	if e.Dur != 0 {
+		fmt.Fprintf(&sb, " dur=%s", e.Dur)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&sb, " label=%s", e.Label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// TestSessionReportErr maps the report's degradation states onto the
+// shared error sentinels.
+func TestSessionReportErr(t *testing.T) {
+	infeasible := SessionReport{}
+	if err := infeasible.Err(); !errors.Is(err, ErrInfeasible) || !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("infeasible session: got %v, want ErrInfeasible", err)
+	}
+
+	degraded := SessionReport{
+		Auction: core.Result{Feasible: true},
+		Rounds: []RoundReport{
+			{Iteration: 1},
+			{Iteration: 2, UnderCovered: true},
+			{Iteration: 3, UnderCovered: true},
+		},
+	}
+	err := degraded.Err()
+	if !errors.Is(err, ErrUnderCoverage) || !errors.Is(err, core.ErrUnderCoverage) {
+		t.Fatalf("degraded session: got %v, want ErrUnderCoverage", err)
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Fatal("degraded session must not match ErrInfeasible")
+	}
+
+	clean := SessionReport{
+		Auction: core.Result{Feasible: true},
+		Rounds:  []RoundReport{{Iteration: 1}, {Iteration: 2}},
+	}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean session: got %v, want nil", err)
+	}
+}

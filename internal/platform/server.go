@@ -8,6 +8,15 @@ import (
 
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/fl"
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// ErrUnderCoverage and ErrInfeasible re-export the shared sentinels so
+// platform callers can errors.Is against session degradation without
+// importing core.
+var (
+	ErrUnderCoverage = core.ErrUnderCoverage
+	ErrInfeasible    = core.ErrInfeasible
 )
 
 // ServerConfig configures an auctioneer session.
@@ -43,6 +52,13 @@ type ServerConfig struct {
 	// message the server sends or receives (payload bodies elided). Use
 	// ReadTranscript to parse it back.
 	Transcript io.Writer
+	// Observer, when non-nil, receives structured phase events for the
+	// session: the auction sweep (via the engine), retries fired,
+	// stragglers and dropouts detected, coverage repairs, and per-round
+	// completion. Phase latencies are timed on the session Clock, so
+	// traces taken on a VirtualClock are deterministic. The observer
+	// must be safe for concurrent use; nil costs nothing.
+	Observer obs.Observer
 }
 
 // RetryPolicy governs per-message fault tolerance on the server side: an
@@ -151,6 +167,27 @@ type SessionReport struct {
 	Repairs []RepairRecord
 }
 
+// Err summarizes session degradation on the shared sentinel surface: nil
+// for a clean session, an ErrInfeasible-matching error when the auction
+// selected no feasible T̂_g (so no training ran), and an
+// ErrUnderCoverage-matching error naming the rounds that closed with
+// fewer than K aggregated updates otherwise. Both match under errors.Is.
+func (r SessionReport) Err() error {
+	if !r.Auction.Feasible {
+		return fmt.Errorf("session: %w: no T̂_g admits full coverage", ErrInfeasible)
+	}
+	var short []int
+	for _, rr := range r.Rounds {
+		if rr.UnderCovered {
+			short = append(short, rr.Iteration)
+		}
+	}
+	if len(short) > 0 {
+		return fmt.Errorf("session: %w: rounds %v closed under-covered", ErrUnderCoverage, short)
+	}
+	return nil
+}
+
 // Server is the cloud auctioneer of Fig. 1.
 type Server struct {
 	cfg ServerConfig
@@ -222,6 +259,11 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 		if err != nil {
 			return report, fmt.Errorf("auction: %w", err)
 		}
+		if s.cfg.Observer != nil {
+			// Time phases on the session clock: deterministic under a
+			// VirtualClock, wall time otherwise.
+			eng = eng.Observe(s.cfg.Observer, clk.Now)
+		}
 		report.Auction = eng.Run()
 	}
 	winners := make(map[int]core.Winner)
@@ -251,6 +293,10 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 	failed := make(map[int]string) // client → forfeiture reason
 	tol := s.cfg.thetaTolerance()
 	for t := 1; t <= report.Auction.Tg; t++ {
+		var roundStart time.Time
+		if s.cfg.Observer != nil {
+			roundStart = clk.Now()
+		}
 		rr := RoundReport{Iteration: t}
 		scheduled := schedule[t-1]
 		sort.Ints(scheduled)
@@ -274,15 +320,27 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 				if failed[id] == "dropped out" {
 					continue
 				}
-				msg, attempts, err := s.collectUpdate(conns[id], clk, t, weights, timeout)
+				msg, attempts, err := s.collectUpdate(conns[id], clk, id, t, weights, timeout)
 				if err != nil {
 					failed[id] = "dropped out"
 					rr.Failed = append(rr.Failed, id)
 					droppedNow = append(droppedNow, id)
+					if s.cfg.Observer != nil {
+						s.cfg.Observer.Observe(obs.Event{
+							Kind: obs.EvDropDetected, Round: t, Client: id,
+							Bid: -1, Value: float64(attempts),
+						})
+					}
 					continue
 				}
 				if attempts > 1 {
 					rr.Stragglers = append(rr.Stragglers, id)
+					if s.cfg.Observer != nil {
+						s.cfg.Observer.Observe(obs.Event{
+							Kind: obs.EvStragglerDetected, Round: t, Client: id,
+							Bid: -1, Value: float64(attempts), OK: true,
+						})
+					}
 				}
 				rr.Responded = append(rr.Responded, id)
 				// Audit the achieved local accuracy against the promise.
@@ -321,6 +379,13 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 			}
 		}
 		rr.UnderCovered = len(rr.Responded) < cfg.K
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.Observe(obs.Event{
+				Kind: obs.EvRoundDone, Tg: report.Auction.Tg, Round: t,
+				Client: -1, Bid: -1, Value: float64(len(rr.Responded)),
+				OK: !rr.UnderCovered, Dur: clk.Now().Sub(roundStart),
+			})
+		}
 		if s.cfg.Eval.Len() > 0 {
 			rr.GradNorm = fl.Norm(fl.Grad(weights, s.cfg.Eval, s.cfg.L2))
 			rr.Loss = fl.Loss(weights, s.cfg.Eval, s.cfg.L2)
@@ -373,11 +438,11 @@ func (s *Server) auctionConfig() core.Config {
 	return cfg
 }
 
-// collectUpdate waits for a client's update for iteration t, re-sending
+// collectUpdate waits for client id's update for iteration t, re-sending
 // the round request per the retry policy with doubling backoff. It
 // returns the update alongside the number of delivery attempts consumed
 // (> 1 marks the client a straggler).
-func (s *Server) collectUpdate(c Conn, clk Clock, t int, weights []float64, timeout time.Duration) (Message, int, error) {
+func (s *Server) collectUpdate(c Conn, clk Clock, id, t int, weights []float64, timeout time.Duration) (Message, int, error) {
 	attempts := s.cfg.Retry.attempts()
 	backoff := s.cfg.Retry.Backoff
 	for a := 1; ; a++ {
@@ -391,6 +456,12 @@ func (s *Server) collectUpdate(c Conn, clk Clock, t int, weights []float64, time
 		if backoff > 0 {
 			clk.Sleep(backoff)
 			backoff *= 2
+		}
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.Observe(obs.Event{
+				Kind: obs.EvRetryFired, Round: t, Client: id, Bid: -1,
+				Value: float64(a + 1),
+			})
 		}
 		_ = c.Send(Message{Type: MsgRound, Round: &Round{Iteration: t, Weights: weights}})
 	}

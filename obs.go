@@ -1,0 +1,78 @@
+package afl
+
+import (
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// Observability types, re-exported from the implementation package. The
+// auction stack emits structured phase events through the Observer
+// attached with WithObserver (or ServerConfig.Observer / chaos
+// Scenario.Observer for sessions); Trace records them verbatim, Metrics
+// folds them into counters/gauges/histograms served by a Registry.
+type (
+	// Observer receives structured phase events. Implementations must be
+	// safe for concurrent use when attached to concurrent runs.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = obs.ObserverFunc
+	// Event is one structured phase event. The zero Client/Bid convention
+	// is -1 (not applicable); see the field docs.
+	Event = obs.Event
+	// EventKind enumerates the phases an Event can report.
+	EventKind = obs.EventKind
+	// Trace is an append-only, concurrency-safe event recorder.
+	Trace = obs.Trace
+	// Registry is a set of named metrics with deterministic text
+	// exposition (Prometheus-style) and an http.Handler.
+	Registry = obs.Registry
+	// Metrics is an Observer folding events into a Registry of counters,
+	// gauges and latency histograms.
+	Metrics = obs.Metrics
+	// Counter is a monotonically increasing atomic counter.
+	Counter = obs.Counter
+	// Gauge is an atomically settable float value.
+	Gauge = obs.Gauge
+	// Histogram is a fixed-bucket latency/value histogram.
+	Histogram = obs.Histogram
+)
+
+// Event kinds emitted by the auction core, the session platform and the
+// chaos harness.
+const (
+	EvAuctionStarted    = obs.EvAuctionStarted
+	EvWDPSolved         = obs.EvWDPSolved
+	EvWinnerAccepted    = obs.EvWinnerAccepted
+	EvPaymentComputed   = obs.EvPaymentComputed
+	EvAuctionDone       = obs.EvAuctionDone
+	EvRepairTriggered   = obs.EvRepairTriggered
+	EvRepairDone        = obs.EvRepairDone
+	EvRetryFired        = obs.EvRetryFired
+	EvStragglerDetected = obs.EvStragglerDetected
+	EvDropDetected      = obs.EvDropDetected
+	EvRoundDone         = obs.EvRoundDone
+	EvFaultInjected     = obs.EvFaultInjected
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewMetrics returns a Metrics observer registering the auction-stack
+// metric families in reg (a nil reg allocates a fresh Registry, reachable
+// via Metrics.Registry).
+func NewMetrics(reg *Registry) *Metrics { return obs.NewMetrics(reg) }
+
+// MultiObserver fans events out to several observers in order (nils are
+// dropped).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// FormatEvent renders one event as a stable single-line string (the
+// format Trace.String uses).
+func FormatEvent(e Event) string { return obs.FormatEvent(e) }
+
+// StartProfiles starts a CPU profile at cpuPath and arranges for an
+// allocation (heap) profile at memPath; either path may be empty to skip
+// that profile. The returned stop function finishes both and must be
+// called before exit (defer it).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath)
+}

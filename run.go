@@ -1,0 +1,89 @@
+package afl
+
+import (
+	"context"
+	"time"
+
+	"github.com/fedauction/afl/internal/core"
+)
+
+// Option configures one Run call. Options are applied in order; the zero
+// option set runs the sweep sequentially, uninstrumented, with the
+// payment rule taken from cfg — exactly the historical RunAuction
+// behaviour.
+type Option func(*runConfig)
+
+type runConfig struct {
+	workers int
+	obsv    Observer
+	now     func() time.Time
+	rule    PaymentRule
+	ruleSet bool
+}
+
+// WithWorkers fans the independent per-T̂_g winner-determination solves
+// out over n workers: 0 or 1 runs inline on the calling goroutine, n > 1
+// uses n workers (clamped to the number of candidate T̂_g values), and
+// n < 0 selects GOMAXPROCS. Every setting returns bit-identical results;
+// only wall-clock time changes.
+func WithWorkers(n int) Option {
+	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithObserver streams structured phase events (auction started, per-T̂_g
+// WDP solved, winner accepted, payment computed, auction done) to o
+// during the run. A nil o — or omitting the option — disables
+// instrumentation entirely: the hot path then performs no timing calls
+// and no extra allocations. With WithWorkers(n > 1) the observer must be
+// safe for concurrent use, and per-T̂_g events arrive in completion
+// order, not T̂_g order.
+func WithObserver(o Observer) Option {
+	return func(rc *runConfig) { rc.obsv = o }
+}
+
+// WithNow injects the timestamp source used for phase latencies (nil or
+// omitted selects time.Now). It has no effect without WithObserver; use
+// it to golden-test traces with a deterministic clock.
+func WithNow(now func() time.Time) Option {
+	return func(rc *runConfig) { rc.now = now }
+}
+
+// WithPaymentRule overrides cfg.PaymentRule for this run only, leaving
+// the caller's Config untouched.
+func WithPaymentRule(rule PaymentRule) Option {
+	return func(rc *runConfig) { rc.rule = rule; rc.ruleSet = true }
+}
+
+// Run executes the full A_FL auction (Algorithm 1 of the paper) honoring
+// ctx and the functional options. It supersedes RunAuction and
+// RunAuctionConcurrent, whose behaviours are Run(context.Background(),
+// bids, cfg) and Run(ctx, bids, cfg, WithWorkers(n)); results are
+// bit-identical across all three for every worker count.
+//
+// Outcomes map onto the package's sentinel errors:
+//
+//   - invalid cfg or bids: a validation error (ErrNoBids when bids is
+//     empty), with a zero Result;
+//   - ctx canceled or expired mid-sweep: partial work is abandoned and
+//     the error matches both ErrCanceled and the context cause
+//     (context.Canceled / context.DeadlineExceeded) under errors.Is;
+//   - sweep complete but no T̂_g admits K participants everywhere:
+//     ErrInfeasible, with the Result still carrying every per-T̂_g WDP
+//     outcome for diagnosis;
+//   - otherwise nil, with the minimum-social-cost solution.
+func Run(ctx context.Context, bids []Bid, cfg Config, opts ...Option) (Result, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	if rc.ruleSet {
+		cfg.PaymentRule = rc.rule
+	}
+	eng, err := core.NewEngine(bids, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.RunCtx(ctx, core.RunOptions{Workers: rc.workers, Observer: rc.obsv, Now: rc.now})
+}

@@ -1,0 +1,265 @@
+package afl_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl"
+)
+
+func testWorkload(t *testing.T, clients, maxT, k int) ([]afl.Bid, afl.Config) {
+	t.Helper()
+	p := afl.DefaultWorkloadParams()
+	p.Clients = clients
+	p.T = maxT
+	p.K = k
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bids, p.Config()
+}
+
+// TestRunMatchesDeprecatedEntryPoints locks in the compatibility contract
+// of the facade redesign: Run is bit-identical to RunAuction and to
+// RunAuctionConcurrent for every worker setting, including the negative
+// (GOMAXPROCS) convention.
+func TestRunMatchesDeprecatedEntryPoints(t *testing.T) {
+	bids, cfg := testWorkload(t, 80, 12, 3)
+	want, err := afl.RunAuction(bids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Feasible {
+		t.Fatal("workload unexpectedly infeasible")
+	}
+	for _, workers := range []int{0, 1, 2, 7, -1} {
+		got, err := afl.Run(context.Background(), bids, cfg, afl.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Run(workers=%d) differs from RunAuction", workers)
+		}
+	}
+	for _, workers := range []int{0, 2} {
+		legacy, err := afl.RunAuctionConcurrent(bids, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, want) {
+			t.Fatalf("RunAuctionConcurrent(%d) differs from RunAuction", workers)
+		}
+	}
+}
+
+// TestRunWithPaymentRule checks that the per-call payment-rule override
+// matches configuring the rule up front and leaves the caller's Config
+// untouched.
+func TestRunWithPaymentRule(t *testing.T) {
+	bids, cfg := testWorkload(t, 60, 10, 3)
+	override, err := afl.Run(context.Background(), bids, cfg, afl.WithPaymentRule(afl.RulePayBid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PaymentRule != afl.RuleCritical {
+		t.Fatalf("WithPaymentRule mutated the caller's Config: %v", cfg.PaymentRule)
+	}
+	direct := cfg
+	direct.PaymentRule = afl.RulePayBid
+	want, err := afl.Run(context.Background(), bids, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(override, want) {
+		t.Fatal("WithPaymentRule differs from configuring the rule in Config")
+	}
+}
+
+// TestRunSentinels exercises the error surface of the redesigned facade:
+// ErrNoBids for an empty population, ErrInfeasible (with the diagnostic
+// Result preserved) when no T̂_g admits coverage, and ErrCanceled (also
+// matching the context cause) for a pre-canceled context.
+func TestRunSentinels(t *testing.T) {
+	cfg := afl.Config{T: 3, K: 1}
+	if _, err := afl.Run(context.Background(), nil, cfg); !errors.Is(err, afl.ErrNoBids) {
+		t.Fatalf("empty population: got %v, want ErrNoBids", err)
+	}
+
+	// A single bid that can never cover iteration 3 of any candidate
+	// T̂_g ≥ T_0 = 2: infeasible at every horizon.
+	bids := []afl.Bid{{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1}}
+	res, err := afl.Run(context.Background(), bids, cfg)
+	if !errors.Is(err, afl.ErrInfeasible) {
+		t.Fatalf("infeasible population: got %v, want ErrInfeasible", err)
+	}
+	if res.Feasible {
+		t.Fatal("ErrInfeasible with a feasible Result")
+	}
+	if len(res.WDPs) == 0 {
+		t.Fatal("ErrInfeasible dropped the per-T̂_g diagnostics")
+	}
+
+	feasible := []afl.Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+		{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := afl.Run(ctx, feasible, cfg); !errors.Is(err, afl.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: got %v, want ErrCanceled ∧ context.Canceled", err)
+	}
+}
+
+// TestRunCancellationMidSweep cancels the context from inside the
+// observer after the first WDP solve and checks that partial work is
+// abandoned, the sentinel surface holds, and the worker pool does not
+// leak goroutines.
+func TestRunCancellationMidSweep(t *testing.T) {
+	bids, cfg := testWorkload(t, 80, 12, 3)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		var solved int
+		var mu sync.Mutex
+		o := afl.ObserverFunc(func(e afl.Event) {
+			if e.Kind == afl.EvWDPSolved {
+				mu.Lock()
+				solved++
+				mu.Unlock()
+				once.Do(cancel)
+			}
+		})
+		before := runtime.NumGoroutine()
+		res, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(workers), afl.WithObserver(o))
+		if !errors.Is(err, afl.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want ErrCanceled ∧ context.Canceled", workers, err)
+		}
+		if res.Feasible {
+			t.Fatalf("workers=%d: canceled sweep returned a committed result", workers)
+		}
+		mu.Lock()
+		n := solved
+		mu.Unlock()
+		// t0=2 leaves 11 candidate T̂_g values; cancellation after the
+		// first solve must abandon at least some of them (the pool may
+		// legitimately finish a few in-flight solves first).
+		if n == 0 || n > 11 {
+			t.Fatalf("workers=%d: %d WDP solves observed", workers, n)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Fatalf("workers=%d: goroutine leak after cancellation: %d > %d", workers, g, before)
+		}
+		cancel()
+	}
+}
+
+// TestRunGoldenTrace pins the exact event stream of a sequential
+// instrumented run on a fixed workload and a deterministic clock. Any
+// change to the phase-event contract shows up as a diff here.
+func TestRunGoldenTrace(t *testing.T) {
+	bids := []afl.Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+		{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+	}
+	cfg := afl.Config{T: 3, K: 1}
+	tr := &afl.Trace{}
+	base := time.Unix(0, 0).UTC()
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Millisecond)
+	}
+	if _, err := afl.Run(context.Background(), bids, cfg, afl.WithObserver(tr), afl.WithNow(now)); err != nil {
+		t.Fatal(err)
+	}
+	const want = `auction_started tg=3 round=2 value=3 ok=false
+wdp_solved tg=2 value=7 ok=true dur=1ms
+wdp_solved tg=3 value=7 ok=true dur=1ms
+winner_accepted tg=2 client=0 bid=0 value=2 ok=true
+payment_computed tg=2 client=0 bid=0 value=2.5 ok=true
+winner_accepted tg=2 client=2 bid=2 value=5 ok=true
+payment_computed tg=2 client=2 bid=2 value=5 ok=true
+auction_done tg=2 value=7 ok=true dur=5ms
+`
+	if got := tr.String(); got != want {
+		t.Fatalf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNilObserverAllocGuard asserts the zero-cost-when-nil guarantee of
+// the observability redesign: the context-aware RunCtx path with no
+// observer allocates no more than the pre-redesign Engine.Run hot path,
+// and that hot path itself stays within the BENCH_core.json baseline.
+func TestNilObserverAllocGuard(t *testing.T) {
+	// Mirror the benchcore I=100 configuration (T=50, K=10) so the
+	// BENCH_core.json engine_reuse baseline is comparable.
+	bids, cfg := testWorkload(t, 100, 50, 10)
+	eng, err := afl.NewEngine(bids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Run().Feasible {
+		t.Fatal("guard workload infeasible")
+	}
+	base := testing.AllocsPerRun(5, func() { eng.Run() })
+	withCtx := testing.AllocsPerRun(5, func() {
+		if _, err := eng.RunCtx(context.Background(), afl.RunOptions{}); err != nil {
+			t.Error(err)
+		}
+	})
+	// RunCtx adds only the options plumbing; allow a handful of allocs of
+	// slack over the uninstrumented path.
+	if withCtx > base+8 {
+		t.Fatalf("nil-observer RunCtx allocates %.0f/op vs Run %.0f/op", withCtx, base)
+	}
+
+	data, err := os.ReadFile("BENCH_core.json")
+	if err != nil {
+		t.Skipf("no BENCH_core.json baseline: %v", err)
+	}
+	var rep struct {
+		Results []struct {
+			Path        string `json:"path"`
+			Clients     int    `json:"clients"`
+			AllocsPerOp int64  `json:"allocs_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parse BENCH_core.json: %v", err)
+	}
+	for _, r := range rep.Results {
+		if r.Path == "engine_reuse" && r.Clients == len(clientSet(bids)) {
+			// Allocation counts jitter with pool hit rates; a quarter of
+			// slack still catches an instrumented hot path (which would
+			// at least double the count via timing and event boxing).
+			limit := float64(r.AllocsPerOp)*1.25 + 64
+			if base > limit {
+				t.Fatalf("Engine.Run allocates %.0f/op, baseline %d (limit %.0f)", base, r.AllocsPerOp, limit)
+			}
+			return
+		}
+	}
+	t.Skip("no engine_reuse baseline for this population size")
+}
+
+func clientSet(bids []afl.Bid) map[int]bool {
+	set := make(map[int]bool)
+	for _, b := range bids {
+		set[b.Client] = true
+	}
+	return set
+}
