@@ -24,7 +24,8 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate BENCH_core.json: incremental sweep engine vs the frozen seed
-# solver at I ∈ {100, 500, 1000}.
+# solver at I ∈ {100, 500, 1000}, plus the exact-critical payments paths
+# (eager-serial seed vs lazy/parallel chosen-T̂_g pricing).
 bench-json:
 	$(GO) run ./cmd/benchcore -out BENCH_core.json
 

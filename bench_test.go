@@ -10,6 +10,7 @@ package afl_test
 // figure benchmarks.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -247,6 +248,56 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExactCriticalPricing compares the exact-critical payment
+// paths on the benchcore payments configuration (I=200, J=5, T=10, K=4):
+// eager_reference prices every candidate T̂_g (the retained
+// RunAuctionEager), lazy prices only the chosen T̂_g sequentially, and
+// parallel fans the per-winner bisections over GOMAXPROCS workers. The
+// differential suite guarantees all three return bit-identical payments,
+// so the ratios measure pure pricing work.
+func BenchmarkExactCriticalPricing(b *testing.B) {
+	p := afl.DefaultWorkloadParams()
+	p.Clients = 200
+	p.T = 10
+	p.K = 4
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := p.Config()
+	cfg.PaymentRule = afl.RuleExactCritical
+	cfg.ExcludeOwnBids = true
+	cfg.ReservePrice = 10 * p.CostHi
+	ctx := context.Background()
+	b.Run("eager_reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunAuctionEager(bids, cfg)
+			if err != nil || !res.Feasible {
+				b.Fatalf("eager auction failed: %v", err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(1))
+			if err != nil || !res.Feasible {
+				b.Fatalf("lazy auction failed: %v", err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(-1))
+			if err != nil || !res.Feasible {
+				b.Fatalf("parallel auction failed: %v", err)
+			}
+		}
+	})
 }
 
 // BenchmarkExactCriticalPayments measures the bisection payment rule on a

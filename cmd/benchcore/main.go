@@ -9,6 +9,12 @@
 // versus shared qualification delta lists and pooled slice-backed scratch
 // in the engine.
 //
+// A second group of payments_* paths benchmarks the exact-critical
+// pricing stage on a dedicated workload: the frozen eager-serial seed
+// (prices every candidate T̂_g), the retained in-tree eager reference,
+// and the lazy engine pricing only the chosen T̂_g sequentially and in
+// parallel.
+//
 // Usage:
 //
 //	benchcore [-out BENCH_core.json] [-sizes 100,500,1000] [-quick]
@@ -16,10 +22,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"github.com/fedauction/afl"
+	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/obs"
 	"github.com/fedauction/afl/internal/seedwdp"
 	"github.com/fedauction/afl/internal/workload"
@@ -51,6 +60,22 @@ type summary struct {
 	SpeedupEngineReuse float64 `json:"speedup_engine_reuse"`
 	AllocRatio         float64 `json:"alloc_ratio"`
 	BytesRatio         float64 `json:"bytes_ratio"`
+	// Payments ratios compare the frozen eager-serial exact-critical
+	// auction (payments_seed) with the lazy pricing paths on the payments
+	// configuration.
+	PaymentsClients         int     `json:"payments_clients"`
+	SpeedupPayments         float64 `json:"speedup_payments"`
+	SpeedupPaymentsParallel float64 `json:"speedup_payments_parallel"`
+}
+
+// paymentsConfig records the dedicated workload the payments_* paths run
+// on: exact-critical pricing re-solves the allocation per probe, so the
+// sweep-scale defaults (T=50, K=20) would take hours on the eager seed.
+type paymentsConfig struct {
+	Clients int     `json:"clients"`
+	T       int     `json:"t"`
+	K       int     `json:"k"`
+	Reserve float64 `json:"reserve"`
 }
 
 type report struct {
@@ -62,8 +87,9 @@ type report struct {
 	BidsPerUser int           `json:"bids_per_user"`
 	T           int           `json:"t"`
 	K           int           `json:"k"`
-	Results     []measurement `json:"results"`
-	Summary     summary       `json:"summary"`
+	Payments    paymentsConfig `json:"payments"`
+	Results     []measurement  `json:"results"`
+	Summary     summary        `json:"summary"`
 }
 
 func main() {
@@ -187,6 +213,94 @@ func main() {
 		}
 	}
 
+	// --- lazy exact-critical pricing vs the frozen eager-serial seed ---
+	//
+	// payments_seed is the pre-lazification baseline: internal/seedwdp
+	// prices every candidate T̂_g eagerly with the blind-doubling bracket.
+	// payments_eager is the retained in-tree eager reference
+	// (core.RunAuctionEager, seeded brackets), payments_lazy prices only
+	// the chosen T̂_g sequentially, and payments_parallel fans the
+	// per-winner bisections over GOMAXPROCS workers.
+	pp := workload.NewDefaultParams()
+	pp.Clients, pp.T, pp.K = 200, 10, 4
+	if *quick {
+		pp.Clients, pp.K = 60, 3 // T stays 10: window generation needs 2J ≤ T draws
+	}
+	pbids, err := workload.Generate(pp)
+	if err != nil {
+		fatal(err)
+	}
+	pcfg := pp.Config()
+	pcfg.PaymentRule = afl.RuleExactCritical
+	pcfg.ExcludeOwnBids = true
+	pcfg.ReservePrice = 10 * pp.CostHi
+	rep.Payments = paymentsConfig{Clients: pp.Clients, T: pp.T, K: pp.K, Reserve: pcfg.ReservePrice}
+
+	// One-shot sanity check before timing anything: the lazy and parallel
+	// paths must reproduce the eager reference's chosen-T̂_g payments
+	// bit-for-bit (the differential suite proves this over a corpus; this
+	// guards the exact instance being benchmarked).
+	ctx := context.Background()
+	eagerRes, err := core.RunAuctionEager(pbids, pcfg)
+	if err != nil || !eagerRes.Feasible {
+		fatal(fmt.Errorf("payments workload infeasible under the eager reference: %v", err))
+	}
+	for _, workers := range []int{1, -1} {
+		got, err := afl.Run(ctx, pbids, pcfg, afl.WithWorkers(workers))
+		if err != nil {
+			fatal(err)
+		}
+		if got.Tg != eagerRes.Tg || !reflect.DeepEqual(got.Winners, eagerRes.Winners) {
+			fatal(fmt.Errorf("lazy pricing (workers=%d) diverges from the eager reference", workers))
+		}
+	}
+
+	paymentPaths := []struct {
+		name string
+		op   func() bool
+	}{
+		{"payments_seed", func() bool {
+			res, err := seedwdp.RunAuction(pbids, pcfg)
+			return err == nil && res.Feasible
+		}},
+		{"payments_eager", func() bool {
+			res, err := core.RunAuctionEager(pbids, pcfg)
+			return err == nil && res.Feasible
+		}},
+		{"payments_lazy", func() bool {
+			res, err := afl.Run(ctx, pbids, pcfg, afl.WithWorkers(1))
+			return err == nil && res.Feasible
+		}},
+		{"payments_parallel", func() bool {
+			res, err := afl.Run(ctx, pbids, pcfg, afl.WithWorkers(-1))
+			return err == nil && res.Feasible
+		}},
+	}
+	for _, path := range paymentPaths {
+		op := path.op
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !op() {
+					b.Fatal("payments auction infeasible")
+				}
+			}
+		})
+		m := measurement{
+			Path:        path.name,
+			Clients:     pp.Clients,
+			K:           pp.K,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, m)
+		perPath[path.name] = m
+		fmt.Fprintf(os.Stderr, "%-24s I=%-5d %12.0f ns/op %10d allocs/op %12d B/op\n",
+			path.name, pp.Clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	}
+
 	seed := perPath["seed"]
 	ratio := func(a, b float64) float64 {
 		if b <= 0 {
@@ -194,13 +308,17 @@ func main() {
 		}
 		return a / b
 	}
+	pseed := perPath["payments_seed"]
 	rep.Summary = summary{
-		Clients:            seed.Clients,
-		SpeedupSequential:  ratio(seed.NsPerOp, perPath["incremental"].NsPerOp),
-		SpeedupConcurrent:  ratio(seed.NsPerOp, perPath["incremental_concurrent"].NsPerOp),
-		SpeedupEngineReuse: ratio(seed.NsPerOp, perPath["engine_reuse"].NsPerOp),
-		AllocRatio:         ratio(float64(seed.AllocsPerOp), float64(perPath["incremental"].AllocsPerOp)),
-		BytesRatio:         ratio(float64(seed.BytesPerOp), float64(perPath["incremental"].BytesPerOp)),
+		Clients:                 seed.Clients,
+		SpeedupSequential:       ratio(seed.NsPerOp, perPath["incremental"].NsPerOp),
+		SpeedupConcurrent:       ratio(seed.NsPerOp, perPath["incremental_concurrent"].NsPerOp),
+		SpeedupEngineReuse:      ratio(seed.NsPerOp, perPath["engine_reuse"].NsPerOp),
+		AllocRatio:              ratio(float64(seed.AllocsPerOp), float64(perPath["incremental"].AllocsPerOp)),
+		BytesRatio:              ratio(float64(seed.BytesPerOp), float64(perPath["incremental"].BytesPerOp)),
+		PaymentsClients:         pseed.Clients,
+		SpeedupPayments:         ratio(pseed.NsPerOp, perPath["payments_lazy"].NsPerOp),
+		SpeedupPaymentsParallel: ratio(pseed.NsPerOp, perPath["payments_parallel"].NsPerOp),
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -211,8 +329,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx)\n",
-		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio)
+	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx, payments speedup %.1fx)\n",
+		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio, rep.Summary.SpeedupPayments)
 }
 
 func fatal(err error) {

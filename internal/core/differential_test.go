@@ -11,6 +11,20 @@ package core_test
 // exposes: feasibility, T_g*, social cost, winners, schedules, payments,
 // per-WDP outcomes and the complete dual certificate.
 //
+// Payments are rule-aware since pricing went lazy: under RuleCritical the
+// claim stays full bit-identity, while under the post-processing rules
+// (RulePayBid, RuleExactCritical) the live sweep prices only the selected
+// T̂_g, so non-selected WDPs are held bit-identical to a RuleCritical
+// oracle run (Algorithm 3 payments; the allocation is payment-independent)
+// and the selected T̂_g's payments to the rule-applied oracle — exactly
+// for RulePayBid, within 1e-9 relative for RuleExactCritical, whose
+// bracket-seeded bisection converges to the same critical value as the
+// oracle's blind-doubling search but not to the same last bit. The exact
+// bit-level claim for the lazy path lives in
+// TestDifferentialLazyPricingVsEagerReference, which compares against the
+// retained eager-serial reference RunAuctionEager (same search, applied
+// eagerly).
+//
 // This is the correctness lock that lets the engine share qualification
 // delta lists, client groupings and pooled scratch arenas across the
 // T̂_g sweep: any divergence in greedy order, tie-breaking, payments or
@@ -20,6 +34,7 @@ package core_test
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -164,10 +179,34 @@ func degenerateCases() []diffCase {
 	}
 }
 
-// assertSeedEqual compares a live Result with the frozen-oracle Result on
-// every field the oracle exposes. Floats are compared with ==: the claim
-// is bit-identity, not approximation.
-func assertSeedEqual(t *testing.T, got core.Result, want seedwdp.Result) {
+// payTolerance is the per-rule payment comparison tolerance against the
+// rule-applied seed oracle on the selected T̂_g: 0 demands bit-identity
+// (RuleCritical everywhere, RulePayBid — the claimed price both ways);
+// RuleExactCritical allows 1e-9 relative slack between the seeded and the
+// blind-doubling bisection, both of which stop within 1e-12·scale of the
+// critical value.
+func payTolerance(rule core.PaymentRule) float64 {
+	if rule == core.RuleExactCritical {
+		return 1e-9
+	}
+	return 0
+}
+
+func paymentsMatch(got, want, tol float64) bool {
+	if tol == 0 {
+		return got == want
+	}
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}
+
+// assertSeedEqual compares a live Result with the frozen-oracle Results on
+// every field the oracle exposes. want is the rule-applied oracle run;
+// wantA3 is an oracle run of the same workload under RuleCritical, the
+// payments the lazy sweep leaves on non-selected WDPs (pass want itself
+// when cfg.PaymentRule is RuleCritical). Everything except
+// RuleExactCritical payments on the selected T̂_g is compared with ==: the
+// claim is bit-identity, not approximation.
+func assertSeedEqual(t *testing.T, got core.Result, want, wantA3 seedwdp.Result, cfg core.Config) {
 	t.Helper()
 	if got.Feasible != want.Feasible {
 		t.Fatalf("Feasible = %v, seed oracle %v", got.Feasible, want.Feasible)
@@ -175,12 +214,13 @@ func assertSeedEqual(t *testing.T, got core.Result, want seedwdp.Result) {
 	if got.Tg != want.Tg || got.Cost != want.Cost {
 		t.Fatalf("Tg/Cost = %d/%v, seed oracle %d/%v", got.Tg, got.Cost, want.Tg, want.Cost)
 	}
-	assertSeedWinnersEqual(t, "auction", got.Winners, want.Winners)
+	tol := payTolerance(cfg.PaymentRule)
+	assertSeedWinnersEqual(t, "auction", got.Winners, want.Winners, tol)
 	if !reflect.DeepEqual(got.Dual, want.Dual) {
 		t.Fatalf("Dual = %+v, seed oracle %+v", got.Dual, want.Dual)
 	}
-	if len(got.WDPs) != len(want.WDPs) {
-		t.Fatalf("len(WDPs) = %d, seed oracle %d", len(got.WDPs), len(want.WDPs))
+	if len(got.WDPs) != len(want.WDPs) || len(got.WDPs) != len(wantA3.WDPs) {
+		t.Fatalf("len(WDPs) = %d, seed oracle %d/%d", len(got.WDPs), len(want.WDPs), len(wantA3.WDPs))
 	}
 	for i := range got.WDPs {
 		g, w := got.WDPs[i], want.WDPs[i]
@@ -188,14 +228,20 @@ func assertSeedEqual(t *testing.T, got core.Result, want seedwdp.Result) {
 			t.Fatalf("WDP[%d] = {Tg %d Feasible %v Cost %v Rounds %d}, seed oracle {Tg %d Feasible %v Cost %v Rounds %d}",
 				i, g.Tg, g.Feasible, g.Cost, g.Rounds, w.Tg, w.Feasible, w.Cost, w.Rounds)
 		}
-		assertSeedWinnersEqual(t, fmt.Sprintf("WDP[%d]", i), g.Winners, w.Winners)
+		if chosen := got.Feasible && g.Tg == got.Tg; chosen {
+			assertSeedWinnersEqual(t, fmt.Sprintf("WDP[%d]", i), g.Winners, w.Winners, tol)
+		} else {
+			// Non-selected candidates are priced lazily never: they carry
+			// the in-greedy Algorithm 3 payments bit-for-bit.
+			assertSeedWinnersEqual(t, fmt.Sprintf("WDP[%d] (A3)", i), g.Winners, wantA3.WDPs[i].Winners, 0)
+		}
 		if g.Feasible && !reflect.DeepEqual(g.Dual, w.Dual) {
 			t.Fatalf("WDP[%d] dual diverged from seed oracle", i)
 		}
 	}
 }
 
-func assertSeedWinnersEqual(t *testing.T, where string, got []core.Winner, want []seedwdp.Winner) {
+func assertSeedWinnersEqual(t *testing.T, where string, got []core.Winner, want []seedwdp.Winner, tol float64) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: %d winners, seed oracle %d", where, len(got), len(want))
@@ -203,7 +249,7 @@ func assertSeedWinnersEqual(t *testing.T, where string, got []core.Winner, want 
 	for i := range got {
 		g, w := got[i], want[i]
 		if g.BidIndex != w.BidIndex || g.Bid != w.Bid ||
-			g.Payment != w.Payment || g.AvgCost != w.AvgCost ||
+			!paymentsMatch(g.Payment, w.Payment, tol) || g.AvgCost != w.AvgCost ||
 			!reflect.DeepEqual(g.Slots, w.Slots) {
 			t.Fatalf("%s winner %d = {bid %d pay %v avg %v slots %v}, seed oracle {bid %d pay %v avg %v slots %v}",
 				where, i, g.BidIndex, g.Payment, g.AvgCost, g.Slots,
@@ -248,7 +294,15 @@ func TestDifferentialEngineVsSeed(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed oracle: %v", err)
 			}
-			assertSeedEqual(t, seq, oracle)
+			oracleA3 := oracle
+			if tc.cfg.PaymentRule != core.RuleCritical {
+				cfgA3 := tc.cfg
+				cfgA3.PaymentRule = core.RuleCritical
+				if oracleA3, err = seedwdp.RunAuction(tc.bids, cfgA3); err != nil {
+					t.Fatalf("seed A3 oracle: %v", err)
+				}
+			}
+			assertSeedEqual(t, seq, oracle, oracleA3, tc.cfg)
 			if seq.Feasible {
 				if err := core.CheckSolution(tc.bids, seq, tc.cfg); err != nil {
 					t.Fatalf("solution fails ILP(6) verification: %v", err)
@@ -290,10 +344,109 @@ func TestDifferentialFixedTg(t *testing.T) {
 				direct.Cost != oracle.Cost || direct.Rounds != oracle.Rounds {
 				t.Fatalf("seed %d tg=%d: WDP outcome diverged from seed oracle", seed, tg)
 			}
-			assertSeedWinnersEqual(t, fmt.Sprintf("seed %d tg=%d", seed, tg), direct.Winners, oracle.Winners)
+			assertSeedWinnersEqual(t, fmt.Sprintf("seed %d tg=%d", seed, tg), direct.Winners, oracle.Winners, 0)
 			if direct.Feasible && !reflect.DeepEqual(direct.Dual, oracle.Dual) {
 				t.Fatalf("seed %d tg=%d: dual diverged from seed oracle", seed, tg)
 			}
 		}
+	}
+}
+
+// TestLazyPaymentSemanticsPinned pins the documented Result.WDPs
+// contract (see result.go): under a post-processing payment rule the
+// non-selected candidates keep their in-greedy Algorithm 3 payments —
+// bit-identical to a RuleCritical run of the same workload — while the
+// selected T̂_g's entry and the top-level Winners it aliases are fully
+// priced, bit-identical to the eager reference.
+func TestLazyPaymentSemanticsPinned(t *testing.T) {
+	p := workload.NewDefaultParams()
+	p.Clients = 16
+	p.BidsPerUser = 2
+	p.T = 8
+	p.K = 2
+	for seed := int64(1); seed <= 4; seed++ {
+		p.Seed = seed
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.Config()
+		cfg.PaymentRule = core.RuleExactCritical
+		cfg.ExcludeOwnBids = true
+		lazy, err := core.RunAuction(bids, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lazy.Feasible {
+			t.Fatalf("seed %d: workload infeasible, fixture needs winners", seed)
+		}
+		cfgA3 := cfg
+		cfgA3.PaymentRule = core.RuleCritical
+		a3, err := core.RunAuction(bids, cfgA3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager, err := core.RunAuctionEager(bids, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range lazy.WDPs {
+			if lazy.WDPs[i].Tg == lazy.Tg {
+				if !reflect.DeepEqual(lazy.WDPs[i].Winners, eager.WDPs[i].Winners) {
+					t.Fatalf("seed %d: selected WDP[%d] not bit-identical to the eager reference", seed, i)
+				}
+				if !reflect.DeepEqual(lazy.Winners, lazy.WDPs[i].Winners) {
+					t.Fatalf("seed %d: Result.Winners does not alias the selected WDP's winners", seed)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(lazy.WDPs[i].Winners, a3.WDPs[i].Winners) {
+				t.Fatalf("seed %d: non-selected WDP[%d] should carry Algorithm 3 payments", seed, i)
+			}
+		}
+		if lazy.TotalPayment() != eager.TotalPayment() {
+			t.Fatalf("seed %d: TotalPayment %v, eager reference %v", seed, lazy.TotalPayment(), eager.TotalPayment())
+		}
+	}
+}
+
+// TestDifferentialLazyPricingVsEagerReference forces RuleExactCritical on
+// the whole workload corpus and holds the lazy pricing path — serial and
+// over a 4-worker pool — to byte-identity with the retained eager-serial
+// reference RunAuctionEager on the selected T̂_g: winners, payments,
+// schedules, cost and dual, via reflect.DeepEqual with no tolerance. Both
+// sides run the identical seeded bisection on identical inputs, so
+// lazification must change where pricing happens, never what it computes.
+func TestDifferentialLazyPricingVsEagerReference(t *testing.T) {
+	cases := append(generatedCases(t), degenerateCases()...)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.PaymentRule = core.RuleExactCritical
+			eager, err := core.RunAuctionEager(tc.bids, cfg)
+			if err != nil {
+				t.Fatalf("RunAuctionEager: %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				lazy, err := core.RunAuctionConcurrent(tc.bids, cfg, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if lazy.Feasible != eager.Feasible || lazy.Tg != eager.Tg ||
+					lazy.Cost != eager.Cost || lazy.TotalPayment() != eager.TotalPayment() {
+					t.Fatalf("workers=%d: outcome {%v %d %v %v} diverged from eager reference {%v %d %v %v}",
+						workers, lazy.Feasible, lazy.Tg, lazy.Cost, lazy.TotalPayment(),
+						eager.Feasible, eager.Tg, eager.Cost, eager.TotalPayment())
+				}
+				if !reflect.DeepEqual(lazy.Winners, eager.Winners) {
+					t.Fatalf("workers=%d: chosen-T̂_g winners diverged from eager reference", workers)
+				}
+				if !reflect.DeepEqual(lazy.Dual, eager.Dual) {
+					t.Fatalf("workers=%d: dual diverged from eager reference", workers)
+				}
+			}
+		})
 	}
 }

@@ -104,7 +104,9 @@ func (e *Engine) RunCtx(ctx context.Context, opts RunOptions) (Result, error) {
 }
 
 // SolveWDP solves the single winner-determination problem for a fixed
-// T̂_g using the precomputed qualification. tg must lie in [1, cfg.T];
+// T̂_g using the precomputed qualification, with the payment rule applied
+// eagerly (a single-WDP caller expects a finished result; only the full
+// sweep defers pricing to the selected T̂_g). tg must lie in [1, cfg.T];
 // out-of-range values yield an infeasible result.
 func (e *Engine) SolveWDP(tg int) WDPResult {
 	if tg < 1 || tg > e.ax.cfg.T {
@@ -115,8 +117,10 @@ func (e *Engine) SolveWDP(tg int) WDPResult {
 		return WDPResult{Tg: tg}
 	}
 	sc := acquireScratch(len(e.ax.bids), tg)
-	defer releaseScratch(sc)
-	return solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids, nil)
+	res := solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids, nil)
+	releaseScratch(sc)
+	applyPaymentRule(e.ax.bids, qualified, tg, e.ax.cfg, e.ax.clientBids, nil, &res)
+	return res
 }
 
 // QualifiedAt returns a copy of the qualified bid set J_{T̂_g} from the

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // PaymentRule selects how winner payments are computed.
 type PaymentRule int
@@ -19,6 +22,10 @@ const (
 	// by bisection over re-runs of the (price-monotone) greedy
 	// allocation. It makes the mechanism exactly truthful in the claimed
 	// price at the cost of O(log(1/ε)) extra solver runs per winner.
+	//
+	// Since pricing is lazy, a full sweep bisects only the winners of the
+	// selected T̂_g (see priceWinners); standalone SolveWDP calls still
+	// price their result eagerly.
 	RuleExactCritical
 	// RulePayBid pays each winner its claimed price. Not truthful; used
 	// as a baseline in incentive experiments.
@@ -39,13 +46,36 @@ func (r PaymentRule) String() string {
 	}
 }
 
+// bisectTol is the absolute convergence tolerance of the critical-value
+// bisection at price magnitude x.
+func bisectTol(x float64) float64 { return 1e-12 * math.Max(1, x) }
+
+// ensureClientBids returns m, or, when m is nil, a client grouping built
+// from the qualified set — the same grouping wdpScratch.init falls back
+// to, hoisted out so a pricing stage builds it once instead of per probe.
+func ensureClientBids(m map[int][]int, bids []Bid, qualified []int) map[int][]int {
+	if m != nil {
+		return m
+	}
+	m = make(map[int][]int)
+	for _, idx := range qualified {
+		c := bids[idx].Client
+		m[c] = append(m[c], idx)
+	}
+	return m
+}
+
 // applyPaymentRule post-processes the payments of a feasible WDP result
-// according to cfg.PaymentRule. RuleCritical payments were already computed
-// during the greedy run. clientBids is the solve's client grouping, passed
-// through so the bisection probes of RuleExactCritical reuse it instead of
-// regrouping per probe. base is the pre-committed coverage of the solve
-// (nil for a full market); probes must replay the same residual market or
-// the bisection would price the wrong instance.
+// according to cfg.PaymentRule. It is the eager entry point, used where a
+// fully priced WDPResult must come back from a single call (SolveWDP,
+// Engine.SolveWDP, RunAuctionEager); the lazy sweep path prices only the
+// selected T̂_g through priceWinners instead. RuleCritical payments were
+// already computed during the greedy run. clientBids is the solve's
+// client grouping, passed through so the bisection probes of
+// RuleExactCritical reuse it instead of regrouping per probe. base is the
+// pre-committed coverage of the solve (nil for a full market); probes
+// must replay the same residual market or the bisection would price the
+// wrong instance.
 func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult) {
 	switch cfg.PaymentRule {
 	case RulePayBid:
@@ -53,8 +83,17 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 			res.Winners[i].Payment = res.Winners[i].Bid.Price
 		}
 	case RuleExactCritical:
+		if len(res.Winners) == 0 {
+			return
+		}
+		clientBids = ensureClientBids(clientBids, bids, qualified)
+		pr := newPricer(bids, tg)
+		defer pr.release()
 		for i := range res.Winners {
-			res.Winners[i].Payment = exactCriticalPayment(bids, qualified, tg, cfg, clientBids, base, res.Winners[i])
+			// A Background context cannot be canceled, so the error is
+			// structurally nil here.
+			pay, _, _ := exactCriticalPayment(context.Background(), bids, qualified, tg, cfg, clientBids, base, res.Winners[i], pr)
+			res.Winners[i].Payment = pay
 		}
 	}
 }
@@ -65,9 +104,21 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 // move its selection to an earlier greedy round), so the winning region is
 // an interval [0, c*) and the bisection is exact up to tolerance.
 //
+// win.Payment must carry the Algorithm 3 payment of the greedy run: the
+// locally critical value never undercuts the claimed price and usually
+// coincides with — or tightly brackets — the exact threshold, so the
+// search probes it first and collapses to three probes when it is the
+// answer, instead of opening with blind geometric doubling.
+//
 // When the bid wins at any price (no competing supply), the Algorithm 3
 // payment — its own claimed price, by the fallback of A_payment — is kept.
-func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, win Winner) float64 {
+//
+// The caller owns pr; probes mutate only pr's buffers plus the winner's
+// own probe slot (restored on return), so distinct pricers may bisect
+// distinct winners concurrently. probes reports the number of full greedy
+// re-solves consumed. A canceled ctx abandons the search mid-bisection
+// with an ErrCanceled-wrapping error.
+func exactCriticalPayment(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, win Winner, pr *pricer) (pay float64, probes int, err error) {
 	probeCfg := cfg
 	probeCfg.PaymentRule = RuleCritical // probes only need the allocation
 	probeQual := qualified
@@ -76,76 +127,141 @@ func exactCriticalPayment(bids []Bid, qualified []int, tg int, cfg Config, clien
 		// multi-minded client cannot move its own critical value by
 		// re-pricing its other bids. (clientBids may still list the
 		// siblings; pruning a bid outside the qualified set is a no-op.)
-		probeQual = make([]int, 0, len(qualified))
+		probeQual = pr.qual[:0]
 		for _, idx := range qualified {
 			if idx == win.BidIndex || bids[idx].Client != win.Bid.Client {
 				probeQual = append(probeQual, idx)
 			}
 		}
+		pr.qual = probeQual[:0]
 	}
-	probe := make([]Bid, len(bids))
-	// One pooled scratch serves every probe of the bisection: each
-	// solveWDP call fully re-initializes the state it touches.
-	sc := acquireScratch(len(bids), tg)
-	defer releaseScratch(sc)
-	wins := func(price float64) bool {
-		copy(probe, bids)
+	// pr.probe already mirrors bids; each probe rewrites only the winner's
+	// own price and the deferred restore hands the next winner a clean
+	// mirror again.
+	probe := pr.probe
+	defer func() { probe[win.BidIndex] = bids[win.BidIndex] }()
+	wins := func(price float64) (bool, error) {
+		if ctx.Err() != nil {
+			return false, canceledErr(ctx)
+		}
+		probes++
 		probe[win.BidIndex].Price = price
-		res := solveWDP(probe, probeQual, tg, probeCfg, sc, clientBids, base)
+		res := solveWDP(probe, probeQual, tg, probeCfg, pr.sc, clientBids, base)
 		if !res.Feasible {
-			return false
+			return false, nil
 		}
 		for _, w := range res.Winners {
 			if w.BidIndex == win.BidIndex {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	}
 	lo := win.Bid.Price
-	if !wins(lo) {
+	w, err := wins(lo)
+	if err != nil {
+		return 0, probes, err
+	}
+	if !w {
 		// The bid won only through interaction with its sibling bids;
 		// without them it loses even at its own price. Pay the price
 		// itself to preserve individual rationality.
-		return lo
+		return lo, probes, nil
 	}
-	var hi float64
-	if cfg.ReservePrice > 0 {
-		// With a reserve, prices above it are disqualified, so the
-		// threshold lives in [lo, reserve]. An essential winner is paid
-		// the reserve itself — a bid-independent value.
-		if wins(cfg.ReservePrice) {
-			return cfg.ReservePrice
+	hi := math.Inf(1)
+	if seed := win.Payment; seed > lo && !math.IsInf(seed, 1) &&
+		(cfg.ReservePrice <= 0 || seed < cfg.ReservePrice) {
+		// Probe the Algorithm 3 payment and one tolerance step above it:
+		// when the locally critical value is the exact threshold (the
+		// common case), the search ends here.
+		step := bisectTol(seed)
+		w, err = wins(seed)
+		if err != nil {
+			return 0, probes, err
 		}
-		hi = cfg.ReservePrice
-	} else {
-		hi = lo
-		won := true
-		for range 48 {
-			hi *= 2
-			if !wins(hi) {
-				won = false
-				break
+		if w {
+			up, uerr := wins(seed + step)
+			if uerr != nil {
+				return 0, probes, uerr
 			}
+			if !up {
+				return seed, probes, nil
+			}
+			lo = seed + step
+		} else {
+			down := seed - step
+			if down <= lo {
+				return lo, probes, nil
+			}
+			w, err = wins(down)
+			if err != nil {
+				return 0, probes, err
+			}
+			if w {
+				return down, probes, nil
+			}
+			hi = down
 		}
-		if won {
-			// Essential winner with no reserve configured: no finite
-			// critical value exists. Keep the Algorithm 3 payment and
-			// accept the (documented) loss of exact truthfulness on this
-			// edge; configure ReservePrice to remove it.
-			return win.Payment
+	}
+	if math.IsInf(hi, 1) {
+		if cfg.ReservePrice > 0 {
+			// With a reserve, prices above it are disqualified, so the
+			// threshold lives in [lo, reserve]. An essential winner is paid
+			// the reserve itself — a bid-independent value.
+			w, err = wins(cfg.ReservePrice)
+			if err != nil {
+				return 0, probes, err
+			}
+			if w {
+				return cfg.ReservePrice, probes, nil
+			}
+			hi = cfg.ReservePrice
+		} else {
+			// Geometric doubling from a positive floor, so a zero-price
+			// winner's bracket still grows (hi *= 2 from 0 never would).
+			// Winning probes advance lo, keeping the final bracket one
+			// doubling wide.
+			d := lo
+			if d < 1 {
+				d = 1
+			}
+			won := true
+			for range 48 {
+				d *= 2
+				w, err = wins(d)
+				if err != nil {
+					return 0, probes, err
+				}
+				if !w {
+					won = false
+					hi = d
+					break
+				}
+				lo = d
+			}
+			if won {
+				// Essential winner with no reserve configured: no finite
+				// critical value exists. Keep the Algorithm 3 payment and
+				// accept the (documented) loss of exact truthfulness on this
+				// edge; configure ReservePrice to remove it.
+				return win.Payment, probes, nil
+			}
 		}
 	}
 	for range 64 {
-		if hi-lo <= 1e-12*math.Max(1, hi) {
+		if hi-lo <= bisectTol(hi) {
 			break
 		}
 		mid := lo + (hi-lo)/2
-		if wins(mid) {
+		w, err = wins(mid)
+		if err != nil {
+			return 0, probes, err
+		}
+		if w {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return lo
+	return lo, probes, nil
 }

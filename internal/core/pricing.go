@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// pricer bundles the per-worker state of an exact-critical pricing pass:
+// one pooled scratch arena serving every probe solve, one probe bid slice
+// mirroring the market (each bisection probe rewrites only the priced
+// winner's own entry, restored when the winner is done), and one reusable
+// qualification buffer for the ExcludeOwnBids sibling pruning. A pricer
+// is single-goroutine state; concurrent workers each hold their own.
+type pricer struct {
+	sc    *wdpScratch
+	probe []Bid
+	qual  []int
+}
+
+// newPricer returns a pricer for the given market, with the probe mirror
+// populated. Pair with release.
+func newPricer(bids []Bid, tg int) *pricer {
+	pr := &pricer{
+		sc:    acquireScratch(len(bids), tg),
+		probe: make([]Bid, len(bids)),
+		qual:  make([]int, 0, len(bids)),
+	}
+	copy(pr.probe, bids)
+	return pr
+}
+
+// release returns the pricer's scratch arena to the pool.
+func (pr *pricer) release() { releaseScratch(pr.sc) }
+
+// priceWinners is the lazy payment stage: it applies cfg.PaymentRule to
+// the winners of one already-solved WDP — the selected T̂_g of a sweep,
+// or a repair's residual solve — instead of pricing every candidate T̂_g
+// eagerly. RuleCritical is a no-op (Algorithm 3 payments are computed
+// in-greedy); RulePayBid rewrites payments in place; RuleExactCritical
+// fans the per-winner bisections of exactCriticalPayment over a clamped
+// worker pool (the winners are independent markets-with-one-price-moved,
+// so they parallelize perfectly) and emits obs pricing events.
+//
+// Payments are staged and committed only when every winner priced, so a
+// canceled context returns an ErrCanceled-wrapping error with res
+// untouched. workers follows the clampWorkers convention; obsv/now follow
+// the sweep convention (nil observer disables instrumentation entirely,
+// nil now with a live observer selects time.Now).
+func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult, workers int, obsv obs.Observer, now func() time.Time) error {
+	if !res.Feasible || len(res.Winners) == 0 {
+		return nil
+	}
+	switch cfg.PaymentRule {
+	case RulePayBid:
+		for i := range res.Winners {
+			res.Winners[i].Payment = res.Winners[i].Bid.Price
+		}
+		return nil
+	case RuleExactCritical:
+		// The instrumented bisection stage below.
+	default:
+		return nil
+	}
+	clientBids = ensureClientBids(clientBids, bids, qualified)
+	n := len(res.Winners)
+	workers = clampWorkers(workers, n)
+	var start time.Time
+	if obsv != nil {
+		if now == nil {
+			now = time.Now
+		}
+		start = now()
+		obsv.Observe(obs.Event{
+			Kind: obs.EvPricingStarted, Tg: tg, Round: workers,
+			Client: -1, Bid: -1, Value: float64(n),
+		})
+	}
+	pays := make([]float64, n)
+	var err error
+	if workers == 1 {
+		err = priceSeq(ctx, bids, qualified, tg, cfg, clientBids, base, res.Winners, pays, obsv, now)
+	} else {
+		err = pricePar(ctx, bids, qualified, tg, cfg, clientBids, base, res.Winners, pays, workers, obsv, now)
+	}
+	if err != nil {
+		if obsv != nil {
+			obsv.Observe(obs.Event{
+				Kind: obs.EvPricingDone, Tg: tg, Client: -1, Bid: -1,
+				OK: false, Dur: now().Sub(start),
+			})
+		}
+		return err
+	}
+	var total float64
+	for i := range res.Winners {
+		res.Winners[i].Payment = pays[i]
+		total += pays[i]
+	}
+	if obsv != nil {
+		obsv.Observe(obs.Event{
+			Kind: obs.EvPricingDone, Tg: tg, Client: -1, Bid: -1,
+			Value: total, OK: true, Dur: now().Sub(start),
+		})
+	}
+	return nil
+}
+
+// priceSeq bisects every winner inline on the calling goroutine with one
+// pricer. Cancellation is honored mid-bisection by exactCriticalPayment.
+func priceSeq(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, winners []Winner, pays []float64, obsv obs.Observer, now func() time.Time) error {
+	pr := newPricer(bids, tg)
+	defer pr.release()
+	for i := range winners {
+		var t0 time.Time
+		if obsv != nil {
+			t0 = now()
+		}
+		pay, probes, err := exactCriticalPayment(ctx, bids, qualified, tg, cfg, clientBids, base, winners[i], pr)
+		if err != nil {
+			return err
+		}
+		pays[i] = pay
+		if obsv != nil {
+			obsv.Observe(obs.Event{
+				Kind: obs.EvWinnerPriced, Tg: tg, Round: probes,
+				Client: winners[i].Bid.Client, Bid: winners[i].BidIndex,
+				Value: pay, OK: true, Dur: now().Sub(t0),
+			})
+		}
+	}
+	return nil
+}
+
+// pricePar fans the per-winner bisections over a worker pool, mirroring
+// sweepPar: each worker holds one pricer, a canceled context makes the
+// feeder stop handing out winners and the workers drain the channel
+// without solving, and no goroutine outlives the call. workers has
+// already been clamped to [1, len(winners)]. Per-winner events arrive in
+// worker completion order.
+func pricePar(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, winners []Winner, pays []float64, workers int, obsv obs.Observer, now func() time.Time) error {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr := newPricer(bids, tg)
+			defer pr.release()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without solving
+				}
+				var t0 time.Time
+				if obsv != nil {
+					t0 = now()
+				}
+				pay, probes, err := exactCriticalPayment(ctx, bids, qualified, tg, cfg, clientBids, base, winners[i], pr)
+				if err != nil {
+					continue // canceled mid-bisection; keep draining
+				}
+				pays[i] = pay
+				if obsv != nil {
+					obsv.Observe(obs.Event{
+						Kind: obs.EvWinnerPriced, Tg: tg, Round: probes,
+						Client: winners[i].Bid.Client, Bid: winners[i].BidIndex,
+						Value: pay, OK: true, Dur: now().Sub(t0),
+					})
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < len(winners); i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if ctx.Err() != nil {
+		return canceledErr(ctx)
+	}
+	return nil
+}
+
+// RunAuctionEager is RunAuction with eager payment application: every
+// candidate T̂_g's WDP is fully priced under cfg.PaymentRule, serially,
+// as the pre-lazification sweep did. It is the retained eager-serial
+// reference that the differential suite and cmd/benchcore hold the lazy
+// pricing path to — the selected T̂_g's winners and payments must be
+// bit-identical between the two. Production callers should use the
+// afl.Run facade (or Engine.RunCtx), which prices only the selected T̂_g.
+func RunAuctionEager(bids []Bid, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return Result{}, err
+	}
+	ax := newAuctionContext(bids, cfg)
+	res := Result{}
+	if ax.cfg.T-ax.t0+1 <= 0 {
+		return res, nil
+	}
+	sc := acquireScratch(len(ax.bids), ax.cfg.T)
+	defer releaseScratch(sc)
+	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
+		qualified := ax.qualifiedAt(tg)
+		wdp := solveWDP(ax.bids, qualified, tg, ax.cfg, sc, ax.clientBids, nil)
+		applyPaymentRule(ax.bids, qualified, tg, ax.cfg, ax.clientBids, nil, &wdp)
+		res.WDPs = append(res.WDPs, wdp)
+		if !wdp.Feasible {
+			continue
+		}
+		if !res.Feasible || wdp.Cost < res.Cost {
+			res.Feasible = true
+			res.Tg = wdp.Tg
+			res.Cost = wdp.Cost
+			res.Winners = wdp.Winners
+			res.Dual = wdp.Dual
+		}
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,6 +57,19 @@ type RepairResult struct {
 // never mutated; Repair is safe for concurrent use like every other
 // Engine method.
 func (e *Engine) Repair(req RepairRequest) (RepairResult, error) {
+	return e.RepairCtx(context.Background(), req, RunOptions{})
+}
+
+// RepairCtx is Repair honoring ctx and opts: under RuleExactCritical the
+// residual solve's payments go through the same lazy pricing stage as the
+// sweep (fanned over opts.Workers, canceled mid-bisection with an
+// ErrCanceled-wrapping error, reported through the pricing events). An
+// unset opts.Observer falls back to the engine's attached observer, as in
+// RunCtx.
+func (e *Engine) RepairCtx(ctx context.Context, req RepairRequest, opts RunOptions) (RepairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := e.ax.cfg
 	bids := e.ax.bids
 	if req.Tg < 1 || req.Tg > cfg.T {
@@ -82,21 +96,28 @@ func (e *Engine) Repair(req RepairRequest) (RepairResult, error) {
 		return res, nil
 	}
 	// Instrumentation: a repair is "triggered" once a real deficit exists.
-	// The engine's observer (attached via Observe) also times the residual
-	// solve; both hooks vanish when no observer is attached.
+	// The observer (per-call, falling back to the engine's attached one)
+	// also times the residual solve; the hooks vanish when neither is set.
+	obsv := opts.Observer
+	now := opts.Now
+	if obsv == nil {
+		obsv = e.obsv
+		if now == nil {
+			now = e.now
+		}
+	}
 	var start time.Time
-	now := e.now
-	if e.obsv != nil {
+	if obsv != nil {
 		if now == nil {
 			now = time.Now
 		}
 		start = now()
-		e.obsv.Observe(obs.Event{
+		obsv.Observe(obs.Event{
 			Kind: obs.EvRepairTriggered, Tg: req.Tg, Round: req.From,
 			Client: -1, Bid: -1, Value: float64(len(res.Deficit)),
 		})
 		defer func() {
-			e.obsv.Observe(obs.Event{
+			obsv.Observe(obs.Event{
 				Kind: obs.EvRepairDone, Tg: req.Tg, Round: req.From,
 				Client: -1, Bid: -1, Value: res.Cost, OK: res.Feasible,
 				Dur: now().Sub(start),
@@ -143,6 +164,11 @@ func (e *Engine) Repair(req RepairRequest) (RepairResult, error) {
 	wdp := solveWDP(residual, qualified, req.Tg, cfg, sc, nil, req.Base)
 	if !wdp.Feasible {
 		return res, nil
+	}
+	// Lazy payment stage on the residual market, before the winner indices
+	// are remapped (the bisection probes index the residual bid slice).
+	if err := priceWinners(ctx, residual, qualified, req.Tg, cfg, nil, req.Base, &wdp, opts.Workers, obsv, now); err != nil {
+		return RepairResult{}, err
 	}
 	res.Feasible = true
 	res.Cost = wdp.Cost

@@ -107,13 +107,23 @@ type Result struct {
 	Tg int
 	// Cost is the minimum social cost across all WDPs.
 	Cost float64
-	// Winners lists the accepted bids with schedules and payments.
+	// Winners lists the accepted bids with schedules and payments. The
+	// payments honor the configured payment rule: pricing is applied
+	// lazily, once, to the selected T̂_g's winners after the sweep picks
+	// the argmin, and is bit-identical to pricing every candidate T̂_g
+	// eagerly (the pre-lazification behaviour, retained as
+	// RunAuctionEager and locked in by the differential suite).
 	Winners []Winner
 	// Dual is the approximation certificate of the winning WDP.
 	Dual Dual
 	// WDPs records the per-T̂_g outcome (cost, feasibility) of every WDP
 	// A_FL enumerated, in increasing T̂_g order; useful for Fig. 7-style
-	// analyses.
+	// analyses. Allocation data (winner sets, schedules, costs, duals) is
+	// exact for every entry, but only the selected T̂_g's entry — whose
+	// winner slice Winners aliases — carries rule-adjusted payments;
+	// non-selected entries keep the Algorithm 3 payments computed
+	// in-greedy, whatever cfg.PaymentRule says. Use Engine.SolveWDP for a
+	// fully priced non-selected candidate.
 	WDPs []WDPResult
 }
 

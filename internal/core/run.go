@@ -13,17 +13,18 @@ import (
 // behaviour.
 type RunOptions struct {
 	// Workers selects the fan-out of the independent per-T̂_g
-	// winner-determination solves: 0 or 1 runs the sweep inline on the
-	// calling goroutine; n > 1 uses n workers (clamped to the number of
-	// candidate T̂_g values); n < 0 selects GOMAXPROCS. Every setting
-	// returns bit-identical results.
+	// winner-determination solves and, under RuleExactCritical, of the
+	// per-winner pricing bisections on the selected T̂_g: 0 or 1 runs
+	// inline on the calling goroutine; n > 1 uses n workers (clamped to
+	// the number of tasks of each stage); n < 0 selects GOMAXPROCS.
+	// Every setting returns bit-identical results.
 	Workers int
 	// Observer receives structured phase events (sweep start, per-T̂_g
-	// solves, winners, payments, completion). Nil disables
-	// instrumentation entirely: the hot path then performs no timing
-	// calls and no additional allocations. With Workers > 1 the observer
-	// must be safe for concurrent use and per-T̂_g events arrive in
-	// worker completion order.
+	// solves, the exact-critical pricing stage, winners, payments,
+	// completion). Nil disables instrumentation entirely: the hot path
+	// then performs no timing calls and no additional allocations. With
+	// Workers > 1 the observer must be safe for concurrent use and
+	// per-T̂_g / per-winner events arrive in worker completion order.
 	Observer obs.Observer
 	// Now supplies timestamps for phase latencies. Nil selects time.Now.
 	// Ignored when Observer is nil; inject a deterministic source for
@@ -83,6 +84,9 @@ func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, erro
 			return Result{}, err
 		}
 	}
+	if err := ax.priceChosen(ctx, &res, o.Workers, obsv, now); err != nil {
+		return Result{}, err
+	}
 	if obsv != nil {
 		for _, w := range res.Winners {
 			obsv.Observe(obs.Event{
@@ -100,6 +104,20 @@ func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, erro
 		})
 	}
 	return res, nil
+}
+
+// priceChosen is the sweep's lazy payment stage: it applies the payment
+// rule to the winners of the selected T̂_g only, after the enumeration
+// picked the argmin. Non-selected entries of res.WDPs keep the Algorithm 3
+// payments solveWDP computed in-greedy. res.Winners aliases the chosen
+// WDP's winner slice, so committing payments through the WDP updates both
+// views. Pricing fans out over the same worker budget as the sweep.
+func (ax *auctionContext) priceChosen(ctx context.Context, res *Result, workers int, obsv obs.Observer, now func() time.Time) error {
+	if !res.Feasible {
+		return nil
+	}
+	wdp := &res.WDPs[res.Tg-ax.t0]
+	return priceWinners(ctx, ax.bids, ax.qualifiedAt(res.Tg), res.Tg, ax.cfg, ax.clientBids, nil, wdp, workers, obsv, now)
 }
 
 // sweepSeq is the sequential incremental sweep: one pooled scratch

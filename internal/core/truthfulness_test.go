@@ -17,6 +17,8 @@ package core_test
 //     both public entry points (RunWDP and Engine.SolveWDP).
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"github.com/fedauction/afl/internal/core"
@@ -91,6 +93,13 @@ func TestEngineExactCriticalTruthfulness(t *testing.T) {
 		if !base.Feasible {
 			continue
 		}
+		// The parallel pricing pool must not perturb the economics the
+		// probes below certify: 4 workers, bit-identical result.
+		if par, err := eng.RunCtx(context.Background(), core.RunOptions{Workers: 4}); err != nil {
+			t.Fatalf("seed %d: RunCtx(Workers:4): %v", seed, err)
+		} else if !reflect.DeepEqual(par, base) {
+			t.Fatalf("seed %d: parallel pricing diverged from the serial run", seed)
+		}
 		tg := base.Tg
 		won := make(map[int]core.Winner)
 		for _, w := range base.Winners {
@@ -140,6 +149,73 @@ func TestEngineExactCriticalTruthfulness(t *testing.T) {
 	}
 	if winnersProbed == 0 || losersProbed == 0 {
 		t.Fatalf("degenerate probe mix: %d winners, %d losers", winnersProbed, losersProbed)
+	}
+}
+
+// TestParallelPricingMisreportProbes extends the misreport probes to the
+// lazy-parallel pricing path. Incentive compatibility proper is a fixed-
+// T̂_g property (a misreport can shift the Algorithm 1 argmin, so the
+// full-sweep utility is not monotone in the claim; the fixed-T̂_g probes
+// live in TestEngineExactCriticalTruthfulness, whose instances the
+// parallel path must reproduce bit-for-bit). What the probes here
+// certify is therefore:
+//
+//   - misreport equivalence: on every perturbed market, a full concurrent
+//     auction (sweep and exact-critical pricing fanned over 4 workers)
+//     returns exactly the winners and payments of the eager-serial
+//     reference, so lazification and the worker pool preserve whatever
+//     incentives the eager mechanism has, claim by claim;
+//   - individual rationality on the parallel path: a winner's payment
+//     never undercuts its claimed price.
+func TestParallelPricingMisreportProbes(t *testing.T) {
+	probed := 0
+	probe := func(bids []core.Bid, victim int, claimed float64, cfg core.Config) {
+		t.Helper()
+		mod := make([]core.Bid, len(bids))
+		copy(mod, bids)
+		mod[victim].Price = claimed
+		par, err := core.RunAuctionConcurrent(mod, cfg, 4)
+		if err != nil {
+			t.Fatalf("RunAuctionConcurrent: %v", err)
+		}
+		eager, err := core.RunAuctionEager(mod, cfg)
+		if err != nil {
+			t.Fatalf("RunAuctionEager: %v", err)
+		}
+		if par.Feasible != eager.Feasible || par.Tg != eager.Tg ||
+			!reflect.DeepEqual(par.Winners, eager.Winners) {
+			t.Fatalf("bid %d claiming %.4f: parallel outcome diverged from the eager reference",
+				victim, claimed)
+		}
+		for _, w := range par.Winners {
+			if w.Payment < w.Bid.Price-1e-9 {
+				t.Fatalf("bid %d claiming %.4f: winner %d paid %.6f below its price %.6f",
+					victim, claimed, w.BidIndex, w.Payment, w.Bid.Price)
+			}
+		}
+		probed++
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		p := tinyParams(200+seed, 5+int(seed%4), 6, 1+int(seed%2))
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		cfg := p.Config()
+		cfg.PaymentRule = core.RuleExactCritical
+		cfg.ExcludeOwnBids = true
+		cfg.ReservePrice = 500
+		for victim := range bids {
+			for _, factor := range []float64{0.6, 1.0, 1.4, 2.2} {
+				probe(bids, victim, bids[victim].Price*factor, cfg)
+			}
+		}
+	}
+	if probed < 100 {
+		t.Fatalf("only %d misreports probed", probed)
 	}
 }
 

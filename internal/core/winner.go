@@ -30,6 +30,10 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 	sc := acquireScratch(len(bids), tg)
 	res := solveWDP(bids, qualified, tg, cfg, sc, nil, nil)
 	releaseScratch(sc)
+	// Standalone solves are priced eagerly: a single-WDP caller expects a
+	// finished result. The sweep instead leaves solveWDP's Algorithm 3
+	// payments in place and prices only the selected T̂_g (priceWinners).
+	applyPaymentRule(bids, qualified, tg, cfg, nil, nil, &res)
 	return res
 }
 
@@ -74,7 +78,10 @@ func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, c
 		res.Cost += win.Bid.Price
 	}
 	res.Dual = w.finalizeDual(cfg.K)
-	applyPaymentRule(bids, qualified, tg, cfg, w.clientBids, base, &res)
+	// Winners carry the Algorithm 3 payments computed in-greedy. Rules
+	// that post-process payments (RulePayBid, RuleExactCritical) are
+	// applied lazily by the caller — once, on the WDP whose payments are
+	// actually used — via applyPaymentRule or priceWinners.
 	return res
 }
 

@@ -267,9 +267,13 @@ type Metrics struct {
 	rounds, roundsUnderCovered   *Counter
 	faultDrop, faultDelay        *Counter
 	faultDup, faultCrash         *Counter
+	pricings, pricingsCanceled   *Counter
+	winnersPriced, pricingProbes *Counter
 	payments, cost               *Gauge
 	wdpSeconds, auctionSeconds   *Histogram
 	repairSeconds                *Histogram
+	pricingSeconds               *Histogram
+	winnerPriceSeconds           *Histogram
 }
 
 // NewMetrics returns a Metrics observer writing into reg (nil creates a
@@ -296,11 +300,17 @@ func NewMetrics(reg *Registry) *Metrics {
 		faultDelay:         reg.Counter("afl_faults_delay_total"),
 		faultDup:           reg.Counter("afl_faults_dup_total"),
 		faultCrash:         reg.Counter("afl_faults_crash_total"),
+		pricings:           reg.Counter("afl_pricings_total"),
+		pricingsCanceled:   reg.Counter("afl_pricings_canceled_total"),
+		winnersPriced:      reg.Counter("afl_winners_priced_total"),
+		pricingProbes:      reg.Counter("afl_pricing_probes_total"),
 		payments:           reg.Gauge("afl_payment_volume"),
 		cost:               reg.Gauge("afl_last_auction_cost"),
 		wdpSeconds:         reg.Histogram("afl_wdp_solve_seconds", nil),
 		auctionSeconds:     reg.Histogram("afl_auction_seconds", nil),
 		repairSeconds:      reg.Histogram("afl_repair_seconds", nil),
+		pricingSeconds:     reg.Histogram("afl_pricing_seconds", nil),
+		winnerPriceSeconds: reg.Histogram("afl_winner_price_seconds", nil),
 	}
 }
 
@@ -351,6 +361,21 @@ func (m *Metrics) Observe(e Event) {
 		m.rounds.Inc()
 		if !e.OK {
 			m.roundsUnderCovered.Inc()
+		}
+	case EvPricingStarted:
+		m.pricings.Inc()
+	case EvWinnerPriced:
+		m.winnersPriced.Inc()
+		m.pricingProbes.Add(int64(e.Round))
+		if e.Dur > 0 {
+			m.winnerPriceSeconds.ObserveDuration(e.Dur)
+		}
+	case EvPricingDone:
+		if !e.OK {
+			m.pricingsCanceled.Inc()
+		}
+		if e.Dur > 0 {
+			m.pricingSeconds.ObserveDuration(e.Dur)
 		}
 	case EvFaultInjected:
 		switch e.Label {

@@ -68,8 +68,22 @@ const (
 	// fault kind ("drop", "delay", "dup", "crash"), Client the affected
 	// link, Value the injected delay in seconds (delay faults only).
 	EvFaultInjected
+	// EvPricingStarted opens the lazy exact-critical payment stage, which
+	// runs once, on the winner set of the selected T̂_g (or a repair's
+	// residual market). Tg is the priced T̂_g, Round the pricing worker
+	// count, Value the number of winners to price.
+	EvPricingStarted
+	// EvWinnerPriced reports one winner's exact-critical payment.
+	// Client/Bid identify the bid, Value is the payment, Round the number
+	// of bisection probes (full allocation re-solves) consumed, Dur the
+	// per-winner pricing latency.
+	EvWinnerPriced
+	// EvPricingDone closes the payment stage. Value is the total payment
+	// of the priced winner set, OK is false when pricing was abandoned by
+	// context cancellation, Dur the stage latency.
+	EvPricingDone
 
-	numEventKinds = int(EvFaultInjected) + 1
+	numEventKinds = int(EvPricingDone) + 1
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -85,6 +99,9 @@ var eventKindNames = [numEventKinds]string{
 	EvDropDetected:      "drop_detected",
 	EvRoundDone:         "round_done",
 	EvFaultInjected:     "fault_injected",
+	EvPricingStarted:    "pricing_started",
+	EvWinnerPriced:      "winner_priced",
+	EvPricingDone:       "pricing_done",
 }
 
 // String returns the kind's snake_case name.

@@ -51,6 +51,9 @@ const (
 	EvDropDetected      = obs.EvDropDetected
 	EvRoundDone         = obs.EvRoundDone
 	EvFaultInjected     = obs.EvFaultInjected
+	EvPricingStarted    = obs.EvPricingStarted
+	EvWinnerPriced      = obs.EvWinnerPriced
+	EvPricingDone       = obs.EvPricingDone
 )
 
 // NewRegistry returns an empty metrics registry.

@@ -166,6 +166,64 @@ func TestRunCancellationMidSweep(t *testing.T) {
 	}
 }
 
+// TestRunCancellationMidPricing cancels the context from inside the
+// observer on the first per-winner pricing event, so the sweep has
+// already committed and the cancellation lands inside the lazy
+// exact-critical payment stage. The sentinel surface must hold, the
+// partially priced result must be abandoned, the stage must close with a
+// failed pricing_done event, and neither the sweep pool nor the pricing
+// pool may leak goroutines.
+func TestRunCancellationMidPricing(t *testing.T) {
+	bids, cfg := testWorkload(t, 80, 12, 3)
+	cfg.PaymentRule = afl.RuleExactCritical
+	cfg.ReservePrice = 1e6 // above every generated price: bounds the bisection bracket
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		var mu sync.Mutex
+		var priced int
+		var pricingFailed bool
+		o := afl.ObserverFunc(func(e afl.Event) {
+			switch e.Kind {
+			case afl.EvWinnerPriced:
+				mu.Lock()
+				priced++
+				mu.Unlock()
+				once.Do(cancel)
+			case afl.EvPricingDone:
+				mu.Lock()
+				pricingFailed = !e.OK
+				mu.Unlock()
+			}
+		})
+		before := runtime.NumGoroutine()
+		res, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(workers), afl.WithObserver(o))
+		if !errors.Is(err, afl.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want ErrCanceled ∧ context.Canceled", workers, err)
+		}
+		if res.Feasible {
+			t.Fatalf("workers=%d: canceled pricing returned a committed result", workers)
+		}
+		mu.Lock()
+		n, failed := priced, pricingFailed
+		mu.Unlock()
+		if n == 0 {
+			t.Fatalf("workers=%d: cancellation never reached the pricing stage", workers)
+		}
+		if !failed {
+			t.Fatalf("workers=%d: pricing_done did not report the abandoned stage", workers)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Fatalf("workers=%d: goroutine leak after cancellation: %d > %d", workers, g, before)
+		}
+		cancel()
+	}
+}
+
 // TestRunGoldenTrace pins the exact event stream of a sequential
 // instrumented run on a fixed workload and a deterministic clock. Any
 // change to the phase-event contract shows up as a diff here.
@@ -198,6 +256,105 @@ auction_done tg=2 value=7 ok=true dur=5ms
 	if got := tr.String(); got != want {
 		t.Fatalf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+}
+
+// TestRunPricingGoldenTrace pins the exact event stream of the lazy
+// pricing stage: the §V-B workload under RuleExactCritical with a
+// reserve. The trace must show the sweep solving every candidate WDP
+// without pricing events, then a single pricing phase over the chosen
+// T̂_g — bid 0 confirmed at its Algorithm 3 seed in three probes, bid 2
+// (an essential winner) priced at the reserve in two — before the
+// winner/payment events report the exact-critical payments.
+func TestRunPricingGoldenTrace(t *testing.T) {
+	bids := []afl.Bid{
+		{Client: 0, Price: 2, Theta: 0.5, Start: 1, End: 2, Rounds: 1},
+		{Client: 1, Price: 6, Theta: 0.5, Start: 2, End: 3, Rounds: 2},
+		{Client: 2, Price: 5, Theta: 0.5, Start: 1, End: 3, Rounds: 2},
+	}
+	cfg := afl.Config{T: 3, K: 1, PaymentRule: afl.RuleExactCritical, ReservePrice: 120}
+	tr := &afl.Trace{}
+	base := time.Unix(0, 0).UTC()
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Millisecond)
+	}
+	if _, err := afl.Run(context.Background(), bids, cfg, afl.WithObserver(tr), afl.WithNow(now)); err != nil {
+		t.Fatal(err)
+	}
+	const want = `auction_started tg=3 round=2 value=3 ok=false
+wdp_solved tg=2 value=7 ok=true dur=1ms
+wdp_solved tg=3 value=7 ok=true dur=1ms
+pricing_started tg=2 round=1 value=2 ok=false
+winner_priced tg=2 round=3 client=0 bid=0 value=2.5 ok=true dur=1ms
+winner_priced tg=2 round=2 client=2 bid=2 value=120 ok=true dur=1ms
+pricing_done tg=2 value=122.5 ok=true dur=5ms
+winner_accepted tg=2 client=0 bid=0 value=2 ok=true
+payment_computed tg=2 client=0 bid=0 value=2.5 ok=true
+winner_accepted tg=2 client=2 bid=2 value=5 ok=true
+payment_computed tg=2 client=2 bid=2 value=120 ok=true
+auction_done tg=2 value=7 ok=true dur=11ms
+`
+	if got := tr.String(); got != want {
+		t.Fatalf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPricingAllocGuard locks the allocation budget of the lazy
+// exact-critical pricing path against the BENCH_core.json payments_lazy
+// baseline. It mirrors the benchcore payments configuration so the
+// counts are comparable, and skips when the baseline has not been
+// recorded yet (run `make bench-json`).
+func TestPricingAllocGuard(t *testing.T) {
+	p := afl.DefaultWorkloadParams()
+	p.Clients = 200
+	p.T = 10
+	p.K = 4
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	cfg.PaymentRule = afl.RuleExactCritical
+	cfg.ExcludeOwnBids = true
+	cfg.ReservePrice = 10 * p.CostHi
+	ctx := context.Background()
+	if _, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(5, func() {
+		if _, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(1)); err != nil {
+			t.Error(err)
+		}
+	})
+
+	data, err := os.ReadFile("BENCH_core.json")
+	if err != nil {
+		t.Skipf("no BENCH_core.json baseline: %v", err)
+	}
+	var rep struct {
+		Results []struct {
+			Path        string `json:"path"`
+			Clients     int    `json:"clients"`
+			AllocsPerOp int64  `json:"allocs_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parse BENCH_core.json: %v", err)
+	}
+	for _, r := range rep.Results {
+		if r.Path == "payments_lazy" && r.Clients == p.Clients {
+			// Same slack policy as the engine_reuse guard: pool hit rates
+			// jitter, but a regression that re-allocates probe slices per
+			// bisection step would blow well past a quarter of headroom.
+			limit := float64(r.AllocsPerOp)*1.25 + 64
+			if got > limit {
+				t.Fatalf("lazy pricing run allocates %.0f/op, baseline %d (limit %.0f)", got, r.AllocsPerOp, limit)
+			}
+			return
+		}
+	}
+	t.Skip("no payments_lazy baseline for this population size")
 }
 
 // TestNilObserverAllocGuard asserts the zero-cost-when-nil guarantee of
