@@ -1,0 +1,96 @@
+package afl
+
+import (
+	"context"
+
+	"github.com/fedauction/afl/internal/batch"
+)
+
+// Batch types, re-exported from the implementation package. The batch
+// layer is the throughput surface of the module: where Run solves one
+// auction as fast as possible, RunBatch and Service solve many auctions
+// per second by sharing one clamped worker pool and recycling pooled
+// engine state across instances.
+type (
+	// Instance is one auction to solve in a batch: a sealed-bid
+	// population plus its auction Config. The batch layer never mutates
+	// either.
+	Instance = batch.Instance
+	// Outcome is the per-instance result of a batch run: the instance's
+	// Index, its Result, and an Err drawn from the package's sentinel
+	// surface (nil, ErrInfeasible with diagnostics, a validation error,
+	// or ErrCanceled with the context cause).
+	Outcome = batch.Outcome
+	// Service is a long-lived batch worker pool with a bounded
+	// submission queue, built for serving daemons. Construct with
+	// NewService; submit with Submit; consume Results; Close to drain.
+	Service = batch.Service
+)
+
+// ErrServiceClosed is returned by Service.Submit after Close.
+var ErrServiceClosed = batch.ErrClosed
+
+// RunBatch solves every instance over one shared worker pool and returns
+// one Outcome per instance, index-aligned with instances. Results are
+// bit-identical to solving each instance alone with Run: batching is a
+// scheduling decision, never an auction-semantics decision.
+//
+// The recognized options are WithWorkers, WithObserver, WithNow and
+// WithPaymentRule (which overrides every instance's Cfg.PaymentRule for
+// this batch). Worker semantics differ from Run in one deliberate way:
+// a throughput layer defaults to using the machine, so 0 (or omitting
+// WithWorkers) selects GOMAXPROCS rather than inline execution, and the
+// width is clamped to the instance count. Each instance's own sweep runs
+// sequentially — cross-instance parallelism already saturates the pool.
+//
+// The only non-nil error is cancellation: instances finished before the
+// cancellation keep their results, the rest carry an Err matching
+// ErrCanceled, and the returned error matches both ErrCanceled and the
+// context cause under errors.Is. No goroutine outlives the call.
+func RunBatch(ctx context.Context, instances []Instance, opts ...Option) ([]Outcome, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	if rc.ruleSet {
+		overridden := make([]Instance, len(instances))
+		copy(overridden, instances)
+		for i := range overridden {
+			overridden[i].Cfg.PaymentRule = rc.rule
+		}
+		instances = overridden
+	}
+	return batch.Run(ctx, instances, batch.Options{
+		Workers:  rc.workers,
+		Observer: rc.obsv,
+		Now:      rc.now,
+	})
+}
+
+// NewService starts a long-lived batch worker pool for serving daemons:
+// auction instances arrive continuously through Service.Submit, outcomes
+// stream out of Service.Results, and the bounded queue (WithQueue)
+// provides backpressure. ctx bounds the service's whole lifetime —
+// canceling it aborts queued and in-flight work — while Service.Close
+// performs a graceful drain. Either way no goroutine survives.
+//
+// The recognized options are WithWorkers (0 or negative selects
+// GOMAXPROCS), WithQueue, WithObserver and WithNow. WithPaymentRule has
+// no effect here: a service solves each submission under its own
+// Instance.Cfg.
+func NewService(ctx context.Context, opts ...Option) *Service {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	return batch.NewService(ctx, batch.Options{
+		Workers:  rc.workers,
+		Queue:    rc.queue,
+		Observer: rc.obsv,
+		Now:      rc.now,
+	})
+}

@@ -12,6 +12,8 @@ package afl_test
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/fedauction/afl"
@@ -295,6 +297,72 @@ func BenchmarkExactCriticalPricing(b *testing.B) {
 			res, err := afl.Run(ctx, bids, cfg, afl.WithWorkers(-1))
 			if err != nil || !res.Feasible {
 				b.Fatalf("parallel auction failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchThroughput compares the two fleet runners over one fixed
+// set of feasible auction instances: naive is goroutine-per-auction (each
+// call paying full engine construction), batch is afl.RunBatch over the
+// shared worker pool with pooled engines. One op is the whole fleet, so
+// divide ns/op and allocs/op by the instance count for per-auction
+// numbers; cmd/benchcore records the normalized series in BENCH_core.json.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const m, clients = 32, 60
+	ctx := context.Background()
+	insts := make([]afl.Instance, 0, m)
+	for seed := int64(3000); len(insts) < m; seed++ {
+		p := afl.DefaultWorkloadParams()
+		p.Clients = clients
+		p.K = 10
+		p.Seed = seed
+		bids, err := afl.GenerateWorkload(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Keep only feasible instances so both runners do identical work.
+		if res, err := afl.Run(ctx, bids, p.Config()); err != nil || !res.Feasible {
+			continue
+		}
+		insts = append(insts, afl.Instance{Bids: bids, Cfg: p.Config()})
+	}
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			// Collect results like the batch engine does, so both fleet
+			// runners hold the same live set.
+			results := make([]afl.Result, len(insts))
+			for j, inst := range insts {
+				wg.Add(1)
+				go func(j int, inst afl.Instance) {
+					defer wg.Done()
+					res, err := afl.Run(ctx, inst.Bids, inst.Cfg)
+					if err != nil || !res.Feasible {
+						failed.Store(true)
+					}
+					results[j] = res
+				}(j, inst)
+			}
+			wg.Wait()
+			if failed.Load() || len(results) != len(insts) {
+				b.Fatal("naive fleet run failed")
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			outcomes, err := afl.RunBatch(ctx, insts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, oc := range outcomes {
+				if oc.Err != nil || !oc.Result.Feasible {
+					b.Fatalf("instance %d failed: %v", oc.Index, oc.Err)
+				}
 			}
 		}
 	})

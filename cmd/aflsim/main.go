@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	trials := flag.Int("trials", 0, "trials per data point (0 = default)")
 	quick := flag.Bool("quick", false, "small instances for a fast pass")
+	workers := flag.Int("workers", 0, "trial-loop worker pool width (0 = GOMAXPROCS); figures are identical for every setting")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
 	width := flag.Int("width", 70, "chart width")
 	height := flag.Int("height", 16, "chart height")
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)

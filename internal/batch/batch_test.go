@@ -1,0 +1,339 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/obs"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// batchInstances draws n differently-seeded auction instances.
+func batchInstances(t testing.TB, n int, clients int) []batch.Instance {
+	t.Helper()
+	insts := make([]batch.Instance, n)
+	for i := range insts {
+		p := workload.NewDefaultParams()
+		p.Seed = int64(1000 + i)
+		p.Clients = clients
+		p.T = 10 + i%5
+		p.K = 3
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = batch.Instance{Bids: bids, Cfg: p.Config()}
+	}
+	return insts
+}
+
+// serialOutcomes solves every instance on a fresh sequential engine — the
+// reference the batch layer must match bit-for-bit.
+func serialOutcomes(t testing.TB, insts []batch.Instance) []batch.Outcome {
+	t.Helper()
+	out := make([]batch.Outcome, len(insts))
+	for i, inst := range insts {
+		out[i].Index = i
+		eng, err := core.NewEngine(inst.Bids, inst.Cfg)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Result, out[i].Err = eng.RunCtx(context.Background(), core.RunOptions{})
+	}
+	return out
+}
+
+// TestRunMatchesSerial is the differential test: for workers in {1, 4}
+// every Outcome of a batch run — results, payments, per-T̂_g diagnostics
+// — must be bit-identical to solving the same instance alone on a fresh
+// sequential engine. This is the contract that makes the throughput
+// layer transparent: batching is a scheduling decision, never an
+// auction-semantics decision.
+func TestRunMatchesSerial(t *testing.T) {
+	insts := batchInstances(t, 12, 50)
+	want := serialOutcomes(t, insts)
+	for _, workers := range []int{1, 4} {
+		got, err := batch.Run(context.Background(), insts, batch.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d outcomes for %d instances", workers, len(got), len(insts))
+		}
+		for i := range got {
+			if got[i].Index != i {
+				t.Fatalf("workers=%d: outcome %d carries index %d", workers, i, got[i].Index)
+			}
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d instance %d: batch err %v, serial err %v", workers, i, got[i].Err, want[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+				t.Fatalf("workers=%d instance %d: batch result diverges from serial engine", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunEmptyAndValidation covers the degenerate edges: an empty batch
+// returns an empty outcome slice and no error; an invalid instance fails
+// alone with its validation error while its neighbours still solve.
+func TestRunEmptyAndValidation(t *testing.T) {
+	out, err := batch.Run(context.Background(), nil, batch.Options{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %d outcomes", err, len(out))
+	}
+
+	insts := batchInstances(t, 3, 40)
+	insts[1].Cfg.T = 0 // invalid horizon
+	got, err := batch.Run(context.Background(), insts, batch.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Err == nil {
+		t.Fatal("invalid instance solved without error")
+	}
+	for _, i := range []int{0, 2} {
+		if got[i].Err != nil {
+			t.Fatalf("instance %d poisoned by its invalid neighbour: %v", i, got[i].Err)
+		}
+		if !got[i].Result.Feasible {
+			t.Fatalf("instance %d infeasible", i)
+		}
+	}
+}
+
+// TestRunCancellation cancels mid-batch from inside the observer (after
+// the third auction completes) and checks the partial-results contract:
+// finished instances keep their results, unstarted ones carry an error
+// matching both core.ErrCanceled and the context cause, the batch error
+// carries the same sentinel surface, and no goroutine outlives the call.
+func TestRunCancellation(t *testing.T) {
+	insts := batchInstances(t, 16, 50)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		done := 0
+		o := obs.ObserverFunc(func(e obs.Event) {
+			if e.Kind == obs.EvAuctionDone {
+				mu.Lock()
+				done++
+				if done == 3 {
+					cancel()
+				}
+				mu.Unlock()
+			}
+		})
+		before := runtime.NumGoroutine()
+		out, err := batch.Run(ctx, insts, batch.Options{Workers: workers, Observer: o})
+		if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want ErrCanceled ∧ context.Canceled", workers, err)
+		}
+		solved, canceled := 0, 0
+		for i, oc := range out {
+			switch {
+			case oc.Err == nil:
+				if !oc.Result.Feasible {
+					t.Fatalf("workers=%d instance %d: nil error without a committed result", workers, i)
+				}
+				solved++
+			case errors.Is(oc.Err, core.ErrCanceled):
+				if !errors.Is(oc.Err, context.Canceled) {
+					t.Fatalf("workers=%d instance %d: cancellation lost the context cause: %v", workers, i, oc.Err)
+				}
+				canceled++
+			default:
+				t.Fatalf("workers=%d instance %d: unexpected error %v", workers, i, oc.Err)
+			}
+		}
+		if solved == 0 || canceled == 0 {
+			t.Fatalf("workers=%d: %d solved / %d canceled — cancellation did not land mid-batch", workers, solved, canceled)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Fatalf("workers=%d: goroutine leak after cancellation: %d > %d", workers, g, before)
+		}
+		cancel()
+	}
+}
+
+// TestRunGoldenBatchTrace pins the batch-level event stream of a
+// single-worker run on a fixed two-instance batch and a deterministic
+// clock. Per-auction events are filtered out so the golden covers
+// exactly the batch layer's contract: one batch_started, per-instance
+// queue/dequeue pairs with monotone depths, one batch_done with the
+// fake-clock latency.
+func TestRunGoldenBatchTrace(t *testing.T) {
+	insts := batchInstances(t, 2, 30)
+	tr := &obs.Trace{}
+	filter := obs.ObserverFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.EvBatchStarted, obs.EvAuctionQueued, obs.EvAuctionDequeued, obs.EvBatchDone:
+			tr.Observe(e)
+		}
+	})
+	base := time.Unix(0, 0).UTC()
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Millisecond)
+	}
+	if _, err := batch.Run(context.Background(), insts, batch.Options{Workers: 1, Observer: filter, Now: now}); err != nil {
+		t.Fatal(err)
+	}
+	want := `batch_started round=1 value=2 ok=false
+auction_queued bid=0 value=1 ok=false
+auction_queued bid=1 ok=false
+auction_dequeued bid=0 value=1 ok=false
+auction_dequeued bid=1 ok=false
+batch_done value=2 ok=true dur=` + fmt.Sprint(time.Duration(calls-1)*time.Millisecond) + "\n"
+	if got := tr.String(); got != want {
+		t.Fatalf("batch trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestServiceDrain submits a stream of instances to a running Service,
+// closes it, and checks the lifecycle contract: every submission yields
+// exactly one Outcome carrying its Submit sequence number, results match
+// the serial reference, Results is closed after the drain, Submit after
+// Close returns ErrClosed, and the worker pool leaves no goroutine
+// behind.
+func TestServiceDrain(t *testing.T) {
+	insts := batchInstances(t, 8, 40)
+	want := serialOutcomes(t, insts)
+	before := runtime.NumGoroutine()
+
+	svc := batch.NewService(context.Background(), batch.Options{Workers: 2, Queue: 4})
+	got := make([]batch.Outcome, len(insts))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for oc := range svc.Results() {
+			got[oc.Index] = oc
+		}
+	}()
+	for i, inst := range insts {
+		idx, err := svc.Submit(context.Background(), inst)
+		if err != nil {
+			t.Errorf("submit %d: %v", i, err)
+		}
+		if idx != i {
+			t.Errorf("submit %d: sequence number %d", i, idx)
+		}
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	wg.Wait()
+
+	if _, err := svc.Submit(context.Background(), insts[0]); !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	for i := range got {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("instance %d: service err %v, serial err %v", i, got[i].Err, want[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Fatalf("instance %d: service result diverges from serial engine", i)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after Close: %d > %d", g, before)
+	}
+}
+
+// TestServiceBackpressure pins the bounded-queue contract: with one
+// worker wedged mid-solve (the observer blocks on a gate) and the queue
+// full, Submit must block until its context expires and then surface the
+// cancellation sentinel. Releasing the gate drains the accepted
+// submissions normally.
+func TestServiceBackpressure(t *testing.T) {
+	insts := batchInstances(t, 3, 30)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var once sync.Once
+	o := obs.ObserverFunc(func(e obs.Event) {
+		if e.Kind == obs.EvAuctionStarted {
+			once.Do(func() {
+				started <- struct{}{}
+				<-gate // wedge the worker inside the first solve
+			})
+		}
+	})
+	svc := batch.NewService(context.Background(), batch.Options{Workers: 1, Queue: 1, Observer: o})
+	defer svc.Close()
+
+	if _, err := svc.Submit(context.Background(), insts[0]); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds instance 0 and is wedged
+	if _, err := svc.Submit(context.Background(), insts[1]); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Submit(ctx, insts[2]); !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit against a full queue: %v, want ErrCanceled ∧ DeadlineExceeded", err)
+	}
+	if d := svc.QueueDepth(); d != 1 {
+		t.Fatalf("queue depth %d with one wedged worker and one queued instance", d)
+	}
+
+	close(gate)
+	got := 0
+	for oc := range svc.Results() {
+		if oc.Err != nil {
+			t.Fatalf("instance %d: %v", oc.Index, oc.Err)
+		}
+		got++
+		if got == 2 {
+			break
+		}
+	}
+}
+
+// TestServiceCancellation cancels the service's base context while
+// instances are queued and checks that the workers stop, Close still
+// closes Results, Submit reports the cancellation, and no goroutine
+// survives.
+func TestServiceCancellation(t *testing.T) {
+	insts := batchInstances(t, 4, 30)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	svc := batch.NewService(ctx, batch.Options{Workers: 1, Queue: 8})
+	for _, inst := range insts {
+		if _, err := svc.Submit(context.Background(), inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	svc.Close()
+	for range svc.Results() {
+		// Drain whatever raced past the cancellation.
+	}
+	if _, err := svc.Submit(context.Background(), insts[0]); !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("submit after canceled close: %v, want ErrClosed", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after canceled service: %d > %d", g, before)
+	}
+}

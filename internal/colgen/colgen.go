@@ -28,7 +28,6 @@
 package colgen
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -94,9 +93,43 @@ type column struct {
 	cost   float64
 }
 
-// signature returns a dedupe key for the column.
-func (c column) signature() string {
-	return fmt.Sprint(c.bid, c.slots)
+// colKey is the comparable dedupe key of a column: the bid index plus an
+// FNV-1a hash of its slot set. Hashing replaces the historical
+// fmt.Sprint signature string, which allocated (and formatted) once per
+// priced column on the hottest dedupe path of the loop; the key is a
+// plain value, so computing it allocates nothing. Distinct slot sets can
+// collide in the hash, so the dedupe map buckets column indices per key
+// and confirms equality slot-by-slot (see addCol in LowerBound).
+type colKey struct {
+	bid  int
+	hash uint64
+}
+
+// key returns the column's dedupe key.
+func (c column) key() colKey {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, t := range c.slots {
+		h ^= uint64(t)
+		h *= prime64
+	}
+	return colKey{bid: c.bid, hash: h}
+}
+
+// slotsEqual reports whether two ascending slot sets are identical.
+func slotsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // LowerBound runs column generation for the WDP with the given qualified
@@ -113,13 +146,18 @@ func LowerBound(bids []core.Bid, qualified []int, tg int, cfg core.Config, opts 
 	}
 
 	cols := make([]column, 0, len(seed.Winners))
-	seen := make(map[string]bool)
+	// seen buckets column indices by comparable key; the slot-by-slot
+	// check inside resolves hash collisions exactly, so dedupe behaviour
+	// is identical to comparing full slot sets.
+	seen := make(map[colKey][]int)
 	addCol := func(c column) bool {
-		sig := c.signature()
-		if seen[sig] {
-			return false
+		k := c.key()
+		for _, j := range seen[k] {
+			if slotsEqual(cols[j].slots, c.slots) {
+				return false
+			}
 		}
-		seen[sig] = true
+		seen[k] = append(seen[k], len(cols))
 		cols = append(cols, c)
 		return true
 	}

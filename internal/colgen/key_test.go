@@ -1,0 +1,122 @@
+package colgen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keyBenchColumns draws a deterministic population of columns with the
+// duplicate density the pricing loop actually produces: a few thousand
+// candidate columns over a few hundred bids, where re-priced rounds keep
+// proposing schedules the master already holds.
+func keyBenchColumns(n int) []column {
+	rng := rand.New(rand.NewSource(7))
+	cols := make([]column, n)
+	for i := range cols {
+		bid := rng.Intn(n / 8)
+		rounds := 2 + rng.Intn(4)
+		slots := make([]int, rounds)
+		t := 1 + rng.Intn(4)
+		for j := range slots {
+			slots[j] = t
+			t += 1 + rng.Intn(3)
+		}
+		cols[i] = column{bid: bid, client: bid, slots: slots, cost: float64(bid)}
+	}
+	return cols
+}
+
+// TestColumnKeyDedupe checks the comparable-key dedupe against the
+// historical string-signature semantics on a population dense with
+// duplicates: both must admit exactly the same column subsequence.
+func TestColumnKeyDedupe(t *testing.T) {
+	cands := keyBenchColumns(4096)
+
+	legacySeen := make(map[string]bool)
+	var legacy []int
+	for i, c := range cands {
+		sig := fmt.Sprint(c.bid, c.slots)
+		if !legacySeen[sig] {
+			legacySeen[sig] = true
+			legacy = append(legacy, i)
+		}
+	}
+
+	var cols []column
+	seen := make(map[colKey][]int)
+	var got []int
+	for i, c := range cands {
+		k := c.key()
+		dup := false
+		for _, j := range seen[k] {
+			if slotsEqual(cols[j].slots, c.slots) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[k] = append(seen[k], len(cols))
+			cols = append(cols, c)
+			got = append(got, i)
+		}
+	}
+
+	if len(got) != len(legacy) {
+		t.Fatalf("key dedupe admits %d columns, signature dedupe %d", len(got), len(legacy))
+	}
+	for i := range got {
+		if got[i] != legacy[i] {
+			t.Fatalf("dedupe order diverges at %d: column %d vs %d", i, got[i], legacy[i])
+		}
+	}
+	if len(got) == len(cands) {
+		t.Fatal("benchmark population has no duplicates — the test proves nothing")
+	}
+}
+
+// BenchmarkDedupeSignature measures the historical dedupe: one formatted
+// string allocation per candidate column.
+func BenchmarkDedupeSignature(b *testing.B) {
+	cands := keyBenchColumns(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen := make(map[string]bool, len(cands))
+		kept := 0
+		for _, c := range cands {
+			sig := fmt.Sprint(c.bid, c.slots)
+			if !seen[sig] {
+				seen[sig] = true
+				kept++
+			}
+		}
+	}
+}
+
+// BenchmarkDedupeKey measures the comparable-key dedupe that replaced
+// it: an FNV-1a fold per candidate, no allocation outside the map
+// itself.
+func BenchmarkDedupeKey(b *testing.B) {
+	cands := keyBenchColumns(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cols []column
+		seen := make(map[colKey][]int, len(cands))
+		for _, c := range cands {
+			k := c.key()
+			dup := false
+			for _, j := range seen[k] {
+				if slotsEqual(cols[j].slots, c.slots) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[k] = append(seen[k], len(cols))
+				cols = append(cols, c)
+			}
+		}
+	}
+}

@@ -54,15 +54,44 @@ type auctionContext struct {
 // must already have passed ValidateBids; the context retains (and never
 // mutates) the slice.
 func newAuctionContext(bids []Bid, cfg Config) *auctionContext {
-	ax := &auctionContext{
-		bids:       bids,
-		cfg:        cfg,
-		t0:         MinTg(bids),
-		clientBids: make(map[int][]int),
+	ax := &auctionContext{}
+	ax.rebuild(bids, cfg, nil)
+	return ax
+}
+
+// rebuild (re)derives the full context for a new bid population in place,
+// reusing whatever slice and map capacity the receiver already holds.
+// This is the engine pool's steady-state path (see AcquireEngine): after
+// the first few rebuilds of a given shape, qualification costs zero
+// allocations beyond what escapes into results. enter is an optional
+// construction scratch — the per-T̂_g entry lists — returned (possibly
+// grown) so pooled callers retain it across rebuilds; one-shot callers
+// pass nil. The derivation is line-for-line the historical
+// newAuctionContext loop, so a rebuilt context is bit-identical to a
+// fresh one.
+func (ax *auctionContext) rebuild(bids []Bid, cfg Config, enter [][]int) [][]int {
+	ax.bids = bids
+	ax.cfg = cfg
+	ax.t0 = MinTg(bids)
+	if ax.clientBids == nil {
+		ax.clientBids = make(map[int][]int)
+	} else {
+		// Truncate in place: entries for clients absent from this
+		// population become empty slices, which behave exactly like
+		// missing keys everywhere the grouping is read (lookups only).
+		for c := range ax.clientBids {
+			ax.clientBids[c] = ax.clientBids[c][:0]
+		}
 	}
 	T := cfg.T
 	// enter[tg] lists the bids whose smallest qualifying T̂_g is tg.
-	enter := make([][]int, T+1)
+	if cap(enter) < T+1 {
+		enter = make([][]int, T+1)
+	}
+	enter = enter[:T+1]
+	for i := range enter {
+		enter[i] = enter[i][:0]
+	}
 	localIters := cfg.localIters()
 	// The tolerance must match Qualified exactly: the delta lists are
 	// required to reproduce its qualified sets bit-for-bit.
@@ -95,13 +124,20 @@ func newAuctionContext(bids []Bid, cfg Config) *auctionContext {
 		}
 		enter[enterTg] = append(enter[enterTg], idx)
 	}
-	ax.qualOrder = make([]int, 0, len(bids))
-	ax.qualCount = make([]int, T+1)
+	if cap(ax.qualOrder) < len(bids) {
+		ax.qualOrder = make([]int, 0, len(bids))
+	}
+	ax.qualOrder = ax.qualOrder[:0]
+	if cap(ax.qualCount) < T+1 {
+		ax.qualCount = make([]int, T+1)
+	}
+	ax.qualCount = ax.qualCount[:T+1]
+	ax.qualCount[0] = 0
 	for tg := 1; tg <= T; tg++ {
 		ax.qualOrder = append(ax.qualOrder, enter[tg]...)
 		ax.qualCount[tg] = len(ax.qualOrder)
 	}
-	return ax
+	return enter
 }
 
 // qualifiedAt returns the qualified bid set J_{T̂_g} as a capped

@@ -30,6 +30,10 @@ type Engine struct {
 	obsv obs.Observer
 	// now supplies timestamps for phase latencies; nil means time.Now.
 	now func() time.Time
+	// arena is non-nil only on engines handed out by AcquireEngine; it is
+	// what Release recycles. Observe copies deliberately drop it so only
+	// the original owner can return the arena to its pool.
+	arena *engineArena
 }
 
 // NewEngine validates the configuration and bid population and

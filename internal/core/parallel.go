@@ -20,7 +20,7 @@ import (
 // each worker holds one pooled scratch arena for the WDPs it drains.
 //
 // workers ≤ 0 selects GOMAXPROCS; requests beyond the number of
-// candidate T̂_g values are clamped (see clampWorkers).
+// candidate T̂_g values are clamped (see ClampWorkers).
 //
 // Deprecated: new code should use the afl.Run facade (or Engine.RunCtx)
 // with WithWorkers, which adds context cancellation and observability.

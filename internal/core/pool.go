@@ -1,0 +1,134 @@
+package core
+
+import "sync"
+
+// Engine pooling for cross-auction throughput. A one-shot NewEngine pays
+// the full qualification precomputation allocation — the delta lists, the
+// client grouping map, the sorted qualification order — on every auction.
+// A batch layer solving thousands of instances per second would spend
+// most of its cycles re-growing those structures, so AcquireEngine hands
+// out engines whose backing arenas are recycled through shape-keyed
+// sync.Pools: a released arena keeps every slice and map it has grown,
+// and the next acquisition of a similar shape rebuilds qualification into
+// that capacity with close to zero fresh allocation.
+//
+// Pools are keyed by the instance's shape class — bid count and horizon
+// rounded up to powers of two — so wildly different instance sizes do not
+// churn each other's arenas, while instances of one traffic class (the
+// common case for a production auction service) share a hot pool.
+
+// engineArena bundles a reusable Engine with the auction context it wraps
+// and the construction scratch the context rebuild needs. All three are
+// recycled together.
+type engineArena struct {
+	eng   Engine
+	ax    auctionContext
+	enter [][]int
+	shape shapeKey
+}
+
+// shapeKey is an arena pool key: the power-of-two capacity class of the
+// bid population and of the iteration horizon.
+type shapeKey struct {
+	bids, t int
+}
+
+func shapeOf(nBids, T int) shapeKey {
+	return shapeKey{bids: ceilPow2(nBids), t: ceilPow2(T)}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// enginePools maps shapeKey -> *sync.Pool of *engineArena.
+var enginePools sync.Map
+
+func poolFor(k shapeKey) *sync.Pool {
+	if p, ok := enginePools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := enginePools.LoadOrStore(k, &sync.Pool{New: func() any { return &engineArena{shape: k} }})
+	return p.(*sync.Pool)
+}
+
+// AcquireEngine validates the bid population and returns a pooled Engine
+// for it. It is semantically identical to NewEngine — every method of the
+// returned engine yields bit-identical results — but the qualification
+// structures are rebuilt into a recycled arena, so steady-state batch
+// traffic acquires engines almost allocation-free. Call Release when the
+// engine (and every Result obtained from it) no longer needs the shared
+// qualification order; the arena then returns to its pool.
+//
+// The engine retains the bid slice until Release, and must not be used
+// after Release (reuse would race with the next acquirer's rebuild).
+func AcquireEngine(bids []Bid, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		return nil, err
+	}
+	ar := poolFor(shapeOf(len(bids), cfg.T)).Get().(*engineArena)
+	ar.enter = ar.ax.rebuild(bids, cfg, ar.enter)
+	ar.eng = Engine{ax: &ar.ax, arena: ar}
+	return &ar.eng, nil
+}
+
+// ReacquireEngine rebinds a previously acquired engine to a new instance,
+// rebuilding qualification into the arena it already holds when the shape
+// class matches. This is the worker-local fast path of the batch layer: a
+// worker that keeps its engine across same-class auctions never touches
+// the pool between instances, so a GC cycle mid-batch — which is free to
+// flush pooled arenas — cannot force it back to full reconstruction. A
+// nil prev, an arena-less prev (NewEngine), or a shape mismatch falls
+// back to Release + AcquireEngine. On a validation error prev is released
+// and the returned engine is nil, so the idiomatic
+// `eng, err = ReacquireEngine(eng, ...)` never leaks an arena.
+//
+// Like AcquireEngine, the returned engine retains bids until the next
+// Reacquire or Release, and prev must not be used after the call (its
+// arena now backs the returned engine).
+func ReacquireEngine(prev *Engine, bids []Bid, cfg Config) (*Engine, error) {
+	var ar *engineArena
+	if prev != nil {
+		ar = prev.arena
+	}
+	if ar == nil || ar.shape != shapeOf(len(bids), cfg.T) {
+		prev.Release()
+		return AcquireEngine(bids, cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		prev.Release()
+		return nil, err
+	}
+	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
+		prev.Release()
+		return nil, err
+	}
+	ar.enter = ar.ax.rebuild(bids, cfg, ar.enter)
+	ar.eng = Engine{ax: &ar.ax, arena: ar}
+	return &ar.eng, nil
+}
+
+// Release returns the engine's arena to its shape pool. It is a no-op on
+// a nil engine, on engines built by NewEngine and on Observe copies (only
+// the engine handed out by AcquireEngine owns the arena). The arena drops
+// its bid slice reference so pooled memory never pins caller data; the
+// grown qualification capacity is what the pool exists to keep.
+func (e *Engine) Release() {
+	if e == nil {
+		return
+	}
+	ar := e.arena
+	if ar == nil {
+		return
+	}
+	e.arena = nil
+	ar.ax.bids = nil
+	poolFor(ar.shape).Put(ar)
+}

@@ -46,7 +46,7 @@ func (pr *pricer) release() { releaseScratch(pr.sc) }
 //
 // Payments are staged and committed only when every winner priced, so a
 // canceled context returns an ErrCanceled-wrapping error with res
-// untouched. workers follows the clampWorkers convention; obsv/now follow
+// untouched. workers follows the ClampWorkers convention; obsv/now follow
 // the sweep convention (nil observer disables instrumentation entirely,
 // nil now with a live observer selects time.Now).
 func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult, workers int, obsv obs.Observer, now func() time.Time) error {
@@ -66,7 +66,7 @@ func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg 
 	}
 	clientBids = ensureClientBids(clientBids, bids, qualified)
 	n := len(res.Winners)
-	workers = clampWorkers(workers, n)
+	workers = ClampWorkers(workers, n)
 	var start time.Time
 	if obsv != nil {
 		if now == nil {

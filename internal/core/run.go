@@ -32,11 +32,12 @@ type RunOptions struct {
 	Now func() time.Time
 }
 
-// clampWorkers is the single place worker counts are validated: negative
+// ClampWorkers is the single place worker counts are validated: negative
 // requests select GOMAXPROCS, and the result is clamped to [1, tasks] so
-// a sweep never spawns more goroutines than it has winner-determination
-// problems.
-func clampWorkers(workers, tasks int) int {
+// a pool never spawns more goroutines than it has tasks. The sweep, the
+// pricing stage and the cross-auction batch scheduler all resolve their
+// widths through it.
+func ClampWorkers(workers, tasks int) int {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,7 +76,7 @@ func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, erro
 	res := Result{}
 	if n := ax.cfg.T - ax.t0 + 1; n > 0 {
 		var err error
-		if workers := clampWorkers(o.Workers, n); workers == 1 {
+		if workers := ClampWorkers(o.Workers, n); workers == 1 {
 			err = ax.sweepSeq(ctx, &res, obsv, now)
 		} else {
 			err = ax.sweepPar(ctx, &res, workers, obsv, now)

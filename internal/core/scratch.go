@@ -40,6 +40,38 @@ type wdpScratch struct {
 	// Representative-schedule and tight-dual work buffers.
 	cand, avail []int
 	top         []float64
+
+	// chunk backs the winner schedules that escape into Results: slots and
+	// covered sub-slices are carved append-only out of one slab instead of
+	// one make per winner — the dominant allocation site of a solve.
+	// Carved regions are never reused (the offset only advances, and a
+	// fresh slab replaces an exhausted one), so escaping sub-slices stay
+	// valid for the life of their Result; capacities are clamped so an
+	// append on a Result slice copies out instead of stomping a neighbour.
+	chunk    []int
+	chunkOff int
+}
+
+// resultChunkInts is the slab size of the winner-schedule allocator:
+// 32 KiB of ints, a few hundred winner schedules per slab at typical
+// window widths.
+const resultChunkInts = 4096
+
+// allocResult carves n ints off the current slab, starting a fresh slab
+// when the remainder is too small. The returned slice has capacity
+// exactly n.
+func (sc *wdpScratch) allocResult(n int) []int {
+	if len(sc.chunk)-sc.chunkOff < n {
+		size := resultChunkInts
+		if n > size {
+			size = n
+		}
+		sc.chunk = make([]int, size)
+		sc.chunkOff = 0
+	}
+	buf := sc.chunk[sc.chunkOff : sc.chunkOff+n : sc.chunkOff+n]
+	sc.chunkOff += n
+	return buf
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(wdpScratch) }}

@@ -349,8 +349,11 @@ func (w *wdpState) repCandidates(idx int, buf []int) []int {
 
 // representativeSchedule returns the bid's representative schedule (slots,
 // ascending) and the subset F_il that is still available (γ_t < K, in
-// least-covered order). Both slices escape into the Winner record, so
-// they are freshly allocated; the candidate work happens in scratch.
+// least-covered order). Both slices escape into the Winner record, so they
+// cannot live in reusable scratch; they are carved out of the scratch's
+// append-only slab (allocResult) — one slab allocation per few hundred
+// winners instead of one make per winner, which was the dominant
+// allocation site of a solve. The candidate work happens in scratch.
 func (w *wdpState) representativeSchedule(idx int) (slots, available []int) {
 	cand := w.repCandidates(idx, w.sc.cand)
 	w.sc.cand = cand[:0]
@@ -360,15 +363,16 @@ func (w *wdpState) representativeSchedule(idx int) (slots, available []int) {
 			navail++
 		}
 	}
-	available = make([]int, 0, navail)
+	buf := w.sc.allocResult(len(cand) + navail)
+	slots = buf[:len(cand):len(cand)]
+	copy(slots, cand)
+	sort.Ints(slots)
+	available = buf[len(cand):len(cand)]
 	for _, t := range cand {
 		if w.gamma[t-1] < w.cfg.K {
 			available = append(available, t)
 		}
 	}
-	slots = make([]int, len(cand))
-	copy(slots, cand)
-	sort.Ints(slots)
 	return slots, available
 }
 

@@ -13,7 +13,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/fedauction/afl/internal/baseline"
 	"github.com/fedauction/afl/internal/colgen"
@@ -32,6 +35,13 @@ type Options struct {
 	// Quick shrinks instance sizes so the whole suite runs in seconds;
 	// used by tests and the benchmark harness's -short mode.
 	Quick bool
+	// Workers bounds the pool the per-seed trial loops fan out over:
+	// n > 0 uses n workers, anything else selects GOMAXPROCS. Every
+	// trial derives its own seeded RNG and results are merged back in
+	// trial order, so figures — and their CSV serializations — are
+	// byte-identical for every worker count. Timed measurements (Fig. 8)
+	// never run concurrently; only their workload generation does.
+	Workers int
 }
 
 func (o Options) trials() int {
@@ -42,6 +52,46 @@ func (o Options) trials() int {
 		return 1
 	}
 	return 3
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0) … fn(n-1) over a bounded worker pool and returns
+// when every call has finished. Iterations must be independent: each
+// writes only its own result slot. With one worker (or n <= 1) the
+// calls run inline in index order, which is also the deterministic
+// order parallel runs must reproduce through slot-indexed merges.
+func forEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Figure is one regenerated evaluation artifact.

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices checks the pool helper itself: every index
+// runs exactly once for serial and parallel widths, including the
+// degenerate shapes (zero jobs, more workers than jobs).
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		for _, n := range []int{0, 1, 5, 64} {
+			hits := make([]atomic.Int32, n)
+			forEach(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFiguresDeterministicAcrossWorkers is the determinism contract of
+// the parallelized trial loops: for every figure whose trials now fan
+// out over the pool (Fig3 and the two ratioSweep figures) plus the
+// generation-parallel Fig8, a 4-worker run must produce byte-identical
+// CSV output to a single-worker run — same points, same order, same
+// formatting. This is what keeps the committed results/ goldens valid
+// regardless of the -workers setting.
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"fig3", "fig4", "fig4j"} {
+		runner := Registry[id]
+		serial := runner(Options{Seed: 3, Trials: 2, Quick: true, Workers: 1})
+		parallel := runner(Options{Seed: 3, Trials: 2, Quick: true, Workers: 4})
+		if s, p := serial.Chart.CSV(), parallel.Chart.CSV(); s != p {
+			t.Errorf("%s: workers=4 CSV diverges from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", id, s, p)
+		}
+	}
+	// Fig8 reports wall-clock times, so its values cannot be compared;
+	// its point set (which client counts generated successfully, in
+	// which order) must still match.
+	shape := func(workers int) []float64 {
+		fig := Fig8(Options{Seed: 3, Quick: true, Workers: workers})
+		var xs []float64
+		for _, s := range fig.Chart.Series {
+			for _, pt := range s.Points {
+				xs = append(xs, pt.X)
+			}
+		}
+		return xs
+	}
+	s, p := shape(1), shape(4)
+	if len(s) != len(p) {
+		t.Fatalf("fig8: workers=4 produced %d points, workers=1 %d", len(p), len(s))
+	}
+	for i := range s {
+		if s[i] != p[i] {
+			t.Fatalf("fig8: point %d at X=%v under workers=4, X=%v under workers=1", i, p[i], s[i])
+		}
+	}
+}

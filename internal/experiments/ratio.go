@@ -29,40 +29,53 @@ func Fig3(opts Options) Figure {
 		Title: "Performance ratio of A_winner vs T̂_g (series: bids per client J)",
 		Chart: plot.Chart{Title: "Fig. 3", XLabel: "T̂_g", YLabel: "performance ratio"},
 	}
+	// Every (J, T̂_g, trial) cell is an independent seeded solve, so the
+	// whole grid fans out over the bounded pool; each job writes only its
+	// own NaN-initialized slot and the aggregation below reads the slots
+	// back in the original loop order, keeping the figure byte-identical
+	// to a serial run for every worker count.
+	trials := opts.trials()
+	cells := make([]float64, len(js)*len(tgs)*trials)
+	for i := range cells {
+		cells[i] = math.NaN()
+	}
+	forEach(len(cells), opts.workers(), func(i int) {
+		trial := i % trials
+		tg := tgs[i/trials%len(tgs)]
+		j := js[i/trials/len(tgs)]
+		p := workload.NewDefaultParams()
+		p.Clients = clients
+		p.BidsPerUser = j
+		p.T = tg
+		p.K = k
+		p.Seed = opts.Seed + int64(trial)*1009 + int64(tg)*31 + int64(j)
+		// Keep every bid qualified at this T̂_g: θ below
+		// 1−1/T̂_g and no per-round time limit.
+		p.ThetaHi = math.Min(p.ThetaHi, 1-1/float64(tg)-1e-9)
+		p.TMax = 0
+		bids, err := workload.Generate(p)
+		if err != nil {
+			return
+		}
+		cfg := p.Config()
+		qual := core.Qualified(bids, tg, cfg)
+		res := core.SolveWDP(bids, qual, tg, cfg)
+		if !res.Feasible {
+			return
+		}
+		lb := wdpLowerBound(bids, qual, tg, cfg)
+		if math.IsNaN(lb) || lb <= 0 {
+			return
+		}
+		cells[i] = res.Cost / lb
+	})
 	worst := 0.0
-	for _, j := range js {
+	for ji, j := range js {
 		series := plot.Series{Name: note("J=%d", j)}
-		for _, tg := range tgs {
-			var ratios []float64
-			for trial := 0; trial < opts.trials(); trial++ {
-				p := workload.NewDefaultParams()
-				p.Clients = clients
-				p.BidsPerUser = j
-				p.T = tg
-				p.K = k
-				p.Seed = opts.Seed + int64(trial)*1009 + int64(tg)*31 + int64(j)
-				// Keep every bid qualified at this T̂_g: θ below
-				// 1−1/T̂_g and no per-round time limit.
-				p.ThetaHi = math.Min(p.ThetaHi, 1-1/float64(tg)-1e-9)
-				p.TMax = 0
-				bids, err := workload.Generate(p)
-				if err != nil {
-					continue
-				}
-				cfg := p.Config()
-				qual := core.Qualified(bids, tg, cfg)
-				res := core.SolveWDP(bids, qual, tg, cfg)
-				if !res.Feasible {
-					continue
-				}
-				lb := wdpLowerBound(bids, qual, tg, cfg)
-				if math.IsNaN(lb) || lb <= 0 {
-					continue
-				}
-				ratios = append(ratios, res.Cost/lb)
-			}
-			if r := meanOf(ratios); !math.IsNaN(r) {
-				series.Points = append(series.Points, plot.Point{X: float64(tg), Y: r})
+		for ti := range tgs {
+			base := (ji*len(tgs) + ti) * trials
+			if r := meanOf(cells[base : base+trials]); !math.IsNaN(r) {
+				series.Points = append(series.Points, plot.Point{X: float64(tgs[ti]), Y: r})
 				worst = math.Max(worst, r)
 			}
 		}
@@ -118,33 +131,55 @@ func ratioSweep(opts Options, fig Figure, xs []int, vary func(p *workload.Params
 	for _, n := range names {
 		acc[n] = make(map[int][]float64)
 	}
-	for _, x := range xs {
-		for trial := 0; trial < opts.trials(); trial++ {
-			p := workload.NewDefaultParams()
-			if opts.Quick {
-				p.T = 15
-				p.K = 4
+	// One job per (x, trial) cell: workload draw, the A_FL auction, the
+	// shared lower bound and the three baselines, all on cell-local
+	// state. Each job fills its own slot; the ordered merge below then
+	// re-plays the serial append order exactly, so every worker count
+	// produces the same accumulator contents and the same figure.
+	trials := opts.trials()
+	type cell struct {
+		ratio map[string]float64 // per-algorithm ratio; nil when skipped
+	}
+	cells := make([]cell, len(xs)*trials)
+	forEach(len(cells), opts.workers(), func(i int) {
+		x := xs[i/trials]
+		trial := i % trials
+		p := workload.NewDefaultParams()
+		if opts.Quick {
+			p.T = 15
+			p.K = 4
+		}
+		vary(&p, x)
+		p.Seed = opts.Seed + int64(trial)*7919 + int64(x)
+		bids, err := workload.Generate(p)
+		if err != nil {
+			return
+		}
+		cfg := p.Config()
+		res, err := core.RunAuction(bids, cfg)
+		if err != nil || !res.Feasible {
+			return
+		}
+		lb := auctionLowerBound(bids, cfg, res)
+		if math.IsNaN(lb) || lb <= 0 {
+			return
+		}
+		ratio := map[string]float64{"A_FL": res.Cost / lb}
+		for _, m := range mechanisms() {
+			if out, ok := baseline.RunOverTg(m, bids, cfg); ok {
+				ratio[m.Name()] = out.Cost / lb
 			}
-			vary(&p, x)
-			p.Seed = opts.Seed + int64(trial)*7919 + int64(x)
-			bids, err := workload.Generate(p)
-			if err != nil {
-				continue
-			}
-			cfg := p.Config()
-			res, err := core.RunAuction(bids, cfg)
-			if err != nil || !res.Feasible {
-				continue
-			}
-			lb := auctionLowerBound(bids, cfg, res)
-			if math.IsNaN(lb) || lb <= 0 {
-				continue
-			}
-			acc["A_FL"][x] = append(acc["A_FL"][x], res.Cost/lb)
-			for _, m := range mechanisms() {
-				if out, ok := baseline.RunOverTg(m, bids, cfg); ok {
-					acc[m.Name()][x] = append(acc[m.Name()][x], out.Cost/lb)
-				}
+		}
+		cells[i].ratio = ratio
+	})
+	for i, c := range cells {
+		if c.ratio == nil {
+			continue
+		}
+		x := xs[i/trials]
+		for _, n := range names {
+			if r, ok := c.ratio[n]; ok {
+				acc[n][x] = append(acc[n][x], r)
 			}
 		}
 	}

@@ -28,20 +28,36 @@ func Fig8(opts Options) Figure {
 	afl := plot.Series{Name: "A_FL"}
 	online := plot.Series{Name: "A_online"}
 	var lastAFL, lastOnline float64
-	for _, clientCount := range is {
+	// Generating the large populations (up to I=9000, J=10) dominates
+	// the untimed part of this figure, so it fans out over the worker
+	// pool. The timed reps below stay strictly serial: concurrent solves
+	// would contend for cores and corrupt the wall-clock measurements
+	// this figure exists to report.
+	type input struct {
+		bids []core.Bid
+		cfg  core.Config
+	}
+	gen := make([]input, len(is))
+	forEach(len(is), opts.workers(), func(i int) {
 		p := workload.NewDefaultParams()
-		p.Clients = clientCount
+		p.Clients = is[i]
 		p.BidsPerUser = 10
-		p.Seed = opts.Seed + int64(clientCount)
+		p.Seed = opts.Seed + int64(is[i])
 		if opts.Quick {
 			p.T = 20
 			p.K = 8
 		}
 		bids, err := workload.Generate(p)
 		if err != nil {
+			return
+		}
+		gen[i] = input{bids: bids, cfg: p.Config()}
+	})
+	for i, clientCount := range is {
+		bids, cfg := gen[i].bids, gen[i].cfg
+		if bids == nil {
 			continue
 		}
-		cfg := p.Config()
 		var aflMS, onlineMS float64
 		for r := 0; r < reps; r++ {
 			t0 := time.Now()

@@ -269,11 +269,15 @@ type Metrics struct {
 	faultDup, faultCrash         *Counter
 	pricings, pricingsCanceled   *Counter
 	winnersPriced, pricingProbes *Counter
+	batches, batchesCanceled     *Counter
+	batchAuctions                *Counter
 	payments, cost               *Gauge
+	batchQueueDepth              *Gauge
 	wdpSeconds, auctionSeconds   *Histogram
 	repairSeconds                *Histogram
 	pricingSeconds               *Histogram
 	winnerPriceSeconds           *Histogram
+	batchSeconds                 *Histogram
 }
 
 // NewMetrics returns a Metrics observer writing into reg (nil creates a
@@ -304,13 +308,18 @@ func NewMetrics(reg *Registry) *Metrics {
 		pricingsCanceled:   reg.Counter("afl_pricings_canceled_total"),
 		winnersPriced:      reg.Counter("afl_winners_priced_total"),
 		pricingProbes:      reg.Counter("afl_pricing_probes_total"),
+		batches:            reg.Counter("afl_batches_total"),
+		batchesCanceled:    reg.Counter("afl_batches_canceled_total"),
+		batchAuctions:      reg.Counter("afl_batch_auctions_total"),
 		payments:           reg.Gauge("afl_payment_volume"),
 		cost:               reg.Gauge("afl_last_auction_cost"),
+		batchQueueDepth:    reg.Gauge("afl_batch_queue_depth"),
 		wdpSeconds:         reg.Histogram("afl_wdp_solve_seconds", nil),
 		auctionSeconds:     reg.Histogram("afl_auction_seconds", nil),
 		repairSeconds:      reg.Histogram("afl_repair_seconds", nil),
 		pricingSeconds:     reg.Histogram("afl_pricing_seconds", nil),
 		winnerPriceSeconds: reg.Histogram("afl_winner_price_seconds", nil),
+		batchSeconds:       reg.Histogram("afl_batch_seconds", nil),
 	}
 }
 
@@ -376,6 +385,20 @@ func (m *Metrics) Observe(e Event) {
 		}
 		if e.Dur > 0 {
 			m.pricingSeconds.ObserveDuration(e.Dur)
+		}
+	case EvBatchStarted:
+		m.batches.Inc()
+	case EvAuctionQueued:
+		m.batchQueueDepth.Set(e.Value)
+	case EvAuctionDequeued:
+		m.batchAuctions.Inc()
+		m.batchQueueDepth.Set(e.Value)
+	case EvBatchDone:
+		if !e.OK {
+			m.batchesCanceled.Inc()
+		}
+		if e.Dur > 0 {
+			m.batchSeconds.ObserveDuration(e.Dur)
 		}
 	case EvFaultInjected:
 		switch e.Label {

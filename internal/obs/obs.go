@@ -82,8 +82,27 @@ const (
 	// of the priced winner set, OK is false when pricing was abandoned by
 	// context cancellation, Dur the stage latency.
 	EvPricingDone
+	// EvBatchStarted opens a cross-auction batch (RunBatch) or a batch
+	// service lifetime (Service). Value is the number of submitted
+	// instances (zero for a service, which learns its load later), Round
+	// the scheduler's worker count.
+	EvBatchStarted
+	// EvAuctionQueued marks one auction instance entering the submission
+	// queue. Bid carries the instance index, Value the queue depth after
+	// the enqueue.
+	EvAuctionQueued
+	// EvAuctionDequeued marks a worker picking an instance up for
+	// solving. Bid carries the instance index, Value the queue depth
+	// after the removal. The instance's own phase events
+	// (auction_started … auction_done) follow between this event and the
+	// next dequeue by the same worker.
+	EvAuctionDequeued
+	// EvBatchDone closes a batch or service. Value is the number of
+	// instances that produced an outcome, OK is false when the batch was
+	// abandoned by context cancellation, Dur the batch latency.
+	EvBatchDone
 
-	numEventKinds = int(EvPricingDone) + 1
+	numEventKinds = int(EvBatchDone) + 1
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -102,6 +121,10 @@ var eventKindNames = [numEventKinds]string{
 	EvPricingStarted:    "pricing_started",
 	EvWinnerPriced:      "winner_priced",
 	EvPricingDone:       "pricing_done",
+	EvBatchStarted:      "batch_started",
+	EvAuctionQueued:     "auction_queued",
+	EvAuctionDequeued:   "auction_dequeued",
+	EvBatchDone:         "batch_done",
 }
 
 // String returns the kind's snake_case name.

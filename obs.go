@@ -54,6 +54,10 @@ const (
 	EvPricingStarted    = obs.EvPricingStarted
 	EvWinnerPriced      = obs.EvWinnerPriced
 	EvPricingDone       = obs.EvPricingDone
+	EvBatchStarted      = obs.EvBatchStarted
+	EvAuctionQueued     = obs.EvAuctionQueued
+	EvAuctionDequeued   = obs.EvAuctionDequeued
+	EvBatchDone         = obs.EvBatchDone
 )
 
 // NewRegistry returns an empty metrics registry.

@@ -15,6 +15,7 @@ type Option func(*runConfig)
 
 type runConfig struct {
 	workers int
+	queue   int
 	obsv    Observer
 	now     func() time.Time
 	rule    PaymentRule
@@ -28,6 +29,15 @@ type runConfig struct {
 // only wall-clock time changes.
 func WithWorkers(n int) Option {
 	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithQueue bounds the submission queue of a NewService batch service:
+// Submit blocks once n instances are waiting, which is the service's
+// backpressure. n <= 0 (or omitting the option) selects twice the worker
+// count. The option has no effect on Run or RunBatch, whose inputs are
+// already fully materialized.
+func WithQueue(n int) Option {
+	return func(rc *runConfig) { rc.queue = n }
 }
 
 // WithObserver streams structured phase events (auction started, per-T̂_g
