@@ -133,10 +133,13 @@ func Run(ctx context.Context, instances []Instance, opts Options) ([]Outcome, er
 			Kind: obs.EvBatchStarted, Round: workers, Client: -1, Bid: -1,
 			Value: float64(len(instances)),
 		})
+		// Value is the queue depth after the enqueue (matching the
+		// EvAuctionQueued contract and the Service path), so the gauge
+		// climbs to len(instances) before the workers start draining.
 		for i := range instances {
 			obsv.Observe(obs.Event{
 				Kind: obs.EvAuctionQueued, Client: -1, Bid: i,
-				Value: float64(len(instances) - i - 1),
+				Value: float64(i + 1),
 			})
 		}
 	}

@@ -194,7 +194,7 @@ func TestRunGoldenBatchTrace(t *testing.T) {
 	}
 	want := `batch_started round=1 value=2 ok=false
 auction_queued bid=0 value=1 ok=false
-auction_queued bid=1 ok=false
+auction_queued bid=1 value=2 ok=false
 auction_dequeued bid=0 value=1 ok=false
 auction_dequeued bid=1 ok=false
 batch_done value=2 ok=true dur=` + fmt.Sprint(time.Duration(calls-1)*time.Millisecond) + "\n"
@@ -254,6 +254,69 @@ func TestServiceDrain(t *testing.T) {
 	}
 	if g := runtime.NumGoroutine(); g > before {
 		t.Fatalf("goroutine leak after Close: %d > %d", g, before)
+	}
+}
+
+// TestServiceConcurrentSubmit hammers Submit from many producers at
+// once — the documented use case, since backpressure only matters with
+// concurrent submitters. Every submission must receive a distinct
+// sequence number and exactly one Outcome must come back per number;
+// under -race this also proves the sequence counter is not torn by
+// producers holding the read lock simultaneously.
+func TestServiceConcurrentSubmit(t *testing.T) {
+	const producers, perProducer = 8, 6
+	insts := batchInstances(t, 4, 30)
+	svc := batch.NewService(context.Background(), batch.Options{Workers: 2, Queue: 4})
+
+	type submission struct {
+		idx int
+		err error
+	}
+	subs := make(chan submission, producers*perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				idx, err := svc.Submit(context.Background(), insts[(p+i)%len(insts)])
+				subs <- submission{idx: idx, err: err}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	received := make(map[int]int)
+	go func() {
+		defer close(done)
+		for oc := range svc.Results() {
+			received[oc.Index]++
+		}
+	}()
+	wg.Wait()
+	close(subs)
+	svc.Close()
+	<-done
+
+	issued := make(map[int]bool)
+	for s := range subs {
+		if s.err != nil {
+			t.Fatalf("concurrent submit: %v", s.err)
+		}
+		if issued[s.idx] {
+			t.Fatalf("sequence number %d issued twice", s.idx)
+		}
+		issued[s.idx] = true
+	}
+	if len(issued) != producers*perProducer {
+		t.Fatalf("%d distinct sequence numbers for %d submissions", len(issued), producers*perProducer)
+	}
+	for idx := 0; idx < producers*perProducer; idx++ {
+		if !issued[idx] {
+			t.Fatalf("sequence numbers not contiguous: %d never issued", idx)
+		}
+		if received[idx] != 1 {
+			t.Fatalf("sequence number %d produced %d outcomes, want exactly 1", idx, received[idx])
+		}
 	}
 }
 

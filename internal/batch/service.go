@@ -40,7 +40,7 @@ type Service struct {
 
 	mu     sync.RWMutex
 	closed bool
-	next   int
+	next   atomic.Int64
 }
 
 type serviceJob struct {
@@ -128,18 +128,23 @@ func (s *Service) worker() {
 // that is the backpressure contract — until ctx or the service's base
 // context is done, or the service is closed, in which case the error
 // reports which (ErrClosed, or an error matching core.ErrCanceled and
-// the context cause).
+// the context cause). Submit is safe for concurrent use; sequence
+// numbers are unique and increasing, but a Submit that fails after
+// reserving its number (cancellation racing the enqueue) leaves a gap
+// rather than reissuing it.
 func (s *Service) Submit(ctx context.Context, inst Instance) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The read lock covers the closed check and the send (so Close cannot
+	// close s.jobs mid-Submit); the sequence counter is atomic because
+	// concurrent producers all hold the read lock at once.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return 0, ErrClosed
 	}
-	idx := s.next
-	s.next++
+	idx := int(s.next.Add(1) - 1)
 	select {
 	case s.jobs <- serviceJob{idx: idx, inst: inst}:
 		depth := s.queued.Add(1)

