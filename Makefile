@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json fuzz figures ablations vet clean api-check api-update
+.PHONY: all build test test-race race cover bench bench-json fuzz market-e2e figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -35,6 +35,13 @@ fuzz:
 	$(GO) test -run=FuzzValidateBids -fuzz=FuzzValidateBids -fuzztime=30s ./internal/core/
 	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
 	$(GO) test -run=FuzzWorkloadJSON -fuzz=FuzzWorkloadJSON -fuzztime=30s ./internal/workload/
+	$(GO) test -run=FuzzWALRecord -fuzz=FuzzWALRecord -fuzztime=30s ./internal/wal/
+
+# Kill/restart harness for the durable market daemon: crash-point matrix,
+# WAL fault injection, rate-limit and admission-control contracts, run
+# under the race detector with a flake screen.
+market-e2e:
+	$(GO) test -race -count=3 ./test/e2e/ ./internal/wal/ ./internal/marketd/
 
 # Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
 figures:

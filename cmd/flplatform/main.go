@@ -1,11 +1,12 @@
 // Command flplatform runs the networked auction marketplace over real TCP
-// sockets in five modes:
+// sockets in six modes:
 //
 //	flplatform -mode demo                  # server + agents in one process
 //	flplatform -mode server -addr :7001 -agents 6
 //	flplatform -mode client -addr host:7001 -id 3
 //	flplatform -mode chaos -seed 42 -drop 0.1 -crash 2:3
 //	flplatform -mode market -jobs 64 -clients 60 -workers 4 -queue 8
+//	flplatform -mode marketd -addr :7080 -wal /var/lib/afl -rate 5 -burst 10
 //
 // The server announces the FL job, collects sealed bids, runs A_FL,
 // drives the training rounds over the winning schedule, and settles
@@ -17,6 +18,11 @@
 // job) through a long-lived afl.Service with a bounded submission queue,
 // and reports the realized auctions/sec; combine with -metrics or -pprof
 // to watch the queue-depth gauge and per-auction latency histogram.
+// Marketd mode is the durable daemon: a long-lived HTTP/JSON market
+// whose submissions, outcomes and payments are logged to -wal and
+// replayed bit-identically on restart, with per-client token-bucket
+// rate limiting (-rate/-burst) and queue-depth admission control
+// (-maxpending) at the edge.
 package main
 
 import (
@@ -26,9 +32,11 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on the -pprof server
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/fedauction/afl"
@@ -46,7 +54,7 @@ var (
 )
 
 func main() {
-	mode := flag.String("mode", "demo", "demo, server, client, chaos, or market")
+	mode := flag.String("mode", "demo", "demo, server, client, chaos, market, or marketd")
 	addr := flag.String("addr", "127.0.0.1:7001", "listen/dial address")
 	agents := flag.Int("agents", 6, "number of agents (demo/server/chaos)")
 	id := flag.Int("id", 0, "client id (client mode)")
@@ -62,8 +70,13 @@ func main() {
 	crash := flag.String("crash", "", "chaos: comma-separated client:round crash points, e.g. 2:3,5:1")
 	jobs := flag.Int("jobs", 64, "market: number of auction instances to stream through the service")
 	clients := flag.Int("clients", 60, "market: bidders per auction instance")
-	workers := flag.Int("workers", 0, "market: service worker pool width (0 = GOMAXPROCS)")
-	queueN := flag.Int("queue", 0, "market: submission queue bound (0 = twice the workers)")
+	workers := flag.Int("workers", 0, "market/marketd: service worker pool width (0 = GOMAXPROCS)")
+	queueN := flag.Int("queue", 0, "market/marketd: submission queue bound (0 = twice the workers)")
+	walDir := flag.String("wal", "", "marketd: durability directory for the event log (empty = volatile)")
+	syncEvery := flag.Int("sync-every", 1, "marketd: fsync the event log every n appends")
+	rate := flag.Float64("rate", 0, "marketd: per-client sustained submissions/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "marketd: per-client burst size (0 = ceil(rate))")
+	maxPending := flag.Int("maxpending", 0, "marketd: reject submissions past this pending depth (0 = unbounded)")
 	trace := flag.Bool("trace", false, "print the session's phase trace to stderr at exit")
 	metrics := flag.Bool("metrics", false, "print the metrics exposition to stderr at exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof/ and /metrics on this address (e.g. :6060)")
@@ -98,6 +111,8 @@ func main() {
 		runChaos(*agents, *seed, *maxT, *k, *dim, retry, *drop, *delay, *dup, *crash)
 	case "market":
 		runMarket(*jobs, *clients, *workers, *queueN, *seed)
+	case "marketd":
+		runMarketd(*addr, *walDir, *workers, *queueN, *syncEvery, *rate, *burst, *maxPending)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -295,10 +310,16 @@ func runChaos(agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy, d
 // network: a producer submits one sealed-bid population per FL job
 // (blocking when the bounded queue fills, which is the backpressure), a
 // consumer drains outcomes, and the run reports the realized throughput.
+// SIGINT/SIGTERM stops the producer, not the solver: already-submitted
+// auctions are drained and the partial results printed before exit.
 func runMarket(jobs, clients, workers, queue int, seed int64) {
-	ctx := context.Background()
-	svc := afl.NewService(ctx,
+	// The service lives on the background context; only the submission
+	// loop is bound to the signal, so an interrupt stops new work while
+	// Close drains everything already accepted.
+	svc := afl.NewService(context.Background(),
 		afl.WithWorkers(workers), afl.WithQueue(queue), afl.WithObserver(observer))
+	submitCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -317,6 +338,7 @@ func runMarket(jobs, clients, workers, queue int, seed int64) {
 	}()
 
 	start := time.Now()
+	submitted := 0
 	for i := 0; i < jobs; i++ {
 		p := afl.DefaultWorkloadParams()
 		p.Clients = clients
@@ -332,10 +354,15 @@ func runMarket(jobs, clients, workers, queue int, seed int64) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if _, err := svc.Submit(ctx, afl.Instance{Bids: bids, Cfg: p.Config()}); err != nil {
+		if _, err := svc.Submit(submitCtx, afl.Instance{Bids: bids, Cfg: p.Config()}); err != nil {
+			if submitCtx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "market: interrupted after %d submissions, draining\n", submitted)
+				break
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		submitted++
 	}
 	svc.Close()
 	wg.Wait()
@@ -347,6 +374,57 @@ func runMarket(jobs, clients, workers, queue int, seed int64) {
 	for _, idx := range infeasible {
 		fmt.Printf("  job %d: no feasible schedule at this K\n", idx)
 	}
+}
+
+// runMarketd serves the durable market daemon: an HTTP/JSON API over an
+// afl.Market whose every acknowledged submission survives process death
+// (with -wal) and is restored or re-solved on the next start. The
+// daemon runs until SIGINT/SIGTERM, then shuts the listener down,
+// drains in-flight auctions, and syncs the log.
+func runMarketd(addr, walDir string, workers, queue, syncEvery int, rate float64, burst, maxPending int) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	m, err := afl.OpenMarket(context.Background(),
+		afl.WithDurability(walDir),
+		afl.WithWorkers(workers), afl.WithQueue(queue),
+		afl.WithSyncEvery(syncEvery),
+		afl.WithRateLimit(rate, burst),
+		afl.WithMaxPending(maxPending),
+		afl.WithObserver(observer))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	next, committed, pending, _ := m.Counts()
+	if walDir != "" {
+		fmt.Printf("marketd: recovered %d committed outcomes, %d pending re-queued (%d faults absorbed), next seq %d\n",
+			committed, pending, m.RecoveredFaults(), next)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: afl.MarketHandler(m)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("marketd: serving on %s (wal=%q rate=%g burst=%d maxpending=%d)\n",
+		addr, walDir, rate, burst, maxPending)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "marketd: signal received, draining")
+	case <-m.Dead():
+		fmt.Fprintln(os.Stderr, "marketd: market died")
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "marketd:", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	if err := m.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "marketd: close:", err)
+		os.Exit(1)
+	}
+	_, committed, _, _ = m.Counts()
+	fmt.Printf("marketd: drained; %d outcomes committed\n", committed)
 }
 
 func runDemo(agents int, seed int64, maxT, k, dim int, retry afl.RetryPolicy) {

@@ -400,3 +400,158 @@ func TestServiceCancellation(t *testing.T) {
 		t.Fatalf("goroutine leak after canceled service: %d > %d", g, before)
 	}
 }
+
+// TestServiceSubmitAfterCloseSentinel pins the shutdown edge: Submit and
+// SubmitSeq after Close must fail with the exported ErrClosed sentinel —
+// matchable via errors.Is and stable under repeated Close — and must not
+// enqueue anything (Results stays empty).
+func TestServiceSubmitAfterCloseSentinel(t *testing.T) {
+	insts := batchInstances(t, 1, 30)
+	svc := batch.NewService(context.Background(), batch.Options{Workers: 1, Queue: 1})
+	svc.Close()
+
+	idx, err := svc.Submit(context.Background(), insts[0])
+	if !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if idx != 0 {
+		t.Fatalf("failed Submit leaked sequence number %d", idx)
+	}
+	if err := svc.SubmitSeq(context.Background(), 7, insts[0]); !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("SubmitSeq after Close = %v, want ErrClosed", err)
+	}
+	// The sentinel must also survive a second Close and a done context:
+	// closed wins over cancellation, deterministically.
+	svc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Submit(ctx, insts[0]); !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("Submit(canceled ctx) after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := <-svc.Results(); ok {
+		t.Fatal("rejected submission produced an outcome")
+	}
+}
+
+// TestServiceSubmitCloseRace races many producers against Close under
+// the race detector. The contract: every Submit either succeeds — and
+// its sequence number yields exactly one Outcome — or fails with
+// ErrClosed (never a panic, never a send on a closed channel); accepted
+// sequence numbers are unique.
+func TestServiceSubmitCloseRace(t *testing.T) {
+	insts := batchInstances(t, 2, 20)
+	for round := 0; round < 8; round++ {
+		svc := batch.NewService(context.Background(), batch.Options{Workers: 2, Queue: 2})
+		const producers = 6
+		accepted := make([][]int, producers)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					idx, err := svc.Submit(context.Background(), insts[(p+i)%len(insts)])
+					if err != nil {
+						if !errors.Is(err, batch.ErrClosed) {
+							t.Errorf("producer %d: %v, want ErrClosed", p, err)
+						}
+						return
+					}
+					accepted[p] = append(accepted[p], idx)
+				}
+			}(p)
+		}
+		received := make(map[int]int)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for oc := range svc.Results() {
+				received[oc.Index]++
+			}
+		}()
+		close(start)
+		runtime.Gosched()
+		svc.Close() // races the producers' closed-check + send
+		wg.Wait()
+		<-done
+
+		seen := make(map[int]bool)
+		for p := range accepted {
+			for _, idx := range accepted[p] {
+				if seen[idx] {
+					t.Fatalf("round %d: sequence number %d accepted twice", round, idx)
+				}
+				seen[idx] = true
+				if received[idx] != 1 {
+					t.Fatalf("round %d: accepted seq %d produced %d outcomes", round, idx, received[idx])
+				}
+			}
+		}
+		for idx, n := range received {
+			if !seen[idx] {
+				t.Fatalf("round %d: outcome for seq %d that no producer accepted (%d times)", round, idx, n)
+			}
+		}
+	}
+}
+
+// TestServiceSubmitSeq covers the durability layer's recovery hook:
+// replayed submissions keep their caller-chosen sequence numbers, the
+// internal counter advances past the highest replayed seq so fresh
+// Submit calls never collide, and results are bit-identical to the
+// serial reference for the same instances.
+func TestServiceSubmitSeq(t *testing.T) {
+	insts := batchInstances(t, 5, 40)
+	want := serialOutcomes(t, insts)
+
+	svc := batch.NewService(context.Background(), batch.Options{Workers: 2, Queue: 8})
+	got := make(map[int]batch.Outcome)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for oc := range svc.Results() {
+			got[oc.Index] = oc
+		}
+	}()
+
+	// Replay pending work under its original (gappy, out-of-order) seqs,
+	// as a WAL recovery would after a crash that lost outcomes 1 and 3.
+	for _, seq := range []int{3, 1} {
+		if err := svc.SubmitSeq(context.Background(), seq, insts[seq]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fresh submissions must start past the replayed maximum.
+	for _, i := range []int{4, 0, 2} {
+		idx, err := svc.Submit(context.Background(), insts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx <= 3 {
+			t.Fatalf("fresh Submit issued seq %d, colliding with replayed range", idx)
+		}
+		// Remap: outcome under idx solves insts[i].
+		defer func(idx, i int) {
+			if !reflect.DeepEqual(got[idx].Result, want[i].Result) {
+				t.Errorf("fresh seq %d (instance %d) diverges from serial reference", idx, i)
+			}
+		}(idx, i)
+	}
+	svc.Close()
+	<-done
+
+	if len(got) != 5 {
+		t.Fatalf("%d outcomes for 5 submissions", len(got))
+	}
+	for _, seq := range []int{1, 3} {
+		oc, ok := got[seq]
+		if !ok {
+			t.Fatalf("replayed seq %d produced no outcome", seq)
+		}
+		if !reflect.DeepEqual(oc.Result, want[seq].Result) {
+			t.Fatalf("replayed seq %d diverges from serial reference", seq)
+		}
+	}
+}

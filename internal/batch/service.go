@@ -145,6 +145,43 @@ func (s *Service) Submit(ctx context.Context, inst Instance) (int, error) {
 		return 0, ErrClosed
 	}
 	idx := int(s.next.Add(1) - 1)
+	if err := s.enqueue(ctx, idx, inst); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// SubmitSeq enqueues one instance under a caller-chosen sequence number
+// — the recovery hook of the durability layer. A write-ahead log that
+// assigned seq to a bid before a crash re-submits it under the same seq
+// after restart, so the replayed Outcome carries the index the client
+// was originally acknowledged with; the internal counter is advanced
+// past seq so later Submit calls never collide with a replayed one.
+//
+// The caller owns sequence discipline: submitting the same seq twice in
+// one service lifetime yields two Outcomes with equal Index. Blocking,
+// cancellation and error semantics match Submit.
+func (s *Service) SubmitSeq(ctx context.Context, seq int, inst Instance) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for {
+		cur := s.next.Load()
+		if cur > int64(seq) || s.next.CompareAndSwap(cur, int64(seq)+1) {
+			break
+		}
+	}
+	return s.enqueue(ctx, seq, inst)
+}
+
+// enqueue performs the guarded send shared by Submit and SubmitSeq; the
+// caller holds the read lock.
+func (s *Service) enqueue(ctx context.Context, idx int, inst Instance) error {
 	select {
 	case s.jobs <- serviceJob{idx: idx, inst: inst}:
 		depth := s.queued.Add(1)
@@ -154,11 +191,11 @@ func (s *Service) Submit(ctx context.Context, inst Instance) (int, error) {
 				Value: float64(depth),
 			})
 		}
-		return idx, nil
+		return nil
 	case <-ctx.Done():
-		return 0, canceledErr(ctx)
+		return canceledErr(ctx)
 	case <-s.base.Done():
-		return 0, canceledErr(s.base)
+		return canceledErr(s.base)
 	}
 }
 

@@ -1,0 +1,181 @@
+package marketd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// SubmitRequest is the POST /v1/auctions body: one auction instance
+// plus the submitting client's key (the rate-limit identity).
+type SubmitRequest struct {
+	Client string     `json:"client"`
+	Bids   []core.Bid `json:"bids"`
+	Cfg    ConfigWire `json:"cfg"`
+}
+
+// SubmitResponse acknowledges a durably logged submission.
+type SubmitResponse struct {
+	Seq int `json:"seq"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Next       int  `json:"next_seq"`
+	Committed  int  `json:"committed"`
+	Pending    int  `json:"pending"`
+	QueueDepth int  `json:"queue_depth"`
+	Faults     int  `json:"recovered_faults"`
+	Killed     bool `json:"killed"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the market's HTTP API:
+//
+//	POST /v1/auctions        submit one auction; 200 {"seq":n} once the
+//	                         bid record is durable, 429 + Retry-After
+//	                         when the client's token bucket is empty,
+//	                         503 + Retry-After when admission control
+//	                         rejects on pending depth, 400 on a bad body
+//	GET  /v1/auctions/{seq}  200 with the committed OutcomeRecord,
+//	                         202 {"seq":n} while still pending,
+//	                         404 for a never-issued sequence number
+//	GET  /v1/ledger          200 with the per-client cumulative payments
+//	GET  /v1/stats           200 with load and recovery counters
+//	GET  /healthz            200 "ok", 503 after a kill
+//
+// Rate limiting is keyed by the request's client field, and both reject
+// paths set Retry-After in whole seconds (rounded up), so a compliant
+// client that honors it is admitted on its next attempt.
+func Handler(m *Market) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/auctions", m.handleSubmit)
+	mux.HandleFunc("GET /v1/auctions/{seq}", m.handleOutcome)
+	mux.HandleFunc("GET /v1/ledger", m.handleLedger)
+	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Killed() {
+			http.Error(w, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds renders a wait as the integral Retry-After header
+// value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(wait float64) string {
+	s := int(math.Ceil(wait))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Bids) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no bids"})
+		return
+	}
+
+	if m.limiter != nil {
+		key := req.Client
+		if key == "" {
+			key = r.RemoteAddr
+		}
+		if ok, wait := m.limiter.allow(key); !ok {
+			if o := m.cfg.Observer; o != nil {
+				o.Observe(obs.Event{
+					Kind: obs.EvRateLimited, Client: -1, Bid: -1,
+					Label: key, Value: wait.Seconds(),
+				})
+			}
+			w.Header().Set("Retry-After", retryAfterSeconds(wait.Seconds()))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "rate limit exceeded"})
+			return
+		}
+	}
+
+	if max := m.cfg.MaxPending; max > 0 {
+		if _, _, pending, _ := m.Counts(); pending >= max {
+			if o := m.cfg.Observer; o != nil {
+				o.Observe(obs.Event{
+					Kind: obs.EvAdmissionRejected, Client: -1, Bid: -1,
+					Value: float64(pending),
+				})
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "market saturated"})
+			return
+		}
+	}
+
+	seq, err := m.Submit(r.Context(), req.Client, batch.Instance{Bids: req.Bids, Cfg: req.Cfg.ToConfig()})
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		if seq >= 0 {
+			// Durably logged but not queued in this lifetime (e.g. the
+			// request context expired under backpressure): still an ack —
+			// the bid is in the WAL and the next Open solves it.
+			writeJSON(w, http.StatusOK, SubmitResponse{Seq: seq})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Seq: seq})
+}
+
+func (m *Market) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.Atoi(r.PathValue("seq"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad sequence number"})
+		return
+	}
+	rec, done, err := m.Outcome(seq)
+	switch {
+	case err != nil:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case !done:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Seq: seq})
+	default:
+		writeJSON(w, http.StatusOK, rec)
+	}
+}
+
+func (m *Market) handleLedger(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Ledger())
+}
+
+func (m *Market) handleStats(w http.ResponseWriter, r *http.Request) {
+	next, committed, pending, depth := m.Counts()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Next: next, Committed: committed, Pending: pending,
+		QueueDepth: depth, Faults: m.RecoveredFaults(), Killed: m.Killed(),
+	})
+}

@@ -1,0 +1,596 @@
+// Package marketd is the durable market daemon: a long-lived auction
+// service whose submitted bids, solved outcomes, and payment ledger
+// survive process death.
+//
+// Architecturally it is a thin state machine wrapped around two
+// existing layers: internal/batch solves (a bounded-queue worker pool
+// over pooled engines), and internal/wal remembers (an append-only
+// checksummed event log). The market's own job is exactly-once
+// bookkeeping across crashes:
+//
+//   - Submit assigns a sequence number, appends a bid record to the WAL
+//     (the acknowledgment is the durability point), then enqueues the
+//     instance under that sequence via Service.SubmitSeq;
+//   - the consumer drains Service.Results and commits each outcome:
+//     per-winner pay records, then a self-contained outcome record —
+//     the commit marker — and only then installs the outcome and its
+//     ledger effects in memory;
+//   - Open replays the log: committed outcomes are restored verbatim
+//     (never re-solved, so payments can never drift), orphan pay
+//     records without a commit marker are discarded, duplicate records
+//     are dropped by sequence number, and bid records with no commit
+//     marker are re-submitted under their original sequence numbers.
+//
+// Because the solver is deterministic, a re-solved pending bid commits
+// the byte-identical outcome record the lost solve would have written;
+// replay is therefore bit-identical: the recovered state equals the
+// state of an uninterrupted run, with zero lost or duplicated sequence
+// numbers. The crash-point matrix (see Config.Crash and the test/e2e
+// suite) pins this for every interleaving of the commit protocol.
+package marketd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/obs"
+	"github.com/fedauction/afl/internal/wal"
+)
+
+// Crash points of the commit protocol, in protocol order. Config.Crash
+// is consulted at each; returning true kills the market on the spot —
+// the in-process equivalent of SIGKILL — leaving the WAL exactly as the
+// protocol had it at that instant. The restart suite drives every point
+// and asserts recovery converges to the uninterrupted golden state.
+const (
+	// CrashBidLogged fires after a submission's bid record is durably
+	// appended, before it reaches the solve queue.
+	CrashBidLogged = "bid_logged"
+	// CrashOutcomeSolved fires after the solver produced an outcome,
+	// before any of its ledger records are appended.
+	CrashOutcomeSolved = "outcome_solved"
+	// CrashLedgerPartial fires after the first pay record of a multi-
+	// winner outcome, leaving the ledger write-ahead torn mid-group.
+	CrashLedgerPartial = "ledger_partial"
+	// CrashPreCommit fires after every pay record, before the outcome
+	// commit marker.
+	CrashPreCommit = "pre_commit"
+	// CrashPostCommit fires after the commit marker is appended and the
+	// outcome installed — the crash that must change nothing on replay.
+	CrashPostCommit = "post_commit"
+)
+
+// WALFileName is the log file the market keeps inside Config.Dir.
+const WALFileName = "market.wal"
+
+var (
+	// ErrClosed is returned by operations on a closed or killed market.
+	ErrClosed = errors.New("marketd: market closed")
+	// ErrUnknownSeq is returned by Wait and Outcome for a sequence
+	// number the market never issued.
+	ErrUnknownSeq = errors.New("marketd: unknown sequence number")
+)
+
+// Config configures a market.
+type Config struct {
+	// Dir is the durability directory; the market keeps WALFileName
+	// inside it. Empty runs the market volatile (no WAL, no recovery) —
+	// the pre-durability Service behaviour, useful for benchmarks.
+	Dir string
+	// Workers and Queue follow batch.Options: pool width (0 selects
+	// GOMAXPROCS) and submission queue bound (0 selects twice the
+	// workers).
+	Workers, Queue int
+	// SyncEvery batches WAL fsyncs (see wal.Options); 0 or 1 syncs every
+	// record, which makes every acknowledged submission durable.
+	SyncEvery int
+	// NoSync disables fsync (tests only).
+	NoSync bool
+	// RatePerSec and Burst configure the per-client token bucket applied
+	// at the HTTP edge. RatePerSec <= 0 disables rate limiting; Burst
+	// <= 0 selects max(1, ceil(RatePerSec)).
+	RatePerSec float64
+	Burst      int
+	// MaxPending bounds admission at the HTTP edge: submissions are
+	// rejected with 503 while more than MaxPending acknowledged
+	// submissions await their outcome. <= 0 disables the check.
+	MaxPending int
+	// Observer receives the market's events (market_recovered, wal_fault,
+	// rate_limited, admission_rejected) in addition to the batch and
+	// per-auction streams. Nil disables instrumentation.
+	Observer obs.Observer
+	// Now supplies timestamps for event latencies and the rate limiter;
+	// nil selects time.Now.
+	Now func() time.Time
+	// Crash is test instrumentation: consulted at each crash point with
+	// the submission's sequence number; returning true kills the market
+	// as if the process died there. Nil (production) never crashes.
+	Crash func(point string, seq int) bool
+}
+
+// Market is a durable auction market service. All methods are safe for
+// concurrent use.
+type Market struct {
+	cfg     Config
+	svc     *batch.Service
+	cancel  context.CancelFunc
+	log     *wal.Log // nil when volatile
+	limiter *tokenBucket
+
+	killOnce     sync.Once
+	killedFlag   atomic.Bool
+	killCh       chan struct{}
+	consumerDone chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	next     int
+	pending  map[int]struct{} // acknowledged, not yet committed
+	outcomes map[int]OutcomeRecord
+	waiters  map[int]chan struct{}
+	faults   int // WAL anomalies absorbed during recovery
+}
+
+// Open starts (or restarts) a market. With a durability directory it
+// replays the WAL first: committed outcomes and the ledger are restored
+// verbatim, torn tails and duplicate records are absorbed (counted in
+// RecoveredFaults), and logged-but-uncommitted bids are re-submitted
+// under their original sequence numbers before Open returns. ctx bounds
+// the market's lifetime; cancel it or call Close.
+func Open(ctx context.Context, cfg Config) (*Market, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	base, cancel := context.WithCancel(ctx)
+	m := &Market{
+		cfg:          cfg,
+		cancel:       cancel,
+		killCh:       make(chan struct{}),
+		consumerDone: make(chan struct{}),
+		pending:      make(map[int]struct{}),
+		outcomes:     make(map[int]OutcomeRecord),
+		waiters:      make(map[int]chan struct{}),
+	}
+	if cfg.RatePerSec > 0 {
+		m.limiter = newTokenBucket(cfg.RatePerSec, cfg.Burst, cfg.Now)
+	}
+	m.svc = batch.NewService(base, batch.Options{
+		Workers:  cfg.Workers,
+		Queue:    cfg.Queue,
+		Observer: cfg.Observer,
+		Now:      cfg.Now,
+	})
+
+	var pendingInst map[int]batch.Instance
+	if cfg.Dir != "" {
+		var start time.Time
+		if cfg.Observer != nil {
+			start = cfg.Now()
+		}
+		var err error
+		pendingInst, err = m.recover()
+		if err != nil {
+			cancel()
+			m.svc.Close()
+			return nil, err
+		}
+		if o := cfg.Observer; o != nil {
+			o.Observe(obs.Event{
+				Kind: obs.EvMarketRecovered, Client: -1, Bid: -1,
+				Value: float64(len(m.outcomes)), Round: len(pendingInst),
+				OK: m.faults == 0, Dur: cfg.Now().Sub(start),
+			})
+		}
+	}
+
+	go m.consume()
+
+	// Re-submit survivors under their original sequence numbers, lowest
+	// first. The consumer is already draining, so queue backpressure
+	// cannot deadlock the replay however large the backlog is.
+	seqs := make([]int, 0, len(pendingInst))
+	for seq := range pendingInst {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		if err := m.svc.SubmitSeq(ctx, seq, pendingInst[seq]); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("marketd: replaying seq %d: %w", seq, err)
+		}
+	}
+	return m, nil
+}
+
+// recover opens the WAL, replays every record into the market's state,
+// and returns the logged-but-uncommitted instances keyed by sequence
+// number. Runs before the consumer starts, so no locking is needed.
+func (m *Market) recover() (map[int]batch.Instance, error) {
+	pendingInst := make(map[int]batch.Instance)
+	stagedPays := make(map[int]int) // seq -> pay records seen before its commit
+	replay := func(payload []byte) error {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		switch r.Type {
+		case recBid:
+			if _, done := m.outcomes[r.Seq]; done {
+				m.fault("dup_record", float64(r.Seq))
+				return nil
+			}
+			if _, dup := pendingInst[r.Seq]; dup {
+				m.fault("dup_record", float64(r.Seq))
+				return nil
+			}
+			var cfg core.Config
+			if r.Cfg != nil {
+				cfg = r.Cfg.ToConfig()
+			}
+			pendingInst[r.Seq] = batch.Instance{Bids: r.Bids, Cfg: cfg}
+			if r.Seq >= m.next {
+				m.next = r.Seq + 1
+			}
+		case recPay:
+			if _, done := m.outcomes[r.Seq]; done {
+				m.fault("dup_record", float64(r.Seq))
+				return nil
+			}
+			stagedPays[r.Seq]++
+		case recOutcome:
+			if _, done := m.outcomes[r.Seq]; done {
+				m.fault("dup_record", float64(r.Seq))
+				return nil
+			}
+			if r.Outcome == nil {
+				return fmt.Errorf("marketd: outcome record %d without a body", r.Seq)
+			}
+			m.installLocked(*r.Outcome)
+			delete(pendingInst, r.Seq)
+			delete(stagedPays, r.Seq)
+			if r.Seq >= m.next {
+				m.next = r.Seq + 1
+			}
+		}
+		return nil
+	}
+
+	path := filepath.Join(m.cfg.Dir, WALFileName)
+	log, stats, err := wal.Open(path, wal.Options{SyncEvery: m.cfg.SyncEvery, NoSync: m.cfg.NoSync}, replay)
+	if err != nil {
+		return nil, err
+	}
+	m.log = log
+	if stats.DroppedBytes > 0 {
+		m.fault("torn_tail", float64(stats.DroppedBytes))
+	}
+	// Pay records whose commit marker never reached disk: the ledger
+	// write-ahead of a solve that will be re-done. Discarded — their
+	// seqs are still in pendingInst, so the re-solve re-writes them.
+	orphans := make([]int, 0, len(stagedPays))
+	for seq := range stagedPays {
+		orphans = append(orphans, seq)
+	}
+	sort.Ints(orphans)
+	for _, seq := range orphans {
+		m.fault("orphan_payment", float64(seq))
+	}
+	return pendingInst, nil
+}
+
+// fault counts one absorbed WAL anomaly and reports it to the observer.
+func (m *Market) fault(label string, value float64) {
+	m.faults++
+	if o := m.cfg.Observer; o != nil {
+		o.Observe(obs.Event{
+			Kind: obs.EvWALFault, Client: -1, Bid: -1, Label: label, Value: value,
+		})
+	}
+}
+
+// installLocked commits an outcome record to in-memory state: the
+// outcome index and any waiters. The ledger is derived from the
+// outcome index on demand (see ledgerLocked), never accumulated in
+// commit order — float addition is order-sensitive, and commit order
+// varies with worker scheduling while replay order does not. Callers
+// hold m.mu (or, during recovery, exclusive access).
+func (m *Market) installLocked(rec OutcomeRecord) {
+	m.outcomes[rec.Seq] = rec
+	delete(m.pending, rec.Seq)
+	if ch, ok := m.waiters[rec.Seq]; ok {
+		close(ch)
+		delete(m.waiters, rec.Seq)
+	}
+}
+
+// crashLocked consults the crash-point hook; on true it kills the
+// market (caller holds m.mu) and reports that the operation must abort.
+func (m *Market) crashLocked(point string, seq int) bool {
+	if m.cfg.Crash != nil && m.cfg.Crash(point, seq) {
+		m.killLocked()
+		return true
+	}
+	return false
+}
+
+// killLocked is the in-process SIGKILL: stop the workers, wake every
+// blocked caller, and close the WAL file without flushing its buffer —
+// whatever the commit protocol had durably written stays, everything
+// else is gone. Caller holds m.mu.
+func (m *Market) killLocked() {
+	m.killOnce.Do(func() {
+		m.killedFlag.Store(true)
+		m.cancel()
+		close(m.killCh)
+		if m.log != nil {
+			m.log.Abort()
+		}
+	})
+}
+
+// Killed reports whether the market died at a crash point.
+func (m *Market) Killed() bool { return m.killedFlag.Load() }
+
+// Dead returns a channel closed when the market dies at a crash point.
+// A graceful Close never closes it; daemons select on it to exit when
+// the market is gone.
+func (m *Market) Dead() <-chan struct{} { return m.killCh }
+
+// RecoveredFaults returns the number of WAL anomalies (torn tail,
+// duplicate records, orphan payments) absorbed during recovery.
+func (m *Market) RecoveredFaults() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
+}
+
+// Submit acknowledges one auction submission and returns its sequence
+// number. On a durable market the bid record is appended to the WAL
+// before the acknowledgment — under SyncEvery <= 1 an acked submission
+// survives any crash — and client names the submitter for the audit
+// trail (it does not affect the auction). Submit then blocks under the
+// service's queue backpressure until the instance is enqueued, ctx is
+// done, or the market closes. A non-nil error with a valid sequence
+// number (>= 0) means the submission is durably logged but was not
+// queued in this process's lifetime; it will be solved on the next
+// Open.
+func (m *Market) Submit(ctx context.Context, client string, inst batch.Instance) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	if m.closed || m.killedFlag.Load() {
+		m.mu.Unlock()
+		return -1, ErrClosed
+	}
+	seq := m.next
+	if m.log != nil {
+		payload, err := encodeBidRecord(seq, client, inst)
+		if err != nil {
+			m.mu.Unlock()
+			return -1, err
+		}
+		if err := m.log.Append(payload); err != nil {
+			m.mu.Unlock()
+			return -1, err
+		}
+	}
+	m.next = seq + 1
+	m.pending[seq] = struct{}{}
+	if m.crashLocked(CrashBidLogged, seq) {
+		m.mu.Unlock()
+		return seq, nil // durably acked; the next Open will solve it
+	}
+	m.mu.Unlock()
+
+	// The enqueue happens outside the lock: queue backpressure must
+	// never block the consumer's commits (which need the lock).
+	if err := m.svc.SubmitSeq(ctx, seq, inst); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// consume drains the service's outcomes and commits each one.
+func (m *Market) consume() {
+	defer close(m.consumerDone)
+	for {
+		select {
+		case oc, ok := <-m.svc.Results():
+			if !ok {
+				return
+			}
+			if !m.commit(oc) {
+				return
+			}
+		case <-m.killCh:
+			return
+		}
+	}
+}
+
+// commit runs the durable commit protocol for one outcome. Reports
+// false when the market died at a crash point mid-protocol.
+func (m *Market) commit(oc batch.Outcome) bool {
+	if oc.Err != nil && errors.Is(oc.Err, core.ErrCanceled) {
+		// A cancellation is not a terminal outcome: the bid record stays
+		// pending in the WAL and the next Open re-solves it. Never
+		// persisted, so a canceled solve can never shadow a real one.
+		return !m.killedFlag.Load()
+	}
+	rec := recordFromOutcome(oc)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.outcomes[rec.Seq]; dup {
+		// Exactly-once guard: a sequence number commits once per market
+		// lifetime, whatever the scheduler delivered.
+		return true
+	}
+	if m.crashLocked(CrashOutcomeSolved, rec.Seq) {
+		return false
+	}
+	if m.log != nil {
+		for i, w := range rec.Winners {
+			payload, err := encodePayRecord(rec.Seq, w)
+			if err == nil {
+				err = m.log.Append(payload)
+			}
+			if err != nil {
+				m.killLocked() // a failing log is a dead market, not a silent one
+				return false
+			}
+			if i == 0 && m.crashLocked(CrashLedgerPartial, rec.Seq) {
+				return false
+			}
+		}
+		if m.crashLocked(CrashPreCommit, rec.Seq) {
+			return false
+		}
+		payload, err := encodeOutcomeRecord(rec)
+		if err == nil {
+			err = m.log.Append(payload)
+		}
+		if err != nil {
+			m.killLocked()
+			return false
+		}
+	}
+	m.installLocked(rec)
+	return !m.crashLocked(CrashPostCommit, rec.Seq)
+}
+
+// Outcome returns the committed outcome for seq. ok reports whether it
+// has committed; a false ok with a nil error means the submission is
+// still pending.
+func (m *Market) Outcome(seq int) (OutcomeRecord, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.outcomes[seq]; ok {
+		return rec, true, nil
+	}
+	if seq < 0 || seq >= m.next {
+		return OutcomeRecord{}, false, ErrUnknownSeq
+	}
+	return OutcomeRecord{}, false, nil
+}
+
+// Wait blocks until seq commits, ctx is done, or the market stops.
+func (m *Market) Wait(ctx context.Context, seq int) (OutcomeRecord, error) {
+	m.mu.Lock()
+	if rec, ok := m.outcomes[seq]; ok {
+		m.mu.Unlock()
+		return rec, nil
+	}
+	if seq < 0 || seq >= m.next {
+		m.mu.Unlock()
+		return OutcomeRecord{}, ErrUnknownSeq
+	}
+	ch, ok := m.waiters[seq]
+	if !ok {
+		ch = make(chan struct{})
+		m.waiters[seq] = ch
+	}
+	m.mu.Unlock()
+
+	select {
+	case <-ch:
+		m.mu.Lock()
+		rec := m.outcomes[seq]
+		m.mu.Unlock()
+		return rec, nil
+	case <-ctx.Done():
+		return OutcomeRecord{}, context.Cause(ctx)
+	case <-m.killCh:
+		return OutcomeRecord{}, ErrClosed
+	case <-m.consumerDone:
+		// Graceful close commits everything solvable first; reaching
+		// here means the market stopped with seq still pending.
+		m.mu.Lock()
+		rec, ok := m.outcomes[seq]
+		m.mu.Unlock()
+		if ok {
+			return rec, nil
+		}
+		return OutcomeRecord{}, ErrClosed
+	}
+}
+
+// ledgerLocked folds committed outcomes, in sequence order, into
+// per-client cumulative payments. Summing in a canonical order keeps
+// the ledger bit-identical however commits interleaved. Caller holds
+// m.mu.
+func (m *Market) ledgerLocked() map[int]float64 {
+	seqs := make([]int, 0, len(m.outcomes))
+	for seq := range m.outcomes {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	out := make(map[int]float64)
+	for _, seq := range seqs {
+		for _, w := range m.outcomes[seq].Winners {
+			out[w.Client] += w.Payment
+		}
+	}
+	return out
+}
+
+// Ledger returns the per-client cumulative payments of every committed
+// outcome.
+func (m *Market) Ledger() map[int]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ledgerLocked()
+}
+
+// Counts returns the market's load figures: the next sequence number,
+// committed outcomes, pending (acknowledged, uncommitted) submissions,
+// and the solve queue depth.
+func (m *Market) Counts() (next, committed, pending, queueDepth int) {
+	m.mu.Lock()
+	next, committed, pending = m.next, len(m.outcomes), len(m.pending)
+	m.mu.Unlock()
+	return next, committed, pending, m.svc.QueueDepth()
+}
+
+// Close drains and stops the market: no new submissions, queued work is
+// solved and committed, the WAL is synced and closed. Idempotent; safe
+// after a kill.
+func (m *Market) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.consumerDone
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.svc.Close()
+	<-m.consumerDone
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Wake waiters on submissions that will never commit in this
+	// process (killed mid-queue or canceled): Wait's consumerDone arm
+	// handles them, but close their channels so no waiter sleeps on a
+	// market with no consumer.
+	for seq, ch := range m.waiters {
+		close(ch)
+		delete(m.waiters, seq)
+	}
+	if m.log != nil && !m.killedFlag.Load() {
+		return m.log.Close()
+	}
+	return nil
+}

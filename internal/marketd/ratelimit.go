@@ -1,0 +1,72 @@
+package marketd
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a per-client token-bucket rate limiter. Each client key
+// owns an independent bucket of capacity burst that refills at rate
+// tokens per second; an admission spends one token. Time comes from an
+// injected clock, so the refill arithmetic is pure — tests drive it with
+// a virtual clock and never sleep.
+//
+// Buckets are tracked lazily as float64 token counts with a last-refill
+// timestamp; a client that stays idle for burst/rate seconds is
+// indistinguishable from a new one, so the map never needs eviction for
+// correctness (only for memory, which the daemon's bounded client
+// population makes moot).
+type tokenBucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a limiter. rate must be positive; burst <= 0
+// selects max(1, ceil(rate)) so a fresh client can always submit at
+// least once.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &tokenBucket{
+		rate:    rate,
+		burst:   b,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty
+// it reports false and the duration until one full token will have
+// accrued — the Retry-After the HTTP edge advertises.
+func (t *tokenBucket) allow(client string) (bool, time.Duration) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.buckets[client]
+	if !ok {
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[client] = b
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(t.burst, b.tokens+dt*t.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	wait := time.Duration(math.Ceil(deficit / t.rate * float64(time.Second)))
+	return false, wait
+}

@@ -1,0 +1,123 @@
+package marketd
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced time source: the limiter's arithmetic is
+// pure in the injected now, so these tables never sleep.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestTokenBucketTable drives one client through a scripted sequence of
+// admissions and virtual-time advances.
+func TestTokenBucketTable(t *testing.T) {
+	type step struct {
+		advance   time.Duration
+		wantOK    bool
+		wantRetry time.Duration // 0 = don't care (admitted)
+	}
+	cases := []struct {
+		name  string
+		rate  float64
+		burst int
+		steps []step
+	}{
+		{
+			name: "burst_then_starve", rate: 1, burst: 3,
+			steps: []step{
+				{0, true, 0}, {0, true, 0}, {0, true, 0},
+				// Bucket empty: a full token is one second away.
+				{0, false, time.Second},
+				// Half a token accrued: half a second to go.
+				{500 * time.Millisecond, false, 500 * time.Millisecond},
+				{500 * time.Millisecond, true, 0},
+				{0, false, time.Second},
+			},
+		},
+		{
+			name: "refill_caps_at_burst", rate: 10, burst: 2,
+			steps: []step{
+				{0, true, 0}, {0, true, 0},
+				// An hour idle refills to burst, not to rate*3600.
+				{time.Hour, true, 0}, {0, true, 0},
+				{0, false, 100 * time.Millisecond},
+			},
+		},
+		{
+			name: "fractional_rate", rate: 0.5, burst: 1,
+			steps: []step{
+				{0, true, 0},
+				{0, false, 2 * time.Second},
+				{time.Second, false, time.Second},
+				{time.Second, true, 0},
+			},
+		},
+		{
+			name: "default_burst_is_ceil_rate", rate: 2.5, burst: 0,
+			steps: []step{
+				{0, true, 0}, {0, true, 0}, {0, true, 0},
+				{0, false, 400 * time.Millisecond},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{t: time.Unix(1000, 0)}
+			tb := newTokenBucket(tc.rate, tc.burst, clk.now)
+			for i, s := range tc.steps {
+				clk.advance(s.advance)
+				ok, retry := tb.allow("client-a")
+				if ok != s.wantOK {
+					t.Fatalf("step %d: allow = %v, want %v", i, ok, s.wantOK)
+				}
+				if !ok && retry != s.wantRetry {
+					t.Fatalf("step %d: retry = %v, want %v", i, retry, s.wantRetry)
+				}
+			}
+		})
+	}
+}
+
+// TestTokenBucketPerClientIsolation pins that one client draining its
+// bucket cannot starve another: buckets are keyed, not shared.
+func TestTokenBucketPerClientIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(1, 2, clk.now)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.allow("greedy"); !ok {
+			t.Fatalf("greedy admission %d rejected within burst", i)
+		}
+	}
+	if ok, _ := tb.allow("greedy"); ok {
+		t.Fatal("greedy admitted past its burst")
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.allow("quiet"); !ok {
+			t.Fatalf("quiet client starved by greedy's exhaustion (admission %d)", i)
+		}
+	}
+}
+
+// TestTokenBucketRetryAfterIsSufficient pins the advisory contract: a
+// client that waits exactly the returned duration is admitted.
+func TestTokenBucketRetryAfterIsSufficient(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tb := newTokenBucket(3, 1, clk.now)
+	if ok, _ := tb.allow("c"); !ok {
+		t.Fatal("first admission rejected")
+	}
+	for i := 0; i < 5; i++ {
+		ok, retry := tb.allow("c")
+		if ok {
+			t.Fatalf("round %d: admitted with an empty bucket", i)
+		}
+		clk.advance(retry)
+		if ok, _ := tb.allow("c"); !ok {
+			t.Fatalf("round %d: rejected after waiting the advised %v", i, retry)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package marketd
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// Snapshot renders the market's committed state — every outcome in
+// sequence order plus the per-client ledger in client order — as
+// canonical JSON. Two markets with identical state produce identical
+// bytes, which is how the restart suite asserts bit-identical recovery
+// against an uninterrupted golden run.
+func (m *Market) Snapshot() []byte {
+	m.mu.Lock()
+	seqs := make([]int, 0, len(m.outcomes))
+	for seq := range m.outcomes {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	outcomes := make([]OutcomeRecord, len(seqs))
+	for i, seq := range seqs {
+		outcomes[i] = m.outcomes[seq]
+	}
+	ledger := m.ledgerLocked()
+	clients := make([]int, 0, len(ledger))
+	for c := range ledger {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	type ledgerLine struct {
+		Client  int     `json:"client"`
+		Payment float64 `json:"payment"`
+	}
+	lines := make([]ledgerLine, len(clients))
+	for i, c := range clients {
+		lines[i] = ledgerLine{Client: c, Payment: ledger[c]}
+	}
+	m.mu.Unlock()
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.Encode(struct {
+		Outcomes []OutcomeRecord `json:"outcomes"`
+		Ledger   []ledgerLine    `json:"ledger"`
+	}{outcomes, lines})
+	return buf.Bytes()
+}

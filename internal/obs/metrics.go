@@ -271,6 +271,12 @@ type Metrics struct {
 	winnersPriced, pricingProbes *Counter
 	batches, batchesCanceled     *Counter
 	batchAuctions                *Counter
+	recoveries, replayed         *Counter
+	resubmitted                  *Counter
+	walTornTails, walDupRecords  *Counter
+	walOrphanPayments            *Counter
+	rateLimited                  *Counter
+	admissionRejected            *Counter
 	payments, cost               *Gauge
 	batchQueueDepth              *Gauge
 	wdpSeconds, auctionSeconds   *Histogram
@@ -278,6 +284,7 @@ type Metrics struct {
 	pricingSeconds               *Histogram
 	winnerPriceSeconds           *Histogram
 	batchSeconds                 *Histogram
+	recoverySeconds              *Histogram
 }
 
 // NewMetrics returns a Metrics observer writing into reg (nil creates a
@@ -311,6 +318,14 @@ func NewMetrics(reg *Registry) *Metrics {
 		batches:            reg.Counter("afl_batches_total"),
 		batchesCanceled:    reg.Counter("afl_batches_canceled_total"),
 		batchAuctions:      reg.Counter("afl_batch_auctions_total"),
+		recoveries:         reg.Counter("afl_market_recoveries_total"),
+		replayed:           reg.Counter("afl_market_replayed_outcomes_total"),
+		resubmitted:        reg.Counter("afl_market_resubmitted_total"),
+		walTornTails:       reg.Counter("afl_wal_torn_tails_total"),
+		walDupRecords:      reg.Counter("afl_wal_dup_records_total"),
+		walOrphanPayments:  reg.Counter("afl_wal_orphan_payments_total"),
+		rateLimited:        reg.Counter("afl_rate_limited_total"),
+		admissionRejected:  reg.Counter("afl_admission_rejected_total"),
 		payments:           reg.Gauge("afl_payment_volume"),
 		cost:               reg.Gauge("afl_last_auction_cost"),
 		batchQueueDepth:    reg.Gauge("afl_batch_queue_depth"),
@@ -320,6 +335,7 @@ func NewMetrics(reg *Registry) *Metrics {
 		pricingSeconds:     reg.Histogram("afl_pricing_seconds", nil),
 		winnerPriceSeconds: reg.Histogram("afl_winner_price_seconds", nil),
 		batchSeconds:       reg.Histogram("afl_batch_seconds", nil),
+		recoverySeconds:    reg.Histogram("afl_market_recovery_seconds", nil),
 	}
 }
 
@@ -400,6 +416,26 @@ func (m *Metrics) Observe(e Event) {
 		if e.Dur > 0 {
 			m.batchSeconds.ObserveDuration(e.Dur)
 		}
+	case EvMarketRecovered:
+		m.recoveries.Inc()
+		m.replayed.Add(int64(e.Value))
+		m.resubmitted.Add(int64(e.Round))
+		if e.Dur > 0 {
+			m.recoverySeconds.ObserveDuration(e.Dur)
+		}
+	case EvWALFault:
+		switch e.Label {
+		case "torn_tail":
+			m.walTornTails.Inc()
+		case "dup_record":
+			m.walDupRecords.Inc()
+		case "orphan_payment":
+			m.walOrphanPayments.Inc()
+		}
+	case EvRateLimited:
+		m.rateLimited.Inc()
+	case EvAdmissionRejected:
+		m.admissionRejected.Inc()
 	case EvFaultInjected:
 		switch e.Label {
 		case "drop":

@@ -101,8 +101,26 @@ const (
 	// instances that produced an outcome, OK is false when the batch was
 	// abandoned by context cancellation, Dur the batch latency.
 	EvBatchDone
+	// EvMarketRecovered closes a durable market's WAL replay on startup.
+	// Value is the number of committed outcomes restored, Round the
+	// number of pending (logged-but-unsolved) submissions re-submitted,
+	// Dur the replay latency, OK true when the log was clean (no torn
+	// tail, no duplicate records).
+	EvMarketRecovered
+	// EvWALFault marks one anomaly absorbed during WAL replay. Label is
+	// the fault class ("torn_tail", "dup_record", "orphan_payment");
+	// Value is the dropped byte count for torn tails, otherwise the
+	// affected sequence number.
+	EvWALFault
+	// EvRateLimited marks one submission rejected by the per-client
+	// token bucket at the HTTP edge. Label is the client key, Value the
+	// advised retry delay in seconds.
+	EvRateLimited
+	// EvAdmissionRejected marks one submission turned away by queue-depth
+	// admission control. Value is the pending depth at rejection.
+	EvAdmissionRejected
 
-	numEventKinds = int(EvBatchDone) + 1
+	numEventKinds = int(EvAdmissionRejected) + 1
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -125,6 +143,10 @@ var eventKindNames = [numEventKinds]string{
 	EvAuctionQueued:     "auction_queued",
 	EvAuctionDequeued:   "auction_dequeued",
 	EvBatchDone:         "batch_done",
+	EvMarketRecovered:   "market_recovered",
+	EvWALFault:          "wal_fault",
+	EvRateLimited:       "rate_limited",
+	EvAdmissionRejected: "admission_rejected",
 }
 
 // String returns the kind's snake_case name.

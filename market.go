@@ -1,0 +1,118 @@
+package afl
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/fedauction/afl/internal/marketd"
+)
+
+// Durable market types, re-exported from the implementation package.
+// The market layer is the daemon surface of the module: a Service that
+// remembers. Submitted bids, solved outcomes and per-winner payments
+// are written to an append-only checksummed event log (WithDurability)
+// and replayed bit-identically on the next OpenMarket, so a crashed
+// daemon restarts with zero lost or duplicated auctions.
+type (
+	// Market is a durable auction market: submissions are acknowledged
+	// only once logged, outcomes commit atomically (the commit-marker
+	// protocol), and Open replays the log on startup. Construct with
+	// OpenMarket.
+	Market = marketd.Market
+	// MarketOutcome is the durable, servable form of one solved
+	// submission — what the log stores, recovery replays, and the HTTP
+	// API returns.
+	MarketOutcome = marketd.OutcomeRecord
+	// MarketWinner is the committed view of one accepted bid inside a
+	// MarketOutcome.
+	MarketWinner = marketd.WinnerRecord
+)
+
+// Market error sentinels.
+var (
+	// ErrMarketClosed is returned by market operations after Close or a
+	// crash-point kill.
+	ErrMarketClosed = marketd.ErrClosed
+	// ErrUnknownSeq is returned by Market.Wait and Market.Outcome for a
+	// sequence number the market never issued.
+	ErrUnknownSeq = marketd.ErrUnknownSeq
+)
+
+// WithDurability gives the market an append-only event log in dir
+// (created on first use): every acknowledged submission survives
+// process death and is re-solved or restored on the next OpenMarket.
+// Omitting the option runs the market volatile — a plain Service with
+// the market's query surface.
+func WithDurability(dir string) Option {
+	return func(rc *runConfig) { rc.walDir = dir }
+}
+
+// WithSyncEvery batches the log's fsyncs: the file is synced every n
+// appends instead of every append. n <= 1 (the default) syncs every
+// record — the strongest guarantee: an acknowledged submission is
+// durable against power loss, not just process death. Larger n trades
+// the tail of the durability window for append throughput.
+func WithSyncEvery(n int) Option {
+	return func(rc *runConfig) { rc.syncEvery = n }
+}
+
+// WithRateLimit applies a per-client token bucket at the market's HTTP
+// edge: each client key may submit at perSec sustained with bursts of
+// burst; excess submissions are rejected with 429 and a Retry-After
+// that, when honored, readmits the client. perSec <= 0 (the default)
+// disables rate limiting; burst <= 0 selects max(1, ceil(perSec)).
+func WithRateLimit(perSec float64, burst int) Option {
+	return func(rc *runConfig) { rc.ratePerSec, rc.rateBurst = perSec, burst }
+}
+
+// WithMaxPending bounds admission at the market's HTTP edge: while more
+// than n acknowledged submissions await their outcomes, new submissions
+// are rejected with 503 instead of queueing unboundedly. n <= 0 (the
+// default) disables the check.
+func WithMaxPending(n int) Option {
+	return func(rc *runConfig) { rc.maxPending = n }
+}
+
+// OpenMarket starts (or, with WithDurability, restarts) a market. With
+// a durability directory the event log is replayed before OpenMarket
+// returns: committed outcomes and the payment ledger are restored
+// verbatim — never re-solved, so payments cannot drift — torn tails,
+// duplicate records and orphaned payments are absorbed and counted
+// (Market.RecoveredFaults), and logged-but-uncommitted submissions are
+// re-queued under their original sequence numbers. ctx bounds the
+// market's lifetime; cancel it or call Market.Close.
+//
+// The recognized options are WithDurability, WithSyncEvery, WithWorkers
+// (0 or negative selects GOMAXPROCS), WithQueue, WithRateLimit,
+// WithMaxPending, WithObserver and WithNow.
+func OpenMarket(ctx context.Context, opts ...Option) (*Market, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	return marketd.Open(ctx, marketd.Config{
+		Dir:        rc.walDir,
+		Workers:    rc.workers,
+		Queue:      rc.queue,
+		SyncEvery:  rc.syncEvery,
+		RatePerSec: rc.ratePerSec,
+		Burst:      rc.rateBurst,
+		MaxPending: rc.maxPending,
+		Observer:   rc.obsv,
+		Now:        rc.now,
+	})
+}
+
+// MarketHandler returns the market's HTTP API, ready for an
+// http.Server:
+//
+//	POST /v1/auctions        submit; 200 {"seq":n}, 429/503 + Retry-After
+//	GET  /v1/auctions/{seq}  200 committed outcome, 202 pending, 404 unknown
+//	GET  /v1/ledger          per-client cumulative payments
+//	GET  /v1/stats           load and recovery counters
+//	GET  /healthz            liveness
+func MarketHandler(m *Market) http.Handler {
+	return marketd.Handler(m)
+}

@@ -1,0 +1,68 @@
+package afl_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	afl "github.com/fedauction/afl"
+)
+
+// marketWorkload draws one feasible auction instance for market tests.
+func marketWorkload(t testing.TB, seed int64) afl.Instance {
+	t.Helper()
+	p := afl.DefaultWorkloadParams()
+	p.Seed = seed
+	p.Clients = 12
+	p.T = 10
+	p.K = 3
+	bids, err := afl.GenerateWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return afl.Instance{Bids: bids, Cfg: afl.Config{T: p.T, K: p.K}}
+}
+
+// TestOpenMarketDurableRoundtrip pins the facade wiring end to end:
+// OpenMarket with WithDurability solves submissions, survives a close,
+// and reopens to byte-identical state.
+func TestOpenMarketDurableRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	m, err := afl.OpenMarket(ctx, afl.WithDurability(dir), afl.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.Submit(ctx, "facade", marketWorkload(t, 4020))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Wait(ctx, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Feasible || len(rec.Winners) == 0 {
+		t.Fatalf("outcome = %+v, want feasible with winners", rec)
+	}
+	snap := m.Snapshot()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(ctx, "facade", marketWorkload(t, 4020)); !errors.Is(err, afl.ErrMarketClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrMarketClosed", err)
+	}
+
+	m2, err := afl.OpenMarket(ctx, afl.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.Snapshot(); !bytes.Equal(got, snap) {
+		t.Fatalf("reopened snapshot diverged:\n got %s\nwant %s", got, snap)
+	}
+	if _, _, err := m2.Outcome(99); !errors.Is(err, afl.ErrUnknownSeq) {
+		t.Fatalf("Outcome(unknown) = %v, want ErrUnknownSeq", err)
+	}
+}

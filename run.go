@@ -20,6 +20,13 @@ type runConfig struct {
 	now     func() time.Time
 	rule    PaymentRule
 	ruleSet bool
+
+	// Market-only knobs (see OpenMarket).
+	walDir     string
+	syncEvery  int
+	ratePerSec float64
+	rateBurst  int
+	maxPending int
 }
 
 // WithWorkers fans the independent per-T̂_g winner-determination solves

@@ -1,0 +1,176 @@
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/marketd"
+	"github.com/fedauction/afl/internal/platform"
+)
+
+// postAuction submits one auction over real HTTP and returns the
+// response; the body is rebuilt per call (the server consumes it).
+func postAuction(t testing.TB, url, client string, body []byte) *http.Response {
+	t.Helper()
+	payload := bytes.Replace(body, []byte(`"client":""`), []byte(`"client":"`+client+`"`), 1)
+	resp, err := http.Post(url+"/v1/auctions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// auctionBody renders one submission body with an empty client key for
+// postAuction to fill in.
+func auctionBody(t testing.TB) []byte {
+	t.Helper()
+	inst := scriptInstances(t, 55, 1)[0]
+	cw, err := marketd.FromConfig(inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(marketd.SubmitRequest{Client: "", Bids: inst.Bids, Cfg: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRateLimitOverHTTPOnVirtualClock drives the daemon's 429 contract
+// over a real listener with virtual time: the test goroutine is the
+// only clock party, so every refill is an explicit Sleep — no wall
+// time, deterministic under -count=3.
+func TestRateLimitOverHTTPOnVirtualClock(t *testing.T) {
+	clk := platform.NewVirtualClock()
+	m, err := marketd.Open(context.Background(), marketd.Config{
+		Workers: 1, RatePerSec: 1, Burst: 2, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(marketd.Handler(m))
+	defer srv.Close()
+	body := auctionBody(t)
+
+	clk.Go(func() {
+		// Burst: two immediate admissions, then rejection with advice.
+		for i := 0; i < 2; i++ {
+			if resp := postAuction(t, srv.URL, "alice", body); resp.StatusCode != http.StatusOK {
+				t.Errorf("burst submit %d = %d, want 200", i, resp.StatusCode)
+			}
+		}
+		resp := postAuction(t, srv.URL, "alice", body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("over-burst = %d, want 429", resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "1" {
+			t.Errorf("Retry-After = %q, want \"1\"", got)
+		}
+		// Isolation: bob's bucket is untouched by alice's exhaustion.
+		for i := 0; i < 2; i++ {
+			if resp := postAuction(t, srv.URL, "bob", body); resp.StatusCode != http.StatusOK {
+				t.Errorf("isolated submit %d = %d, want 200", i, resp.StatusCode)
+			}
+		}
+		// Honoring the advisory: one virtual second accrues one token.
+		clk.Sleep(time.Second)
+		if resp := postAuction(t, srv.URL, "alice", body); resp.StatusCode != http.StatusOK {
+			t.Errorf("post-wait submit = %d, want 200", resp.StatusCode)
+		}
+		// And only one: the next submission is rejected again.
+		if resp := postAuction(t, srv.URL, "alice", body); resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("second post-wait submit = %d, want 429", resp.StatusCode)
+		}
+		// A long idle stretch refills to burst, not beyond.
+		clk.Sleep(time.Hour)
+		admitted := 0
+		for i := 0; i < 4; i++ {
+			if resp := postAuction(t, srv.URL, "alice", body); resp.StatusCode == http.StatusOK {
+				admitted++
+			}
+		}
+		if admitted != 2 {
+			t.Errorf("admitted %d after long idle, want burst of 2", admitted)
+		}
+	})
+	clk.Wait()
+}
+
+// TestBackpressureBoundsPendingDepth oversubscribes the daemon 10× past
+// its admission bound while the only worker is wedged, and requires the
+// pending depth to stay bounded throughout: excess submissions are
+// turned away with 503 + Retry-After instead of queueing without limit.
+func TestBackpressureBoundsPendingDepth(t *testing.T) {
+	const maxPending = 4
+	gate := make(chan struct{})
+	gated := scriptInstances(t, 56, 1)[0]
+	gated.Cfg.LocalIters = func(theta float64) float64 {
+		<-gate
+		return 1
+	}
+
+	// Volatile market: a LocalIters func has no wire form, and admission
+	// control is an edge property, not a durability one.
+	m, err := marketd.Open(context.Background(), marketd.Config{
+		Workers: 1, Queue: 2 * maxPending, MaxPending: maxPending,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(marketd.Handler(m))
+	defer srv.Close()
+	body := auctionBody(t)
+
+	// Wedge the worker on the gate so admitted submissions accumulate.
+	if _, err := m.Submit(context.Background(), "wedge", gated); err != nil {
+		t.Fatal(err)
+	}
+
+	accepted, rejected := 0, 0
+	for i := 0; i < 10*maxPending; i++ {
+		resp := postAuction(t, srv.URL, "flood", body)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			accepted++
+		case http.StatusServiceUnavailable:
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 without Retry-After")
+			}
+		default:
+			t.Fatalf("flood submit %d = %d", i, resp.StatusCode)
+		}
+		// The bound is an invariant, not an endpoint: check every step.
+		if _, _, pending, depth := m.Counts(); pending > maxPending || depth > 2*maxPending {
+			t.Fatalf("step %d: pending %d (bound %d), queue depth %d (bound %d)",
+				i, pending, maxPending, depth, 2*maxPending)
+		}
+	}
+	if accepted+rejected != 10*maxPending {
+		t.Fatalf("accounted %d+%d submissions, want %d", accepted, rejected, 10*maxPending)
+	}
+	// The wedge holds one pending slot, so the edge admits the rest of
+	// the bound and no more.
+	if accepted != maxPending-1 {
+		t.Fatalf("accepted %d, want %d", accepted, maxPending-1)
+	}
+
+	// Release the wedge: everything admitted commits, nothing vanished.
+	close(gate)
+	for seq := 0; seq < accepted+1; seq++ {
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatalf("wait %d after release: %v", seq, err)
+		}
+	}
+	if _, committed, pending, _ := m.Counts(); committed != accepted+1 || pending != 0 {
+		t.Fatalf("committed %d pending %d, want %d/0", committed, pending, accepted+1)
+	}
+}
