@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json fuzz market-e2e figures ablations vet clean api-check api-update
+.PHONY: all build test test-race race cover bench bench-json fuzz market-e2e marketsim figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -36,12 +36,19 @@ fuzz:
 	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
 	$(GO) test -run=FuzzWorkloadJSON -fuzz=FuzzWorkloadJSON -fuzztime=30s ./internal/workload/
 	$(GO) test -run=FuzzWALRecord -fuzz=FuzzWALRecord -fuzztime=30s ./internal/wal/
+	$(GO) test -run=FuzzMarketScript -fuzz=FuzzMarketScript -fuzztime=30s ./internal/marketsim/
 
 # Kill/restart harness for the durable market daemon: crash-point matrix,
 # WAL fault injection, rate-limit and admission-control contracts, run
 # under the race detector with a flake screen.
 market-e2e:
 	$(GO) test -race -count=3 ./test/e2e/ ./internal/wal/ ./internal/marketd/
+
+# Adversarial fleet: 1000 seeded strategic sessions against the in-process
+# market; exits non-zero if any population empirically beats truthtelling
+# under A_FL. Writes throughput/latency to BENCH_market.json.
+marketsim:
+	$(GO) run ./cmd/marketsim -sessions 1000 -seed 1 -out BENCH_market.json
 
 # Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
 figures:

@@ -1,0 +1,60 @@
+package marketsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzMarketScript fuzzes the simulator's wire format end to end: any
+// byte string either fails DecodeScript or yields a script whose session
+// materializes without panicking and whose strategic and truthful bid
+// vectors are structurally sound and deterministic. The seed corpus in
+// testdata/fuzz covers every strategy and both cost generators.
+func FuzzMarketScript(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"strategy":"truthful","clients":8,"t":6,"k":2,"rounds":2,"cost_model":"uniform"}`))
+	f.Add([]byte(`{"seed":2,"strategy":"shade","clients":9,"t":8,"k":2,"rounds":3,"cost_model":"wireless"}`))
+	f.Add([]byte(`{"seed":3,"strategy":"ring","clients":12,"t":8,"k":3,"rounds":2,"cost_model":"uniform","ring":4,"shade":1.5}`))
+	f.Add([]byte(`{"seed":4,"strategy":"sybil","clients":8,"t":8,"k":2,"rounds":1,"cost_model":"wireless","sybils":3}`))
+	f.Add([]byte(`{"seed":5,"strategy":"straggler","clients":16,"t":8,"k":2,"rounds":2,"cost_model":"uniform"}`))
+	f.Add([]byte(`{"seed":-6,"strategy":"sybil","clients":2,"t":2,"k":1,"rounds":1,"cost_model":"uniform","sybils":8}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeScript(data)
+		if err != nil {
+			return
+		}
+		s, err := newSession(sc)
+		if err != nil {
+			t.Fatalf("validated script failed to materialize: %v (%+v)", err, sc)
+		}
+		strat := s.strategicBids()
+		truth := s.truthfulBids()
+		// Structural soundness: every report fits the horizon. Sybil
+		// identities inflate client IDs past sc.Clients by design; the
+		// horizon bound is what core enforces at admission.
+		for _, b := range strat {
+			if err := b.Validate(sc.T); err != nil {
+				t.Fatalf("strategic bid invalid: %v (script %+v)", err, sc)
+			}
+		}
+		for _, b := range truth {
+			if err := b.Validate(sc.T); err != nil {
+				t.Fatalf("truthful bid invalid: %v (script %+v)", err, sc)
+			}
+		}
+		// Determinism: a second materialization replays identically.
+		s2, err := newSession(sc)
+		if err != nil {
+			t.Fatalf("second materialization failed: %v", err)
+		}
+		if !reflect.DeepEqual(strat, s2.strategicBids()) {
+			t.Fatalf("strategic bids not deterministic for %+v", sc)
+		}
+		if !reflect.DeepEqual(truth, s2.truthfulBids()) {
+			t.Fatalf("truthful bids not deterministic for %+v", sc)
+		}
+		if !reflect.DeepEqual(s.plan.Crash, s2.plan.Crash) {
+			t.Fatalf("crash plan not deterministic for %+v", sc)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package marketsim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// smokeSessions is large enough to exercise every (strategy, cost model)
+// pair many times while staying in unit-test time on the inline solver.
+const smokeSessions = 200
+
+func smokeConfig(workers int) FleetConfig {
+	cfg := DefaultFleetConfig()
+	cfg.Sessions = smokeSessions
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestFleetDeterminism is the replay contract: the economics Report is a
+// pure function of the fleet seed — byte-identical across runs and across
+// worker counts. Any diff is a real change in the mechanism or harness.
+func TestFleetDeterminism(t *testing.T) {
+	ctx := context.Background()
+	rep1, _, err := RunFleet(ctx, smokeConfig(1))
+	if err != nil {
+		t.Fatalf("serial fleet: %v", err)
+	}
+	rep8, _, err := RunFleet(ctx, smokeConfig(8))
+	if err != nil {
+		t.Fatalf("parallel fleet: %v", err)
+	}
+	b1, err := rep1.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	b8, err := rep8.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("report differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", b1, b8)
+	}
+}
+
+// TestFleetSeedSensitivity guards against a degenerate generator: a
+// different fleet seed must actually produce different economics.
+func TestFleetSeedSensitivity(t *testing.T) {
+	ctx := context.Background()
+	cfgA := smokeConfig(4)
+	cfgB := smokeConfig(4)
+	cfgB.Seed = 2
+	repA, _, err := RunFleet(ctx, cfgA)
+	if err != nil {
+		t.Fatalf("fleet A: %v", err)
+	}
+	repB, _, err := RunFleet(ctx, cfgB)
+	if err != nil {
+		t.Fatalf("fleet B: %v", err)
+	}
+	bA, _ := repA.Encode()
+	bB, _ := repB.Encode()
+	if bytes.Equal(bA, bB) {
+		t.Fatal("fleets with different seeds produced identical reports")
+	}
+}
+
+// TestFleetTruthfulness runs the fleet's central assertion at unit scale:
+// no strategic population beats truthtelling under A_FL, and the truthful
+// control population's leakage is exactly zero.
+func TestFleetTruthfulness(t *testing.T) {
+	rep, _, err := RunFleet(context.Background(), smokeConfig(4))
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if err := rep.AssertTruthful(); err != nil {
+		t.Fatalf("truthfulness assertion: %v", err)
+	}
+	ctrl, ok := rep.Population(string(StratTruthful), MechAFL)
+	if !ok {
+		t.Fatal("missing truthful/a_fl population")
+	}
+	if ctrl.Leakage != 0 {
+		t.Fatalf("truthful control leakage = %g, want exactly 0", ctrl.Leakage)
+	}
+	if ctrl.AgentRounds == 0 {
+		t.Fatal("truthful control aggregated zero agent-rounds")
+	}
+	// Every (strategy, mechanism) cell must be present and populated.
+	for _, st := range Strategies {
+		for _, mech := range mechanisms {
+			p, ok := rep.Population(string(st), mech)
+			if !ok {
+				t.Fatalf("missing population %s/%s", st, mech)
+			}
+			if p.Rounds == 0 || p.AgentRounds == 0 {
+				t.Fatalf("population %s/%s aggregated no rounds (%+v)", st, mech, p)
+			}
+		}
+	}
+}
+
+// TestAssertTruthfulRejects pins the assertion's failure modes: a
+// positive-leakage strategic cell fails, and a non-zero control fails as
+// a harness bug even when the leakage is tiny or negative.
+func TestAssertTruthfulRejects(t *testing.T) {
+	mk := func(strategy string, truthful, leak float64) Report {
+		return Report{Populations: []PopulationReport{{
+			Strategy:            strategy,
+			Mechanism:           MechAFL,
+			MeanTruthfulUtility: truthful,
+			Leakage:             leak,
+		}}}
+	}
+	if err := mk(string(StratRing), 5, 0.5).AssertTruthful(); err == nil {
+		t.Fatal("leakage beyond the near-truthful envelope passed the assertion")
+	}
+	if err := mk(string(StratTruthful), 5, -1e-12).AssertTruthful(); err == nil {
+		t.Fatal("non-zero truthful control passed the assertion")
+	}
+	if err := mk(string(StratRing), 5, -0.5).AssertTruthful(); err != nil {
+		t.Fatalf("negative strategic leakage failed the assertion: %v", err)
+	}
+	// Leakage inside the documented near-truthfulness envelope (2% of the
+	// truthful mean) is tolerated — the implementation's T̂_g selection and
+	// multi-minded menus are only near-truthful (EXPERIMENTS.md).
+	if err := mk(string(StratSybil), 5, 0.01*5).AssertTruthful(); err != nil {
+		t.Fatalf("within-envelope leakage failed the assertion: %v", err)
+	}
+	// The envelope is relative: when the truthful side earns nothing, any
+	// material gain is a violation.
+	if err := mk(string(StratSybil), 0, 0.1).AssertTruthful(); err == nil {
+		t.Fatal("gain over a zero-utility truthful baseline passed the assertion")
+	}
+	// Online cells are measurements, not invariants: positive leakage is
+	// reported, never asserted.
+	leaky := Report{Populations: []PopulationReport{{
+		Strategy: string(StratShade), Mechanism: MechOnlineAuto, Leakage: 3.0,
+	}}}
+	if err := leaky.AssertTruthful(); err != nil {
+		t.Fatalf("online leakage tripped the A_FL assertion: %v", err)
+	}
+}
+
+// TestBenchShape checks the load artifact's accounting: one strategic
+// A_FL solve per (session, round), ordered percentiles, a throughput
+// figure.
+func TestBenchShape(t *testing.T) {
+	cfg := smokeConfig(4)
+	_, bench, err := RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if want := cfg.Sessions * cfg.Rounds; bench.Auctions != want {
+		t.Fatalf("Auctions = %d, want sessions×rounds = %d", bench.Auctions, want)
+	}
+	if bench.AuctionsPerSec <= 0 {
+		t.Fatalf("AuctionsPerSec = %g, want > 0", bench.AuctionsPerSec)
+	}
+	if bench.P50Ms < 0 || bench.P99Ms < bench.P50Ms {
+		t.Fatalf("percentiles out of order: p50=%g p99=%g", bench.P50Ms, bench.P99Ms)
+	}
+	if bench.RateLimited != 0 || bench.AdmissionRejected != 0 {
+		t.Fatalf("inline target reported rejections: %d/%d", bench.RateLimited, bench.AdmissionRejected)
+	}
+}
+
+// TestScriptsCoverage checks the fleet deals every strategy and both cost
+// models, with per-session seeds that are themselves deterministic.
+func TestScriptsCoverage(t *testing.T) {
+	cfg := smokeConfig(1)
+	scripts := cfg.Scripts()
+	if len(scripts) != cfg.Sessions {
+		t.Fatalf("got %d scripts, want %d", len(scripts), cfg.Sessions)
+	}
+	seen := map[string]int{}
+	for _, sc := range scripts {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("fleet emitted invalid script: %v", err)
+		}
+		seen[string(sc.Strategy)+"/"+sc.CostModel]++
+	}
+	for _, st := range Strategies {
+		for _, cm := range []string{CostUniform, CostWireless} {
+			if seen[string(st)+"/"+cm] == 0 {
+				t.Fatalf("fleet never dealt %s/%s", st, cm)
+			}
+		}
+	}
+	again := cfg.Scripts()
+	for i := range scripts {
+		if scripts[i] != again[i] {
+			t.Fatalf("script %d not deterministic: %+v vs %+v", i, scripts[i], again[i])
+		}
+	}
+}
+
+func TestScriptValidate(t *testing.T) {
+	valid := Script{Seed: 1, Strategy: StratShade, Clients: 8, T: 6, K: 2, Rounds: 2, CostModel: CostUniform}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Script)
+	}{
+		{"clients-low", func(s *Script) { s.Clients = 1 }},
+		{"clients-high", func(s *Script) { s.Clients = maxScriptClients + 1 }},
+		{"t-low", func(s *Script) { s.T = 1 }},
+		{"t-high", func(s *Script) { s.T = maxScriptT + 1 }},
+		{"k-zero", func(s *Script) { s.K = 0 }},
+		{"k-over-clients", func(s *Script) { s.K = s.Clients + 1 }},
+		{"rounds-zero", func(s *Script) { s.Rounds = 0 }},
+		{"rounds-high", func(s *Script) { s.Rounds = maxScriptRounds + 1 }},
+		{"ring-negative", func(s *Script) { s.Ring = -1 }},
+		{"sybils-high", func(s *Script) { s.Sybils = 9 }},
+		{"shade-negative", func(s *Script) { s.Shade = -0.1 }},
+		{"shade-high", func(s *Script) { s.Shade = 9 }},
+		{"bad-strategy", func(s *Script) { s.Strategy = "bribe" }},
+		{"bad-cost-model", func(s *Script) { s.CostModel = "quantum" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := valid
+			tc.mut(&sc)
+			if err := sc.Validate(); err == nil {
+				t.Fatalf("invalid script accepted: %+v", sc)
+			}
+		})
+	}
+}
+
+func TestDecodeScript(t *testing.T) {
+	raw := []byte(`{"seed":7,"strategy":"sybil","clients":12,"t":8,"k":2,"rounds":3,"cost_model":"wireless","sybils":3}`)
+	sc, err := DecodeScript(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sc.Strategy != StratSybil || sc.Sybils != 3 || sc.CostModel != CostWireless {
+		t.Fatalf("decoded fields wrong: %+v", sc)
+	}
+	if _, err := DecodeScript([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeScript([]byte(`{"seed":1,"strategy":"shade","clients":999,"t":8,"k":2,"rounds":1,"cost_model":"uniform"}`)); err == nil {
+		t.Fatal("invalid script accepted")
+	}
+}
+
+func TestQuantileIndex(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want int
+	}{
+		{1, 0.50, 0},
+		{1, 0.99, 0},
+		{2, 0.50, 0},
+		{2, 0.99, 1},
+		{100, 0.50, 49},
+		{100, 0.99, 98},
+		{1000, 0.99, 989},
+	}
+	for _, tc := range cases {
+		if got := quantileIndex(tc.n, tc.q); got != tc.want {
+			t.Fatalf("quantileIndex(%d, %g) = %d, want %d", tc.n, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestFleetConfigValidate(t *testing.T) {
+	bad := []FleetConfig{
+		{},
+		{Sessions: 0, Clients: 8, T: 6, K: 2, Rounds: 1},
+		{Sessions: 10, Clients: 1, T: 6, K: 1, Rounds: 1},
+		{Sessions: 10, Clients: 8, T: 1, K: 2, Rounds: 1},
+		{Sessions: 10, Clients: 8, T: 6, K: 9, Rounds: 1},
+		{Sessions: 10, Clients: 8, T: 6, K: 2, Rounds: 0},
+	}
+	for i, cfg := range bad {
+		if _, _, err := RunFleet(context.Background(), cfg); err == nil {
+			t.Fatalf("case %d: invalid fleet config accepted: %+v", i, cfg)
+		}
+	}
+}

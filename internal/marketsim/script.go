@@ -1,0 +1,246 @@
+package marketsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+	"github.com/fedauction/afl/internal/workload"
+)
+
+// Strategy names one strategic agent population. Every strategy shares
+// the same honest base population and differs only in how its strategic
+// subset reports: prices, identities, or availability.
+type Strategy string
+
+const (
+	// StratTruthful is the control population: nobody deviates, so the
+	// strategic and counterfactual utilities must coincide exactly. A
+	// non-zero gap here is a bug in the harness, not a mechanism finding.
+	StratTruthful Strategy = "truthful"
+	// StratShade marks adaptive bid-shading learners: every third client
+	// multiplies its reported cost by a per-agent factor that moves up
+	// after a win (ask for more) and down after a loss (undercut to win),
+	// the classic probing bidder a deployed market actually faces.
+	StratShade Strategy = "shade"
+	// StratRing is a collusive ring: the first Ring clients inflate their
+	// reports by a common factor, trying to lift the critical prices they
+	// set for one another. Collusion is outside the paper's unilateral
+	// truthfulness guarantee, so this population measures how much a
+	// coordinated group can extract in practice.
+	StratRing Strategy = "ring"
+	// StratSybil is identity splitting: client 0 poses as Sybils
+	// independent bidders, splitting its rounds and cost basis (plus a
+	// per-identity overhead — each extra identity pays its own
+	// registration and communication energy) to evade the one-win-per-
+	// client constraint (6f).
+	StratSybil Strategy = "sybil"
+	// StratStraggler is availability inflation by dropout-prone clients:
+	// every fourth client advertises its full window even though a
+	// chaos-plan crash round will stop it mid-schedule. Payment is
+	// completion-contingent — a schedule cut short by the crash forfeits
+	// the whole payment while the served rounds' cost stays sunk — and
+	// the truthful counterfactual reports only the serviceable prefix.
+	StratStraggler Strategy = "straggler"
+)
+
+// Strategies lists every population in fleet order.
+var Strategies = []Strategy{StratTruthful, StratShade, StratRing, StratSybil, StratStraggler}
+
+// Mechanisms evaluated per session.
+const (
+	// MechAFL is the paper's A_FL with exact-critical payments, solved by
+	// the market service under test — the mechanism the fleet asserts
+	// truthful.
+	MechAFL = "a_fl"
+	// MechOnline is the posted-price online mechanism with exogenous
+	// price bounds (internal/online with L, U fixed a priori) — truthful
+	// for unilateral price misreports by construction.
+	MechOnline = "online"
+	// MechOnlineAuto is the same mechanism with auto-derived bounds: the
+	// posted prices then depend on the reports, which is the leak the
+	// fleet quantifies.
+	MechOnlineAuto = "online_auto"
+)
+
+// mechanisms in report order.
+var mechanisms = []string{MechAFL, MechOnline, MechOnlineAuto}
+
+// Cost model names for Script.CostModel.
+const (
+	// CostUniform draws claimed costs U[10,50] as in §VII-A.
+	CostUniform = "uniform"
+	// CostWireless derives costs from a heterogeneous wireless energy
+	// model (CPU frequency, channel gain — see WirelessParams).
+	CostWireless = "wireless"
+)
+
+// Script is the seeded unit of replay: everything one session does —
+// population, strategy knobs, rounds — is a pure function of the script,
+// so a failing session is a permanent reproducer. Scripts are the fuzz
+// surface of the simulator (FuzzMarketScript) and the wire format of a
+// deterministic fleet.
+type Script struct {
+	// Seed drives every draw of the session: population, crash rounds,
+	// learner tie-breaks.
+	Seed int64 `json:"seed"`
+	// Strategy selects the strategic population.
+	Strategy Strategy `json:"strategy"`
+	// Clients, T, K shape the session's auction instances.
+	Clients int `json:"clients"`
+	T       int `json:"t"`
+	K       int `json:"k"`
+	// Rounds is the number of consecutive auction rounds in the session;
+	// only the shading learner changes its reports between rounds.
+	Rounds int `json:"rounds"`
+	// CostModel selects the true-cost generator (CostUniform or
+	// CostWireless).
+	CostModel string `json:"cost_model"`
+	// Ring is the collusive group size for StratRing (default 3).
+	Ring int `json:"ring,omitempty"`
+	// Sybils is the identity count for StratSybil (default 2).
+	Sybils int `json:"sybils,omitempty"`
+	// Shade is the ring's common inflation factor (default 1.35).
+	Shade float64 `json:"shade,omitempty"`
+}
+
+// Limits keeping fuzzed scripts cheap; real fleets stay well inside.
+const (
+	maxScriptClients = 64
+	maxScriptT       = 24
+	maxScriptRounds  = 8
+)
+
+// Validate rejects scripts that are internally inconsistent or too large
+// to simulate cheaply.
+func (sc Script) Validate() error {
+	switch {
+	case sc.Clients < 2 || sc.Clients > maxScriptClients:
+		return fmt.Errorf("marketsim: clients %d outside [2,%d]", sc.Clients, maxScriptClients)
+	case sc.T < 2 || sc.T > maxScriptT:
+		return fmt.Errorf("marketsim: t %d outside [2,%d]", sc.T, maxScriptT)
+	case sc.K < 1 || sc.K > sc.Clients:
+		return fmt.Errorf("marketsim: k %d outside [1,clients]", sc.K)
+	case sc.Rounds < 1 || sc.Rounds > maxScriptRounds:
+		return fmt.Errorf("marketsim: rounds %d outside [1,%d]", sc.Rounds, maxScriptRounds)
+	case sc.Ring < 0 || sc.Ring > sc.Clients:
+		return fmt.Errorf("marketsim: ring %d outside [0,clients]", sc.Ring)
+	case sc.Sybils < 0 || sc.Sybils > 8:
+		return fmt.Errorf("marketsim: sybils %d outside [0,8]", sc.Sybils)
+	case sc.Shade < 0 || sc.Shade > 8:
+		return fmt.Errorf("marketsim: shade %g outside [0,8]", sc.Shade)
+	}
+	switch sc.Strategy {
+	case StratTruthful, StratShade, StratRing, StratSybil, StratStraggler:
+	default:
+		return fmt.Errorf("marketsim: unknown strategy %q", sc.Strategy)
+	}
+	switch sc.CostModel {
+	case CostUniform, CostWireless:
+	default:
+		return fmt.Errorf("marketsim: unknown cost model %q", sc.CostModel)
+	}
+	return nil
+}
+
+// DecodeScript parses and validates a JSON script.
+func DecodeScript(data []byte) (Script, error) {
+	var sc Script
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("marketsim: undecodable script: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// ring returns the effective ring size.
+func (sc Script) ring() int {
+	r := sc.Ring
+	if r == 0 {
+		r = 3
+	}
+	if r < 2 {
+		r = 2
+	}
+	if r > sc.Clients {
+		r = sc.Clients
+	}
+	return r
+}
+
+// sybils returns the effective identity count.
+func (sc Script) sybils() int {
+	s := sc.Sybils
+	if s == 0 {
+		s = 2
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// shade returns the ring's inflation factor.
+func (sc Script) shade() float64 {
+	if sc.Shade == 0 {
+		return 1.35
+	}
+	return sc.Shade
+}
+
+// auctionConfig is the A_FL configuration every session instance runs
+// under: exact-critical payments with own-bid exclusion and a reserve,
+// the configuration under which the core regression suite proves the
+// mechanism exactly truthful for unilateral misreports.
+func (sc Script) auctionConfig() core.Config {
+	return core.Config{
+		T:              sc.T,
+		K:              sc.K,
+		PaymentRule:    core.RuleExactCritical,
+		ExcludeOwnBids: true,
+		ReservePrice:   reservePrice,
+	}
+}
+
+// reservePrice caps payments and bounds the critical-value bisection. It
+// sits above the bulk of honestly generated costs (uniform ≤ 50; the
+// wireless model's tail can exceed it, pricing those clients out of the
+// market identically under strategic and truthful reports) — but only
+// just above: a loose reserve turns every barely-feasible market into a
+// jackpot for whichever bid happens to be essential, which is exactly
+// the rent a sybil splitter farms by faking per-iteration client
+// diversity. A tight reserve is the standard procurement defense: the
+// buyer never pays more than its outside option, and since payments are
+// capped at it, underbidding one's cost to sneak below it is a
+// guaranteed loss. Strategically inflated bids (shading learners cap at
+// ×3) can and do price themselves past it; that is their loss to bear.
+const reservePrice = 80
+
+// basePopulation draws the session's honest single-minded population:
+// one bid per client, Price == TrueCost (truthful reports), availability
+// windows inside [1, T]. All strategy vectors are derived from this base.
+func (sc Script) basePopulation(rng *stats.RNG) ([]core.Bid, error) {
+	switch sc.CostModel {
+	case CostWireless:
+		return genWireless(rng.Split(), sc.Clients, sc.T), nil
+	default:
+		p := workload.NewDefaultParams()
+		p.Clients = sc.Clients
+		p.BidsPerUser = 1
+		p.T = sc.T
+		p.K = sc.K
+		p.TMax = 0
+		p.Seed = rng.Int63()
+		bids, err := workload.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		return bids, nil
+	}
+}

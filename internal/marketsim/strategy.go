@@ -1,0 +1,378 @@
+package marketsim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fedauction/afl/internal/chaos"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Learner dynamics and structural-manipulation knobs. They are package
+// constants, not script fields: the fleet compares populations, and a
+// comparison only means something when every session's learners probe the
+// same way.
+const (
+	// learnerUp/learnerDown move a shading learner's multiplier after a
+	// win (ask for more next round) or a loss (undercut to get back in).
+	learnerUp   = 1.12
+	learnerDown = 0.88
+	// learnerCap/learnerFloor bound the multiplier: beyond ×3 a bid prices
+	// itself out of any market, below ×0.6 the learner is dumping.
+	learnerCap   = 3.0
+	learnerFloor = 0.6
+	// sybilOverhead is the extra true cost each split identity pays —
+	// every identity maintains its own enrollment: registration and
+	// attestation, its own secure-aggregation key exchange, and its own
+	// per-round model download and upload. The communication-energy share
+	// of a round (eCom in the wireless model, Le et al.) is duplicated
+	// per identity rather than amortized across the device's rounds.
+	sybilOverhead = 0.20
+	// stragglerCrashProb is the probability a straggler actually has a
+	// dropout round inside its window.
+	stragglerCrashProb = 0.7
+)
+
+// winRec is the mechanism-independent view of one accepted bid: enough
+// to attribute a payment to a strategic agent and pro-rate it by served
+// slots. Both the market service's OutcomeRecord and the local solver
+// results flatten into it.
+type winRec struct {
+	BidIndex int
+	Client   int
+	Slots    []int
+	Payment  float64
+}
+
+// session is one script's materialized state: the honest base
+// population, the strategic agent set, learner multipliers, the sybil
+// identity map, and the chaos fault plan carrying dropout rounds.
+type session struct {
+	sc   Script
+	base []core.Bid // honest reports, full availability, Price == TrueCost
+
+	agents []int           // strategic client IDs, ascending
+	mult   map[int]float64 // shading-learner multiplier per strategic client
+	owner  map[int]int     // sybil identity client -> owning agent
+	plan   chaos.FaultPlan // straggler dropout schedule (Crash map)
+}
+
+// newSession derives every seeded decision of the session up front:
+// population, strategic subset, crash rounds. After construction the only
+// mutable state is the learner multipliers.
+func newSession(sc Script) (*session, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(sc.Seed)
+	base, err := sc.basePopulation(rng)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		sc:    sc,
+		base:  base,
+		mult:  make(map[int]float64),
+		owner: make(map[int]int),
+		plan:  chaos.FaultPlan{Seed: sc.Seed},
+	}
+	switch sc.Strategy {
+	case StratTruthful:
+		// No deviators — but every client is tracked as an agent, so the
+		// control population pins strategic utility == counterfactual
+		// utility exactly. A non-zero gap here is a harness bug, not a
+		// mechanism finding.
+		for c := 0; c < sc.Clients; c++ {
+			s.agents = append(s.agents, c)
+		}
+	case StratShade:
+		for c := 0; c < sc.Clients; c += 3 {
+			s.agents = append(s.agents, c)
+			s.mult[c] = 1.0
+		}
+	case StratRing:
+		for c := 0; c < sc.ring(); c++ {
+			s.agents = append(s.agents, c)
+		}
+	case StratSybil:
+		s.agents = []int{0}
+		k := s.sybilCount()
+		for i := 0; i < k; i++ {
+			s.owner[sc.Clients+i] = 0
+		}
+	case StratStraggler:
+		crash := make(map[int]int)
+		for c := 0; c < sc.Clients; c += 4 {
+			s.agents = append(s.agents, c)
+			b := s.base[c]
+			// Draw order is fixed per agent (probability, then round) so
+			// the schedule is a pure function of the seed regardless of
+			// which draws end up used.
+			p := rng.Float64()
+			r := b.Start
+			if b.End > b.Start {
+				r = rng.IntRange(b.Start+1, b.End)
+			}
+			if p < stragglerCrashProb {
+				crash[c] = r
+			}
+		}
+		s.plan.Crash = crash
+	}
+	for _, a := range s.agents {
+		if _, ok := s.owner[a]; !ok {
+			s.owner[a] = a
+		}
+	}
+	sort.Ints(s.agents)
+	return s, nil
+}
+
+// sybilCount clamps the configured identity count to the owner's round
+// budget: an identity with zero rounds is not a bid.
+func (s *session) sybilCount() int {
+	k := s.sc.sybils()
+	if r := s.base[0].Rounds; k > r {
+		k = r
+	}
+	if k < 2 {
+		k = 2 // a single identity is just the honest bid
+	}
+	return k
+}
+
+// strategicBids returns the population's current reports: the honest
+// base perturbed along the strategy's misreport dimension (price for
+// shading and rings, identity for sybils, availability for stragglers).
+// The slice is freshly allocated; the base never mutates.
+func (s *session) strategicBids() []core.Bid {
+	out := make([]core.Bid, len(s.base))
+	copy(out, s.base)
+	switch s.sc.Strategy {
+	case StratShade:
+		for _, c := range s.agents {
+			out[c].Price = s.base[c].TrueCost * s.mult[c]
+		}
+	case StratRing:
+		for _, c := range s.agents {
+			out[c].Price = s.base[c].TrueCost * s.sc.shade()
+		}
+	case StratSybil:
+		owner := s.base[0]
+		k := s.sybilCount()
+		if owner.Rounds < 2 {
+			break // nothing to split; the "sybil" is the honest bid
+		}
+		ids := make([]core.Bid, 0, k)
+		per := owner.Rounds / k
+		extra := owner.Rounds % k
+		for i := 0; i < k; i++ {
+			r := per
+			if i < extra {
+				r++
+			}
+			share := owner.TrueCost * float64(r) / float64(owner.Rounds) * (1 + sybilOverhead)
+			id := owner
+			id.Client = s.sc.Clients + i
+			id.Index = 0
+			id.Rounds = r
+			id.TrueCost = share
+			id.Price = share
+			ids = append(ids, id)
+		}
+		out[0] = ids[0]
+		out = append(out, ids[1:]...)
+	case StratStraggler:
+		// Stragglers report honestly on price but advertise the full
+		// window their crash round will cut short; nothing to edit —
+		// the base IS the inflated report. The truthful counterfactual
+		// truncates instead.
+	}
+	return out
+}
+
+// truthfulBids returns the counterfactual reports: every strategic agent
+// reporting truthfully (honest price, single identity, serviceable
+// availability only), everyone else unchanged. A straggler whose crash
+// round precedes its whole window abstains.
+//
+// The sybil counterfactual deserves its asterisk: the honest form of "I
+// can serve up to c rounds" is not one all-or-nothing bid but the menu
+// the paper's own bid language provides — J mutually-exclusive bids per
+// client, constraint (6f) — one alternative per feasible round count at
+// pro-rata price, all under the client's real identity. Comparing the
+// split identities against the single rigid bid would conflate the
+// false-name manipulation with mere bid granularity; against the honest
+// menu, the only thing splitting buys is the evasion of (6f) itself.
+func (s *session) truthfulBids() []core.Bid {
+	if s.sc.Strategy == StratSybil {
+		out := make([]core.Bid, len(s.base))
+		copy(out, s.base)
+		owner := s.base[0]
+		for r := 1; r < owner.Rounds; r++ {
+			alt := owner
+			alt.Index = r
+			alt.Rounds = r
+			alt.TrueCost = owner.TrueCost * float64(r) / float64(owner.Rounds)
+			alt.Price = alt.TrueCost
+			out = append(out, alt)
+		}
+		return out
+	}
+	if s.sc.Strategy != StratStraggler {
+		out := make([]core.Bid, len(s.base))
+		copy(out, s.base)
+		return out
+	}
+	out := make([]core.Bid, 0, len(s.base))
+	for _, b := range s.base {
+		if crash, ok := s.plan.Crash[b.Client]; ok && crash > 0 {
+			if crash <= b.Start {
+				continue // no serviceable prefix: truthfully, no bid
+			}
+			if crash <= b.End {
+				b.End = crash - 1
+			}
+			if max := b.End - b.Start + 1; b.Rounds > max {
+				b.Rounds = max
+			}
+			// The cost basis is per-round energy; fewer serviceable
+			// rounds cost proportionally less.
+			orig := s.base[b.Client]
+			b.TrueCost = orig.TrueCost * float64(b.Rounds) / float64(orig.Rounds)
+			b.Price = b.TrueCost
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// agentOf maps a winning client ID back to the strategic agent owning it
+// (sybil identities map to their owner). ok is false for honest clients.
+func (s *session) agentOf(client int) (int, bool) {
+	a, ok := s.owner[client]
+	return a, ok
+}
+
+// utilities folds one mechanism outcome into per-agent realized utility
+// under payment-on-completion: a winner is paid iff it serves every
+// scheduled slot; an incomplete schedule forfeits the whole payment but
+// the true cost of the rounds actually trained stays sunk. (Pro-rata
+// payment would make availability inflation weakly dominant — a lucky
+// schedule placed entirely before the crash pays the full-window rate —
+// whereas completion-contingent payment is what the market's ledger
+// actually implements: outcomes settle on delivery.)
+//
+// Two physical limits decide what gets served:
+//
+//   - a chaos-plan crash round stops a straggler's device: slots at or
+//     after the crash are never trained;
+//   - one device trains at most one update per global iteration: when
+//     several identities of the same agent (sybils) are scheduled into
+//     the same iteration, only the first (by bid index) trains there —
+//     the rest miss the slot and forfeit.
+//
+// For honest singleton clients both limits are vacuous and utility
+// reduces to payment − true cost. Losing agents contribute an explicit
+// 0, so population means average over the whole strategic set, not just
+// its winners.
+func (s *session) utilities(vec []core.Bid, wins []winRec) map[int]float64 {
+	u := make(map[int]float64, len(s.agents))
+	for _, a := range s.agents {
+		u[a] = 0
+	}
+	ordered := make([]winRec, len(wins))
+	copy(ordered, wins)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].BidIndex < ordered[j].BidIndex })
+	occupied := make(map[int]map[int]bool) // agent -> iterations its device trained
+	for _, w := range ordered {
+		a, ok := s.agentOf(w.Client)
+		if !ok {
+			continue
+		}
+		if w.BidIndex < 0 || w.BidIndex >= len(vec) {
+			continue
+		}
+		b := vec[w.BidIndex]
+		sched := len(w.Slots)
+		if sched == 0 || b.Rounds == 0 {
+			continue
+		}
+		crash := s.plan.Crash[b.Client] // 0 when absent: never crashes
+		occ := occupied[a]
+		if occ == nil {
+			occ = make(map[int]bool, sched)
+			occupied[a] = occ
+		}
+		served := 0
+		for _, t := range w.Slots {
+			if crash > 0 && t >= crash {
+				continue // device dead: slot never trained, no cost
+			}
+			if occ[t] {
+				continue // device busy training another identity's update
+			}
+			occ[t] = true
+			served++
+		}
+		perRound := b.Cost() / float64(b.Rounds)
+		if served < sched {
+			u[a] -= perRound * float64(served) // incomplete: sunk cost, no pay
+		} else {
+			u[a] += w.Payment - perRound*float64(sched)
+		}
+	}
+	return u
+}
+
+// learnerUpdate advances the shading learners' multipliers from the
+// round's A_FL outcome: winners ask for more next round, losers undercut.
+func (s *session) learnerUpdate(wins []winRec) {
+	if s.sc.Strategy != StratShade {
+		return
+	}
+	won := make(map[int]bool, len(wins))
+	for _, w := range wins {
+		won[w.Client] = true
+	}
+	for _, c := range s.agents {
+		m := s.mult[c]
+		if won[c] {
+			m *= learnerUp
+			if m > learnerCap {
+				m = learnerCap
+			}
+		} else {
+			m *= learnerDown
+			if m < learnerFloor {
+				m = learnerFloor
+			}
+		}
+		s.mult[c] = m
+	}
+}
+
+// winsFromResult flattens a local solver result.
+func winsFromResult(winners []core.Winner) []winRec {
+	out := make([]winRec, len(winners))
+	for i, w := range winners {
+		out[i] = winRec{BidIndex: w.BidIndex, Client: w.Bid.Client, Slots: w.Slots, Payment: w.Payment}
+	}
+	return out
+}
+
+// sumAgents sums a utility map in agent order (deterministic float
+// accumulation).
+func (s *session) sumAgents(u map[int]float64) float64 {
+	var sum float64
+	for _, a := range s.agents {
+		sum += u[a]
+	}
+	return sum
+}
+
+// describe renders the session for error messages.
+func (s *session) describe() string {
+	return fmt.Sprintf("strategy=%s seed=%d clients=%d t=%d k=%d", s.sc.Strategy, s.sc.Seed, s.sc.Clients, s.sc.T, s.sc.K)
+}

@@ -1,0 +1,124 @@
+package online
+
+import (
+	"testing"
+
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// misreportFactors is the probe grid the core truthfulness suite uses,
+// densified around 1: under- and over-claims on both sides of the truth.
+var misreportFactors = []float64{0.2, 0.6, 0.9, 0.97, 1.03, 1.1, 1.4, 1.6, 2.2, 3}
+
+// TestExogenousBoundsResistEveryMisreport mirrors the core suite's
+// exhaustive probe at unit level: with exogenous price bounds, every
+// client in every instance is probed across the whole factor grid, and
+// no misreport may ever beat truthtelling — the posted prices are fixed
+// before the report, so the report only decides accept/decline.
+func TestExogenousBoundsResistEveryMisreport(t *testing.T) {
+	rng := stats.NewRNG(99)
+	probes := 0
+	for trial := 0; trial < 40; trial++ {
+		bids, tg, k := randomInstance(rng)
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		cfg := Config{Tg: tg, K: k, L: 1, U: 40}
+		arrival := ArrivalByStart(bids)
+		for victim := range bids {
+			truthful := utility(bids, arrival, victim, bids[victim].Price, cfg)
+			for _, factor := range misreportFactors {
+				lying := utility(bids, arrival, victim, bids[victim].Price*factor, cfg)
+				probes++
+				if lying > truthful+1e-9 {
+					t.Fatalf("trial %d victim %d: exogenous bounds manipulable: %v > %v at ×%v",
+						trial, victim, lying, truthful, factor)
+				}
+			}
+		}
+	}
+	if probes < 1000 {
+		t.Fatalf("probe grid too thin: %d probes", probes)
+	}
+}
+
+// TestAutoBoundsLeakageBaseline is the unit-level twin of the fleet's
+// online_auto population: with L and U auto-derived from the reports,
+// the posted prices are no longer report-independent, and a client can
+// profit by misreporting (e.g. the price-setting client inflating U).
+// The test pins this known leak as a baseline: the same probe grid that
+// exogenous bounds survive MUST find gains here — if it stops finding
+// any, the auto-bounds convenience has silently become truthful and the
+// fleet's online_auto cell is measuring nothing.
+func TestAutoBoundsLeakageBaseline(t *testing.T) {
+	rng := stats.NewRNG(99)
+	manipulable, probes := 0, 0
+	maxGain := 0.0
+	for trial := 0; trial < 40; trial++ {
+		bids, tg, k := randomInstance(rng)
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		cfg := Config{Tg: tg, K: k} // L = U = 0: bounds derived from reports
+		arrival := ArrivalByStart(bids)
+		for victim := range bids {
+			truthful := utility(bids, arrival, victim, bids[victim].Price, cfg)
+			for _, factor := range misreportFactors {
+				lying := utility(bids, arrival, victim, bids[victim].Price*factor, cfg)
+				probes++
+				if gain := lying - truthful; gain > 1e-9 {
+					manipulable++
+					if gain > maxGain {
+						maxGain = gain
+					}
+				}
+			}
+		}
+	}
+	if manipulable == 0 {
+		t.Fatalf("auto-bounds found truthful across %d probes — baseline leak vanished; "+
+			"either the bounds became exogenous or the probe grid broke", probes)
+	}
+	// The leak is material, not a rounding artifact: a price-setting
+	// client inflating U moves its own payment by whole cost units.
+	if maxGain < 0.5 {
+		t.Fatalf("max auto-bounds gain %g suspiciously small over %d probes", maxGain, probes)
+	}
+	t.Logf("auto-bounds leakage baseline: %d/%d probes gain, max gain %.3f", manipulable, probes, maxGain)
+}
+
+// TestAutoBoundsPriceSetterGain pins the leak's textbook shape on a
+// handcrafted instance: the client whose per-round claim sets the
+// auto-derived ceiling U inflates that claim, the posted prices rise
+// with it, and the same winning schedule now pays more — the mechanism
+// hands the price-setter its own markup. Under exogenous bounds the
+// identical deviation gains nothing.
+func TestAutoBoundsPriceSetterGain(t *testing.T) {
+	bids := []core.Bid{
+		// Client 0 is the price-setter: per-round claim 10 = U.
+		{Client: 0, Price: 20, TrueCost: 20, Theta: 0.4, Start: 1, End: 4, Rounds: 2},
+		{Client: 1, Price: 4, TrueCost: 4, Theta: 0.4, Start: 1, End: 4, Rounds: 2},
+		{Client: 2, Price: 4, TrueCost: 4, Theta: 0.4, Start: 1, End: 4, Rounds: 2},
+	}
+	cfg := Config{Tg: 4, K: 2}
+	arrival := ArrivalByStart(bids)
+	truthful := utility(bids, arrival, 0, bids[0].Price, cfg)
+	var best float64
+	for _, factor := range misreportFactors {
+		if u := utility(bids, arrival, 0, bids[0].Price*factor, cfg); u > best {
+			best = u
+		}
+	}
+	if best <= truthful+1e-9 {
+		t.Fatalf("price-setter cannot gain (%g vs truthful %g) — expected the auto-U leak", best, truthful)
+	}
+	// Exogenous bounds close the leak for the very same deviations.
+	exo := Config{Tg: 4, K: 2, L: 2, U: 10}
+	truthfulExo := utility(bids, arrival, 0, bids[0].Price, exo)
+	for _, factor := range misreportFactors {
+		if u := utility(bids, arrival, 0, bids[0].Price*factor, exo); u > truthfulExo+1e-9 {
+			t.Fatalf("exogenous bounds leak at ×%v: %g > %g", factor, u, truthfulExo)
+		}
+	}
+}

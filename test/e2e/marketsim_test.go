@@ -1,0 +1,171 @@
+package e2e
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/fedauction/afl/internal/marketd"
+	"github.com/fedauction/afl/internal/marketsim"
+	"github.com/fedauction/afl/internal/obs"
+)
+
+// fleetShape is the CI smoke fleet: a thousand seeded strategic sessions
+// (the acceptance floor) through the real service stack.
+func fleetShape(sessions, workers int) marketsim.FleetConfig {
+	cfg := marketsim.DefaultFleetConfig()
+	cfg.Sessions = sessions
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestMarketsimFleetSmoke is the adversarial-fleet CI gate: 1000 seeded
+// strategic sessions against an in-process marketd.Market (the real
+// batch scheduler, pooled engines and commit protocol), asserting that
+// no strategic population — shading learners, the collusive ring, the
+// sybil splitter, the stragglers — beats truthtelling under A_FL, and
+// that the load artifact accounts for every solve.
+func TestMarketsimFleetSmoke(t *testing.T) {
+	metrics := obs.NewMetrics(nil)
+	m, err := marketd.Open(context.Background(), marketd.Config{Workers: 4, Observer: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cfg := fleetShape(1000, 8)
+	cfg.Target = marketsim.MarketTarget{M: m}
+	cfg.Metrics = metrics
+	rep, bench, err := marketsim.RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if err := rep.AssertTruthful(); err != nil {
+		t.Fatalf("truthfulness assertion: %v", err)
+	}
+	if want := cfg.Sessions * cfg.Rounds; bench.Auctions != want {
+		t.Fatalf("bench accounted %d auctions, want %d", bench.Auctions, want)
+	}
+	if bench.AuctionsPerSec <= 0 || bench.P99Ms < bench.P50Ms {
+		t.Fatalf("bench shape wrong: %+v", bench)
+	}
+	// The open market shed nothing: every session's solve committed.
+	if bench.RateLimited != 0 || bench.AdmissionRejected != 0 {
+		t.Fatalf("unexpected edge rejections: %d/%d", bench.RateLimited, bench.AdmissionRejected)
+	}
+	// The service-side observer saw the whole fleet pass through the
+	// batch layer.
+	if got := metrics.Registry().Counter("afl_batch_auctions_total").Value(); got < int64(bench.Auctions) {
+		t.Fatalf("service observer saw %d auctions, fleet submitted %d", got, bench.Auctions)
+	}
+}
+
+// TestMarketsimReplayIsByteIdentical is the replay acceptance: the same
+// fleet seed must produce a byte-identical economics report across
+// independent runs, different worker counts, and different service
+// targets — the inline engine, the in-process market, and the real HTTP
+// daemon all solve the same instances to the same bytes.
+func TestMarketsimReplayIsByteIdentical(t *testing.T) {
+	const sessions = 60
+	ctx := context.Background()
+
+	run := func(name string, cfg marketsim.FleetConfig) []byte {
+		t.Helper()
+		rep, _, err := marketsim.RunFleet(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s fleet: %v", name, err)
+		}
+		b, err := rep.Encode()
+		if err != nil {
+			t.Fatalf("%s encode: %v", name, err)
+		}
+		return b
+	}
+
+	engine := fleetShape(sessions, 1)
+	engine.Target = marketsim.EngineTarget{}
+	golden := run("engine", engine)
+
+	engine8 := fleetShape(sessions, 8)
+	engine8.Target = marketsim.EngineTarget{}
+	if got := run("engine/8workers", engine8); string(got) != string(golden) {
+		t.Fatalf("worker count changed the report:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", golden, got)
+	}
+
+	m, err := marketd.Open(ctx, marketd.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	market := fleetShape(sessions, 4)
+	market.Target = marketsim.MarketTarget{M: m}
+	if got := run("market", market); string(got) != string(golden) {
+		t.Fatalf("market target changed the report:\n--- engine ---\n%s\n--- market ---\n%s", golden, got)
+	}
+
+	mh, err := marketd.Open(ctx, marketd.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mh.Close()
+	srv := httptest.NewServer(marketd.Handler(mh))
+	defer srv.Close()
+	httpCfg := fleetShape(sessions, 4)
+	httpCfg.Target = &marketsim.HTTPTarget{BaseURL: srv.URL}
+	if got := run("http", httpCfg); string(got) != string(golden) {
+		t.Fatalf("HTTP target changed the report:\n--- engine ---\n%s\n--- http ---\n%s", golden, got)
+	}
+}
+
+// TestMarketsimHTTPEdgePressure squeezes a small fleet through a daemon
+// with a tight admission bound: the edge must shed with 503s, the
+// compliant client must retry through them, and every session must still
+// complete with the same economics as an unconstrained run.
+func TestMarketsimHTTPEdgePressure(t *testing.T) {
+	const sessions = 30
+	ctx := context.Background()
+
+	engine := fleetShape(sessions, 1)
+	engine.Target = marketsim.EngineTarget{}
+	goldenRep, _, err := marketsim.RunFleet(ctx, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _ := goldenRep.Encode()
+
+	metrics := obs.NewMetrics(nil)
+	m, err := marketd.Open(ctx, marketd.Config{Workers: 1, MaxPending: 1, Observer: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(marketd.Handler(m))
+	defer srv.Close()
+
+	cfg := fleetShape(sessions, 8)
+	target := &marketsim.HTTPTarget{BaseURL: srv.URL, RetryWait: 2 * time.Millisecond}
+	cfg.Target = target
+	cfg.Metrics = metrics
+	rep, bench, err := marketsim.RunFleet(ctx, cfg)
+	if err != nil {
+		t.Fatalf("pressured fleet: %v", err)
+	}
+	got, _ := rep.Encode()
+	if string(got) != string(golden) {
+		t.Fatalf("edge pressure changed the economics:\n--- unconstrained ---\n%s\n--- pressured ---\n%s", golden, got)
+	}
+	// With 8 concurrent sessions against MaxPending=1 the edge must have
+	// pushed back at least once, and the server-side counter must agree
+	// with the bench artifact.
+	if bench.AdmissionRejected == 0 {
+		t.Skip("admission bound never tripped on this machine; counters untestable")
+	}
+	if server := metrics.Registry().Counter("afl_admission_rejected_total").Value(); server != bench.AdmissionRejected {
+		t.Fatalf("bench says %d admission rejects, server observed %d", bench.AdmissionRejected, server)
+	}
+	_, clientSide := target.Rejected()
+	if clientSide == 0 {
+		t.Fatal("client-side 503 counter never moved despite server rejections")
+	}
+}
