@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json fuzz market-e2e marketsim figures ablations vet clean api-check api-update
+.PHONY: all build test test-race race cover bench bench-json bench-big fuzz market-e2e marketsim figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -24,15 +24,24 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate BENCH_core.json: incremental sweep engine vs the frozen seed
-# solver at I ∈ {100, 500, 1000}, plus the exact-critical payments paths
-# (eager-serial seed vs lazy/parallel chosen-T̂_g pricing).
+# solver at I ∈ {100, 500, 1000}, the sweep_w{1,2,4,8} worker scaling
+# table, the 10⁴-client columnar row, the exact-critical payments paths
+# (eager-serial seed vs lazy/parallel chosen-T̂_g pricing) and the batch
+# throughput paths.
 bench-json:
 	$(GO) run ./cmd/benchcore -out BENCH_core.json
+
+# bench-json extended to the large columnar populations: 10⁵- and
+# 10⁶-client single-minded instances through CompileBids→RunSet, with the
+# worker scaling table at each size. Minutes, not CI material.
+bench-big:
+	$(GO) run ./cmd/benchcore -big -out BENCH_core.json
 
 # Short fuzzing pass over the fuzz targets (regression corpus always runs
 # as part of `make test`).
 fuzz:
 	$(GO) test -run=FuzzValidateBids -fuzz=FuzzValidateBids -fuzztime=30s ./internal/core/
+	$(GO) test -run=FuzzCompileBids -fuzz=FuzzCompileBids -fuzztime=30s ./internal/core/
 	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
 	$(GO) test -run=FuzzWorkloadJSON -fuzz=FuzzWorkloadJSON -fuzztime=30s ./internal/workload/
 	$(GO) test -run=FuzzWALRecord -fuzz=FuzzWALRecord -fuzztime=30s ./internal/wal/

@@ -34,6 +34,15 @@ type (
 	// RunOptions configures Engine.RunCtx (workers, observer, clock); the
 	// Run facade builds it from functional options instead.
 	RunOptions = core.RunOptions
+	// BidSet is the columnar (struct-of-arrays) form of a bid population:
+	// one flat slice per bid field plus a client-sibling index, compiled
+	// once via CompileBids and shared — immutably — across every solve
+	// that reads it. It is the million-bid ingestion handle of the module:
+	// RunSet, Instance.Set (RunBatch, Service.Submit) and Market.Submit
+	// all accept one, so the cache-linear layout is constructed once
+	// instead of per auction. Row-oriented []Bid entry points remain as
+	// thin compat wrappers with bit-identical results.
+	BidSet = core.BidSet
 )
 
 // Payment rules.
@@ -108,6 +117,20 @@ func RunWDP(bids []Bid, tg int, cfg Config) (WDPResult, error) {
 // RunAuction and RunAuctionConcurrent.
 func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
 	return core.NewEngine(bids, cfg)
+}
+
+// CompileBids builds the columnar form of a bid population. The input
+// slice is read once and not retained; the round trip Set.Bids() returns
+// the exact rows field-for-field. Compile once and share the handle
+// across RunSet, batch Instances and market submissions — a BidSet is
+// immutable and safe for concurrent use.
+func CompileBids(bids []Bid) *BidSet { return core.CompileBids(bids) }
+
+// NewEngineSet is NewEngine for a pre-compiled population: the columnar
+// compile is skipped and the engine shares the caller's BidSet. Results
+// are bit-identical to NewEngine on the materialized rows.
+func NewEngineSet(set *BidSet, cfg Config) (*Engine, error) {
+	return core.NewEngineSet(set, cfg)
 }
 
 // Qualified returns the indices of bids qualified for a fixed T̂_g (line 6

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
 )
 
 // Batch types, re-exported from the implementation package. The batch
@@ -48,24 +49,12 @@ var ErrServiceClosed = batch.ErrClosed
 // ErrCanceled, and the returned error matches both ErrCanceled and the
 // context cause under errors.Is. No goroutine outlives the call.
 func RunBatch(ctx context.Context, instances []Instance, opts ...Option) ([]Outcome, error) {
-	var rc runConfig
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&rc)
-		}
-	}
-	if rc.ruleSet {
-		overridden := make([]Instance, len(instances))
-		copy(overridden, instances)
-		for i := range overridden {
-			overridden[i].Cfg.PaymentRule = rc.rule
-		}
-		instances = overridden
-	}
+	rc := applyOptions(opts)
 	return batch.Run(ctx, instances, batch.Options{
 		Workers:  rc.workers,
 		Observer: rc.obsv,
 		Now:      rc.now,
+		Rule:     rc.ruleOverride(),
 	})
 }
 
@@ -77,20 +66,24 @@ func RunBatch(ctx context.Context, instances []Instance, opts ...Option) ([]Outc
 // performs a graceful drain. Either way no goroutine survives.
 //
 // The recognized options are WithWorkers (0 or negative selects
-// GOMAXPROCS), WithQueue, WithObserver and WithNow. WithPaymentRule has
-// no effect here: a service solves each submission under its own
-// Instance.Cfg.
+// GOMAXPROCS), WithQueue, WithObserver, WithNow and WithPaymentRule
+// (applied to every submission's Cfg at intake, like RunBatch's).
 func NewService(ctx context.Context, opts ...Option) *Service {
-	var rc runConfig
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&rc)
-		}
-	}
+	rc := applyOptions(opts)
 	return batch.NewService(ctx, batch.Options{
 		Workers:  rc.workers,
 		Queue:    rc.queue,
 		Observer: rc.obsv,
 		Now:      rc.now,
+		Rule:     rc.ruleOverride(),
 	})
+}
+
+// ruleOverride maps the facade's WithPaymentRule state onto the pointer
+// form the implementation layers share.
+func (rc *runConfig) ruleOverride() *core.PaymentRule {
+	if !rc.ruleSet {
+		return nil
+	}
+	return &rc.rule
 }

@@ -15,9 +15,20 @@
 // and the lazy engine pricing only the chosen T̂_g sequentially and in
 // parallel.
 //
+// A third group measures the columnar (BidSet) hot path. sweep_w<n> rows
+// form the multi-worker scaling table: one warm columnar engine per
+// population, the T̂_g sweep fanned over n ∈ -workers workers, at every
+// -sizes population and at the large single-minded populations. columnar
+// rows are the end-to-end CompileBids→RunSet path at 10⁴ clients always,
+// and at 10⁵/10⁶ behind -big (the seed solver is never run at those
+// sizes; the differential suite locks columnar↔seed identity at 10⁴).
+// The run executes under the ambient GOMAXPROCS — never pinned — and the
+// report records cpus/gomaxprocs so single-core runners are read as such.
+//
 // Usage:
 //
 //	benchcore [-out BENCH_core.json] [-sizes 100,500,1000] [-quick]
+//	          [-workers 1,2,4,8] [-batch-workers 0] [-big]
 //	          [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 package main
 
@@ -83,6 +94,14 @@ type summary struct {
 	ThroughputClients    int     `json:"throughput_clients"`
 	SpeedupThroughput    float64 `json:"speedup_throughput"`
 	ThroughputAllocRatio float64 `json:"throughput_alloc_ratio"`
+	// Columnar headline: the largest measured columnar population, its
+	// end-to-end CompileBids→RunSet solve time, and the sweep_w1 /
+	// sweep_w<max> ratio at that population (> 1 means the wide sweep
+	// wins; expect ≤ 1 on single-core runners — read it against
+	// gomaxprocs).
+	ColumnarClients  int     `json:"columnar_clients"`
+	ColumnarSolveSec float64 `json:"columnar_solve_sec"`
+	SpeedupSweepWide float64 `json:"speedup_sweep_wide"`
 }
 
 // paymentsConfig records the dedicated workload the payments_* paths run
@@ -117,8 +136,10 @@ type report struct {
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output file")
 	sizesArg := flag.String("sizes", "100,500,1000", "comma-separated client counts")
-	workersArg := flag.String("workers", "0", "comma-separated batch widths for the throughput paths (0 = GOMAXPROCS); the first is the headline width")
-	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
+	workersArg := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the sweep scaling table (sweep_w<n> rows)")
+	batchWorkersArg := flag.String("batch-workers", "0", "comma-separated batch widths for the throughput paths (0 = GOMAXPROCS); the first is the headline width")
+	big := flag.Bool("big", false, "extend the columnar rows to 10⁵- and 10⁶-client populations (see `make bench-big`)")
+	quick := flag.Bool("quick", false, "single iteration per benchmark, one 10⁴-bid columnar row (CI smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -154,11 +175,19 @@ func main() {
 		}
 		sizes = append(sizes, n)
 	}
-	var widths []int
+	var sweepWidths []int
 	for _, s := range strings.Split(*workersArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 0 {
+		if err != nil || n < 1 {
 			fatal(fmt.Errorf("bad -workers entry %q", s))
+		}
+		sweepWidths = append(sweepWidths, n)
+	}
+	var widths []int
+	for _, s := range strings.Split(*batchWorkersArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("bad -batch-workers entry %q", s))
 		}
 		widths = append(widths, n)
 	}
@@ -207,6 +236,44 @@ func main() {
 	}
 
 	perPath := map[string]measurement{} // at the largest size
+	ctx := context.Background()
+
+	// sweepScaling appends the sweep_w<n> scaling rows for one population:
+	// a warm columnar engine, the T̂_g sweep fanned over each requested
+	// worker count. Engine construction sits outside the timed op, so the
+	// rows isolate how the sharded sweep itself scales with workers.
+	sweepScaling := func(clients, k int, set *afl.BidSet, cfg afl.Config, scaleWidths []int) {
+		eng, err := afl.NewEngineSet(set, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range scaleWidths {
+			w := w
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if !eng.RunConcurrent(w).Feasible {
+						b.Fatal("sweep infeasible")
+					}
+				}
+			})
+			m := measurement{
+				Path:        fmt.Sprintf("sweep_w%d", w),
+				Clients:     clients,
+				K:           k,
+				Workers:     w,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			rep.Results = append(rep.Results, m)
+			perPath[m.Path] = m
+			fmt.Fprintf(os.Stderr, "%-24s I=%-7d %12.0f ns/op %10d allocs/op %12d B/op\n",
+				m.Path, clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		}
+	}
+
 	for _, clients := range sizes {
 		p := workload.NewDefaultParams()
 		p.Clients = clients
@@ -242,6 +309,64 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-24s I=%-5d %12.0f ns/op %10d allocs/op %12d B/op\n",
 				path.name, clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
 		}
+		sweepScaling(clients, p.K, afl.CompileBids(bids), cfg, sweepWidths)
+	}
+
+	// --- columnar large-population rows ---
+	//
+	// Single-minded populations (one bid per client, the market-scale
+	// shape of the motivating workloads) at 10⁴ clients always, 10⁵ and
+	// 10⁶ behind -big. The columnar row is the end-to-end facade path —
+	// CompileBids once outside the op, RunSet per op, so engine
+	// construction and the full sweep are both inside the number — and
+	// sweep_w<n> rows extend the scaling table on a warm engine. The
+	// frozen seed solver is deliberately absent here (hours per run at
+	// 10⁶); the differential suite locks columnar↔seed bit-identity at
+	// 10⁴ bids and workers ∈ {1, 8}, so these rows measure a proven-
+	// identical path.
+	colSizes := []int{10_000}
+	if *big {
+		colSizes = append(colSizes, 100_000, 1_000_000)
+	}
+	colWidths := sweepWidths
+	if *quick {
+		colWidths = sweepWidths[:1]
+	}
+	var colHead measurement
+	for _, clients := range colSizes {
+		cp := workload.NewDefaultParams()
+		cp.Clients = clients
+		cp.BidsPerUser = 1
+		cbids, err := workload.Generate(cp)
+		if err != nil {
+			fatal(err)
+		}
+		ccfg := cp.Config()
+		cset := afl.CompileBids(cbids)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := afl.RunSet(ctx, cset, ccfg)
+				if err != nil || !res.Feasible {
+					b.Fatal("columnar auction infeasible")
+				}
+			}
+		})
+		m := measurement{
+			Path:        "columnar",
+			Clients:     clients,
+			K:           cp.K,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, m)
+		perPath[m.Path] = m
+		colHead = m
+		fmt.Fprintf(os.Stderr, "%-24s I=%-7d %12.0f ns/op %10d allocs/op %12d B/op\n",
+			m.Path, clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		sweepScaling(clients, cp.K, cset, ccfg, colWidths)
 	}
 
 	// --- lazy exact-critical pricing vs the frozen eager-serial seed ---
@@ -271,7 +396,6 @@ func main() {
 	// paths must reproduce the eager reference's chosen-T̂_g payments
 	// bit-for-bit (the differential suite proves this over a corpus; this
 	// guards the exact instance being benchmarked).
-	ctx := context.Background()
 	eagerRes, err := core.RunAuctionEager(pbids, pcfg)
 	if err != nil || !eagerRes.Feasible {
 		fatal(fmt.Errorf("payments workload infeasible under the eager reference: %v", err))
@@ -569,6 +693,10 @@ func main() {
 			perPath["throughput_naive"].AuctionsPerSec),
 		ThroughputAllocRatio: ratio(float64(perPath["throughput_naive"].AllocsPerOp),
 			float64(perPath["throughput_batch"].AllocsPerOp)),
+		ColumnarClients:  colHead.Clients,
+		ColumnarSolveSec: colHead.NsPerOp / 1e9,
+		SpeedupSweepWide: ratio(perPath["sweep_w1"].NsPerOp,
+			perPath[fmt.Sprintf("sweep_w%d", colWidths[len(colWidths)-1])].NsPerOp),
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -579,8 +707,9 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx, payments speedup %.1fx, throughput speedup %.2fx)\n",
-		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio, rep.Summary.SpeedupPayments, rep.Summary.SpeedupThroughput)
+	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx, payments speedup %.1fx, throughput speedup %.2fx, columnar %d clients in %.2fs)\n",
+		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio, rep.Summary.SpeedupPayments, rep.Summary.SpeedupThroughput,
+		rep.Summary.ColumnarClients, rep.Summary.ColumnarSolveSec)
 }
 
 func fatal(err error) {

@@ -56,6 +56,27 @@
 // overrides cfg.PaymentRule for one call. Engines offer the same surface
 // via Engine.RunCtx and Engine.Observe.
 //
+// # Migrating from []Bid to BidSet
+//
+// Every []Bid entry point now has a columnar twin that accepts a BidSet,
+// the struct-of-arrays form built once by CompileBids. The row-oriented
+// paths remain fully supported — they compile on entry and return
+// bit-identical results — but a population solved more than once should
+// be compiled once and the handle shared:
+//
+//	set := afl.CompileBids(bids)
+//	RunSet(ctx, set, cfg, opts...)       // Run for a compiled population
+//	Instance{Set: set, Cfg: cfg}         // RunBatch / Service.Submit
+//	NewEngineSet(set, cfg)               // NewEngine without the compile
+//
+// A BidSet is immutable after CompileBids and safe for concurrent use:
+// one compiled million-bid population can back a whole batch, whose
+// workers then warm-start across consecutive instances sharing the
+// handle (the engine rebind skips validation and the entire
+// qualification rebuild). The round trip is exact — set.Bids() returns
+// the compiled rows field-for-field — so row-oriented consumers (the
+// market's log encoding, diagnostics) interoperate losslessly.
+//
 // # Observability
 //
 // The stack emits structured phase events — auction started, each T̂_g's

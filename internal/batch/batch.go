@@ -44,9 +44,21 @@ import (
 
 // Instance is one auction to solve: a sealed-bid population and its
 // auction configuration. The batch layer never mutates either.
+//
+// The population may arrive in either layout. Set, when non-nil, is the
+// columnar form (core.CompileBids) and takes precedence over Bids; it is
+// the high-volume ingestion path — one compiled BidSet can back many
+// instances, and consecutive instances of a worker that share one Set
+// under an equivalent Cfg warm-start from the previous solve's engine
+// (validation and the whole qualification rebuild are skipped, see
+// core.ReacquireEngineSet). Bids is the row-oriented compat form,
+// compiled on acquisition; the two yield bit-identical Outcomes.
 type Instance struct {
-	// Bids is the instance's sealed-bid population.
+	// Bids is the instance's sealed-bid population in row form. Ignored
+	// when Set is non-nil.
 	Bids []core.Bid
+	// Set is the instance's population in columnar form; nil selects Bids.
+	Set *core.BidSet
 	// Cfg carries the instance's auction parameters (T, K, payment rule,
 	// reserve, ...).
 	Cfg core.Config
@@ -91,6 +103,11 @@ type Options struct {
 	// Now supplies timestamps for latencies; nil selects time.Now.
 	// Ignored when Observer is nil.
 	Now func() time.Time
+	// Rule, when non-nil, overrides every instance's Cfg.PaymentRule at
+	// intake (Run's instance slice, Service submissions), leaving the
+	// caller's Instances untouched. Nil solves each instance under its
+	// own Cfg.
+	Rule *core.PaymentRule
 }
 
 // workers resolves the pool width for n runnable tasks.
@@ -119,6 +136,14 @@ func Run(ctx context.Context, instances []Instance, opts Options) ([]Outcome, er
 	}
 	if len(instances) == 0 {
 		return out, nil
+	}
+	if opts.Rule != nil {
+		overridden := make([]Instance, len(instances))
+		copy(overridden, instances)
+		for i := range overridden {
+			overridden[i].Cfg.PaymentRule = *opts.Rule
+		}
+		instances = overridden
 	}
 	workers := opts.workers(len(instances))
 	obsv := opts.Observer
@@ -230,7 +255,13 @@ func solveOne(ctx context.Context, idx int, inst Instance, obsv obs.Observer, no
 		o.Err = canceledErr(ctx)
 		return o, prev
 	}
-	eng, err := core.ReacquireEngine(prev, inst.Bids, inst.Cfg)
+	var eng *core.Engine
+	var err error
+	if inst.Set != nil {
+		eng, err = core.ReacquireEngineSet(prev, inst.Set, inst.Cfg)
+	} else {
+		eng, err = core.ReacquireEngine(prev, inst.Bids, inst.Cfg)
+	}
 	if err != nil {
 		o.Err = err
 		return o, nil

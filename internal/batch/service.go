@@ -180,8 +180,12 @@ func (s *Service) SubmitSeq(ctx context.Context, seq int, inst Instance) error {
 }
 
 // enqueue performs the guarded send shared by Submit and SubmitSeq; the
-// caller holds the read lock.
+// caller holds the read lock. The service-wide payment-rule override is
+// applied here, at intake, so every path into the pool sees it.
 func (s *Service) enqueue(ctx context.Context, idx int, inst Instance) error {
+	if s.opts.Rule != nil {
+		inst.Cfg.PaymentRule = *s.opts.Rule
+	}
 	select {
 	case s.jobs <- serviceJob{idx: idx, inst: inst}:
 		depth := s.queued.Add(1)

@@ -24,7 +24,7 @@ func RunAuction(bids []Bid, cfg Config) (Result, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return Result{}, err
 	}
-	return newAuctionContext(bids, cfg).run(), nil
+	return newAuctionContext(CompileBids(bids), cfg).run(), nil
 }
 
 // RunWDP is a convenience wrapper that qualifies bids for a fixed T̂_g and

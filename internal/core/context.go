@@ -6,11 +6,12 @@ import (
 )
 
 // auctionContext is the shared immutable per-auction state of the
-// incremental WDP engine. It is built once per auction and then read by
-// every SolveWDP call of the T̂_g sweep (sequentially or from concurrent
-// workers), replacing the seed behaviour of re-deriving qualification
-// sets, client groupings and slot indices from scratch for each of the
-// T − T_0 + 1 candidate iteration counts.
+// incremental WDP engine. It is built once per auction over the columnar
+// BidSet and then read by every SolveWDP call of the T̂_g sweep
+// (sequentially or from concurrent sweep segments), replacing the seed
+// behaviour of re-deriving qualification sets, client groupings and slot
+// indices from scratch for each of the T − T_0 + 1 candidate iteration
+// counts.
 //
 // The key observation is that the qualification predicate of Algorithm 1
 // line 6 is monotone in T̂_g:
@@ -22,86 +23,89 @@ import (
 //   - the t_max and reserve-price checks do not depend on T̂_g at all.
 //
 // A bid therefore has a single entry point enterTg: the smallest T̂_g at
-// which it qualifies (or none within [1, T]). Sorting bids by
+// which it qualifies (or none within [1, T]). Counting-sorting bids by
 // (enterTg, index) yields one shared backing array whose prefixes are
 // exactly the qualified sets — J_{T̂_g} = qualOrder[:qualCount[T̂_g]] —
 // so the sweep performs zero re-filtering and zero per-T̂_g allocation
-// for qualification.
+// for qualification. The same pass derives a full-horizon slot CSR
+// (slotStart/slotElems) so per-solve slot-index construction collapses to
+// row-header assignment, and the enterTg column plus qualCount prefix
+// sums drive both the incremental ψ_max replay and the weighted
+// segmentation of the parallel sweep (see run.go / parallel.go).
 //
-// All fields are written only by newAuctionContext and read-only
-// afterwards, which is what makes sharing the context across the worker
-// pool of RunAuctionConcurrent safe.
+// All fields are written only by rebuild and read-only afterwards, which
+// is what makes sharing the context across sweep segments safe.
 type auctionContext struct {
-	bids []Bid
-	cfg  Config
+	set *BidSet
+	cfg Config
 	// t0 is T_0 = ⌈1/(1−θ_min)⌉, the start of the T̂_g sweep.
 	t0 int
 
-	// qualOrder lists bid indices sorted by (enterTg, bid index).
+	// enterTg[i] is the smallest T̂_g ∈ [1, cfg.T] at which bid i
+	// qualifies, or cfg.T+1 when it never does within the horizon.
+	enterTg []int
+	// qualOrder lists qualifying bid indices sorted by (enterTg, index).
 	qualOrder []int
 	// qualCount[tg] is |J_{T̂_g}| for tg ∈ [0, cfg.T]; the qualified set
 	// for tg is qualOrder[:qualCount[tg]].
 	qualCount []int
-	// clientBids groups ALL bid indices by client, superseding the
-	// per-call per-qualified grouping of the seed path. Using the
-	// all-bids grouping in the winner pruning of Algorithm 2 line 13 is
-	// sound: clearing the candidate flag of a bid that was never
-	// qualified is a no-op.
-	clientBids map[int][]int
+
+	// slotStart/slotElems form the full-horizon slot CSR: for iteration
+	// t ∈ [1, T], slotElems[slotStart[t-1]:slotStart[t]] lists (ascending)
+	// every ever-qualifying bid whose rule-effective slot range contains
+	// t, with the range's upper end clipped to T rather than to any
+	// particular T̂_g. For every solve horizon tg and t ≤ tg the clip is
+	// immaterial — t ≤ min(hi, tg) ⟺ t ≤ min(hi, T) — so the row IS the
+	// per-tg slot index of the row-oriented engine, padded with bids that
+	// enter only at a later T̂_g. Those padding entries are harmless where
+	// the rows are consumed (the m decrement when a slot fills): m is only
+	// ever read through heap entries of currently qualified bids, so a
+	// decrement at a not-yet-qualified index is a dead write into
+	// worker-private scratch.
+	slotStart, slotElems []int
+
+	// cnt is construction scratch for the counting sorts, retained across
+	// pool rebuilds.
+	cnt []int
 }
 
-// newAuctionContext precomputes the shared state for one auction. bids
-// must already have passed ValidateBids; the context retains (and never
-// mutates) the slice.
-func newAuctionContext(bids []Bid, cfg Config) *auctionContext {
+// newAuctionContext precomputes the shared state for one auction. The set
+// must already have passed ValidateBidSet; the context retains (and never
+// mutates) it.
+func newAuctionContext(set *BidSet, cfg Config) *auctionContext {
 	ax := &auctionContext{}
-	ax.rebuild(bids, cfg, nil)
+	ax.rebuild(set, cfg)
 	return ax
 }
 
 // rebuild (re)derives the full context for a new bid population in place,
-// reusing whatever slice and map capacity the receiver already holds.
-// This is the engine pool's steady-state path (see AcquireEngine): after
-// the first few rebuilds of a given shape, qualification costs zero
-// allocations beyond what escapes into results. enter is an optional
-// construction scratch — the per-T̂_g entry lists — returned (possibly
-// grown) so pooled callers retain it across rebuilds; one-shot callers
-// pass nil. The derivation is line-for-line the historical
-// newAuctionContext loop, so a rebuilt context is bit-identical to a
-// fresh one.
-func (ax *auctionContext) rebuild(bids []Bid, cfg Config, enter [][]int) [][]int {
-	ax.bids = bids
+// reusing whatever slice capacity the receiver already holds. This is the
+// engine pool's steady-state path (see AcquireEngine): after the first
+// few rebuilds of a given shape, qualification costs zero allocations
+// beyond what escapes into results. The qualification predicate is
+// evaluated with exactly the expressions and tolerances of Qualified, so
+// the prefix sets reproduce its qualified sets bit-for-bit (up to the
+// documented (enterTg, index) ordering).
+func (ax *auctionContext) rebuild(set *BidSet, cfg Config) {
+	ax.set = set
 	ax.cfg = cfg
-	ax.t0 = MinTg(bids)
-	if ax.clientBids == nil {
-		ax.clientBids = make(map[int][]int)
-	} else {
-		// Truncate in place: entries for clients absent from this
-		// population become empty slices, which behave exactly like
-		// missing keys everywhere the grouping is read (lookups only).
-		for c := range ax.clientBids {
-			ax.clientBids[c] = ax.clientBids[c][:0]
-		}
-	}
+	ax.t0 = set.minTg()
 	T := cfg.T
-	// enter[tg] lists the bids whose smallest qualifying T̂_g is tg.
-	if cap(enter) < T+1 {
-		enter = make([][]int, T+1)
-	}
-	enter = enter[:T+1]
-	for i := range enter {
-		enter[i] = enter[i][:0]
-	}
+	n := set.n
 	localIters := cfg.localIters()
-	// The tolerance must match Qualified exactly: the delta lists are
+	// The tolerance must match Qualified exactly: the prefix sets are
 	// required to reproduce its qualified sets bit-for-bit.
 	const eps = 1e-12
-	for idx, b := range bids {
-		ax.clientBids[b.Client] = append(ax.clientBids[b.Client], idx)
-		if cfg.TMax > 0 && b.PerRoundTime(localIters) > cfg.TMax+eps {
+	never := T + 1
+	ax.enterTg = growI(ax.enterTg, n)
+	for i := 0; i < n; i++ {
+		theta := set.theta[i]
+		if cfg.TMax > 0 && localIters(theta)*set.comp[i]+set.comm[i] > cfg.TMax+eps {
+			ax.enterTg[i] = never
 			continue
 		}
-		if cfg.ReservePrice > 0 && b.Price > cfg.ReservePrice+eps {
+		if cfg.ReservePrice > 0 && set.price[i] > cfg.ReservePrice+eps {
+			ax.enterTg[i] = never
 			continue
 		}
 		// Smallest tg satisfying the θ constraint, located by binary
@@ -109,35 +113,121 @@ func (ax *auctionContext) rebuild(bids []Bid, cfg Config, enter [][]int) [][]int
 		// expression of Qualified.
 		thetaOK := func(tg int) bool {
 			thetaMax := 1 - 1/float64(tg)
-			return !(b.Theta > thetaMax+eps)
+			return !(theta > thetaMax+eps)
 		}
 		if !thetaOK(T) {
-			continue // never qualifies within the horizon
-		}
-		enterTg := sort.Search(T, func(i int) bool { return thetaOK(i + 1) }) + 1
-		// The window-fit constraint a_ij + c_ij − 1 ≤ T̂_g.
-		if fit := b.Start + b.Rounds - 1; fit > enterTg {
-			enterTg = fit
-		}
-		if enterTg > T {
+			ax.enterTg[i] = never // never qualifies within the horizon
 			continue
 		}
-		enter[enterTg] = append(enter[enterTg], idx)
+		enter := sort.Search(T, func(k int) bool { return thetaOK(k + 1) }) + 1
+		// The window-fit constraint a_ij + c_ij − 1 ≤ T̂_g.
+		if fit := set.start[i] + set.rounds[i] - 1; fit > enter {
+			enter = fit
+		}
+		if enter > T {
+			enter = never
+		}
+		ax.enterTg[i] = enter
 	}
-	if cap(ax.qualOrder) < len(bids) {
-		ax.qualOrder = make([]int, 0, len(bids))
+
+	// qualOrder via a counting sort on enterTg. Bids are placed in index
+	// order within each enterTg bucket, which is exactly the (enterTg,
+	// index) order the historical per-T̂_g entry lists produced.
+	cnt := growI(ax.cnt, T+2)
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	ax.qualOrder = ax.qualOrder[:0]
-	if cap(ax.qualCount) < T+1 {
-		ax.qualCount = make([]int, T+1)
+	for i := 0; i < n; i++ {
+		cnt[ax.enterTg[i]]++
 	}
-	ax.qualCount = ax.qualCount[:T+1]
+	ax.qualCount = growI(ax.qualCount, T+1)
 	ax.qualCount[0] = 0
+	total := 0
 	for tg := 1; tg <= T; tg++ {
-		ax.qualOrder = append(ax.qualOrder, enter[tg]...)
-		ax.qualCount[tg] = len(ax.qualOrder)
+		c := cnt[tg]
+		cnt[tg] = total // becomes the write cursor for bucket tg
+		total += c
+		ax.qualCount[tg] = total
 	}
-	return enter
+	ax.qualOrder = growI(ax.qualOrder, total)
+	for i := 0; i < n; i++ {
+		if e := ax.enterTg[i]; e <= T {
+			ax.qualOrder[cnt[e]] = i
+			cnt[e]++
+		}
+	}
+	ax.cnt = cnt
+
+	ax.buildSlotCSR()
+}
+
+// buildSlotCSR derives the full-horizon slot rows (see the field comment
+// on slotStart). Row sizes come from a difference array, so counting is
+// O(n + T); filling is O(Σ slot-range lengths), the same work one
+// row-oriented solve at T̂_g = T used to spend per solve.
+func (ax *auctionContext) buildSlotCSR() {
+	set, cfg, T := ax.set, ax.cfg, ax.cfg.T
+	rowHi := func(i int) int {
+		hi := set.end[i]
+		if cfg.ScheduleRule == ScheduleEarliest {
+			if e := set.start[i] + set.rounds[i] - 1; e < hi {
+				hi = e
+			}
+		}
+		if hi > T {
+			hi = T
+		}
+		return hi
+	}
+	d := ax.cnt[:T+1] // reuse the counting-sort scratch as a diff array
+	for i := range d {
+		d[i] = 0
+	}
+	for i := 0; i < set.n; i++ {
+		if ax.enterTg[i] > T {
+			continue
+		}
+		lo, hi := set.start[i], rowHi(i)
+		d[lo-1]++
+		if hi < T {
+			d[hi]--
+		}
+	}
+	ax.slotStart = growI(ax.slotStart, T+1)
+	ax.slotStart[0] = 0
+	run, total := 0, 0
+	for t := 1; t <= T; t++ {
+		run += d[t-1]
+		total += run
+		ax.slotStart[t] = total
+	}
+	ax.slotElems = growI(ax.slotElems, total)
+	// Rewrite the diff array into per-row write cursors; ascending bid
+	// order per row falls out of the ascending fill loop.
+	for t := 1; t <= T; t++ {
+		d[t-1] = ax.slotStart[t-1]
+	}
+	for i := 0; i < set.n; i++ {
+		if ax.enterTg[i] > T {
+			continue
+		}
+		lo, hi := set.start[i], rowHi(i)
+		for t := lo; t <= hi; t++ {
+			ax.slotElems[d[t-1]] = i
+			d[t-1]++
+		}
+	}
+}
+
+// env packages the context's precomputed slot rows for solveWDP; the ψ
+// column is attached per segment by the sweep (see sweepSegment).
+func (ax *auctionContext) env() solveEnv {
+	return solveEnv{slotStart: ax.slotStart, slotElems: ax.slotElems}
+}
+
+// slotRow returns the full-horizon slot row for iteration t ∈ [1, T].
+func (ax *auctionContext) slotRow(t int) []int {
+	return ax.slotElems[ax.slotStart[t-1]:ax.slotStart[t]]
 }
 
 // qualifiedAt returns the qualified bid set J_{T̂_g} as a capped

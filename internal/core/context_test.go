@@ -50,7 +50,7 @@ func TestContextQualificationMatchesQualified(t *testing.T) {
 		if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 			t.Fatalf("trial %d: generator produced invalid bids: %v", trial, err)
 		}
-		ax := newAuctionContext(bids, cfg)
+		ax := newAuctionContext(CompileBids(bids), cfg)
 		for tg := 1; tg <= cfg.T; tg++ {
 			want := Qualified(bids, tg, cfg)
 			got := append([]int(nil), ax.qualifiedAt(tg)...)
@@ -81,7 +81,7 @@ func TestContextThetaBoundary(t *testing.T) {
 			Bid{Client: len(bids) + 2, Price: 1, Theta: theta - 1e-9, Start: 1, End: 1, Rounds: 1},
 		)
 	}
-	ax := newAuctionContext(bids, cfg)
+	ax := newAuctionContext(CompileBids(bids), cfg)
 	for tg := 1; tg <= cfg.T; tg++ {
 		want := Qualified(bids, tg, cfg)
 		got := append([]int(nil), ax.qualifiedAt(tg)...)

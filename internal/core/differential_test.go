@@ -450,3 +450,52 @@ func TestDifferentialLazyPricingVsEagerReference(t *testing.T) {
 		})
 	}
 }
+
+// TestDifferentialColumnar10kVsSeed scales the differential harness to a
+// 10⁴-bid single-minded population — large enough that the sweep engages
+// the class-based selection fast path on every T̂_g with thousands of
+// qualified bids per solve — and holds the columnar entry point to the
+// frozen seed oracle at workers ∈ {1, 8}: full assertSeedEqual identity,
+// DeepEqual across worker counts, DeepEqual against the []Bid compat
+// wrapper, and ILP(6) verification of the chosen solution.
+func TestDifferentialColumnar10kVsSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁴-bid differential run skipped under -short")
+	}
+	p := workload.NewDefaultParams()
+	p.Clients = 10_000
+	p.BidsPerUser = 1
+	p.Seed = 7
+	bids, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	set := core.CompileBids(bids)
+	eng, err := core.NewEngineSet(set, cfg)
+	if err != nil {
+		t.Fatalf("NewEngineSet: %v", err)
+	}
+	w1 := eng.Run()
+	if got := eng.RunConcurrent(8); !reflect.DeepEqual(w1, got) {
+		t.Fatal("workers=8 diverged from workers=1 on the columnar path")
+	}
+	rows, err := core.RunAuction(bids, cfg)
+	if err != nil {
+		t.Fatalf("RunAuction: %v", err)
+	}
+	if !reflect.DeepEqual(rows, w1) {
+		t.Fatal("[]Bid compat wrapper diverged from the columnar path")
+	}
+	oracle, err := seedwdp.RunAuction(bids, cfg)
+	if err != nil {
+		t.Fatalf("seed oracle: %v", err)
+	}
+	assertSeedEqual(t, w1, oracle, oracle, cfg)
+	if !w1.Feasible {
+		t.Fatal("10⁴-bid workload infeasible; the fixture needs winners")
+	}
+	if err := core.CheckSolution(bids, w1, cfg); err != nil {
+		t.Fatalf("solution fails ILP(6) verification: %v", err)
+	}
+}

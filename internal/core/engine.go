@@ -8,21 +8,23 @@ import (
 )
 
 // Engine is the reusable incremental A_FL solver. It wraps the shared
-// immutable auction context — per-bid qualification thresholds (delta
-// lists exploiting the monotonicity of line 6 of Algorithm 1 in T̂_g),
-// the client bid grouping, and the feasible sweep range [T_0, T] — so a
-// caller that runs the same bid population several times (re-pricing
-// studies, what-if sweeps, serving layers) pays the precomputation once.
+// immutable auction context — the columnar bid store, per-bid
+// qualification entry points (exploiting the monotonicity of line 6 of
+// Algorithm 1 in T̂_g), the full-horizon slot rows, and the feasible
+// sweep range [T_0, T] — so a caller that runs the same bid population
+// several times (re-pricing studies, what-if sweeps, serving layers) pays
+// the precomputation once.
 //
 // RunAuction and RunAuctionConcurrent are one-shot wrappers over exactly
 // this engine; constructing an Engine yields bit-identical results to
 // them on every method.
 //
-// The Engine retains (and never mutates) the bid slice passed to
-// NewEngine; callers must not mutate it while the Engine is in use. All
-// methods are safe for concurrent use: the context is read-only, all
-// mutable solver state lives in pooled per-call scratch arenas, and the
-// attached observer (see Observe) is required to be concurrency-safe.
+// The Engine retains (and never mutates) the bids passed to NewEngine or
+// the BidSet passed to NewEngineSet; callers must not mutate them while
+// the Engine is in use. All methods are safe for concurrent use: the
+// context is read-only, all mutable solver state lives in pooled per-call
+// scratch arenas, and the attached observer (see Observe) is required to
+// be concurrency-safe.
 type Engine struct {
 	ax *auctionContext
 	// obsv receives phase events from Run/RunConcurrent/RunCtx (unless
@@ -36,8 +38,8 @@ type Engine struct {
 	arena *engineArena
 }
 
-// NewEngine validates the configuration and bid population and
-// precomputes the shared auction context.
+// NewEngine validates the configuration and bid population, compiles the
+// bids to their columnar form and precomputes the shared auction context.
 func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -45,7 +47,21 @@ func NewEngine(bids []Bid, cfg Config) (*Engine, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return nil, err
 	}
-	return &Engine{ax: newAuctionContext(bids, cfg)}, nil
+	return &Engine{ax: newAuctionContext(CompileBids(bids), cfg)}, nil
+}
+
+// NewEngineSet is NewEngine for a pre-compiled columnar population: the
+// compile step is skipped entirely and the engine shares the caller's
+// BidSet. It yields bit-identical results to NewEngine on the
+// materialized rows (set.Bids()).
+func NewEngineSet(set *BidSet, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateBidSet(set, cfg.T, cfg.K); err != nil {
+		return nil, err
+	}
+	return &Engine{ax: newAuctionContext(set, cfg)}, nil
 }
 
 // Observe returns a copy of the engine that reports phase events to o,
@@ -120,15 +136,15 @@ func (e *Engine) SolveWDP(tg int) WDPResult {
 	if len(qualified) == 0 {
 		return WDPResult{Tg: tg}
 	}
-	sc := acquireScratch(len(e.ax.bids), tg)
-	res := solveWDP(e.ax.bids, qualified, tg, e.ax.cfg, sc, e.ax.clientBids, nil)
+	sc := acquireScratch(e.ax.set.n, tg)
+	res := solveWDP(e.ax.set, qualified, tg, e.ax.cfg, sc, nil, e.ax.env())
 	releaseScratch(sc)
-	applyPaymentRule(e.ax.bids, qualified, tg, e.ax.cfg, e.ax.clientBids, nil, &res)
+	applyPaymentRule(e.ax.set, qualified, tg, e.ax.cfg, e.ax.env(), nil, &res)
 	return res
 }
 
 // QualifiedAt returns a copy of the qualified bid set J_{T̂_g} from the
-// precomputed delta lists. It equals Qualified(bids, tg, cfg) as a set;
+// precomputed entry points. It equals Qualified(bids, tg, cfg) as a set;
 // entries are ordered by (first qualifying T̂_g, bid index).
 func (e *Engine) QualifiedAt(tg int) []int {
 	q := e.ax.qualifiedAt(tg)

@@ -16,8 +16,9 @@ import (
 // smaller T̂_g).
 //
 // All workers read the same immutable auction context — qualification is
-// a prefix of one shared array, client groupings are computed once — and
-// each worker holds one pooled scratch arena for the WDPs it drains.
+// a prefix of one shared array, slot rows and sibling groups are computed
+// once — and each worker holds one pooled scratch arena for the segment
+// it owns.
 //
 // workers ≤ 0 selects GOMAXPROCS; requests beyond the number of
 // candidate T̂_g values are clamped (see ClampWorkers).
@@ -33,7 +34,7 @@ func RunAuctionConcurrent(bids []Bid, cfg Config, workers int) (Result, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return Result{}, err
 	}
-	return newAuctionContext(bids, cfg).runConcurrent(workers), nil
+	return newAuctionContext(CompileBids(bids), cfg).runConcurrent(workers), nil
 }
 
 // runConcurrent adapts the historical workers convention (≤ 0 means
@@ -46,67 +47,69 @@ func (ax *auctionContext) runConcurrent(workers int) Result {
 	return res
 }
 
-// sweepPar fans the per-T̂_g WDPs over a worker pool. workers has
-// already been clamped to [1, tasks]. On cancellation the feeder stops
-// handing out tasks, the workers drain the channel without solving, and
-// the partial results are discarded — no goroutine outlives the call.
+// sweepPar shards the candidate range into one contiguous T̂_g segment
+// per worker and runs the segments concurrently. workers has already been
+// clamped to [1, tasks].
+//
+// Contiguous segments replace the historical one-T̂_g-at-a-time task
+// channel for two reasons. First, ascending T̂_g order inside a segment
+// is what lets each worker carry the incremental ψ_max column forward
+// (see sweepSegment) instead of rebuilding it per solve. Second, each
+// worker writes a contiguous, disjoint half-open range of the shared
+// result array and owns all of its mutable scratch outright, so workers
+// never interleave writes within a cache line — no false sharing and no
+// per-task channel synchronization on the hot path.
+//
+// Segment boundaries are weighted by the qualification prefix sums: a
+// solve at T̂_g costs roughly |J_{T̂_g}| ∝ qualCount[tg] heap and slot
+// work, so cutting the cumulative weight into equal parts balances wall
+// time far better than cutting the T̂_g count would (qualified sets only
+// grow with T̂_g).
+//
+// On cancellation every segment abandons its remaining candidates at the
+// next between-solves check and the partial results are discarded — no
+// goroutine outlives the call.
 func (ax *auctionContext) sweepPar(ctx context.Context, res *Result, workers int, obsv obs.Observer, now func() time.Time) error {
-	n := ax.cfg.T - ax.t0 + 1
-	wdps := make([]WDPResult, n)
+	lo, hi := ax.t0, ax.cfg.T
+	wdps := make([]WDPResult, hi-lo+1)
+	bounds := ax.segmentBounds(workers)
 	var wg sync.WaitGroup
-	next := make(chan int)
-	done := ctx.Done()
-	for w := 0; w < workers; w++ {
+	for s := 0; s+1 < len(bounds); s++ {
+		segLo, segHi := bounds[s], bounds[s+1]-1
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := acquireScratch(len(ax.bids), ax.cfg.T)
-			defer releaseScratch(sc)
-			for i := range next {
-				if ctx.Err() != nil {
-					continue // canceled: drain the queue without solving
-				}
-				tg := ax.t0 + i
-				var t0 time.Time
-				if obsv != nil {
-					t0 = now()
-				}
-				wdps[i] = solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
-				if obsv != nil {
-					obsv.Observe(obs.Event{
-						Kind: obs.EvWDPSolved, Tg: tg, Client: -1, Bid: -1,
-						Value: wdps[i].Cost, OK: wdps[i].Feasible, Dur: now().Sub(t0),
-					})
-				}
-			}
+			// The only segment error is cancellation, reported once below.
+			_ = ax.sweepSegment(ctx, segLo, segHi, wdps[segLo-lo:segHi-lo+1], obsv, now)
 		}()
 	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-done:
-			break feed
-		}
-	}
-	close(next)
 	wg.Wait()
 	if ctx.Err() != nil {
 		return canceledErr(ctx)
 	}
+	reduceWDPs(res, wdps)
+	return nil
+}
 
-	res.WDPs = wdps
-	for _, wdp := range wdps {
-		if !wdp.Feasible {
-			continue
-		}
-		if !res.Feasible || wdp.Cost < res.Cost {
-			res.Feasible = true
-			res.Tg = wdp.Tg
-			res.Cost = wdp.Cost
-			res.Winners = wdp.Winners
-			res.Dual = wdp.Dual
+// segmentBounds cuts [t0, T] into at most workers contiguous segments of
+// near-equal cumulative qualification weight, returned as half-open cut
+// points: segment s is [bounds[s], bounds[s+1]). Weights are
+// qualCount[tg]+1 — the +1 keeps degenerate sweeps (nobody qualified for
+// long prefixes) from lumping every T̂_g into one segment.
+func (ax *auctionContext) segmentBounds(workers int) []int {
+	lo, hi := ax.t0, ax.cfg.T
+	var total int64
+	for tg := lo; tg <= hi; tg++ {
+		total += int64(ax.qualCount[tg]) + 1
+	}
+	bounds := make([]int, 1, workers+1)
+	bounds[0] = lo
+	var cum int64
+	for tg := lo; tg < hi && len(bounds) < workers; tg++ {
+		cum += int64(ax.qualCount[tg]) + 1
+		if cum*int64(workers) >= int64(len(bounds))*total {
+			bounds = append(bounds, tg+1)
 		}
 	}
-	return nil
+	return append(bounds, hi+1)
 }

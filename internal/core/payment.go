@@ -50,33 +50,18 @@ func (r PaymentRule) String() string {
 // bisection at price magnitude x.
 func bisectTol(x float64) float64 { return 1e-12 * math.Max(1, x) }
 
-// ensureClientBids returns m, or, when m is nil, a client grouping built
-// from the qualified set — the same grouping wdpScratch.init falls back
-// to, hoisted out so a pricing stage builds it once instead of per probe.
-func ensureClientBids(m map[int][]int, bids []Bid, qualified []int) map[int][]int {
-	if m != nil {
-		return m
-	}
-	m = make(map[int][]int)
-	for _, idx := range qualified {
-		c := bids[idx].Client
-		m[c] = append(m[c], idx)
-	}
-	return m
-}
-
 // applyPaymentRule post-processes the payments of a feasible WDP result
 // according to cfg.PaymentRule. It is the eager entry point, used where a
 // fully priced WDPResult must come back from a single call (SolveWDP,
 // Engine.SolveWDP, RunAuctionEager); the lazy sweep path prices only the
 // selected T̂_g through priceWinners instead. RuleCritical payments were
-// already computed during the greedy run. clientBids is the solve's
-// client grouping, passed through so the bisection probes of
-// RuleExactCritical reuse it instead of regrouping per probe. base is the
+// already computed during the greedy run. env carries whatever
+// price-independent precomputed structure the caller holds (the slot CSR;
+// never a ψ column, since bisection probes rewrite prices). base is the
 // pre-committed coverage of the solve (nil for a full market); probes
 // must replay the same residual market or the bisection would price the
 // wrong instance.
-func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult) {
+func applyPaymentRule(set *BidSet, qualified []int, tg int, cfg Config, env solveEnv, base []int, res *WDPResult) {
 	switch cfg.PaymentRule {
 	case RulePayBid:
 		for i := range res.Winners {
@@ -86,13 +71,12 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 		if len(res.Winners) == 0 {
 			return
 		}
-		clientBids = ensureClientBids(clientBids, bids, qualified)
-		pr := newPricer(bids, tg)
+		pr := newPricer(set, tg)
 		defer pr.release()
 		for i := range res.Winners {
 			// A Background context cannot be canceled, so the error is
 			// structurally nil here.
-			pay, _, _ := exactCriticalPayment(context.Background(), bids, qualified, tg, cfg, clientBids, base, res.Winners[i], pr)
+			pay, _, _ := exactCriticalPayment(context.Background(), set, qualified, tg, cfg, env, base, res.Winners[i], pr)
 			res.Winners[i].Payment = pay
 		}
 	}
@@ -118,35 +102,36 @@ func applyPaymentRule(bids []Bid, qualified []int, tg int, cfg Config, clientBid
 // distinct winners concurrently. probes reports the number of full greedy
 // re-solves consumed. A canceled ctx abandons the search mid-bisection
 // with an ErrCanceled-wrapping error.
-func exactCriticalPayment(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, win Winner, pr *pricer) (pay float64, probes int, err error) {
+func exactCriticalPayment(ctx context.Context, set *BidSet, qualified []int, tg int, cfg Config, env solveEnv, base []int, win Winner, pr *pricer) (pay float64, probes int, err error) {
 	probeCfg := cfg
 	probeCfg.PaymentRule = RuleCritical // probes only need the allocation
 	probeQual := qualified
 	if cfg.ExcludeOwnBids {
 		// Drop the winner's sibling bids from the probe instance so a
 		// multi-minded client cannot move its own critical value by
-		// re-pricing its other bids. (clientBids may still list the
-		// siblings; pruning a bid outside the qualified set is a no-op.)
+		// re-pricing its other bids. (The shared sibling CSR may still
+		// list them; pruning a bid outside the qualified set is a no-op.)
 		probeQual = pr.qual[:0]
 		for _, idx := range qualified {
-			if idx == win.BidIndex || bids[idx].Client != win.Bid.Client {
+			if idx == win.BidIndex || set.client[idx] != win.Bid.Client {
 				probeQual = append(probeQual, idx)
 			}
 		}
 		pr.qual = probeQual[:0]
 	}
-	// pr.probe already mirrors bids; each probe rewrites only the winner's
-	// own price and the deferred restore hands the next winner a clean
+	// pr.probe shares every column of set except its private price column,
+	// which already mirrors set's; each probe rewrites only the winner's
+	// own entry and the deferred restore hands the next winner a clean
 	// mirror again.
 	probe := pr.probe
-	defer func() { probe[win.BidIndex] = bids[win.BidIndex] }()
+	defer func() { probe.price[win.BidIndex] = set.price[win.BidIndex] }()
 	wins := func(price float64) (bool, error) {
 		if ctx.Err() != nil {
 			return false, canceledErr(ctx)
 		}
 		probes++
-		probe[win.BidIndex].Price = price
-		res := solveWDP(probe, probeQual, tg, probeCfg, pr.sc, clientBids, base)
+		probe.price[win.BidIndex] = price
+		res := solveWDP(probe, probeQual, tg, probeCfg, pr.sc, base, env)
 		if !res.Feasible {
 			return false, nil
 		}

@@ -15,16 +15,16 @@ import (
 func exactPaymentFixture(t *testing.T, ctx context.Context, bids []Bid, tg int, cfg Config) (Winner, float64, int) {
 	t.Helper()
 	qualified := Qualified(bids, tg, cfg)
-	sc := acquireScratch(len(bids), tg)
-	res := solveWDP(bids, qualified, tg, cfg, sc, nil, nil)
+	set := CompileBids(bids)
+	sc := acquireScratch(set.Len(), tg)
+	res := solveWDP(set, qualified, tg, cfg, sc, nil, solveEnv{})
 	releaseScratch(sc)
 	if !res.Feasible || len(res.Winners) == 0 {
 		t.Fatalf("fixture WDP infeasible: %+v", res)
 	}
-	pr := newPricer(bids, tg)
+	pr := newPricer(set, tg)
 	defer pr.release()
-	clientBids := ensureClientBids(nil, bids, qualified)
-	pay, probes, err := exactCriticalPayment(ctx, bids, qualified, tg, cfg, clientBids, nil, res.Winners[0], pr)
+	pay, probes, err := exactCriticalPayment(ctx, set, qualified, tg, cfg, solveEnv{}, nil, res.Winners[0], pr)
 	if ctx.Err() == nil && err != nil {
 		t.Fatalf("exactCriticalPayment: %v", err)
 	}

@@ -9,27 +9,29 @@ import (
 )
 
 // pricer bundles the per-worker state of an exact-critical pricing pass:
-// one pooled scratch arena serving every probe solve, one probe bid slice
-// mirroring the market (each bisection probe rewrites only the priced
-// winner's own entry, restored when the winner is done), and one reusable
-// qualification buffer for the ExcludeOwnBids sibling pruning. A pricer
-// is single-goroutine state; concurrent workers each hold their own.
+// one pooled scratch arena serving every probe solve, one probe view of
+// the market's BidSet with a private price column (each bisection probe
+// rewrites only the priced winner's own entry, restored when the winner
+// is done — every other column and the sibling index stay shared), and
+// one reusable qualification buffer for the ExcludeOwnBids sibling
+// pruning. A pricer is single-goroutine state; concurrent workers each
+// hold their own.
 type pricer struct {
 	sc    *wdpScratch
-	probe []Bid
+	probe *BidSet
 	qual  []int
 }
 
-// newPricer returns a pricer for the given market, with the probe mirror
-// populated. Pair with release.
-func newPricer(bids []Bid, tg int) *pricer {
-	pr := &pricer{
-		sc:    acquireScratch(len(bids), tg),
-		probe: make([]Bid, len(bids)),
-		qual:  make([]int, 0, len(bids)),
+// newPricer returns a pricer for the given market, with the probe price
+// column populated. Pair with release.
+func newPricer(set *BidSet, tg int) *pricer {
+	price := make([]float64, set.n)
+	copy(price, set.price)
+	return &pricer{
+		sc:    acquireScratch(set.n, tg),
+		probe: set.withPrices(price),
+		qual:  make([]int, 0, set.n),
 	}
-	copy(pr.probe, bids)
-	return pr
 }
 
 // release returns the pricer's scratch arena to the pool.
@@ -49,7 +51,7 @@ func (pr *pricer) release() { releaseScratch(pr.sc) }
 // untouched. workers follows the ClampWorkers convention; obsv/now follow
 // the sweep convention (nil observer disables instrumentation entirely,
 // nil now with a live observer selects time.Now).
-func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, res *WDPResult, workers int, obsv obs.Observer, now func() time.Time) error {
+func priceWinners(ctx context.Context, set *BidSet, qualified []int, tg int, cfg Config, env solveEnv, base []int, res *WDPResult, workers int, obsv obs.Observer, now func() time.Time) error {
 	if !res.Feasible || len(res.Winners) == 0 {
 		return nil
 	}
@@ -64,7 +66,6 @@ func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg 
 	default:
 		return nil
 	}
-	clientBids = ensureClientBids(clientBids, bids, qualified)
 	n := len(res.Winners)
 	workers = ClampWorkers(workers, n)
 	var start time.Time
@@ -81,9 +82,9 @@ func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg 
 	pays := make([]float64, n)
 	var err error
 	if workers == 1 {
-		err = priceSeq(ctx, bids, qualified, tg, cfg, clientBids, base, res.Winners, pays, obsv, now)
+		err = priceSeq(ctx, set, qualified, tg, cfg, env, base, res.Winners, pays, obsv, now)
 	} else {
-		err = pricePar(ctx, bids, qualified, tg, cfg, clientBids, base, res.Winners, pays, workers, obsv, now)
+		err = pricePar(ctx, set, qualified, tg, cfg, env, base, res.Winners, pays, workers, obsv, now)
 	}
 	if err != nil {
 		if obsv != nil {
@@ -110,15 +111,15 @@ func priceWinners(ctx context.Context, bids []Bid, qualified []int, tg int, cfg 
 
 // priceSeq bisects every winner inline on the calling goroutine with one
 // pricer. Cancellation is honored mid-bisection by exactCriticalPayment.
-func priceSeq(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, winners []Winner, pays []float64, obsv obs.Observer, now func() time.Time) error {
-	pr := newPricer(bids, tg)
+func priceSeq(ctx context.Context, set *BidSet, qualified []int, tg int, cfg Config, env solveEnv, base []int, winners []Winner, pays []float64, obsv obs.Observer, now func() time.Time) error {
+	pr := newPricer(set, tg)
 	defer pr.release()
 	for i := range winners {
 		var t0 time.Time
 		if obsv != nil {
 			t0 = now()
 		}
-		pay, probes, err := exactCriticalPayment(ctx, bids, qualified, tg, cfg, clientBids, base, winners[i], pr)
+		pay, probes, err := exactCriticalPayment(ctx, set, qualified, tg, cfg, env, base, winners[i], pr)
 		if err != nil {
 			return err
 		}
@@ -140,7 +141,7 @@ func priceSeq(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Conf
 // without solving, and no goroutine outlives the call. workers has
 // already been clamped to [1, len(winners)]. Per-winner events arrive in
 // worker completion order.
-func pricePar(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int, winners []Winner, pays []float64, workers int, obsv obs.Observer, now func() time.Time) error {
+func pricePar(ctx context.Context, set *BidSet, qualified []int, tg int, cfg Config, env solveEnv, base []int, winners []Winner, pays []float64, workers int, obsv obs.Observer, now func() time.Time) error {
 	var wg sync.WaitGroup
 	next := make(chan int)
 	done := ctx.Done()
@@ -148,7 +149,7 @@ func pricePar(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Conf
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pr := newPricer(bids, tg)
+			pr := newPricer(set, tg)
 			defer pr.release()
 			for i := range next {
 				if ctx.Err() != nil {
@@ -158,7 +159,7 @@ func pricePar(ctx context.Context, bids []Bid, qualified []int, tg int, cfg Conf
 				if obsv != nil {
 					t0 = now()
 				}
-				pay, probes, err := exactCriticalPayment(ctx, bids, qualified, tg, cfg, clientBids, base, winners[i], pr)
+				pay, probes, err := exactCriticalPayment(ctx, set, qualified, tg, cfg, env, base, winners[i], pr)
 				if err != nil {
 					continue // canceled mid-bisection; keep draining
 				}
@@ -203,17 +204,18 @@ func RunAuctionEager(bids []Bid, cfg Config) (Result, error) {
 	if err := ValidateBids(bids, cfg.T, cfg.K); err != nil {
 		return Result{}, err
 	}
-	ax := newAuctionContext(bids, cfg)
+	set := CompileBids(bids)
+	ax := newAuctionContext(set, cfg)
 	res := Result{}
 	if ax.cfg.T-ax.t0+1 <= 0 {
 		return res, nil
 	}
-	sc := acquireScratch(len(ax.bids), ax.cfg.T)
+	sc := acquireScratch(set.n, ax.cfg.T)
 	defer releaseScratch(sc)
 	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
 		qualified := ax.qualifiedAt(tg)
-		wdp := solveWDP(ax.bids, qualified, tg, ax.cfg, sc, ax.clientBids, nil)
-		applyPaymentRule(ax.bids, qualified, tg, ax.cfg, ax.clientBids, nil, &wdp)
+		wdp := solveWDP(set, qualified, tg, ax.cfg, sc, nil, ax.env())
+		applyPaymentRule(set, qualified, tg, ax.cfg, ax.env(), nil, &wdp)
 		res.WDPs = append(res.WDPs, wdp)
 		if !wdp.Feasible {
 			continue

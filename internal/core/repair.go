@@ -71,7 +71,7 @@ func (e *Engine) RepairCtx(ctx context.Context, req RepairRequest, opts RunOptio
 		ctx = context.Background()
 	}
 	cfg := e.ax.cfg
-	bids := e.ax.bids
+	set := e.ax.set
 	if req.Tg < 1 || req.Tg > cfg.T {
 		return RepairResult{}, fmt.Errorf("core: repair Tg=%d outside [1,%d]", req.Tg, cfg.T)
 	}
@@ -128,9 +128,10 @@ func (e *Engine) RepairCtx(ctx context.Context, req RepairRequest, opts RunOptio
 	// Build the residual bid population: losing bids clamped to the
 	// remaining horizon. Rounds caps to the clamped window so the bids
 	// stay internally valid.
-	residual := make([]Bid, 0, len(bids))
-	orig := make([]int, 0, len(bids))
-	for idx, b := range bids {
+	residual := make([]Bid, 0, set.Len())
+	orig := make([]int, 0, set.Len())
+	for idx := 0; idx < set.Len(); idx++ {
+		b := set.Bid(idx)
 		if req.Exclude[b.Client] {
 			continue
 		}
@@ -159,15 +160,16 @@ func (e *Engine) RepairCtx(ctx context.Context, req RepairRequest, opts RunOptio
 	if len(qualified) == 0 {
 		return res, nil
 	}
-	sc := acquireScratch(len(residual), req.Tg)
+	rset := CompileBids(residual)
+	sc := acquireScratch(rset.Len(), req.Tg)
 	defer releaseScratch(sc)
-	wdp := solveWDP(residual, qualified, req.Tg, cfg, sc, nil, req.Base)
+	wdp := solveWDP(rset, qualified, req.Tg, cfg, sc, req.Base, solveEnv{})
 	if !wdp.Feasible {
 		return res, nil
 	}
 	// Lazy payment stage on the residual market, before the winner indices
-	// are remapped (the bisection probes index the residual bid slice).
-	if err := priceWinners(ctx, residual, qualified, req.Tg, cfg, nil, req.Base, &wdp, opts.Workers, obsv, now); err != nil {
+	// are remapped (the bisection probes index the residual population).
+	if err := priceWinners(ctx, rset, qualified, req.Tg, cfg, solveEnv{}, req.Base, &wdp, opts.Workers, obsv, now); err != nil {
 		return RepairResult{}, err
 	}
 	res.Feasible = true

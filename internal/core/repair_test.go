@@ -229,7 +229,7 @@ func TestRepairPaymentsAreCriticalValues(t *testing.T) {
 			continue
 		}
 		w := res.Winners[0]
-		bids := append([]Bid(nil), eng.ax.bids...)
+		bids := eng.ax.set.Bids()
 		reRun := func(price float64) (won bool, payment float64) {
 			probe := append([]Bid(nil), bids...)
 			probe[w.BidIndex].Price = price

@@ -70,7 +70,7 @@ func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, erro
 		start = now()
 		obsv.Observe(obs.Event{
 			Kind: obs.EvAuctionStarted, Tg: ax.cfg.T, Round: ax.t0,
-			Client: -1, Bid: -1, Value: float64(len(ax.bids)),
+			Client: -1, Bid: -1, Value: float64(ax.set.n),
 		})
 	}
 	res := Result{}
@@ -118,17 +118,95 @@ func (ax *auctionContext) priceChosen(ctx context.Context, res *Result, workers 
 		return nil
 	}
 	wdp := &res.WDPs[res.Tg-ax.t0]
-	return priceWinners(ctx, ax.bids, ax.qualifiedAt(res.Tg), res.Tg, ax.cfg, ax.clientBids, nil, wdp, workers, obsv, now)
+	// Pricing probes rewrite bid prices, so the env carries the slot CSR
+	// (price-independent) but never a ψ column.
+	return priceWinners(ctx, ax.set, ax.qualifiedAt(res.Tg), res.Tg, ax.cfg, ax.env(), nil, wdp, workers, obsv, now)
 }
 
-// sweepSeq is the sequential incremental sweep: one pooled scratch
-// arena, one shared context, qualification by prefix extension.
+// sweepSegment solves the contiguous candidate range T̂_g ∈ [lo, hi] into
+// out[0 : hi-lo+1], with out[tg-lo] receiving the solve for tg. It is the
+// unit of work of both the sequential sweep (one segment spanning
+// [T_0, T]) and the sharded parallel sweep (one segment per worker, see
+// sweepPar). Each segment owns one pooled scratch arena — no state is
+// shared between concurrent segments except the read-only context and
+// disjoint halves of out, so there is nothing to false-share.
+//
+// Under the paper's least-covered rule the segment maintains the ψ_max
+// column incrementally across its ascending T̂_g: extending the horizon
+// by one slot adds column maxima only for the new slot (its CSR row,
+// filtered to already-qualified bids) and for the windows of the bids
+// entering at the new T̂_g. Both updates may overlap; max is idempotent
+// and order-independent, so the column is bit-identical to the per-solve
+// accumulation it replaces, at amortized O(row + entrant windows) instead
+// of O(Σ qualified windows) per T̂_g. Under ScheduleEarliest ψ ranges
+// over the availability window while slots cover only the earliest-fit
+// range, so the per-solve accumulation is kept.
+//
 // Cancellation is checked between solves, so a canceled context abandons
 // the remaining candidates without tearing down a solve midway.
-func (ax *auctionContext) sweepSeq(ctx context.Context, res *Result, obsv obs.Observer, now func() time.Time) error {
-	sc := acquireScratch(len(ax.bids), ax.cfg.T)
+func (ax *auctionContext) sweepSegment(ctx context.Context, lo, hi int, out []WDPResult, obsv obs.Observer, now func() time.Time) error {
+	set := ax.set
+	sc := acquireScratch(set.n, hi)
 	defer releaseScratch(sc)
-	for tg := ax.t0; tg <= ax.cfg.T; tg++ {
+	env := ax.env()
+	// Engage the class-based selection fast path (classsel.go): the
+	// sweep's solves share one compile-time class index, and — unlike
+	// the pricing probes, which rewrite prices — never invalidate its
+	// (price, bid) member order. The index is built once per population
+	// (concurrent segments share it through the holder's Once) and is
+	// reused by every auction warm-started on the same BidSet.
+	if cls := set.classes(); cls != nil {
+		env.classes = cls
+		env.enterTg = ax.enterTg
+	}
+	var psi []float64
+	if ax.cfg.ScheduleRule == ScheduleLeastCovered {
+		// Seed the column for the segment's first horizon: ψ over the
+		// clipped windows of everything qualified at lo.
+		psi = sc.sweepPsi[:hi]
+		for t := range psi[:lo] {
+			psi[t] = 0
+		}
+		for _, idx := range ax.qualifiedAt(lo) {
+			p := set.price[idx]
+			wlo, whi := set.start[idx], set.end[idx]
+			if whi > lo {
+				whi = lo
+			}
+			for t := wlo; t <= whi; t++ {
+				if p > psi[t-1] {
+					psi[t-1] = p
+				}
+			}
+		}
+		env.psi = psi
+	}
+	for tg := lo; tg <= hi; tg++ {
+		if tg > lo && psi != nil {
+			// New slot tg: its maximum over already-qualified bids comes
+			// from the precomputed CSR row, filtered by entry point.
+			psi[tg-1] = 0
+			for _, idx := range ax.slotRow(tg) {
+				if ax.enterTg[idx] <= tg {
+					if p := set.price[idx]; p > psi[tg-1] {
+						psi[tg-1] = p
+					}
+				}
+			}
+			// Bids entering at tg: fold their clipped windows in.
+			for _, idx := range ax.qualOrder[ax.qualCount[tg-1]:ax.qualCount[tg]] {
+				p := set.price[idx]
+				wlo, whi := set.start[idx], set.end[idx]
+				if whi > tg {
+					whi = tg
+				}
+				for t := wlo; t <= whi; t++ {
+					if p > psi[t-1] {
+						psi[t-1] = p
+					}
+				}
+			}
+		}
 		if ctx.Err() != nil {
 			return canceledErr(ctx)
 		}
@@ -136,14 +214,26 @@ func (ax *auctionContext) sweepSeq(ctx context.Context, res *Result, obsv obs.Ob
 		if obsv != nil {
 			t0 = now()
 		}
-		wdp := solveWDP(ax.bids, ax.qualifiedAt(tg), tg, ax.cfg, sc, ax.clientBids, nil)
+		wdp := solveWDP(set, ax.qualifiedAt(tg), tg, ax.cfg, sc, nil, env)
 		if obsv != nil {
 			obsv.Observe(obs.Event{
 				Kind: obs.EvWDPSolved, Tg: tg, Client: -1, Bid: -1,
 				Value: wdp.Cost, OK: wdp.Feasible, Dur: now().Sub(t0),
 			})
 		}
-		res.WDPs = append(res.WDPs, wdp)
+		out[tg-lo] = wdp
+	}
+	return nil
+}
+
+// reduceWDPs installs the per-T̂_g results and selects the argmin-cost
+// feasible candidate, scanning in ascending T̂_g order so ties keep the
+// smallest T̂_g — the same selection the incremental argmin of the
+// historical sequential sweep made.
+func reduceWDPs(res *Result, wdps []WDPResult) {
+	res.WDPs = wdps
+	for i := range wdps {
+		wdp := &wdps[i]
 		if !wdp.Feasible {
 			continue
 		}
@@ -155,5 +245,15 @@ func (ax *auctionContext) sweepSeq(ctx context.Context, res *Result, obsv obs.Ob
 			res.Dual = wdp.Dual
 		}
 	}
+}
+
+// sweepSeq is the sequential incremental sweep: one segment spanning the
+// whole candidate range.
+func (ax *auctionContext) sweepSeq(ctx context.Context, res *Result, obsv obs.Observer, now func() time.Time) error {
+	wdps := make([]WDPResult, ax.cfg.T-ax.t0+1)
+	if err := ax.sweepSegment(ctx, ax.t0, ax.cfg.T, wdps, obsv, now); err != nil {
+		return err
+	}
+	reduceWDPs(res, wdps)
 	return nil
 }

@@ -29,6 +29,18 @@ type wdpScratch struct {
 	slotBids                         [][]int
 	phiMax, phiMin, phiPrime, psiMax []float64
 
+	// slotRows holds borrowed row headers when a solve runs against the
+	// auction context's precomputed slot CSR (solveEnv.slotStart). It is
+	// deliberately separate from slotBids: those rows are append-grown and
+	// reset with [:0], which must never alias the context's immutable CSR
+	// storage.
+	slotRows [][]int
+
+	// sweepPsi is the incrementally maintained ψ_max column of one sweep
+	// segment (see sweepSegment); it outlives individual solves, which
+	// borrow prefixes of it read-only via solveEnv.psi.
+	sweepPsi []float64
+
 	// Indexed by bid index; capacity grows to the largest bid slice seen.
 	m        []int
 	inC, inG []bool
@@ -40,6 +52,19 @@ type wdpScratch struct {
 	// Representative-schedule and tight-dual work buffers.
 	cand, avail []int
 	top         []float64
+
+	// Class-path state (see classsel.go), indexed by class row. clsInit
+	// keeps the first-qualified head position per class, with −1 meaning
+	// untouched; the invariant that every entry is −1 at solve entry is
+	// maintained by resetting exactly the previous solve's clsTouched
+	// list, which keeps the reset O(touched) across pool reuse.
+	// filledPrefix is the per-solve filled-slot prefix-sum column
+	// (length tg+1); keptCls the class-peek restore buffer.
+	clsHeapC, clsHeapG        classHeap
+	clsInit, clsCurC, clsCurG []int
+	clsTouched                []int
+	keptCls                   []classEntry
+	filledPrefix              []int
 
 	// chunk backs the winner schedules that escape into Results: slots and
 	// covered sub-slices are carved append-only out of one slab instead of
@@ -104,10 +129,31 @@ func (sc *wdpScratch) ensure(nBids, tg int) {
 		old := sc.slotBids
 		sc.slotBids = make([][]int, tg)
 		copy(sc.slotBids, old)
+		sc.slotRows = make([][]int, tg)
 		sc.gamma = make([]int, tg)
 		sc.phiMax = make([]float64, tg)
 		sc.phiMin = make([]float64, tg)
 		sc.phiPrime = make([]float64, tg)
 		sc.psiMax = make([]float64, tg)
+		sc.sweepPsi = make([]float64, tg)
 	}
+	if len(sc.filledPrefix) < tg+1 {
+		sc.filledPrefix = make([]int, tg+1)
+	}
+}
+
+// ensureClass grows the class-path arrays to n class rows. Fresh clsInit
+// entries start at the −1 sentinel; surviving entries stay under the
+// clsTouched reset protocol (see the field comment).
+func (sc *wdpScratch) ensureClass(n int) {
+	if len(sc.clsInit) >= n {
+		return
+	}
+	sc.clsInit = make([]int, n)
+	for i := range sc.clsInit {
+		sc.clsInit[i] = -1
+	}
+	sc.clsCurC = make([]int, n)
+	sc.clsCurG = make([]int, n)
+	sc.clsTouched = sc.clsTouched[:0]
 }

@@ -312,3 +312,87 @@ func TestWorkedExamplePublicPaths(t *testing.T) {
 		}
 	}
 }
+
+// setWDPUtility is engineWDPUtility through the columnar facade: the
+// misreported population is recompiled with CompileBids and solved via
+// NewEngineSet.
+func setWDPUtility(t *testing.T, bids []core.Bid, victim int, claimed float64, tg int, cfg core.Config) float64 {
+	t.Helper()
+	mod := make([]core.Bid, len(bids))
+	copy(mod, bids)
+	mod[victim].Price = claimed
+	eng, err := core.NewEngineSet(core.CompileBids(mod), cfg)
+	if err != nil {
+		t.Fatalf("NewEngineSet: %v", err)
+	}
+	res := eng.SolveWDP(tg)
+	if !res.Feasible {
+		return 0
+	}
+	for _, w := range res.Winners {
+		if w.Bid.Client == bids[victim].Client {
+			return w.Payment - w.Bid.Cost()
+		}
+	}
+	return 0
+}
+
+// TestColumnarExactCriticalMisreportProbes replays the misreport probes
+// through the columnar ingestion path. Two claims per probe: the set
+// path's utility equals the row path's EXACTLY (== on float64 — the
+// columnar engine is a layout change, not an arithmetic change), and no
+// misreport beats truthful bidding through the set path either.
+func TestColumnarExactCriticalMisreportProbes(t *testing.T) {
+	probed := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		p := tinyParams(400+seed, 5+int(seed%4), 6, 1+int(seed%2))
+		bids, err := workload.Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range bids {
+			bids[i].TrueCost = bids[i].Price
+		}
+		cfg := p.Config()
+		cfg.PaymentRule = core.RuleExactCritical
+		cfg.ExcludeOwnBids = true
+		cfg.ReservePrice = 500
+		set := core.CompileBids(bids)
+		eng, err := core.NewEngineSet(set, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := eng.Run()
+		rowEng, err := core.NewEngine(bids, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(base, rowEng.Run()) {
+			t.Fatalf("seed %d: columnar full auction diverged from the row path", seed)
+		}
+		if !base.Feasible {
+			continue
+		}
+		tg := base.Tg
+		for victim := range bids {
+			truthful := setWDPUtility(t, bids, victim, bids[victim].Price, tg, cfg)
+			for _, factor := range []float64{0.6, 0.9, 1.1, 1.8} {
+				claimed := bids[victim].Price * factor
+				viaSet := setWDPUtility(t, bids, victim, claimed, tg, cfg)
+				viaRows := engineWDPUtility(t, bids, victim, claimed, tg, cfg)
+				if viaSet != viaRows {
+					t.Fatalf("seed %d bid %d claiming %.4f: set utility %.9f != row utility %.9f",
+						seed, victim, claimed, viaSet, viaRows)
+				}
+				if viaSet > truthful+1e-6 {
+					t.Fatalf("seed %d bid %d: misreport %.4f→%.4f raises columnar utility %.6f→%.6f",
+						seed, victim, bids[victim].Price, claimed, truthful, viaSet)
+				}
+				probed++
+			}
+		}
+	}
+	if probed < 100 {
+		t.Fatalf("only %d columnar misreports probed", probed)
+	}
+}

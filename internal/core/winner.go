@@ -8,6 +8,37 @@ import (
 	"github.com/fedauction/afl/internal/stats"
 )
 
+// solveEnv carries optional precomputed structure into solveWDP. A zero
+// solveEnv means "build everything per solve" — the fully general
+// standalone path, valid for arbitrary qualified sets. The sweep and the
+// pricing probes attach the auction context's shared structure instead:
+//
+//   - slotStart/slotElems, when non-nil, are the context's full-horizon
+//     slot CSR (see auctionContext.slotStart). Per-solve slot-index
+//     construction then collapses to tg row-header assignments. Requires
+//     qualified ⊆ {i : enterTg[i] ≤ T}, which holds for every context- or
+//     probe-derived qualified set.
+//   - psi, when non-nil, is the externally maintained ψ_max column for
+//     slots [1, len(psi)] with len(psi) ≥ tg: psi[t-1] is the maximum
+//     bidding price among qualified bids whose clipped window contains t.
+//     The sweep maintains it incrementally across ascending T̂_g
+//     (ScheduleLeastCovered only — see sweepSegment); float max over a
+//     set is order-independent, so the replayed column is bit-identical
+//     to the per-solve accumulation it replaces.
+//   - classes + enterTg, when non-nil, engage the class-based selection
+//     fast path (see classsel.go): the greedy heaps hold one entry per
+//     availability-window shape class instead of one per bid, with
+//     bit-identical selection order. Only the sweep attaches them —
+//     pricing probes rewrite prices (breaking the compile-time class
+//     order) and repair pre-commits coverage (base != nil), so both run
+//     the fully general per-bid heaps.
+type solveEnv struct {
+	slotStart, slotElems []int
+	psi                  []float64
+	classes              *classIndex
+	enterTg              []int
+}
+
 // SolveWDP runs A_winner (Algorithm 2) on one winner-determination problem:
 // given the qualified bid indices for a fixed number of global iterations
 // tg, it greedily selects schedules with minimum average cost until every
@@ -15,9 +46,13 @@ import (
 // payments (Algorithm 3), and assembles the dual certificate of Lemma 5.
 //
 // bids is the full bid slice of the auction; qualified indexes into it.
-// The function never mutates bids or qualified. Working state comes from
-// a pooled scratch arena, so a call only allocates what escapes into the
-// returned WDPResult.
+// The function never mutates bids or qualified. It is the row-oriented
+// compat entry: the slice is compiled to a columnar BidSet on entry
+// (compilation is exact, so results are bit-identical to pre-columnar
+// builds). Working state comes from a pooled scratch arena, so a call
+// only allocates the compiled columns and what escapes into the returned
+// WDPResult; sweep and batch callers avoid even that by solving through
+// an Engine or a shared BidSet.
 func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 	if tg < 1 || len(qualified) == 0 {
 		return WDPResult{Tg: tg}
@@ -27,22 +62,21 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 		// unfillable demand, not a tg-sized allocation request.
 		return WDPResult{Tg: tg}
 	}
-	sc := acquireScratch(len(bids), tg)
-	res := solveWDP(bids, qualified, tg, cfg, sc, nil, nil)
+	set := CompileBids(bids)
+	sc := acquireScratch(set.n, tg)
+	res := solveWDP(set, qualified, tg, cfg, sc, nil, solveEnv{})
 	releaseScratch(sc)
 	// Standalone solves are priced eagerly: a single-WDP caller expects a
 	// finished result. The sweep instead leaves solveWDP's Algorithm 3
 	// payments in place and prices only the selected T̂_g (priceWinners).
-	applyPaymentRule(bids, qualified, tg, cfg, nil, nil, &res)
+	applyPaymentRule(set, qualified, tg, cfg, solveEnv{}, nil, &res)
 	return res
 }
 
 // solveWDP is the engine behind SolveWDP: the same greedy, payments and
-// dual bookkeeping, but with caller-provided scratch (reused across the
-// T̂_g sweep and across payment-probe re-runs) and an optional shared
-// client grouping (clientBids may cover all bids, not just qualified
-// ones; pruning unqualified siblings is a no-op). Passing clientBids nil
-// builds the grouping from the qualified set, as the seed path did.
+// dual bookkeeping, operating on the columnar BidSet with caller-provided
+// scratch (reused across the T̂_g sweep and across payment-probe re-runs)
+// and optional precomputed structure in env.
 //
 // base, when non-nil, pre-commits base[t-1] units of coverage to
 // iteration t before the greedy starts — the residual market of a
@@ -50,7 +84,7 @@ func SolveWDP(bids []Bid, qualified []int, tg int, cfg Config) WDPResult {
 // demand. The greedy then only buys the missing coverage; payments are
 // critical values in that residual market. base is read-only; nil keeps
 // the original empty-market behaviour bit-for-bit.
-func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, clientBids map[int][]int, base []int) WDPResult {
+func solveWDP(set *BidSet, qualified []int, tg int, cfg Config, sc *wdpScratch, base []int, env solveEnv) WDPResult {
 	res := WDPResult{Tg: tg}
 	if tg < 1 || len(qualified) == 0 {
 		return res
@@ -62,15 +96,26 @@ func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, c
 		// an empty selection feasible.)
 		return res
 	}
-	w := sc.init(bids, qualified, tg, cfg, clientBids, base)
+	w := sc.init(set, qualified, tg, cfg, base, env)
 	target := cfg.K * tg
-	for w.covered < target {
-		e, ok := w.popValid(&sc.heapC, w.inC)
-		if !ok {
-			return res // not enough supply: this WDP is infeasible
+	if w.cls != nil {
+		for w.covered < target {
+			ce, ok := w.popValidClass(&sc.clsHeapC, w.inC, w.curC)
+			if !ok {
+				return res // not enough supply: this WDP is infeasible
+			}
+			w.selectWinnerClass(ce)
+			res.Rounds++
 		}
-		w.selectWinner(e)
-		res.Rounds++
+	} else {
+		for w.covered < target {
+			e, ok := w.popValid(&sc.heapC, w.inC)
+			if !ok {
+				return res // not enough supply: this WDP is infeasible
+			}
+			w.selectWinner(e)
+			res.Rounds++
+		}
 	}
 	res.Feasible = true
 	res.Winners = w.winners
@@ -89,7 +134,7 @@ func solveWDP(bids []Bid, qualified []int, tg int, cfg Config, sc *wdpScratch, c
 // is backed by a wdpScratch arena; only result data (winners, schedules,
 // duals) is freshly allocated.
 type wdpState struct {
-	bids      []Bid
+	set       *BidSet
 	qualified []int
 	tg        int
 	cfg       Config
@@ -103,13 +148,12 @@ type wdpState struct {
 	// bid idx's effective window; the bid's marginal utility is
 	// R = min(c, m). m is valid only at qualified bid indices.
 	m []int
-	// slotBids[t-1] lists the qualified bids whose effective window
-	// contains t, so m can be decremented when t fills up.
+	// slotBids[t-1] lists the bids whose effective slot range contains t,
+	// so m can be decremented when t fills up. Rows are either scratch-
+	// owned per-solve lists of qualified bids, or (env path) borrowed
+	// subslices of the context's full-horizon CSR — the latter also carry
+	// not-yet-qualified bids, whose m entries are dead (never read).
 	slotBids [][]int
-	// clientBids groups bid indices by client for the one-bid-per-client
-	// pruning of line 13. It may cover all bids (shared auction context)
-	// or just the qualified ones (standalone solve).
-	clientBids map[int][]int
 
 	// inC / inG are membership flags for the candidate set C and the grand
 	// set G of Algorithm 2, valid at qualified bid indices. C drops every
@@ -129,8 +173,20 @@ type wdpState struct {
 	// unselected schedule of each round.
 	phiMax, phiMin, phiPrime []float64
 	// psiMax[t-1] = ψ_max^t, the maximum bidding price among qualified
-	// bids whose window contains t.
+	// bids whose window contains t. Either accumulated during init or
+	// borrowed read-only from env.psi.
 	psiMax []float64
+
+	// Class-path state (nil / unused on the per-bid path; see
+	// classsel.go). cls is the population's shape-class index, enterTg
+	// the qualification entry points for member scans, curC/curG the
+	// per-class head cursors of the two selection sets, and
+	// filledPrefix[t] the number of filled (γ = K) slots in [1, t] —
+	// the class-uniform m source.
+	cls          *classIndex
+	enterTg      []int
+	curC, curG   []int
+	filledPrefix []int
 }
 
 // init resets the arena for one solve and builds the initial A_winner
@@ -138,24 +194,35 @@ type wdpState struct {
 // the two selection heaps. It touches exactly the state the solve will
 // read, which is what makes pooled reuse safe without any clearing on
 // release.
-func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clientBids map[int][]int, base []int) *wdpState {
+func (sc *wdpScratch) init(set *BidSet, qualified []int, tg int, cfg Config, base []int, env solveEnv) *wdpState {
 	w := &sc.state
 	*w = wdpState{
-		bids:       bids,
-		qualified:  qualified,
-		tg:         tg,
-		cfg:        cfg,
-		sc:         sc,
-		gamma:      sc.gamma[:tg],
-		m:          sc.m,
-		slotBids:   sc.slotBids[:tg],
-		clientBids: clientBids,
-		inC:        sc.inC,
-		inG:        sc.inG,
-		phiMax:     sc.phiMax[:tg],
-		phiMin:     sc.phiMin[:tg],
-		phiPrime:   sc.phiPrime[:tg],
-		psiMax:     sc.psiMax[:tg],
+		set:       set,
+		qualified: qualified,
+		tg:        tg,
+		cfg:       cfg,
+		sc:        sc,
+		gamma:     sc.gamma[:tg],
+		m:         sc.m,
+		inC:       sc.inC,
+		inG:       sc.inG,
+		phiMax:    sc.phiMax[:tg],
+		phiMin:    sc.phiMin[:tg],
+		phiPrime:  sc.phiPrime[:tg],
+		psiMax:    sc.psiMax[:tg],
+	}
+	extPsi := env.psi != nil
+	if extPsi {
+		w.psiMax = env.psi[:tg]
+	}
+	// Owned rows and borrowed CSR rows live in separate scratch arrays:
+	// sc.slotBids rows are append-grown and reset with [:0], which must
+	// never alias the context's immutable slotElems storage.
+	extSlots := env.slotStart != nil
+	if extSlots {
+		w.slotBids = sc.slotRows[:tg]
+	} else {
+		w.slotBids = sc.slotBids[:tg]
 	}
 	for t := 0; t < tg; t++ {
 		g := 0
@@ -168,77 +235,101 @@ func (sc *wdpScratch) init(bids []Bid, qualified []int, tg int, cfg Config, clie
 		} else {
 			w.covered += g
 		}
-		w.slotBids[t] = w.slotBids[t][:0]
+		if extSlots {
+			w.slotBids[t] = env.slotElems[env.slotStart[t]:env.slotStart[t+1]]
+		} else {
+			w.slotBids[t] = w.slotBids[t][:0]
+		}
 		w.phiMax[t] = 0
 		w.phiMin[t] = math.Inf(1)
 		w.phiPrime[t] = math.Inf(1)
-		w.psiMax[t] = 0
-	}
-	if w.clientBids == nil {
-		w.clientBids = make(map[int][]int)
-		for _, idx := range qualified {
-			c := bids[idx].Client
-			w.clientBids[c] = append(w.clientBids[c], idx)
+		if !extPsi {
+			w.psiMax[t] = 0
 		}
 	}
 	sc.heapC = sc.heapC[:0]
 	sc.heapG = sc.heapG[:0]
+	earliest := cfg.ScheduleRule == ScheduleEarliest
+	// The class path replaces the per-bid heaps and m bookkeeping with
+	// class-level structure (see classsel.go); the membership flags and
+	// any per-solve ψ accumulation stay per-bid.
+	classes := env.classes != nil && base == nil
 	for _, idx := range qualified {
-		b := bids[idx]
-		lo, hi := w.window(b)
-		for t := lo; t <= hi; t++ {
-			if b.Price > w.psiMax[t-1] {
-				w.psiMax[t-1] = b.Price
+		lo := set.start[idx]
+		hi := set.end[idx]
+		if hi > tg {
+			hi = tg
+		}
+		if !extPsi {
+			p := set.price[idx]
+			for t := lo; t <= hi; t++ {
+				if p > w.psiMax[t-1] {
+					w.psiMax[t-1] = p
+				}
 			}
+		}
+		w.inC[idx] = true
+		w.inG[idx] = true
+		if classes {
+			continue
 		}
 		// m counts the still-available iterations the bid's representative
 		// schedule can draw from: the whole window under the paper's
 		// least-covered rule, only the fixed earliest-fit slots otherwise.
-		slo, shi := w.slotRange(b)
+		shi := hi
+		if earliest {
+			if e := lo + set.rounds[idx] - 1; e < shi {
+				shi = e
+			}
+		}
 		if base == nil {
-			w.m[idx] = shi - slo + 1
+			w.m[idx] = shi - lo + 1
 		} else {
 			// Pre-committed coverage consumes slot capacity before the
 			// greedy starts: m counts only the still-open iterations.
 			n := 0
-			for t := slo; t <= shi; t++ {
+			for t := lo; t <= shi; t++ {
 				if w.gamma[t-1] < cfg.K {
 					n++
 				}
 			}
 			w.m[idx] = n
 		}
-		for t := slo; t <= shi; t++ {
-			w.slotBids[t-1] = append(w.slotBids[t-1], idx)
+		if !extSlots {
+			for t := lo; t <= shi; t++ {
+				w.slotBids[t-1] = append(w.slotBids[t-1], idx)
+			}
 		}
-		w.inC[idx] = true
-		w.inG[idx] = true
 		e := w.entryFor(idx)
 		sc.heapC = append(sc.heapC, e)
 		sc.heapG = append(sc.heapG, e)
 	}
-	sc.heapC.init()
-	sc.heapG.init()
+	if classes {
+		w.initClasses(env)
+	} else {
+		sc.heapC.init()
+		sc.heapG.init()
+	}
 	return w
 }
 
-// window returns the bid's effective availability window [lo, hi] clipped
-// to the WDP horizon.
-func (w *wdpState) window(b Bid) (lo, hi int) {
-	hi = b.End
+// windowOf returns bid idx's effective availability window [lo, hi]
+// clipped to the WDP horizon.
+func (w *wdpState) windowOf(idx int) (lo, hi int) {
+	hi = w.set.end[idx]
 	if hi > w.tg {
 		hi = w.tg
 	}
-	return b.Start, hi
+	return w.set.start[idx], hi
 }
 
-// slotRange returns the iterations a bid's representative schedule draws
+// slotRangeOf returns the iterations a bid's representative schedule draws
 // from: the whole clipped window under ScheduleLeastCovered, the fixed
 // first c_ij iterations under ScheduleEarliest.
-func (w *wdpState) slotRange(b Bid) (lo, hi int) {
-	lo, hi = w.window(b)
-	if w.cfg.ScheduleRule == ScheduleEarliest && lo+b.Rounds-1 < hi {
-		hi = lo + b.Rounds - 1
+func (w *wdpState) slotRangeOf(idx int) (lo, hi int) {
+	lo, hi = w.windowOf(idx)
+	if w.cfg.ScheduleRule == ScheduleEarliest && lo+w.set.rounds[idx]-1 < hi {
+		hi = lo + w.set.rounds[idx] - 1
 	}
 	return lo, hi
 }
@@ -254,7 +345,7 @@ func (w *wdpState) marginal(idx int) int {
 	if w.cfg.ScheduleRule == ScheduleEarliest {
 		return m
 	}
-	if r := w.bids[idx].Rounds; r < m {
+	if r := w.set.rounds[idx]; r < m {
 		return r
 	}
 	return m
@@ -264,7 +355,7 @@ func (w *wdpState) entryFor(idx int) heapEntry {
 	r := w.marginal(idx)
 	key := math.Inf(1)
 	if r > 0 {
-		key = w.bids[idx].Price / float64(r)
+		key = w.set.price[idx] / float64(r)
 	}
 	return heapEntry{key: key, bid: idx, mSnap: w.m[idx]}
 }
@@ -324,8 +415,7 @@ func (w *wdpState) peekValid(h *entryHeap, in []bool, skip func(bid int) bool) (
 // effective window, ties broken by iteration index — into buf, in
 // least-covered-first order.
 func (w *wdpState) repCandidates(idx int, buf []int) []int {
-	b := w.bids[idx]
-	lo, hi := w.slotRange(b)
+	lo, hi := w.slotRangeOf(idx)
 	cand := buf[:0]
 	for t := lo; t <= hi; t++ {
 		cand = append(cand, t)
@@ -341,8 +431,8 @@ func (w *wdpState) repCandidates(idx int, buf []int) []int {
 			return a - b
 		})
 	}
-	if len(cand) > b.Rounds {
-		cand = cand[:b.Rounds]
+	if r := w.set.rounds[idx]; len(cand) > r {
+		cand = cand[:r]
 	}
 	return cand
 }
@@ -396,12 +486,11 @@ func (w *wdpState) repAvailable(idx int) []int {
 // entry e: payment, dual recording, set updates, and coverage updates.
 func (w *wdpState) selectWinner(e heapEntry) {
 	idx := e.bid
-	b := w.bids[idx]
 	slots, avail := w.representativeSchedule(idx)
 	r := len(avail) // == marginal(idx) by construction
-	phi := b.Price / float64(r)
+	phi := w.set.price[idx] / float64(r)
 
-	payment := w.criticalPayment(idx, b, r)
+	payment := w.criticalPayment(idx, r)
 
 	// Record φ(t, l*) on the newly covered iterations (line 9).
 	for _, t := range avail {
@@ -416,9 +505,8 @@ func (w *wdpState) selectWinner(e heapEntry) {
 	// Lines 11-12: record the best schedule in the grand set G, which at
 	// this point still includes the selected schedule itself.
 	if ge, ok := w.peekValid(&w.sc.heapG, w.inG, nil); ok {
-		gb := w.bids[ge.bid]
 		gr := w.marginal(ge.bid)
-		gphi := gb.Price / float64(gr)
+		gphi := w.set.price[ge.bid] / float64(gr)
 		for _, t := range w.repAvailable(ge.bid) {
 			if gphi < w.phiPrime[t-1] {
 				w.phiPrime[t-1] = gphi
@@ -428,14 +516,14 @@ func (w *wdpState) selectWinner(e heapEntry) {
 
 	// Lines 13-14: C drops every bid of the winning client; G drops only
 	// the selected schedule.
-	for _, sib := range w.clientBids[b.Client] {
+	for _, sib := range w.set.siblings(idx) {
 		w.inC[sib] = false
 	}
 	w.inG[idx] = false
 
 	w.winners = append(w.winners, Winner{
 		BidIndex: idx,
-		Bid:      b,
+		Bid:      w.set.Bid(idx),
 		Slots:    slots,
 		Payment:  payment,
 		AvgCost:  phi,
@@ -463,20 +551,21 @@ func (w *wdpState) selectWinner(e heapEntry) {
 // remaining candidates. With Config.ExcludeOwnBids, the winner's own other
 // bids cannot be the critical schedule. When no competitor remains the
 // winner is paid its own bid.
-func (w *wdpState) criticalPayment(idx int, b Bid, r int) float64 {
+func (w *wdpState) criticalPayment(idx, r int) float64 {
+	cli := w.set.client[idx]
 	skip := func(other int) bool {
 		if other == idx {
 			return true
 		}
-		return w.cfg.ExcludeOwnBids && w.bids[other].Client == b.Client
+		return w.cfg.ExcludeOwnBids && w.set.client[other] == cli
 	}
 	// The winner's entry has already been popped from heapC, but its
 	// sibling bids (same client) may remain and are skipped per the rule.
 	if ce, ok := w.peekValid(&w.sc.heapC, w.inC, skip); ok {
-		critAvg := w.bids[ce.bid].Price / float64(w.marginal(ce.bid))
+		critAvg := w.set.price[ce.bid] / float64(w.marginal(ce.bid))
 		return float64(r) * critAvg
 	}
-	return b.Price
+	return w.set.price[idx]
 }
 
 // finalizeDual computes lines 16-23 of Algorithm 2: ω, g(t), λ_il and the
@@ -533,6 +622,9 @@ func (w *wdpState) finalizeDual(k int) Dual {
 // binding case per bid is the c_ij largest η_φ values in its window — and
 // returns the resulting dual objective s·K·Σ_t η_φ(t).
 func (w *wdpState) tightDualObjective(k int) float64 {
+	if w.cls != nil {
+		return w.tightDualClass(k)
+	}
 	var sumEta float64
 	for t := 0; t < w.tg; t++ {
 		sumEta += w.phiMax[t]
@@ -543,9 +635,9 @@ func (w *wdpState) tightDualObjective(k int) float64 {
 	scale := math.Inf(1)
 	top := w.sc.top[:0]
 	for _, idx := range w.qualified {
-		b := w.bids[idx]
-		lo, hi := w.window(b)
-		if hi-lo+1 < b.Rounds {
+		lo, hi := w.windowOf(idx)
+		r := w.set.rounds[idx]
+		if hi-lo+1 < r {
 			continue
 		}
 		top = top[:0]
@@ -556,11 +648,11 @@ func (w *wdpState) tightDualObjective(k int) float64 {
 		// sequence as sort.Reverse without its per-call allocations.
 		slices.Sort(top)
 		var worst float64
-		for i := len(top) - 1; i >= len(top)-b.Rounds; i-- {
+		for i := len(top) - 1; i >= len(top)-r; i-- {
 			worst += top[i]
 		}
 		if worst > 0 {
-			if s := b.Price / worst; s < scale {
+			if s := w.set.price[idx] / worst; s < scale {
 				scale = s
 			}
 		}

@@ -110,6 +110,13 @@ type Config struct {
 	// Now supplies timestamps for event latencies and the rate limiter;
 	// nil selects time.Now.
 	Now func() time.Time
+	// Rule, when non-nil, overrides every submission's Cfg.PaymentRule at
+	// Submit time, BEFORE the bid record is logged — the WAL then carries
+	// the overridden rule, so a recovery re-solve of a pending bid uses
+	// the same rule the original solve would have, regardless of the
+	// options the reopened market is given. Nil solves each submission
+	// under its own Cfg.
+	Rule *core.PaymentRule
 	// Crash is test instrumentation: consulted at each crash point with
 	// the submission's sequence number; returning true kills the market
 	// as if the process died there. Nil (production) never crashes.
@@ -368,6 +375,16 @@ func (m *Market) RecoveredFaults() int {
 func (m *Market) Submit(ctx context.Context, client string, inst batch.Instance) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if m.cfg.Rule != nil {
+		inst.Cfg.PaymentRule = *m.cfg.Rule
+	}
+	if inst.Set != nil && inst.Bids == nil {
+		// Columnar submissions are solved through the shared Set (the batch
+		// layer's warm-start path), but the WAL speaks rows: materialize
+		// them once here so the logged record is byte-identical to a row
+		// submission of the same population.
+		inst.Bids = inst.Set.Bids()
 	}
 	m.mu.Lock()
 	if m.closed || m.killedFlag.Load() {

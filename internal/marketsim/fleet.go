@@ -263,7 +263,7 @@ func runSession(ctx context.Context, sc Script, target Target, clientKey string)
 	// The truthful counterfactual is round-invariant (only learners move
 	// between rounds, and only on the strategic side), so solve it once
 	// per mechanism and replay the per-round utility.
-	truthAFL, truthAFLFeasible, err := solveEngine(tvec, cfg, s)
+	truthAFL, truthAFLFeasible, err := solveEngine(tvec, core.CompileBids(tvec), cfg, s)
 	if err != nil {
 		res.err = fmt.Errorf("truthful counterfactual: %w", err)
 		return res
@@ -282,8 +282,12 @@ func runSession(ctx context.Context, sc Script, target Target, clientKey string)
 	for round := 0; round < sc.Rounds; round++ {
 		vec := s.strategicBids()
 
-		// A_FL through the service under test.
-		inst := batch.Instance{Bids: vec, Cfg: cfg}
+		// A_FL through the service under test. The strategic vector is
+		// compiled into its columnar handle once, here at the submission
+		// edge; every in-process solver downstream (batch worker, engine
+		// target) binds the same BidSet instead of re-deriving the layout,
+		// while the HTTP target keeps serializing the row form.
+		inst := batch.Instance{Bids: vec, Set: core.CompileBids(vec), Cfg: cfg}
 		t0 := time.Now()
 		rec, err := target.Solve(ctx, clientKey, inst)
 		if err != nil {
@@ -339,9 +343,11 @@ func runSession(ctx context.Context, sc Script, target Target, clientKey string)
 }
 
 // solveEngine runs the honest vector through the offline solver and
-// returns the session agents' total per-round utility.
-func solveEngine(vec []core.Bid, cfg core.Config, s *session) (float64, bool, error) {
-	eng, err := core.NewEngine(vec, cfg)
+// returns the session agents' total per-round utility. The vector's
+// pre-compiled columnar handle is bound directly; vec is kept only for
+// the row-oriented utility accounting.
+func solveEngine(vec []core.Bid, set *core.BidSet, cfg core.Config, s *session) (float64, bool, error) {
+	eng, err := core.NewEngineSet(set, cfg)
 	if err != nil {
 		return 0, false, err
 	}

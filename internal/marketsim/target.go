@@ -207,7 +207,15 @@ type EngineTarget struct{}
 
 // Solve implements Target.
 func (EngineTarget) Solve(_ context.Context, _ string, inst batch.Instance) (marketd.OutcomeRecord, error) {
-	eng, err := core.NewEngine(inst.Bids, inst.Cfg)
+	var (
+		eng *core.Engine
+		err error
+	)
+	if inst.Set != nil {
+		eng, err = core.NewEngineSet(inst.Set, inst.Cfg)
+	} else {
+		eng, err = core.NewEngine(inst.Bids, inst.Cfg)
+	}
 	if err != nil {
 		return marketd.OutcomeRecord{}, err
 	}

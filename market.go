@@ -84,14 +84,11 @@ func WithMaxPending(n int) Option {
 //
 // The recognized options are WithDurability, WithSyncEvery, WithWorkers
 // (0 or negative selects GOMAXPROCS), WithQueue, WithRateLimit,
-// WithMaxPending, WithObserver and WithNow.
+// WithMaxPending, WithObserver, WithNow and WithPaymentRule (applied to
+// every submission's Cfg before its bid record is logged, so recovery
+// re-solves under the same rule).
 func OpenMarket(ctx context.Context, opts ...Option) (*Market, error) {
-	var rc runConfig
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&rc)
-		}
-	}
+	rc := applyOptions(opts)
 	return marketd.Open(ctx, marketd.Config{
 		Dir:        rc.walDir,
 		Workers:    rc.workers,
@@ -102,6 +99,7 @@ func OpenMarket(ctx context.Context, opts ...Option) (*Market, error) {
 		MaxPending: rc.maxPending,
 		Observer:   rc.obsv,
 		Now:        rc.now,
+		Rule:       rc.ruleOverride(),
 	})
 }
 

@@ -65,8 +65,12 @@ func WithNow(now func() time.Time) Option {
 	return func(rc *runConfig) { rc.now = now }
 }
 
-// WithPaymentRule overrides cfg.PaymentRule for this run only, leaving
-// the caller's Config untouched.
+// WithPaymentRule overrides the payment rule without touching the
+// caller's Config, uniformly across the entry points: Run and RunSet
+// override cfg for the one call, RunBatch and NewService override every
+// instance's Cfg at intake, and OpenMarket overrides each submission's
+// Cfg before its bid record is logged (so a durable market's recovery
+// re-solves under the same rule).
 func WithPaymentRule(rule PaymentRule) Option {
 	return func(rc *runConfig) { rc.rule = rule; rc.ruleSet = true }
 }
@@ -89,12 +93,7 @@ func WithPaymentRule(rule PaymentRule) Option {
 //     outcome for diagnosis;
 //   - otherwise nil, with the minimum-social-cost solution.
 func Run(ctx context.Context, bids []Bid, cfg Config, opts ...Option) (Result, error) {
-	var rc runConfig
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&rc)
-		}
-	}
+	rc := applyOptions(opts)
 	if rc.ruleSet {
 		cfg.PaymentRule = rc.rule
 	}
@@ -103,4 +102,37 @@ func Run(ctx context.Context, bids []Bid, cfg Config, opts ...Option) (Result, e
 		return Result{}, err
 	}
 	return eng.RunCtx(ctx, core.RunOptions{Workers: rc.workers, Observer: rc.obsv, Now: rc.now})
+}
+
+// RunSet is Run over a pre-compiled columnar population: the BidSet built
+// once by CompileBids is bound directly (no per-call compile, no copy)
+// and the result is bit-identical to Run on the materialized rows
+// (set.Bids()) under every option combination. It is the single-auction
+// entry of the columnar-ingestion facade; for many auctions over one
+// population, prefer RunBatch or a Service with Instance.Set, whose
+// workers additionally warm-start across instances sharing the handle.
+func RunSet(ctx context.Context, set *BidSet, cfg Config, opts ...Option) (Result, error) {
+	rc := applyOptions(opts)
+	if rc.ruleSet {
+		cfg.PaymentRule = rc.rule
+	}
+	eng, err := core.NewEngineSet(set, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.RunCtx(ctx, core.RunOptions{Workers: rc.workers, Observer: rc.obsv, Now: rc.now})
+}
+
+// applyOptions folds the shared option set into one runConfig; every
+// facade entry point (Run, RunSet, RunBatch, NewService, OpenMarket)
+// resolves its options through this single site, so an option means the
+// same thing everywhere it applies.
+func applyOptions(opts []Option) runConfig {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	return rc
 }

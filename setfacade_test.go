@@ -1,0 +1,155 @@
+package afl_test
+
+// Compat tests for the columnar-ingestion facade: a BidSet compiled once
+// by CompileBids must be accepted uniformly by RunSet, RunBatch,
+// Service.Submit and Market.Submit, under the same shared option set as
+// the []Bid entry points, with bit-identical outcomes. These are the
+// contracts that let the row-oriented paths stay as thin wrappers.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/fedauction/afl"
+)
+
+// TestRunSetMatchesRun holds RunSet to DeepEqual identity with Run across
+// worker counts and the per-call payment-rule override — the options mean
+// the same thing through the columnar entry point.
+func TestRunSetMatchesRun(t *testing.T) {
+	bids, cfg := testWorkload(t, 80, 12, 3)
+	set := afl.CompileBids(bids)
+	ctx := context.Background()
+	want, err := afl.Run(ctx, bids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, -1} {
+		got, err := afl.RunSet(ctx, set, cfg, afl.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("RunSet(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("RunSet(workers=%d) differs from Run", workers)
+		}
+	}
+	rowRule, err := afl.Run(ctx, bids, cfg, afl.WithPaymentRule(afl.RulePayBid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setRule, err := afl.RunSet(ctx, set, cfg, afl.WithPaymentRule(afl.RulePayBid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PaymentRule != afl.RuleCritical {
+		t.Fatalf("WithPaymentRule mutated the caller's Config: %v", cfg.PaymentRule)
+	}
+	if !reflect.DeepEqual(setRule, rowRule) {
+		t.Fatal("RunSet WithPaymentRule differs from Run WithPaymentRule")
+	}
+}
+
+// TestRunBatchInstanceSet pins the batch layer's columnar contract: a
+// batch of Instances sharing one compiled Set yields outcomes DeepEqual
+// to the same batch in row form — the shared handle is what enables the
+// workers' cross-auction warm start, and it must be invisible in the
+// results.
+func TestRunBatchInstanceSet(t *testing.T) {
+	bids, cfg := testWorkload(t, 60, 12, 3)
+	set := afl.CompileBids(bids)
+	ctx := context.Background()
+	const m = 6
+	rowInsts := make([]afl.Instance, m)
+	setInsts := make([]afl.Instance, m)
+	for i := range rowInsts {
+		// Vary the config across instances so the warm start's
+		// config-equivalence check is exercised in both directions.
+		c := cfg
+		if i%3 == 2 {
+			c.PaymentRule = afl.RulePayBid
+		}
+		rowInsts[i] = afl.Instance{Bids: bids, Cfg: c}
+		setInsts[i] = afl.Instance{Set: set, Cfg: c}
+	}
+	rows, err := afl.RunBatch(ctx, rowInsts, afl.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := afl.RunBatch(ctx, setInsts, afl.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].Err != nil || sets[i].Err != nil {
+			t.Fatalf("instance %d: errs %v / %v", i, rows[i].Err, sets[i].Err)
+		}
+		if !reflect.DeepEqual(rows[i].Result, sets[i].Result) {
+			t.Fatalf("instance %d: Set outcome differs from Bids outcome", i)
+		}
+	}
+}
+
+// TestServiceSubmitSet runs a columnar instance through the long-lived
+// Service and compares against serial Run.
+func TestServiceSubmitSet(t *testing.T) {
+	bids, cfg := testWorkload(t, 50, 10, 3)
+	set := afl.CompileBids(bids)
+	ctx := context.Background()
+	want, err := afl.Run(ctx, bids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := afl.NewService(ctx, afl.WithWorkers(2), afl.WithQueue(2))
+	if _, err := svc.Submit(ctx, afl.Instance{Set: set, Cfg: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	oc, ok := <-svc.Results()
+	if !ok {
+		t.Fatal("service closed without an outcome")
+	}
+	svc.Close()
+	if oc.Err != nil {
+		t.Fatal(oc.Err)
+	}
+	if !reflect.DeepEqual(oc.Result, want) {
+		t.Fatal("Service.Submit(Set) outcome differs from serial Run")
+	}
+}
+
+// TestMarketSubmitSet submits the same population to a volatile market
+// once in row form and once in columnar form; the two committed outcome
+// records must agree on everything but their sequence numbers.
+func TestMarketSubmitSet(t *testing.T) {
+	inst := marketWorkload(t, 4021)
+	set := afl.CompileBids(inst.Bids)
+	ctx := context.Background()
+	m, err := afl.OpenMarket(ctx, afl.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	rowSeq, err := m.Submit(ctx, "rows", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setSeq, err := m.Submit(ctx, "set", afl.Instance{Set: set, Cfg: inst.Cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRec, err := m.Wait(ctx, rowSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setRec, err := m.Wait(ctx, setSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRec.Seq, setRec.Seq = 0, 0
+	if !reflect.DeepEqual(rowRec, setRec) {
+		t.Fatalf("columnar market outcome diverged from row outcome:\n rows: %+v\n  set: %+v", rowRec, setRec)
+	}
+	if !rowRec.Feasible || len(rowRec.Winners) == 0 {
+		t.Fatalf("outcome = %+v, want feasible with winners", rowRec)
+	}
+}
