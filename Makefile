@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json bench-big fuzz market-e2e marketsim figures ablations vet clean api-check api-update
+.PHONY: all build test test-race race cover bench bench-json bench-big bench-frontier fuzz market-e2e marketsim figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -36,6 +36,15 @@ bench-json:
 # worker scaling table at each size. Minutes, not CI material.
 bench-big:
 	$(GO) run ./cmd/benchcore -big -out BENCH_core.json
+
+# The solver quality-vs-speed frontier at the 10⁵-client population:
+# exact vs coarse-fine (default and stride-16) vs lp-round, each row
+# carrying its certified approximation ratio, plus the pooled-simplex
+# alloc row. The summary reports the fastest tier certified within 1.05×
+# and within 1.2× of the exact sweep. Minutes, not CI material (the CI
+# bench smoke runs the -quick frontier pair instead).
+bench-frontier:
+	$(GO) run ./cmd/benchcore -frontier -out BENCH_core.json
 
 # Short fuzzing pass over the fuzz targets (regression corpus always runs
 # as part of `make test`).

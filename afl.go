@@ -43,6 +43,15 @@ type (
 	// instead of per auction. Row-oriented []Bid entry points remain as
 	// thin compat wrappers with bit-identical results.
 	BidSet = core.BidSet
+	// Solver selects the winner-determination strategy of the T̂_g sweep:
+	// the exact enumeration (default) or one of the certified approximate
+	// tiers. See WithSolver for the tier semantics.
+	Solver = core.Solver
+	// Certificate is the quality certificate attached to approximate
+	// results (Result.Cert): a dual-certified lower bound on the
+	// full-enumeration optimum and the ratio of the reported cost against
+	// it. Exact results carry a nil Cert.
+	Certificate = core.Certificate
 )
 
 // Payment rules.
@@ -54,6 +63,23 @@ const (
 	// RulePayBid pays winners their claimed price (not truthful).
 	RulePayBid = core.RulePayBid
 )
+
+// Solver tiers, the quality-vs-speed frontier of the sweep.
+const (
+	// SolverExact solves every candidate T̂_g — Algorithm 1 exactly.
+	SolverExact = core.SolverExact
+	// SolverCoarseFine solves a curvature-adapted candidate subset and
+	// refines around the argmin; certified by capacity + dual bounds.
+	SolverCoarseFine = core.SolverCoarseFine
+	// SolverLPRound additionally tightens the certificate with the
+	// column-generation LP bound and rounds the LP solution to a cover.
+	SolverLPRound = core.SolverLPRound
+)
+
+// ParseSolver maps a solver's wire name ("exact", "coarse-fine",
+// "lp-round") back to its Solver; the empty string parses to SolverExact
+// so omitted fields keep their historical meaning.
+func ParseSolver(name string) (Solver, error) { return core.ParseSolver(name) }
 
 // Error sentinels. Every layer of the stack (core solver, networked
 // platform, facade) returns errors matching these under errors.Is, so

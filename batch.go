@@ -55,6 +55,7 @@ func RunBatch(ctx context.Context, instances []Instance, opts ...Option) ([]Outc
 		Observer: rc.obsv,
 		Now:      rc.now,
 		Rule:     rc.ruleOverride(),
+		Solver:   rc.solverOverride(),
 	})
 }
 
@@ -76,6 +77,7 @@ func NewService(ctx context.Context, opts ...Option) *Service {
 		Observer: rc.obsv,
 		Now:      rc.now,
 		Rule:     rc.ruleOverride(),
+		Solver:   rc.solverOverride(),
 	})
 }
 
@@ -86,4 +88,14 @@ func (rc *runConfig) ruleOverride() *core.PaymentRule {
 		return nil
 	}
 	return &rc.rule
+}
+
+// solverOverride maps the facade's WithSolver state onto the pointer
+// form: nil when the option was omitted, so instances keep their own
+// per-Instance Solver.
+func (rc *runConfig) solverOverride() *core.Solver {
+	if !rc.solverSet {
+		return nil
+	}
+	return &rc.solver
 }

@@ -47,8 +47,11 @@ import (
 	"testing"
 	"time"
 
+	"math/rand"
+
 	"github.com/fedauction/afl"
 	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/lp"
 	"github.com/fedauction/afl/internal/obs"
 	"github.com/fedauction/afl/internal/seedwdp"
 	"github.com/fedauction/afl/internal/workload"
@@ -70,6 +73,12 @@ type measurement struct {
 	Workers        int     `json:"workers,omitempty"`
 	Instances      int     `json:"instances,omitempty"`
 	AuctionsPerSec float64 `json:"auctions_per_sec,omitempty"`
+	// Frontier paths (frontier_*) additionally record the solver tier
+	// and the certified approximation ratio of the measured instance
+	// (1.0 for the exact tier, Result.Cert.Ratio otherwise — the bound
+	// is certified, so the true loss is at most this).
+	Solver string  `json:"solver,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
 }
 
 type summary struct {
@@ -102,6 +111,23 @@ type summary struct {
 	ColumnarClients  int     `json:"columnar_clients"`
 	ColumnarSolveSec float64 `json:"columnar_solve_sec"`
 	SpeedupSweepWide float64 `json:"speedup_sweep_wide"`
+	// Frontier headline, at the largest frontier population: the speedup
+	// of the fastest approximate tier whose certified ratio stays within
+	// the tight (≤ 1.05) and loose (≤ 1.2) quality envelopes, versus
+	// frontier_exact, plus the certified ratio and path of each winner.
+	// Zero when no tier certifies inside the envelope at that size.
+	FrontierClients      int     `json:"frontier_clients,omitempty"`
+	SpeedupFrontierTight float64 `json:"speedup_frontier_tight,omitempty"`
+	FrontierTightRatio   float64 `json:"frontier_tight_ratio,omitempty"`
+	FrontierTightPath    string  `json:"frontier_tight_path,omitempty"`
+	SpeedupFrontierLoose float64 `json:"speedup_frontier_loose,omitempty"`
+	FrontierLooseRatio   float64 `json:"frontier_loose_ratio,omitempty"`
+	FrontierLoosePath    string  `json:"frontier_loose_path,omitempty"`
+	// FrontierLPCostRatio is frontier_exact's cover cost divided by
+	// frontier_lp's at the largest frontier population — above 1 when
+	// LP-guided rounding found a cheaper cover than the exact greedy
+	// sweep (quality the exact tier cannot reach, at lower speed).
+	FrontierLPCostRatio float64 `json:"frontier_lp_cost_ratio,omitempty"`
 }
 
 // paymentsConfig records the dedicated workload the payments_* paths run
@@ -139,7 +165,8 @@ func main() {
 	workersArg := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the sweep scaling table (sweep_w<n> rows)")
 	batchWorkersArg := flag.String("batch-workers", "0", "comma-separated batch widths for the throughput paths (0 = GOMAXPROCS); the first is the headline width")
 	big := flag.Bool("big", false, "extend the columnar rows to 10⁵- and 10⁶-client populations (see `make bench-big`)")
-	quick := flag.Bool("quick", false, "single iteration per benchmark, one 10⁴-bid columnar row (CI smoke)")
+	frontier := flag.Bool("frontier", false, "extend the solver-frontier rows to the 10⁵-client population (10⁶ with -big; see `make bench-frontier`)")
+	quick := flag.Bool("quick", false, "single iteration per benchmark, one 10⁴-bid columnar row plus an exact/coarse frontier pair (CI smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -367,6 +394,149 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-24s I=%-7d %12.0f ns/op %10d allocs/op %12d B/op\n",
 			m.Path, clients, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
 		sweepScaling(clients, cp.K, cset, ccfg, colWidths)
+	}
+
+	// --- approximate solver frontier: quality vs speed on the columnar WDP ---
+	//
+	// One row per (population, solver tier) on the single-minded columnar
+	// workload: the exact sweep, coarse-to-fine at the default and at a
+	// wide stride, and LP-guided rounding. Every row records auctions/s
+	// and the tier's CERTIFIED approximation ratio on the measured
+	// instance — the certificate lower-bounds what the exact sweep would
+	// return, so a row reading (2×, 1.04) means twice the throughput at a
+	// proven ≤ 4% cost loss. Before timing, one shot per size re-checks
+	// the tier contracts on the exact instance being measured: stride-1
+	// coarse-to-fine must be bit-identical to the exact sweep, every
+	// approximate tier must attach a certificate with Ratio ≥ 1 and a
+	// lower bound that cannot exceed the exact cost.
+	fSizes := []int{10_000}
+	if *frontier {
+		fSizes = append(fSizes, 100_000)
+		if *big {
+			fSizes = append(fSizes, 1_000_000)
+		}
+	}
+	fTiers := []struct {
+		name string
+		opts []afl.Option
+	}{
+		{"frontier_exact", nil},
+		{"frontier_coarse", []afl.Option{afl.WithSolver(afl.SolverCoarseFine)}},
+		{"frontier_coarse_s16", []afl.Option{afl.WithSolver(afl.SolverCoarseFine), afl.WithStride(16)}},
+		{"frontier_lp", []afl.Option{afl.WithSolver(afl.SolverLPRound)}},
+	}
+	if *quick {
+		fTiers = fTiers[:2]
+	}
+	frontierCost := map[string]float64{} // at the largest frontier size
+	for _, clients := range fSizes {
+		fp := workload.NewDefaultParams()
+		fp.Clients = clients
+		fp.BidsPerUser = 1
+		fbids, err := workload.Generate(fp)
+		if err != nil {
+			fatal(err)
+		}
+		fcfg := fp.Config()
+		fset := afl.CompileBids(fbids)
+
+		exactRes, err := afl.RunSet(ctx, fset, fcfg)
+		if err != nil || !exactRes.Feasible {
+			fatal(fmt.Errorf("frontier workload infeasible at %d clients: %v", clients, err))
+		}
+		if exactRes.Cert != nil {
+			fatal(fmt.Errorf("exact tier attached a certificate at %d clients", clients))
+		}
+		dense, err := afl.RunSet(ctx, fset, fcfg, afl.WithSolver(afl.SolverCoarseFine), afl.WithStride(1))
+		if err != nil {
+			fatal(err)
+		}
+		if dense.Cert == nil || dense.Cert.Solved != dense.Cert.Candidates {
+			fatal(fmt.Errorf("stride-1 coarse-to-fine skipped candidates at %d clients", clients))
+		}
+		dense.Cert = nil
+		if !reflect.DeepEqual(dense, exactRes) {
+			fatal(fmt.Errorf("stride-1 coarse-to-fine diverges from the exact sweep at %d clients", clients))
+		}
+
+		for _, tier := range fTiers {
+			probe := exactRes
+			ratio := 1.0
+			solver := afl.SolverExact
+			if tier.opts != nil {
+				probe, err = afl.RunSet(ctx, fset, fcfg, tier.opts...)
+				if err != nil {
+					fatal(err)
+				}
+				c := probe.Cert
+				if c == nil || c.Ratio < 1 || c.LowerBound > exactRes.Cost*(1+1e-9) {
+					fatal(fmt.Errorf("%s certificate contract violated at %d clients: %+v", tier.name, clients, c))
+				}
+				ratio, solver = c.Ratio, c.Solver
+			}
+			frontierCost[tier.name] = probe.Cost
+			opts := tier.opts
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := afl.RunSet(ctx, fset, fcfg, opts...)
+					if err != nil || !res.Feasible {
+						b.Fatal("frontier auction infeasible")
+					}
+				}
+			})
+			m := measurement{
+				Path:           tier.name,
+				Clients:        clients,
+				K:              fp.K,
+				Iterations:     r.N,
+				NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp:    r.AllocsPerOp(),
+				BytesPerOp:     r.AllocedBytesPerOp(),
+				AuctionsPerSec: float64(r.N) * 1e9 / float64(r.T.Nanoseconds()),
+				Solver:         solver.String(),
+				Ratio:          ratio,
+			}
+			rep.Results = append(rep.Results, m)
+			perPath[m.Path] = m
+			fmt.Fprintf(os.Stderr, "%-24s I=%-7d %12.0f ns/op %10.2f auctions/s ratio=%.4f\n",
+				m.Path, clients, m.NsPerOp, m.AuctionsPerSec, m.Ratio)
+		}
+	}
+
+	// --- pooled dense-simplex alloc guard ---
+	//
+	// A master-shaped mixed-relation LP (coverage GE rows over convexity
+	// LE rows, the layout every column-generation master has) solved in a
+	// steady-state loop: with the tableau pool warm, allocs/op counts
+	// only what escapes in the Solution. A regression here means the
+	// pool stopped recycling (the companion test in internal/lp fails
+	// CI at ≤ 6 objects; the row records the measured number).
+	{
+		lpp := masterShapedLP(30, 40, 120)
+		if sol, err := lp.Solve(lpp); err != nil || sol.Status != lp.Optimal {
+			fatal(fmt.Errorf("lp_simplex warmup: status %v err %v", sol.Status, err))
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.Solve(lpp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m := measurement{
+			Path:        "lp_simplex",
+			Clients:     lpp.NumVars,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, m)
+		perPath[m.Path] = m
+		fmt.Fprintf(os.Stderr, "%-24s vars=%-4d %12.0f ns/op %10d allocs/op %12d B/op\n",
+			m.Path, lpp.NumVars, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
 	}
 
 	// --- lazy exact-critical pricing vs the frozen eager-serial seed ---
@@ -699,6 +869,38 @@ func main() {
 			perPath[fmt.Sprintf("sweep_w%d", colWidths[len(colWidths)-1])].NsPerOp),
 	}
 
+	// Frontier headline: the fastest approximate tier inside each quality
+	// envelope at the largest frontier population (perPath keeps the last,
+	// i.e. largest, size of every path).
+	fexact := perPath["frontier_exact"]
+	rep.Summary.FrontierClients = fexact.Clients
+	var tight, loose measurement
+	for _, name := range []string{"frontier_coarse", "frontier_coarse_s16", "frontier_lp"} {
+		m, ok := perPath[name]
+		if !ok || m.Clients != fexact.Clients {
+			continue
+		}
+		if m.Ratio <= 1.05+1e-9 && (tight.Path == "" || m.NsPerOp < tight.NsPerOp) {
+			tight = m
+		}
+		if m.Ratio <= 1.2+1e-9 && (loose.Path == "" || m.NsPerOp < loose.NsPerOp) {
+			loose = m
+		}
+	}
+	if tight.Path != "" {
+		rep.Summary.SpeedupFrontierTight = ratio(fexact.NsPerOp, tight.NsPerOp)
+		rep.Summary.FrontierTightRatio = tight.Ratio
+		rep.Summary.FrontierTightPath = tight.Path
+	}
+	if loose.Path != "" {
+		rep.Summary.SpeedupFrontierLoose = ratio(fexact.NsPerOp, loose.NsPerOp)
+		rep.Summary.FrontierLooseRatio = loose.Ratio
+		rep.Summary.FrontierLoosePath = loose.Path
+	}
+	if lpCost, ok := frontierCost["frontier_lp"]; ok && lpCost > 0 {
+		rep.Summary.FrontierLPCostRatio = frontierCost["frontier_exact"] / lpCost
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -710,6 +912,42 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (seq speedup %.2fx, alloc ratio %.1fx, payments speedup %.1fx, throughput speedup %.2fx, columnar %d clients in %.2fs)\n",
 		*out, rep.Summary.SpeedupSequential, rep.Summary.AllocRatio, rep.Summary.SpeedupPayments, rep.Summary.SpeedupThroughput,
 		rep.Summary.ColumnarClients, rep.Summary.ColumnarSolveSec)
+}
+
+// masterShapedLP builds a deterministic LP with the shape of a
+// column-generation restricted master: ge coverage rows (≥, RHS 2) over
+// 0/1 column incidences, le convexity rows (≤, RHS 1) partitioning the
+// variables, positive costs. Every variable covers a contiguous band of
+// coverage rows — the windowed-schedule structure of real master columns
+// — and the warmup Solve in main fails fast if a draw ever turned out
+// infeasible (the generator is seeded, so it never does).
+func masterShapedLP(ge, le, vars int) lp.Problem {
+	rng := rand.New(rand.NewSource(7))
+	p := lp.Problem{NumVars: vars, Objective: make([]float64, vars)}
+	cover := make([][]float64, ge)
+	for i := range cover {
+		cover[i] = make([]float64, vars)
+	}
+	conv := make([][]float64, le)
+	for i := range conv {
+		conv[i] = make([]float64, vars)
+	}
+	for j := 0; j < vars; j++ {
+		p.Objective[j] = 1 + rng.Float64()*9
+		conv[j%le][j] = 1
+		lo := rng.Intn(ge)
+		hi := lo + 1 + rng.Intn(6)
+		for r := lo; r < hi && r < ge; r++ {
+			cover[r][j] = 1
+		}
+	}
+	for r := 0; r < ge; r++ {
+		p.Constraints = append(p.Constraints, lp.Constraint{Coef: cover[r], Rel: lp.GE, RHS: 2})
+	}
+	for r := 0; r < le; r++ {
+		p.Constraints = append(p.Constraints, lp.Constraint{Coef: conv[r], Rel: lp.LE, RHS: 1})
+	}
+	return p
 }
 
 func fatal(err error) {

@@ -77,6 +77,21 @@
 // the compiled rows field-for-field — so row-oriented consumers (the
 // market's log encoding, diagnostics) interoperate losslessly.
 //
+// # Approximate solvers
+//
+// WithSolver selects the sweep's enumeration strategy per call. The
+// default, SolverExact, solves every candidate T̂_g — bit-identical to
+// the historical behaviour, Result.Cert nil. SolverCoarseFine solves a
+// curvature-adaptive subset (WithStride sets the coarse granularity;
+// stride 1 degenerates to the exact sweep bit-for-bit) and
+// SolverLPRound adds an LP-rounding pass that can return a cover
+// cheaper than the greedy sweep. Both approximate tiers attach a
+// Certificate whose Ratio certifies how far the reported cost can be
+// from what the full exact enumeration would have returned; payments
+// are always the exact critical values at the selected T̂_g. The same
+// knob rides through RunSet, RunBatch, Service.Submit and the market
+// daemon, whose WAL persists the solver name and certified ratio.
+//
 // # Observability
 //
 // The stack emits structured phase events — auction started, each T̂_g's

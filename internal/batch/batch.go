@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fedauction/afl/internal/colgen"
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/obs"
 )
@@ -62,6 +63,12 @@ type Instance struct {
 	// Cfg carries the instance's auction parameters (T, K, payment rule,
 	// reserve, ...).
 	Cfg core.Config
+	// Solver selects this instance's sweep strategy (core.Solver); the
+	// zero value is the exact enumeration, so historical instances are
+	// untouched. Stride is the approximate tiers' base coarse stride
+	// (zero selects the default).
+	Solver core.Solver
+	Stride int
 }
 
 // Outcome is the per-instance result of a batch run. Exactly one Outcome
@@ -108,6 +115,22 @@ type Options struct {
 	// caller's Instances untouched. Nil solves each instance under its
 	// own Cfg.
 	Rule *core.PaymentRule
+	// Solver, when non-nil, overrides every instance's Solver at intake,
+	// with the same copy-on-override semantics as Rule.
+	Solver *core.Solver
+	// LP is the certifier hook handed to SolverLPRound instances. Nil
+	// selects the column-generation default, so batch callers get a
+	// working LP tier without wiring anything.
+	LP core.LPCertifier
+}
+
+// certifier resolves the LP hook once per run or service: the configured
+// hook, or the column-generation default.
+func (o Options) certifier() core.LPCertifier {
+	if o.LP != nil {
+		return o.LP
+	}
+	return colgen.Certifier{}
 }
 
 // workers resolves the pool width for n runnable tasks.
@@ -137,14 +160,20 @@ func Run(ctx context.Context, instances []Instance, opts Options) ([]Outcome, er
 	if len(instances) == 0 {
 		return out, nil
 	}
-	if opts.Rule != nil {
+	if opts.Rule != nil || opts.Solver != nil {
 		overridden := make([]Instance, len(instances))
 		copy(overridden, instances)
 		for i := range overridden {
-			overridden[i].Cfg.PaymentRule = *opts.Rule
+			if opts.Rule != nil {
+				overridden[i].Cfg.PaymentRule = *opts.Rule
+			}
+			if opts.Solver != nil {
+				overridden[i].Solver = *opts.Solver
+			}
 		}
 		instances = overridden
 	}
+	lpc := opts.certifier()
 	workers := opts.workers(len(instances))
 	obsv := opts.Observer
 	now := opts.Now
@@ -192,7 +221,7 @@ func Run(ctx context.Context, instances []Instance, opts Options) ([]Outcome, er
 					Value: float64(depth),
 				})
 			}
-			out[idx], eng = solveOne(ctx, idx, instances[idx], obsv, now, eng)
+			out[idx], eng = solveOne(ctx, idx, instances[idx], obsv, now, lpc, eng)
 		}
 		eng.Release()
 		return finishRun(ctx, out, len(instances), obsv, now, start)
@@ -219,7 +248,7 @@ func Run(ctx context.Context, instances []Instance, opts Options) ([]Outcome, er
 						Value: float64(depth),
 					})
 				}
-				out[idx], eng = solveOne(ctx, idx, instances[idx], obsv, now, eng)
+				out[idx], eng = solveOne(ctx, idx, instances[idx], obsv, now, lpc, eng)
 			}
 		}(w)
 	}
@@ -249,7 +278,7 @@ func finishRun(ctx context.Context, out []Outcome, n int, obsv obs.Observer, now
 // nil after a validation error, so the next call falls back to a fresh
 // acquisition. Cancellation is checked before touching the engine so a
 // canceled batch drains its remaining instances in microseconds.
-func solveOne(ctx context.Context, idx int, inst Instance, obsv obs.Observer, now func() time.Time, prev *core.Engine) (Outcome, *core.Engine) {
+func solveOne(ctx context.Context, idx int, inst Instance, obsv obs.Observer, now func() time.Time, lpc core.LPCertifier, prev *core.Engine) (Outcome, *core.Engine) {
 	o := Outcome{Index: idx}
 	if ctx.Err() != nil {
 		o.Err = canceledErr(ctx)
@@ -266,7 +295,10 @@ func solveOne(ctx context.Context, idx int, inst Instance, obsv obs.Observer, no
 		o.Err = err
 		return o, nil
 	}
-	o.Result, o.Err = eng.RunCtx(ctx, core.RunOptions{Workers: 1, Observer: obsv, Now: now})
+	o.Result, o.Err = eng.RunCtx(ctx, core.RunOptions{
+		Workers: 1, Observer: obsv, Now: now,
+		Solver: inst.Solver, Stride: inst.Stride, LP: lpc,
+	})
 	return o, eng
 }
 

@@ -31,6 +31,7 @@ import (
 type Service struct {
 	base   context.Context
 	opts   Options
+	lpc    core.LPCertifier
 	jobs   chan serviceJob
 	out    chan Outcome
 	wg     sync.WaitGroup
@@ -70,6 +71,7 @@ func NewService(ctx context.Context, opts Options) *Service {
 	s := &Service{
 		base: ctx,
 		opts: opts,
+		lpc:  opts.certifier(),
 		jobs: make(chan serviceJob, queue),
 		out:  make(chan Outcome, queue+workers),
 	}
@@ -110,7 +112,7 @@ func (s *Service) worker() {
 				})
 			}
 			var outcome Outcome
-			outcome, eng = solveOne(s.base, j.idx, j.inst, s.opts.Observer, s.opts.Now, eng)
+			outcome, eng = solveOne(s.base, j.idx, j.inst, s.opts.Observer, s.opts.Now, s.lpc, eng)
 			s.solved.Add(1)
 			select {
 			case s.out <- outcome:
@@ -180,11 +182,15 @@ func (s *Service) SubmitSeq(ctx context.Context, seq int, inst Instance) error {
 }
 
 // enqueue performs the guarded send shared by Submit and SubmitSeq; the
-// caller holds the read lock. The service-wide payment-rule override is
-// applied here, at intake, so every path into the pool sees it.
+// caller holds the read lock. The service-wide payment-rule and solver
+// overrides are applied here, at intake, so every path into the pool
+// sees them.
 func (s *Service) enqueue(ctx context.Context, idx int, inst Instance) error {
 	if s.opts.Rule != nil {
 		inst.Cfg.PaymentRule = *s.opts.Rule
+	}
+	if s.opts.Solver != nil {
+		inst.Solver = *s.opts.Solver
 	}
 	select {
 	case s.jobs <- serviceJob{idx: idx, inst: inst}:

@@ -28,9 +28,6 @@
 package colgen
 
 import (
-	"math"
-	"sort"
-
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/lp"
 )
@@ -133,154 +130,15 @@ func slotsEqual(a, b []int) bool {
 }
 
 // LowerBound runs column generation for the WDP with the given qualified
-// bids and fixed T̂_g.
+// bids and fixed T̂_g. It is the row-oriented compat entry: the slice is
+// compiled to a columnar BidSet and delegated to SetLowerBound, so the
+// two paths return bit-identical bounds (locked in by the differential
+// suite in setlb_test.go).
 func LowerBound(bids []core.Bid, qualified []int, tg int, cfg core.Config, opts Options) Result {
 	if tg < 1 || len(qualified) == 0 {
 		return Result{}
 	}
-	// Seed with the greedy solution: it certifies integral feasibility
-	// and gives the master a feasible starting basis.
-	seed := core.SolveWDP(bids, qualified, tg, cfg)
-	if !seed.Feasible {
-		return Result{}
-	}
-
-	cols := make([]column, 0, len(seed.Winners))
-	// seen buckets column indices by comparable key; the slot-by-slot
-	// check inside resolves hash collisions exactly, so dedupe behaviour
-	// is identical to comparing full slot sets.
-	seen := make(map[colKey][]int)
-	addCol := func(c column) bool {
-		k := c.key()
-		for _, j := range seen[k] {
-			if slotsEqual(cols[j].slots, c.slots) {
-				return false
-			}
-		}
-		seen[k] = append(seen[k], len(cols))
-		cols = append(cols, c)
-		return true
-	}
-	for _, w := range seed.Winners {
-		addCol(column{bid: w.BidIndex, client: w.Bid.Client, slots: w.Slots, cost: w.Bid.Price})
-	}
-
-	// All distinct qualified clients, for the Lagrangian bound.
-	clientSet := make(map[int]struct{})
-	for _, idx := range qualified {
-		clientSet[bids[idx].Client] = struct{}{}
-	}
-
-	res := Result{Feasible: true}
-	fallback := func(lb float64) Result {
-		if seed.Dual.Objective > lb {
-			lb = seed.Dual.Objective // the greedy dual bound is always valid
-		}
-		res.LowerBound = lb
-		return res
-	}
-	maxIter := opts.maxIterations()
-	for iter := 0; ; iter++ {
-		sol, clientRow, err := solveMaster(cols, tg, cfg.K)
-		if err != nil || sol.Status != lp.Optimal {
-			// The seeded master is integrally feasible; a non-optimal
-			// status here is numerical. Fall back to the greedy dual.
-			res.LPValue = math.NaN()
-			return fallback(math.Inf(-1))
-		}
-		res.LPValue = sol.Objective
-		res.Iterations = iter + 1
-		res.Columns = len(cols)
-
-		g := sol.Duals[:tg] // coverage duals, ≥ 0
-		q := func(client int) float64 {
-			if row, ok := clientRow[client]; ok {
-				return sol.Duals[tg+row]
-			}
-			return 0 // convexity row absent → slack → dual zero
-		}
-
-		// Price every qualified bid: the best column takes the c_ij
-		// largest g(t) in the window.
-		type priced struct {
-			rc  float64
-			col column
-		}
-		var negatives []priced
-		bestPerClient := make(map[int]float64, len(clientSet))
-		for _, idx := range qualified {
-			b := bids[idx]
-			slots, gain := bestSlots(b, tg, g)
-			if slots == nil {
-				continue
-			}
-			rc := b.Price - gain - q(b.Client)
-			if rc < bestPerClient[b.Client] {
-				bestPerClient[b.Client] = rc
-			}
-			if rc < -1e-7 {
-				negatives = append(negatives, priced{rc: rc, col: column{
-					bid: idx, client: b.Client, slots: slots, cost: b.Price,
-				}})
-			}
-		}
-		var lagrangian float64
-		for _, rc := range bestPerClient {
-			lagrangian += rc // each ≤ 0
-		}
-		if len(negatives) == 0 {
-			res.Converged = true
-			res.LowerBound = sol.Objective
-			return res
-		}
-		budgetLeft := opts.maxColumns() - len(cols)
-		if iter+1 >= maxIter || budgetLeft <= 0 {
-			return fallback(sol.Objective + lagrangian)
-		}
-		sort.Slice(negatives, func(a, b int) bool { return negatives[a].rc < negatives[b].rc })
-		limit := min(opts.maxPerIter(), budgetLeft, len(negatives))
-		improved := false
-		for _, p := range negatives[:limit] {
-			if addCol(p.col) {
-				improved = true
-			}
-		}
-		if !improved {
-			// Every priced column already exists: the master is at its LP
-			// optimum over the generated set but pricing still sees
-			// negative reduced costs, which indicates numerical drift.
-			// The Lagrangian bound remains valid.
-			return fallback(sol.Objective + lagrangian)
-		}
-	}
-}
-
-// bestSlots returns the c_ij iterations of the bid's clipped window with
-// the largest coverage duals, plus their dual sum.
-func bestSlots(b core.Bid, tg int, g []float64) ([]int, float64) {
-	hi := min(b.End, tg)
-	n := hi - b.Start + 1
-	if n < b.Rounds {
-		return nil, 0
-	}
-	cand := make([]int, 0, n)
-	for t := b.Start; t <= hi; t++ {
-		cand = append(cand, t)
-	}
-	sort.Slice(cand, func(a, c int) bool {
-		ga, gc := g[cand[a]-1], g[cand[c]-1]
-		if ga != gc {
-			return ga > gc
-		}
-		return cand[a] < cand[c]
-	})
-	cand = cand[:b.Rounds]
-	var sum float64
-	for _, t := range cand {
-		sum += g[t-1]
-	}
-	sort.Ints(cand)
-	return cand, sum
+	return SetLowerBound(core.CompileBids(bids), qualified, tg, cfg, opts)
 }
 
 // solveMaster builds and solves the restricted master LP over the

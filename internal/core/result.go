@@ -88,6 +88,11 @@ type WDPResult struct {
 	Dual Dual
 	// Rounds is the number of greedy selection rounds A_winner performed.
 	Rounds int
+	// Skipped marks a candidate an approximate sweep never solved: the
+	// entry is a placeholder (Feasible false carries no information) whose
+	// bound contribution comes from the capacity certificate instead. The
+	// exact sweep never sets it.
+	Skipped bool
 }
 
 // TotalPayment returns the sum of payments to winners.
@@ -123,8 +128,16 @@ type Result struct {
 	// winner slice Winners aliases — carries rule-adjusted payments;
 	// non-selected entries keep the Algorithm 3 payments computed
 	// in-greedy, whatever cfg.PaymentRule says. Use Engine.SolveWDP for a
-	// fully priced non-selected candidate.
+	// fully priced non-selected candidate. Under an approximate solver
+	// tier, entries the sweep skipped are placeholders with Skipped set.
 	WDPs []WDPResult
+	// Cert is the quality certificate of an approximate solver tier
+	// (RunOptions.Solver != SolverExact): a lower bound on the
+	// full-enumeration optimum and the certified ratio of Cost against
+	// it. The exact tier leaves it nil — its per-WDP Lemma 5 dual plays
+	// that role — so exact results remain bit-identical to historical
+	// builds.
+	Cert *Certificate
 }
 
 // TotalPayment returns the sum of payments to winners.

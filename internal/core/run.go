@@ -30,6 +30,21 @@ type RunOptions struct {
 	// Ignored when Observer is nil; inject a deterministic source for
 	// golden-testing traces.
 	Now func() time.Time
+	// Solver selects the sweep strategy (see Solver). The zero value is
+	// the exact enumeration; the approximate tiers skip candidates and
+	// attach a Certificate to the result. Approximate sweeps run their
+	// candidate walk sequentially — the coarse set is chosen online from
+	// preceding solves — but Workers still fans out the pricing stage.
+	Solver Solver
+	// Stride is the base coarse stride of the approximate tiers: solve
+	// every Stride-th candidate, adapting to the observed cost curvature.
+	// Zero selects the default (4). Stride 1 solves every candidate —
+	// bit-identical to the exact sweep, with a certificate attached.
+	Stride int
+	// LP is the column-generation hook of SolverLPRound. Nil degrades
+	// that tier to SolverCoarseFine's certificate; the facade, batch
+	// scheduler and market daemon always install the colgen implementation.
+	LP LPCertifier
 }
 
 // ClampWorkers is the single place worker counts are validated: negative
@@ -76,7 +91,9 @@ func (ax *auctionContext) sweep(ctx context.Context, o RunOptions) (Result, erro
 	res := Result{}
 	if n := ax.cfg.T - ax.t0 + 1; n > 0 {
 		var err error
-		if workers := ClampWorkers(o.Workers, n); workers == 1 {
+		if o.Solver != SolverExact {
+			err = ax.sweepApprox(ctx, &res, o, obsv, now)
+		} else if workers := ClampWorkers(o.Workers, n); workers == 1 {
 			err = ax.sweepSeq(ctx, &res, obsv, now)
 		} else {
 			err = ax.sweepPar(ctx, &res, workers, obsv, now)
@@ -145,6 +162,21 @@ func (ax *auctionContext) priceChosen(ctx context.Context, res *Result, workers 
 // Cancellation is checked between solves, so a canceled context abandons
 // the remaining candidates without tearing down a solve midway.
 func (ax *auctionContext) sweepSegment(ctx context.Context, lo, hi int, out []WDPResult, obsv obs.Observer, now func() time.Time) error {
+	return ax.sweepSegmentMask(ctx, lo, hi, out, nil, obsv, now)
+}
+
+// sweepSegmentMask is sweepSegment with a candidate filter: pick(tg)
+// decides, per ascending candidate, whether the WDP at tg is solved or
+// skipped. The ψ_max column is maintained across EVERY candidate of the
+// range — maintenance is O(slot row + entrant windows) per step, far
+// cheaper than a solve — so the solves that do run are bit-identical to
+// the ones the unmasked sweep would have produced at the same tg. A
+// skipped candidate leaves (or installs) a Skipped placeholder in out;
+// an entry already carrying a solve from a previous pass is never
+// overwritten by a skip, which is what lets the approximate tiers
+// re-walk a range to refine only its unsolved candidates. nil pick
+// solves everything — the exact sweep.
+func (ax *auctionContext) sweepSegmentMask(ctx context.Context, lo, hi int, out []WDPResult, pick func(tg int) bool, obsv obs.Observer, now func() time.Time) error {
 	set := ax.set
 	sc := acquireScratch(set.n, hi)
 	defer releaseScratch(sc)
@@ -209,6 +241,12 @@ func (ax *auctionContext) sweepSegment(ctx context.Context, lo, hi int, out []WD
 		}
 		if ctx.Err() != nil {
 			return canceledErr(ctx)
+		}
+		if pick != nil && !pick(tg) {
+			if out[tg-lo].Tg == 0 {
+				out[tg-lo] = WDPResult{Tg: tg, Skipped: true}
+			}
+			continue
 		}
 		var t0 time.Time
 		if obsv != nil {

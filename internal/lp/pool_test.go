@@ -1,0 +1,96 @@
+package lp
+
+import "testing"
+
+// poolProblem is a small mixed-relation LP exercising slack, surplus and
+// artificial columns — the full tableau layout the pool must re-zero.
+func poolProblem() Problem {
+	return Problem{
+		NumVars:   4,
+		Objective: []float64{3, 2, 4, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1, 1, 1}, Rel: GE, RHS: 2},
+			{Coef: []float64{2, 1, 0, 0}, Rel: LE, RHS: 5},
+			{Coef: []float64{0, 1, 1, 0}, Rel: EQ, RHS: 1},
+			{Coef: []float64{1, 0, 0, 2}, Rel: GE, RHS: 1},
+		},
+	}
+}
+
+// TestSolveAllocSteadyState locks in the tableau pool: once the pool is
+// warm, a Solve allocates only what escapes in the Solution (X, Duals
+// and the struct bookkeeping around them) — the dense tableau rows,
+// reduced-cost vectors and row metadata are all recycled.
+func TestSolveAllocSteadyState(t *testing.T) {
+	p := poolProblem()
+	if sol, err := Solve(p); err != nil || sol.Status != Optimal {
+		t.Fatalf("warmup solve: status=%v err=%v", sol.Status, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Solve(p); err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+	})
+	// X + Duals escape; leave headroom for runtime noise but stay far
+	// below the ~12 per-solve tableau allocations pooling removed.
+	if allocs > 6 {
+		t.Fatalf("Solve allocates %.1f objects/run in steady state, want ≤ 6", allocs)
+	}
+}
+
+// TestSolvePooledReuseIsClean re-solves problems of different shapes and
+// sizes back-to-back so stale pooled storage from a larger tableau would
+// corrupt a smaller one if any vector were under-cleared.
+func TestSolvePooledReuseIsClean(t *testing.T) {
+	big := Problem{
+		NumVars:   6,
+		Objective: []float64{5, 4, 3, 2, 1, 6},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1, 1, 1, 1, 1}, Rel: GE, RHS: 3},
+			{Coef: []float64{1, 2, 3, 0, 0, 0}, Rel: LE, RHS: 10},
+			{Coef: []float64{0, 0, 1, 1, 0, 0}, Rel: EQ, RHS: 1},
+			{Coef: []float64{0, 0, 0, 0, 1, 1}, Rel: GE, RHS: 1},
+			{Coef: []float64{1, 0, 0, 0, 0, 1}, Rel: LE, RHS: 4},
+			{Coef: []float64{0, 1, 0, 1, 0, 0}, Rel: GE, RHS: 1},
+		},
+	}
+	small := poolProblem()
+	want, err := Solve(small)
+	if err != nil || want.Status != Optimal {
+		t.Fatalf("reference solve: status=%v err=%v", want.Status, err)
+	}
+	for i := 0; i < 50; i++ {
+		if sol, err := Solve(big); err != nil || sol.Status != Optimal {
+			t.Fatalf("iter %d big: status=%v err=%v", i, sol.Status, err)
+		}
+		got, err := Solve(small)
+		if err != nil || got.Status != Optimal {
+			t.Fatalf("iter %d small: status=%v err=%v", i, got.Status, err)
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("iter %d: pooled reuse drifted objective %v → %v", i, want.Objective, got.Objective)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("iter %d: pooled reuse drifted X[%d] %v → %v", i, j, want.X[j], got.X[j])
+			}
+		}
+		for j := range want.Duals {
+			if got.Duals[j] != want.Duals[j] {
+				t.Fatalf("iter %d: pooled reuse drifted dual %d %v → %v", i, j, want.Duals[j], got.Duals[j])
+			}
+		}
+	}
+}
+
+// BenchmarkSolve tracks the steady-state cost of one pooled solve;
+// -benchmem makes the allocation floor visible next to the latency.
+func BenchmarkSolve(b *testing.B) {
+	p := poolProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

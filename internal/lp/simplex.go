@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Relation compares a constraint's left-hand side with its right-hand side.
@@ -114,6 +115,7 @@ func Solve(p Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	t := newTableau(p)
+	defer t.release()
 	if !t.phaseOne() {
 		return Solution{Status: Infeasible}, nil
 	}
@@ -178,8 +180,47 @@ type tableau struct {
 	rowSlackSign []float64 // +1 slack (≤), −1 surplus (≥)
 	rowArt       []int     // artificial column of row i, or -1
 	rowFlipped   []bool    // row was negated to normalize b ≥ 0
+	// Pooled working vectors: z holds reduced costs across iterate and
+	// extract, phase1 the phase-1 objective. Sized with the tableau.
+	z, phase1 []float64
 }
 
+// tableauPool recycles tableau backing storage across Solve calls. A
+// column-generation run solves hundreds of masters of slowly growing
+// size, and the dense tableau rows (m × cols float64) dominated the
+// loop's allocation profile; reuse makes a steady-state Solve allocate
+// only what escapes in the Solution (locked in by the alloc-guard test).
+var tableauPool = sync.Pool{New: func() any { return new(tableau) }}
+
+// growFloats resizes s to length n, reusing its backing array when large
+// enough. Contents are unspecified — callers overwrite or clear.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// newTableau builds the initial tableau for p on pooled storage. Pooled
+// vectors arrive with stale contents, so every field that the historical
+// make-zeroing left at zero is cleared explicitly here: the constraint
+// rows beyond their structural coefficients, the cost tail, the
+// slack-sign and flip metadata, and (in phaseOne) the phase-1 objective
+// prefix. b, basis, rowSlack and rowArt are fully overwritten per row.
 func newTableau(p Problem) *tableau {
 	m := len(p.Constraints)
 	n := p.NumVars
@@ -190,23 +231,29 @@ func newTableau(p Problem) *tableau {
 			s++
 		}
 	}
-	t := &tableau{
-		m:            m,
-		n:            n,
-		cols:         n + s + m, // at most one artificial per row
-		b:            make([]float64, m),
-		basis:        make([]int, m),
-		rowSlack:     make([]int, m),
-		rowSlackSign: make([]float64, m),
-		rowArt:       make([]int, m),
-		rowFlipped:   make([]bool, m),
+	t := tableauPool.Get().(*tableau)
+	t.m = m
+	t.n = n
+	t.cols = n + s + m // at most one artificial per row
+	t.b = growFloats(t.b, m)
+	t.basis = growInts(t.basis, m)
+	t.rowSlack = growInts(t.rowSlack, m)
+	t.rowSlackSign = growFloats(t.rowSlackSign, m)
+	t.rowArt = growInts(t.rowArt, m)
+	t.rowFlipped = growBools(t.rowFlipped, m)
+	clear(t.rowSlackSign)
+	clear(t.rowFlipped)
+	if cap(t.a) < m {
+		t.a = make([][]float64, m)
+	} else {
+		t.a = t.a[:m]
 	}
-	t.a = make([][]float64, m)
 	for i := range t.a {
-		t.a[i] = make([]float64, t.cols)
+		t.a[i] = growFloats(t.a[i], t.cols)
+		clear(t.a[i])
 	}
-	t.cost = make([]float64, t.cols)
-	copy(t.cost, p.Objective)
+	t.cost = growFloats(t.cost, t.cols)
+	clear(t.cost[copy(t.cost, p.Objective):])
 
 	slack := n
 	t.artStart = n + s
@@ -262,15 +309,23 @@ func newTableau(p Problem) *tableau {
 		t.a[i] = t.a[i][:t.cols]
 	}
 	t.cost = t.cost[:t.cols]
+	t.z = growFloats(t.z, t.cols)
+	t.phase1 = growFloats(t.phase1, t.cols)
 	return t
 }
+
+// release returns the tableau's backing storage to the pool. extract
+// copies everything that outlives the solve into the Solution, so no
+// pooled slice escapes.
+func (t *tableau) release() { tableauPool.Put(t) }
 
 // phaseOne drives artificials out of the basis; reports feasibility.
 func (t *tableau) phaseOne() bool {
 	if t.numArt == 0 {
 		return true
 	}
-	phase1 := make([]float64, t.cols)
+	phase1 := t.phase1[:t.cols]
+	clear(phase1[:t.artStart])
 	for j := t.artStart; j < t.cols; j++ {
 		phase1[j] = 1
 	}
@@ -312,8 +367,9 @@ func (t *tableau) phaseTwo() Status {
 func (t *tableau) iterate(cost []float64) Status {
 	// Reduced costs against the current basis: z_j = c_j − c_B·B⁻¹A_j.
 	// The tableau rows stay in canonical basis-reduced form, so the
-	// reduction is a single pass over the basic rows.
-	z := make([]float64, t.cols)
+	// reduction is a single pass over the basic rows. z lives in pooled
+	// tableau storage; every use starts with a full copy from cost.
+	z := t.z[:t.cols]
 	copy(z, cost)
 	t.reduceInto(z)
 	for iter := 0; iter < maxIterTotal; iter++ {
@@ -449,7 +505,7 @@ func (t *tableau) extract(p Problem) Solution {
 	// cost is −y_i, for a surplus column (−e_i) it is +y_i, and for an
 	// artificial column (+e_i, zero phase-2 cost) it is −y_i. Rows that
 	// were negated to normalize b ≥ 0 flip the sign back.
-	z := make([]float64, t.cols)
+	z := t.z[:t.cols]
 	copy(z, t.cost)
 	t.reduceInto(z)
 	for i := 0; i < t.m; i++ {

@@ -117,6 +117,11 @@ type Config struct {
 	// options the reopened market is given. Nil solves each submission
 	// under its own Cfg.
 	Rule *core.PaymentRule
+	// Solver, when non-nil, overrides every submission's solver tier at
+	// Submit time, with the same before-logging semantics as Rule: the
+	// bid record carries the tier, so recovery re-solves pending bids
+	// under it. Nil solves each submission under its own Instance.Solver.
+	Solver *core.Solver
 	// Crash is test instrumentation: consulted at each crash point with
 	// the submission's sequence number; returning true kills the market
 	// as if the process died there. Nil (production) never crashes.
@@ -245,7 +250,11 @@ func (m *Market) recover() (map[int]batch.Instance, error) {
 			if r.Cfg != nil {
 				cfg = r.Cfg.ToConfig()
 			}
-			pendingInst[r.Seq] = batch.Instance{Bids: r.Bids, Cfg: cfg}
+			solver, err := core.ParseSolver(r.Solver)
+			if err != nil {
+				return fmt.Errorf("marketd: bid record %d: %w", r.Seq, err)
+			}
+			pendingInst[r.Seq] = batch.Instance{Bids: r.Bids, Cfg: cfg, Solver: solver}
 			if r.Seq >= m.next {
 				m.next = r.Seq + 1
 			}
@@ -378,6 +387,9 @@ func (m *Market) Submit(ctx context.Context, client string, inst batch.Instance)
 	}
 	if m.cfg.Rule != nil {
 		inst.Cfg.PaymentRule = *m.cfg.Rule
+	}
+	if m.cfg.Solver != nil {
+		inst.Solver = *m.cfg.Solver
 	}
 	if inst.Set != nil && inst.Bids == nil {
 		// Columnar submissions are solved through the shared Set (the batch

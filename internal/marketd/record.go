@@ -3,6 +3,7 @@ package marketd
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"github.com/fedauction/afl/internal/batch"
 	"github.com/fedauction/afl/internal/core"
@@ -95,6 +96,13 @@ type OutcomeRecord struct {
 	Cost     float64        `json:"cost,omitempty"`
 	Winners  []WinnerRecord `json:"winners,omitempty"`
 	Total    float64        `json:"total_payment,omitempty"`
+	// Approximate-solver provenance: the tier that produced the outcome
+	// and its certified bound and ratio. All three are omitted for exact
+	// solves (Result.Cert nil), so historical records and exact markets
+	// keep their byte-identical wire form.
+	Solver         string  `json:"solver,omitempty"`
+	CertLowerBound float64 `json:"cert_lower_bound,omitempty"`
+	CertRatio      float64 `json:"cert_ratio,omitempty"`
 }
 
 // recordFromOutcome flattens a batch outcome into its durable form.
@@ -110,6 +118,13 @@ func recordFromOutcome(oc batch.Outcome) OutcomeRecord {
 	}
 	rec.Tg = res.Tg
 	rec.Cost = res.Cost
+	if c := res.Cert; c != nil {
+		rec.Solver = c.Solver.String()
+		rec.CertLowerBound = c.LowerBound
+		if !math.IsInf(c.Ratio, 1) {
+			rec.CertRatio = c.Ratio
+		}
+	}
 	rec.Winners = make([]WinnerRecord, len(res.Winners))
 	for i, w := range res.Winners {
 		rec.Winners[i] = WinnerRecord{
@@ -132,10 +147,17 @@ type walRecord struct {
 	Type string `json:"type"`
 	Seq  int    `json:"seq"`
 
-	// recBid fields.
+	// recBid fields. Solver is the submission's solver tier wire name;
+	// empty (omitted) means exact, so records written before solver
+	// tiers existed replay unchanged. Persisting it in the bid record —
+	// not just the outcome — is what makes recovery bit-identical: a
+	// pending bid re-solved after a crash runs under the tier the
+	// original solve would have used, whatever the reopened market's
+	// own configuration says.
 	Client string      `json:"client,omitempty"`
 	Bids   []core.Bid  `json:"bids,omitempty"`
 	Cfg    *ConfigWire `json:"cfg,omitempty"`
+	Solver string      `json:"solver,omitempty"`
 
 	// recPay fields.
 	PayClient int     `json:"pay_client,omitempty"`
@@ -151,8 +173,12 @@ func encodeBidRecord(seq int, client string, inst batch.Instance) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
+	sv := ""
+	if inst.Solver != core.SolverExact {
+		sv = inst.Solver.String()
+	}
 	return json.Marshal(walRecord{
-		Type: recBid, Seq: seq, Client: client, Bids: inst.Bids, Cfg: &cw,
+		Type: recBid, Seq: seq, Client: client, Bids: inst.Bids, Cfg: &cw, Solver: sv,
 	})
 }
 

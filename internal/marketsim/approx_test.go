@@ -1,0 +1,188 @@
+package marketsim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fedauction/afl/internal/colgen"
+	"github.com/fedauction/afl/internal/core"
+	"github.com/fedauction/afl/internal/stats"
+)
+
+// Misreport probes against the approximate solver tiers.
+//
+// The fleet's truthful counterfactual (RunFleet) runs the exact engine,
+// so it says nothing about what a deviation buys a client once the sweep
+// solves only a subset of the candidate T̂_g values. This probe measures
+// that directly: one deviating agent, a grid of price multipliers, both
+// approximate tiers, utility compared against the same tier's truthful
+// run. Payments themselves remain exact Algorithm 3 critical values on
+// whichever T̂_g the approximate sweep selects — the tiers approximate
+// CANDIDATE ENUMERATION, never pricing — so the only leakage channel is
+// a misreport steering the coarse pass toward a different T̂_g. The
+// envelope pinned here is the empirical size of that channel; regressions
+// that widen it (e.g. a pricing shortcut sneaking into an approximate
+// tier) fail loudly.
+
+// approxProbeEnvelope is the pinned per-probe leakage bound, in cost
+// units, for a unilateral misreport under the approximate tiers.
+// Unlike the exact tier — provably truthful, leakage 0 — the
+// approximate tiers have a real deviation channel: a misreport can
+// steer WHICH candidates the adaptive coarse pass solves, moving the
+// selected T̂_g to one where the deviator wins (or wins dearer). The
+// payment at the selected T̂_g is still an exact critical value, so the
+// channel's size is bounded by the per-round cost scale of the
+// population, not by the reserve: measured max over the probe grid
+// below is ≈15.3 (an underbid flipping the selected candidate for a
+// population whose costs sit in the [10, 60] band). The pin fails
+// loudly if a change widens the channel past its measured envelope —
+// e.g. a pricing shortcut sneaking into an approximate tier, which
+// would push leakage toward reserve scale.
+const approxProbeEnvelope = 16.0
+
+func approxTiers() []core.RunOptions {
+	return []core.RunOptions{
+		{Solver: core.SolverCoarseFine},
+		{Solver: core.SolverCoarseFine, Stride: 6},
+		{Solver: core.SolverLPRound, LP: colgen.Certifier{}},
+	}
+}
+
+func probeSolve(t *testing.T, bids []core.Bid, cfg core.Config, o core.RunOptions) core.Result {
+	t.Helper()
+	eng, err := core.NewEngine(bids, cfg)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	res, err := eng.RunCtx(context.Background(), o)
+	if err != nil && err != core.ErrInfeasible {
+		t.Fatalf("solve: %v", err)
+	}
+	return res
+}
+
+// agentUtility is the deviator's realized utility: payment minus true
+// cost over its accepted bids, zero when it loses or the market fails.
+func agentUtility(res core.Result, agent int) float64 {
+	if !res.Feasible {
+		return 0
+	}
+	var u float64
+	for _, w := range res.Winners {
+		if w.Bid.Client == agent {
+			u += w.Payment - w.Bid.TrueCost
+		}
+	}
+	return u
+}
+
+func TestApproxTiersMisreportEnvelope(t *testing.T) {
+	multipliers := []float64{0.8, 0.9, 1.1, 1.25}
+	cfg := core.Config{
+		T: 12, K: 2,
+		PaymentRule:    core.RuleExactCritical,
+		ExcludeOwnBids: true,
+		ReservePrice:   reservePrice,
+	}
+	var worst float64
+	probes := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		base := genWireless(stats.NewRNG(seed), 30, cfg.T)
+		for ti, o := range approxTiers() {
+			truthful := probeSolve(t, base, cfg, o)
+			// The deviator set: every truthful winner plus a sample of
+			// losers (losers can only gain by deviating INTO the market).
+			deviators := map[int]bool{}
+			for _, w := range truthful.Winners {
+				deviators[w.Bid.Client] = true
+			}
+			for c := 0; c < len(base); c += 7 {
+				deviators[base[c].Client] = true
+			}
+			for agent := range deviators {
+				honest := agentUtility(truthful, agent)
+				for _, mul := range multipliers {
+					dev := make([]core.Bid, len(base))
+					copy(dev, base)
+					for i := range dev {
+						if dev[i].Client == agent {
+							dev[i].Price *= mul
+						}
+					}
+					res := probeSolve(t, dev, cfg, o)
+					probes++
+					if gain := agentUtility(res, agent) - honest; gain > worst {
+						worst = gain
+						if gain > approxProbeEnvelope {
+							t.Errorf("seed %d tier %d agent %d ×%.2f: leakage %v exceeds envelope %v",
+								seed, ti, agent, mul, gain, approxProbeEnvelope)
+						}
+					}
+				}
+			}
+		}
+	}
+	if probes < 500 {
+		t.Fatalf("only %d probes ran", probes)
+	}
+	t.Logf("max leakage over %d probes: %v (envelope %v)", probes, worst, approxProbeEnvelope)
+}
+
+// TestApproxTiersPaymentsAreCritical locks the "approximate enumeration,
+// exact pricing" separation: at whichever T̂_g an approximate sweep
+// selects, every greedy winner's payment must equal the payment the
+// EXACT single-WDP solve at that T̂_g computes for it. (SolverLPRound's
+// rounded-in winners pay their claimed price by design; the rounding is
+// only adopted when it lowers total cost, and this run keeps the greedy
+// cover whenever the LP does not improve it.)
+func TestApproxTiersPaymentsAreCritical(t *testing.T) {
+	cfg := core.Config{
+		T: 14, K: 2,
+		PaymentRule:    core.RuleExactCritical,
+		ExcludeOwnBids: true,
+		ReservePrice:   reservePrice,
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		bids := genWireless(stats.NewRNG(seed), 36, cfg.T)
+		for ti, o := range approxTiers() {
+			res := probeSolve(t, bids, cfg, o)
+			if !res.Feasible {
+				continue
+			}
+			eng, err := core.NewEngine(bids, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := eng.SolveWDP(res.Tg)
+			refPay := map[int]float64{}
+			sameCover := len(ref.Winners) == len(res.Winners)
+			for _, w := range ref.Winners {
+				refPay[w.BidIndex] = w.Payment
+			}
+			for _, w := range res.Winners {
+				if _, ok := refPay[w.BidIndex]; !ok {
+					sameCover = false
+				}
+			}
+			if !sameCover {
+				// SolverLPRound adopted a rounded cover. RuleExactCritical
+				// re-prices over THAT set, so the greedy cover's critical
+				// values are not the reference; individual rationality and
+				// the reserve cap still are.
+				for _, w := range res.Winners {
+					if w.Payment < w.Bid.Price-1e-9 || w.Payment > cfg.ReservePrice+1e-9 {
+						t.Fatalf("seed %d tier %d: rounded winner %d pays %v outside [price %v, reserve %v]",
+							seed, ti, w.BidIndex, w.Payment, w.Bid.Price, cfg.ReservePrice)
+					}
+				}
+				continue
+			}
+			for _, w := range res.Winners {
+				if w.Payment != refPay[w.BidIndex] {
+					t.Fatalf("seed %d tier %d: winner %d pays %v, exact critical value %v",
+						seed, ti, w.BidIndex, w.Payment, refPay[w.BidIndex])
+				}
+			}
+		}
+	}
+}

@@ -277,6 +277,7 @@ type Metrics struct {
 	walOrphanPayments            *Counter
 	rateLimited                  *Counter
 	admissionRejected            *Counter
+	certificates                 *Counter
 	payments, cost               *Gauge
 	batchQueueDepth              *Gauge
 	wdpSeconds, auctionSeconds   *Histogram
@@ -285,7 +286,14 @@ type Metrics struct {
 	winnerPriceSeconds           *Histogram
 	batchSeconds                 *Histogram
 	recoverySeconds              *Histogram
+	certRatio                    *Histogram
 }
+
+// RatioBuckets are the bounds of the certified-approximation-ratio
+// histogram: the dial positions of the quality-vs-speed frontier
+// (1 = proven optimal, 1.05 and 1.2 = the frontier's benchmark gates)
+// rather than latency decades.
+var RatioBuckets = []float64{1, 1.01, 1.02, 1.05, 1.1, 1.2, 1.5, 2}
 
 // NewMetrics returns a Metrics observer writing into reg (nil creates a
 // fresh registry, retrievable via Registry).
@@ -326,6 +334,7 @@ func NewMetrics(reg *Registry) *Metrics {
 		walOrphanPayments:  reg.Counter("afl_wal_orphan_payments_total"),
 		rateLimited:        reg.Counter("afl_rate_limited_total"),
 		admissionRejected:  reg.Counter("afl_admission_rejected_total"),
+		certificates:       reg.Counter("afl_certificates_total"),
 		payments:           reg.Gauge("afl_payment_volume"),
 		cost:               reg.Gauge("afl_last_auction_cost"),
 		batchQueueDepth:    reg.Gauge("afl_batch_queue_depth"),
@@ -336,6 +345,7 @@ func NewMetrics(reg *Registry) *Metrics {
 		winnerPriceSeconds: reg.Histogram("afl_winner_price_seconds", nil),
 		batchSeconds:       reg.Histogram("afl_batch_seconds", nil),
 		recoverySeconds:    reg.Histogram("afl_market_recovery_seconds", nil),
+		certRatio:          reg.Histogram("afl_certificate_ratio", RatioBuckets),
 	}
 }
 
@@ -436,6 +446,11 @@ func (m *Metrics) Observe(e Event) {
 		m.rateLimited.Inc()
 	case EvAdmissionRejected:
 		m.admissionRejected.Inc()
+	case EvCertificateComputed:
+		m.certificates.Inc()
+		if e.OK && !math.IsInf(e.Value, 1) {
+			m.certRatio.Observe(e.Value)
+		}
 	case EvFaultInjected:
 		switch e.Label {
 		case "drop":

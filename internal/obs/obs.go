@@ -119,34 +119,40 @@ const (
 	// EvAdmissionRejected marks one submission turned away by queue-depth
 	// admission control. Value is the pending depth at rejection.
 	EvAdmissionRejected
+	// EvCertificateComputed closes an approximate sweep's certificate
+	// assembly. Label is the solver tier ("coarse-fine", "lp-round"),
+	// Tg the selected T̂_g, Round the number of candidates actually
+	// solved, Value the certified approximation ratio, OK feasibility.
+	EvCertificateComputed
 
-	numEventKinds = int(EvAdmissionRejected) + 1
+	numEventKinds = int(EvCertificateComputed) + 1
 )
 
 var eventKindNames = [numEventKinds]string{
-	EvAuctionStarted:    "auction_started",
-	EvWDPSolved:         "wdp_solved",
-	EvWinnerAccepted:    "winner_accepted",
-	EvPaymentComputed:   "payment_computed",
-	EvAuctionDone:       "auction_done",
-	EvRepairTriggered:   "repair_triggered",
-	EvRepairDone:        "repair_done",
-	EvRetryFired:        "retry_fired",
-	EvStragglerDetected: "straggler_detected",
-	EvDropDetected:      "drop_detected",
-	EvRoundDone:         "round_done",
-	EvFaultInjected:     "fault_injected",
-	EvPricingStarted:    "pricing_started",
-	EvWinnerPriced:      "winner_priced",
-	EvPricingDone:       "pricing_done",
-	EvBatchStarted:      "batch_started",
-	EvAuctionQueued:     "auction_queued",
-	EvAuctionDequeued:   "auction_dequeued",
-	EvBatchDone:         "batch_done",
-	EvMarketRecovered:   "market_recovered",
-	EvWALFault:          "wal_fault",
-	EvRateLimited:       "rate_limited",
-	EvAdmissionRejected: "admission_rejected",
+	EvAuctionStarted:      "auction_started",
+	EvWDPSolved:           "wdp_solved",
+	EvWinnerAccepted:      "winner_accepted",
+	EvPaymentComputed:     "payment_computed",
+	EvAuctionDone:         "auction_done",
+	EvRepairTriggered:     "repair_triggered",
+	EvRepairDone:          "repair_done",
+	EvRetryFired:          "retry_fired",
+	EvStragglerDetected:   "straggler_detected",
+	EvDropDetected:        "drop_detected",
+	EvRoundDone:           "round_done",
+	EvFaultInjected:       "fault_injected",
+	EvPricingStarted:      "pricing_started",
+	EvWinnerPriced:        "winner_priced",
+	EvPricingDone:         "pricing_done",
+	EvBatchStarted:        "batch_started",
+	EvAuctionQueued:       "auction_queued",
+	EvAuctionDequeued:     "auction_dequeued",
+	EvBatchDone:           "batch_done",
+	EvMarketRecovered:     "market_recovered",
+	EvWALFault:            "wal_fault",
+	EvRateLimited:         "rate_limited",
+	EvAdmissionRejected:   "admission_rejected",
+	EvCertificateComputed: "certificate_computed",
 }
 
 // String returns the kind's snake_case name.

@@ -1,11 +1,13 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 
+	"github.com/fedauction/afl/internal/colgen"
 	"github.com/fedauction/afl/internal/core"
 	"github.com/fedauction/afl/internal/fl"
 	"github.com/fedauction/afl/internal/obs"
@@ -25,6 +27,18 @@ type ServerConfig struct {
 	Job Job
 	// Auction parameterizes A_FL. Job.T/K/TMax take precedence when set.
 	Auction core.Config
+	// Solver selects the winner-determination tier of the session's
+	// auction sweep. The zero value (SolverExact) solves every candidate
+	// T̂_g — the historical behaviour, bit-identical. Approximate tiers
+	// attach a dual certificate to SessionReport.Auction.Cert bounding
+	// the session's social cost against the full-enumeration optimum;
+	// awards, payments and the training schedule then derive from the
+	// approximately-selected T̂_g.
+	Solver core.Solver
+	// Stride is the base coarse stride of the approximate solver tiers
+	// (zero selects the default; 1 is bit-identical to exact). It has no
+	// effect under SolverExact.
+	Stride int
 	// L2 is the ridge penalty of the global objective.
 	L2 float64
 	// Eval is the server-side evaluation set for reporting loss/accuracy.
@@ -264,7 +278,13 @@ func (s *Server) RunSession(conns map[int]Conn) (SessionReport, error) {
 			// VirtualClock, wall time otherwise.
 			eng = eng.Observe(s.cfg.Observer, clk.Now)
 		}
-		report.Auction = eng.Run()
+		// Infeasibility is not fatal here: the report carries the full
+		// sweep diagnostics and SessionReport.Err surfaces the sentinel.
+		ro := core.RunOptions{Solver: s.cfg.Solver, Stride: s.cfg.Stride}
+		if s.cfg.Solver == core.SolverLPRound {
+			ro.LP = colgen.Certifier{}
+		}
+		report.Auction, _ = eng.RunCtx(context.Background(), ro)
 	}
 	winners := make(map[int]core.Winner)
 	for _, w := range report.Auction.Winners {

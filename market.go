@@ -84,9 +84,11 @@ func WithMaxPending(n int) Option {
 //
 // The recognized options are WithDurability, WithSyncEvery, WithWorkers
 // (0 or negative selects GOMAXPROCS), WithQueue, WithRateLimit,
-// WithMaxPending, WithObserver, WithNow and WithPaymentRule (applied to
-// every submission's Cfg before its bid record is logged, so recovery
-// re-solves under the same rule).
+// WithMaxPending, WithObserver, WithNow, WithPaymentRule and WithSolver
+// (both applied to every submission before its bid record is logged, so
+// recovery re-solves under the same rule and solver tier; an
+// approximate-tier outcome additionally persists its certified lower
+// bound and ratio in the committed record).
 func OpenMarket(ctx context.Context, opts ...Option) (*Market, error) {
 	rc := applyOptions(opts)
 	return marketd.Open(ctx, marketd.Config{
@@ -100,6 +102,7 @@ func OpenMarket(ctx context.Context, opts ...Option) (*Market, error) {
 		Observer:   rc.obsv,
 		Now:        rc.now,
 		Rule:       rc.ruleOverride(),
+		Solver:     rc.solverOverride(),
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/fedauction/afl/internal/colgen"
 	"github.com/fedauction/afl/internal/core"
 )
 
@@ -14,12 +15,15 @@ import (
 type Option func(*runConfig)
 
 type runConfig struct {
-	workers int
-	queue   int
-	obsv    Observer
-	now     func() time.Time
-	rule    PaymentRule
-	ruleSet bool
+	workers   int
+	queue     int
+	obsv      Observer
+	now       func() time.Time
+	rule      PaymentRule
+	ruleSet   bool
+	solver    Solver
+	solverSet bool
+	stride    int
 
 	// Market-only knobs (see OpenMarket).
 	walDir     string
@@ -75,6 +79,36 @@ func WithPaymentRule(rule PaymentRule) Option {
 	return func(rc *runConfig) { rc.rule = rule; rc.ruleSet = true }
 }
 
+// WithSolver selects the winner-determination strategy of the T̂_g
+// sweep, uniformly across the entry points (Run and RunSet for the one
+// call, RunBatch and NewService per intake, OpenMarket per submission —
+// persisted in each bid's WAL record so a durable market's recovery
+// re-solves under the same tier):
+//
+//   - SolverExact (the default) solves every candidate — Algorithm 1
+//     exactly, bit-identical to historical builds, Result.Cert nil;
+//   - SolverCoarseFine solves a curvature-adapted subset of candidates
+//     and refines around the argmin;
+//   - SolverLPRound additionally tightens the selected T̂_g with the
+//     column-generation LP bound and adopts the rounded LP cover when it
+//     beats the greedy one.
+//
+// Approximate tiers attach a Certificate (Result.Cert) bounding
+// Cost/LowerBound against the full-enumeration optimum, so callers dial
+// speed against certified quality instead of trusting a heuristic.
+func WithSolver(s Solver) Option {
+	return func(rc *runConfig) { rc.solver = s; rc.solverSet = true }
+}
+
+// WithStride sets the base coarse stride of the approximate solver
+// tiers: solve every n-th candidate T̂_g, adapting to the observed cost
+// curvature. Zero or omitted selects the default (4); 1 solves every
+// candidate — bit-identical to the exact sweep, with a certificate
+// attached. It has no effect under SolverExact.
+func WithStride(n int) Option {
+	return func(rc *runConfig) { rc.stride = n }
+}
+
 // Run executes the full A_FL auction (Algorithm 1 of the paper) honoring
 // ctx and the functional options. It supersedes RunAuction and
 // RunAuctionConcurrent, whose behaviours are Run(context.Background(),
@@ -101,7 +135,7 @@ func Run(ctx context.Context, bids []Bid, cfg Config, opts ...Option) (Result, e
 	if err != nil {
 		return Result{}, err
 	}
-	return eng.RunCtx(ctx, core.RunOptions{Workers: rc.workers, Observer: rc.obsv, Now: rc.now})
+	return eng.RunCtx(ctx, rc.runOptions())
 }
 
 // RunSet is Run over a pre-compiled columnar population: the BidSet built
@@ -120,7 +154,24 @@ func RunSet(ctx context.Context, set *BidSet, cfg Config, opts ...Option) (Resul
 	if err != nil {
 		return Result{}, err
 	}
-	return eng.RunCtx(ctx, core.RunOptions{Workers: rc.workers, Observer: rc.obsv, Now: rc.now})
+	return eng.RunCtx(ctx, rc.runOptions())
+}
+
+// runOptions maps the facade's option state onto the core sweep options,
+// installing the column-generation certifier whenever an approximate
+// tier could use it (the hook is only consulted by SolverLPRound).
+func (rc *runConfig) runOptions() core.RunOptions {
+	o := core.RunOptions{
+		Workers:  rc.workers,
+		Observer: rc.obsv,
+		Now:      rc.now,
+		Solver:   rc.solver,
+		Stride:   rc.stride,
+	}
+	if rc.solver == SolverLPRound {
+		o.LP = colgen.Certifier{}
+	}
+	return o
 }
 
 // applyOptions folds the shared option set into one runConfig; every
