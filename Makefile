@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json bench-big bench-frontier fuzz market-e2e marketsim figures ablations vet clean api-check api-update
+.PHONY: all build test test-race race cover bench bench-json bench-big bench-frontier fuzz market-e2e marketsim bench-market figures ablations vet clean api-check api-update
 
 all: build test
 
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -run=FuzzBidJSON -fuzz=FuzzBidJSON -fuzztime=30s ./cmd/aflauction/
 	$(GO) test -run=FuzzWorkloadJSON -fuzz=FuzzWorkloadJSON -fuzztime=30s ./internal/workload/
 	$(GO) test -run=FuzzWALRecord -fuzz=FuzzWALRecord -fuzztime=30s ./internal/wal/
+	$(GO) test -run=FuzzWALSegment -fuzz=FuzzWALSegment -fuzztime=30s ./internal/wal/
 	$(GO) test -run=FuzzMarketScript -fuzz=FuzzMarketScript -fuzztime=30s ./internal/marketsim/
 
 # Kill/restart harness for the durable market daemon: crash-point matrix,
@@ -67,6 +68,14 @@ market-e2e:
 # under A_FL. Writes throughput/latency to BENCH_market.json.
 marketsim:
 	$(GO) run ./cmd/marketsim -sessions 1000 -seed 1 -out BENCH_market.json
+
+# Regenerate BENCH_market.json in full: the fleet load figures plus the
+# durability fast-path tables — sustained fully durable ingest with and
+# without group commit, and cold-restart recovery time at 10³..10⁶
+# auctions of history with and without checkpoints. Minutes, not CI
+# material (the CI market-e2e job runs the -quick smoke instead).
+bench-market:
+	$(GO) run ./cmd/marketsim -sessions 1000 -seed 1 -durability -out BENCH_market.json
 
 # Full-scale reproduction of the paper's Fig. 3-9 (CSV + ASCII to results/).
 figures:

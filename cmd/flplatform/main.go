@@ -22,7 +22,14 @@
 // whose submissions, outcomes and payments are logged to -wal and
 // replayed bit-identically on restart, with per-client token-bucket
 // rate limiting (-rate/-burst) and queue-depth admission control
-// (-maxpending) at the edge.
+// (-maxpending) at the edge. The fast-path knobs shape the WAL:
+// -group-commit (with -sync-interval) coalesces concurrent commits
+// into shared fsyncs, -checkpoint-every and -segment-bytes bound
+// restart replay to the post-checkpoint tail, and -retain bounds the
+// in-memory outcome history (pruned reads answer 410). At startup the
+// daemon prints the WAL size, segment count, last checkpoint and tail
+// replayed, warning when the tail exceeds -tail-warn; the same figures
+// are served live under GET /v1/stats.
 package main
 
 import (
@@ -74,6 +81,12 @@ func main() {
 	queueN := flag.Int("queue", 0, "market/marketd: submission queue bound (0 = twice the workers)")
 	walDir := flag.String("wal", "", "marketd: durability directory for the event log (empty = volatile)")
 	syncEvery := flag.Int("sync-every", 1, "marketd: fsync the event log every n appends")
+	groupCommit := flag.Bool("group-commit", false, "marketd: coalesce concurrent commits into shared fsyncs")
+	syncInterval := flag.Duration("sync-interval", 0, "marketd: group-commit linger to collect larger fsync batches (0 = sync when free)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "marketd: checkpoint+prune the WAL every n committed auctions (0 = never)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "marketd: rotate the WAL segment past this size (0 = never)")
+	retain := flag.Int("retain", 0, "marketd: keep at most n folded outcomes; older reads return 410 (0 = all)")
+	tailWarn := flag.Int("tail-warn", 10000, "marketd: warn at startup when recovery replayed more than n tail records")
 	rate := flag.Float64("rate", 0, "marketd: per-client sustained submissions/sec (0 = unlimited)")
 	burst := flag.Int("burst", 0, "marketd: per-client burst size (0 = ceil(rate))")
 	maxPending := flag.Int("maxpending", 0, "marketd: reject submissions past this pending depth (0 = unbounded)")
@@ -112,7 +125,12 @@ func main() {
 	case "market":
 		runMarket(*jobs, *clients, *workers, *queueN, *seed)
 	case "marketd":
-		runMarketd(*addr, *walDir, *workers, *queueN, *syncEvery, *rate, *burst, *maxPending)
+		runMarketd(marketdFlags{
+			addr: *addr, walDir: *walDir, workers: *workers, queue: *queueN,
+			syncEvery: *syncEvery, groupCommit: *groupCommit, syncInterval: *syncInterval,
+			checkpointEvery: *checkpointEvery, segmentBytes: *segmentBytes, retain: *retain,
+			tailWarn: *tailWarn, rate: *rate, burst: *burst, maxPending: *maxPending,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -376,37 +394,67 @@ func runMarket(jobs, clients, workers, queue int, seed int64) {
 	}
 }
 
+// marketdFlags carries the -mode marketd flag set into runMarketd.
+type marketdFlags struct {
+	addr, walDir      string
+	workers, queue    int
+	syncEvery         int
+	groupCommit       bool
+	syncInterval      time.Duration
+	checkpointEvery   int
+	segmentBytes      int64
+	retain            int
+	tailWarn          int
+	rate              float64
+	burst, maxPending int
+}
+
 // runMarketd serves the durable market daemon: an HTTP/JSON API over an
 // afl.Market whose every acknowledged submission survives process death
 // (with -wal) and is restored or re-solved on the next start. The
 // daemon runs until SIGINT/SIGTERM, then shuts the listener down,
 // drains in-flight auctions, and syncs the log.
-func runMarketd(addr, walDir string, workers, queue, syncEvery int, rate float64, burst, maxPending int) {
+func runMarketd(f marketdFlags) {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	m, err := afl.OpenMarket(context.Background(),
-		afl.WithDurability(walDir),
-		afl.WithWorkers(workers), afl.WithQueue(queue),
-		afl.WithSyncEvery(syncEvery),
-		afl.WithRateLimit(rate, burst),
-		afl.WithMaxPending(maxPending),
-		afl.WithObserver(observer))
+	opts := []afl.Option{
+		afl.WithDurability(f.walDir),
+		afl.WithWorkers(f.workers), afl.WithQueue(f.queue),
+		afl.WithSyncEvery(f.syncEvery),
+		afl.WithCheckpointEvery(f.checkpointEvery),
+		afl.WithSegmentBytes(f.segmentBytes),
+		afl.WithRetainOutcomes(f.retain),
+		afl.WithRateLimit(f.rate, f.burst),
+		afl.WithMaxPending(f.maxPending),
+		afl.WithObserver(observer),
+	}
+	if f.groupCommit {
+		opts = append(opts, afl.WithGroupCommit(f.syncInterval))
+	}
+	m, err := afl.OpenMarket(context.Background(), opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	next, committed, pending, _ := m.Counts()
-	if walDir != "" {
+	if f.walDir != "" {
 		fmt.Printf("marketd: recovered %d committed outcomes, %d pending re-queued (%d faults absorbed), next seq %d\n",
 			committed, pending, m.RecoveredFaults(), next)
+		info := m.WALInfo()
+		fmt.Printf("marketd: wal %d bytes in %d segments, last checkpoint seq %d, tail replayed %d records\n",
+			info.Bytes, info.Segments, info.LastCheckpointSeq, info.TailReplayed)
+		if f.tailWarn > 0 && info.TailReplayed > f.tailWarn {
+			fmt.Fprintf(os.Stderr, "marketd: WARNING: recovery replayed %d tail records (> %d); enable or tighten -checkpoint-every to bound restart time\n",
+				info.TailReplayed, f.tailWarn)
+		}
 	}
 
-	srv := &http.Server{Addr: addr, Handler: afl.MarketHandler(m)}
+	srv := &http.Server{Addr: f.addr, Handler: afl.MarketHandler(m)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("marketd: serving on %s (wal=%q rate=%g burst=%d maxpending=%d)\n",
-		addr, walDir, rate, burst, maxPending)
+	fmt.Printf("marketd: serving on %s (wal=%q rate=%g burst=%d maxpending=%d group-commit=%v checkpoint-every=%d)\n",
+		f.addr, f.walDir, f.rate, f.burst, f.maxPending, f.groupCommit, f.checkpointEvery)
 
 	select {
 	case <-ctx.Done():

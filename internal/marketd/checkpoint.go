@@ -1,0 +1,145 @@
+package marketd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
+)
+
+// recCheckpoint is the record type of a checkpoint snapshot: always the
+// first record of a checkpoint-flagged segment, embedding everything
+// recovery needs so that every earlier segment becomes prunable.
+const recCheckpoint = "checkpoint"
+
+// ledgerEntry is one client's cumulative payment inside a checkpoint.
+type ledgerEntry struct {
+	Client  int     `json:"client"`
+	Payment float64 `json:"payment"`
+}
+
+// pendingEntry is one acknowledged-but-uncommitted submission inside a
+// checkpoint: the bid record's durable content re-homed into the new
+// segment, so pruning the segment holding the original bid record
+// cannot lose the submission.
+type pendingEntry struct {
+	Seq    int         `json:"seq"`
+	Bids   []core.Bid  `json:"bids,omitempty"`
+	Cfg    *ConfigWire `json:"cfg,omitempty"`
+	Solver string      `json:"solver,omitempty"`
+}
+
+// checkpointRecord is the folded state of the market at snapshot time.
+// Seq carries the next sequence number (the snapshot horizon); Base and
+// FoldedNext delimit the retained outcome window exactly as the live
+// market holds it, so recovery from a checkpoint reconstructs the same
+// state object-for-object. Ledger is the frontier fold over every
+// committed sequence below FoldedNext — including outcomes the
+// retention policy already evicted, which is why it must be restored
+// verbatim rather than refolded.
+type checkpointRecord struct {
+	Type       string          `json:"type"`
+	Seq        int             `json:"seq"`
+	Base       int             `json:"base"`
+	FoldedNext int             `json:"folded_next"`
+	Ledger     []ledgerEntry   `json:"ledger,omitempty"`
+	Outcomes   []OutcomeRecord `json:"outcomes,omitempty"`
+	Pending    []pendingEntry  `json:"pending,omitempty"`
+}
+
+// encodeCheckpointLocked serializes the market's current folded state.
+// Checkpoints are rare (every CheckpointEvery commits), so this uses
+// plain json.Marshal; the per-record hot path never comes through here.
+// Caller holds m.mu.
+func (m *Market) encodeCheckpointLocked() ([]byte, error) {
+	rec := checkpointRecord{
+		Type:       recCheckpoint,
+		Seq:        m.next,
+		Base:       m.base,
+		FoldedNext: m.foldedNext,
+	}
+
+	clients := make([]int, 0, len(m.ledger))
+	for c := range m.ledger {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	for _, c := range clients {
+		rec.Ledger = append(rec.Ledger, ledgerEntry{Client: c, Payment: m.ledger[c]})
+	}
+
+	seqs := make([]int, 0, len(m.outcomes))
+	for seq := range m.outcomes {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		rec.Outcomes = append(rec.Outcomes, m.outcomes[seq])
+	}
+
+	pend := make([]int, 0, len(m.pending))
+	for seq := range m.pending {
+		pend = append(pend, seq)
+	}
+	sort.Ints(pend)
+	for _, seq := range pend {
+		inst := m.pending[seq]
+		cw, err := FromConfig(inst.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("marketd: checkpointing pending seq %d: %w", seq, err)
+		}
+		sv := ""
+		if inst.Solver != core.SolverExact {
+			sv = inst.Solver.String()
+		}
+		rec.Pending = append(rec.Pending, pendingEntry{
+			Seq: seq, Bids: inst.Bids, Cfg: &cw, Solver: sv,
+		})
+	}
+	return json.Marshal(rec)
+}
+
+// restoreCheckpoint loads a decoded checkpoint snapshot into the
+// market's state and returns the pending instances it carried. Runs
+// during recovery, before the consumer starts.
+func (m *Market) restoreCheckpoint(rec checkpointRecord) (map[int]batch.Instance, error) {
+	m.next = rec.Seq
+	m.base = rec.Base
+	m.foldedNext = rec.FoldedNext
+	m.lastCkptSeq = rec.Seq
+	for _, l := range rec.Ledger {
+		m.ledger[l.Client] = l.Payment
+	}
+	for _, oc := range rec.Outcomes {
+		m.outcomes[oc.Seq] = oc
+	}
+	pendingInst := make(map[int]batch.Instance, len(rec.Pending))
+	for _, p := range rec.Pending {
+		var cfg core.Config
+		if p.Cfg != nil {
+			cfg = p.Cfg.ToConfig()
+		}
+		solver, err := core.ParseSolver(p.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("marketd: checkpoint pending seq %d: %w", p.Seq, err)
+		}
+		pendingInst[p.Seq] = batch.Instance{Bids: p.Bids, Cfg: cfg, Solver: solver}
+		if p.Seq >= m.next {
+			m.next = p.Seq + 1
+		}
+	}
+	return pendingInst, nil
+}
+
+func decodeCheckpoint(payload []byte) (checkpointRecord, error) {
+	var rec checkpointRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("marketd: undecodable checkpoint record: %w", err)
+	}
+	if rec.Type != recCheckpoint {
+		return rec, fmt.Errorf("marketd: checkpoint record with type %q", rec.Type)
+	}
+	return rec, nil
+}

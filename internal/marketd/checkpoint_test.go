@@ -1,0 +1,357 @@
+package marketd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/fedauction/afl/internal/batch"
+)
+
+// runMarket opens a market with cfg (Dir filled by the caller), submits
+// every instance, waits for all commits, snapshots, and closes.
+func runMarket(t testing.TB, cfg Config, insts []batch.Instance) []byte {
+	t.Helper()
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		seq, err := m.Submit(context.Background(), "c", inst)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatalf("wait(%d): %v", seq, err)
+		}
+	}
+	snap := m.Snapshot()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestCheckpointRecoveryMatchesFullReplay is the tentpole equivalence:
+// a checkpointing market's recovered state is byte-identical to the
+// unbounded-log replay of the same workload, while replaying only the
+// tail since the last checkpoint.
+func TestCheckpointRecoveryMatchesFullReplay(t *testing.T) {
+	insts := marketInstances(t, 9)
+	golden := goldenSnapshot(t, insts)
+
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Workers: 1, CheckpointEvery: 3}
+	if got := runMarket(t, cfg, insts); !bytes.Equal(got, golden) {
+		t.Fatalf("checkpointing run diverged from golden:\n got %s\nwant %s", got, golden)
+	}
+
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if snap := m.Snapshot(); !bytes.Equal(snap, golden) {
+		t.Fatalf("checkpoint recovery diverged from golden:\n got %s\nwant %s", snap, golden)
+	}
+	info := m.WALInfo()
+	if info.LastCheckpointSeq != 9 {
+		t.Fatalf("LastCheckpointSeq = %d, want 9", info.LastCheckpointSeq)
+	}
+	// 9 commits, checkpoint every 3: the newest checkpoint covers all 9,
+	// so recovery replays an empty tail.
+	if info.TailReplayed != 0 {
+		t.Fatalf("TailReplayed = %d, want 0 (recovery should start at the newest checkpoint)", info.TailReplayed)
+	}
+	if info.Segments > 2 {
+		t.Fatalf("pruning left %d segments", info.Segments)
+	}
+	next, committed, pending, _ := m.Counts()
+	if next != 9 || committed != 9 || pending != 0 {
+		t.Fatalf("Counts = %d/%d/%d, want 9/9/0", next, committed, pending)
+	}
+}
+
+// TestCheckpointMidTailRecovery: commits past the last checkpoint live
+// only in the tail; recovery replays exactly them.
+func TestCheckpointMidTailRecovery(t *testing.T) {
+	insts := marketInstances(t, 8)
+	golden := goldenSnapshot(t, insts)
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Workers: 1, CheckpointEvery: 3}
+	runMarket(t, cfg, insts) // checkpoints after 3 and 6; seqs 6,7 in the tail
+
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if snap := m.Snapshot(); !bytes.Equal(snap, golden) {
+		t.Fatal("mid-tail recovery diverged from golden")
+	}
+	info := m.WALInfo()
+	if info.LastCheckpointSeq != 6 {
+		t.Fatalf("LastCheckpointSeq = %d, want 6", info.LastCheckpointSeq)
+	}
+	// Two committed auctions after the checkpoint, one winner each or
+	// more: tail = their pay+outcome records. At minimum 2 outcomes.
+	if info.TailReplayed < 2 || info.TailReplayed > 12 {
+		t.Fatalf("TailReplayed = %d, want the small post-checkpoint tail", info.TailReplayed)
+	}
+}
+
+// TestCheckpointCrashPointsRecover drives the two checkpoint crash
+// points and requires recovery to converge to the golden state.
+func TestCheckpointCrashPointsRecover(t *testing.T) {
+	insts := marketInstances(t, 7)
+	golden := goldenSnapshot(t, insts)
+	for _, point := range []string{CrashCheckpointRotated, CrashCheckpointWritten} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			armed := true
+			cfg := Config{
+				Dir: dir, Workers: 1, CheckpointEvery: 3,
+				Crash: func(p string, seq int) bool {
+					if armed && p == point {
+						armed = false
+						return true
+					}
+					return false
+				},
+			}
+			m, err := Open(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, inst := range insts {
+				seq, serr := m.Submit(context.Background(), "c", inst)
+				if serr != nil {
+					break // killed mid-run; recovery takes over
+				}
+				if _, werr := m.Wait(context.Background(), seq); werr != nil {
+					break
+				}
+			}
+			if !m.Killed() {
+				t.Fatalf("crash point %s never fired", point)
+			}
+			m.Close()
+
+			// Reopen without the crash hook and finish the workload.
+			m2, err := Open(context.Background(), Config{Dir: dir, Workers: 1, CheckpointEvery: 3})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", point, err)
+			}
+			defer m2.Close()
+			next, _, _, _ := m2.Counts()
+			for i := next; i < len(insts); i++ {
+				seq, serr := m2.Submit(context.Background(), "c", insts[i])
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				if _, werr := m2.Wait(context.Background(), seq); werr != nil {
+					t.Fatal(werr)
+				}
+			}
+			// Wait for any recovered pending submissions too.
+			for i := 0; i < len(insts); i++ {
+				if _, err := m2.Wait(context.Background(), i); err != nil {
+					t.Fatalf("wait(%d) after recovery: %v", i, err)
+				}
+			}
+			if snap := m2.Snapshot(); !bytes.Equal(snap, golden) {
+				t.Fatalf("recovery after %s diverged from golden:\n got %s\nwant %s", point, snap, golden)
+			}
+		})
+	}
+}
+
+// TestRetentionPrunesOutcomes: a bounded retention window serves old
+// seqs as ErrPruned while the ledger keeps their payments, across
+// restarts and checkpoints.
+func TestRetentionPrunesOutcomes(t *testing.T) {
+	insts := marketInstances(t, 8)
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Workers: 1, CheckpointEvery: 3, RetainOutcomes: 2}
+
+	unbounded := Config{Dir: t.TempDir(), Workers: 1}
+	mRef, err := Open(context.Background(), unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		seq, _ := mRef.Submit(context.Background(), "c", inst)
+		if _, err := mRef.Wait(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refLedger := mRef.Ledger()
+	mRef.Close()
+
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		seq, _ := m.Submit(context.Background(), "c", inst)
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ledger := m.Ledger()
+	if len(ledger) != len(refLedger) {
+		t.Fatalf("retention changed the ledger: %v vs %v", ledger, refLedger)
+	}
+	for c, p := range refLedger {
+		if ledger[c] != p {
+			t.Fatalf("ledger[%d] = %v, want %v", c, ledger[c], p)
+		}
+	}
+	if _, _, err := m.Outcome(0); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Outcome(0) err = %v, want ErrPruned", err)
+	}
+	if _, err := m.Wait(context.Background(), 0); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Wait(0) err = %v, want ErrPruned", err)
+	}
+	if _, ok, err := m.Outcome(7); !ok || err != nil {
+		t.Fatalf("Outcome(7) = ok %v err %v, want retained", ok, err)
+	}
+	m.Close()
+
+	// Restart: the retention state survives through the checkpoint.
+	m2, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, _, err := m2.Outcome(1); !errors.Is(err, ErrPruned) {
+		t.Fatalf("restart Outcome(1) err = %v, want ErrPruned", err)
+	}
+	ledger2 := m2.Ledger()
+	for c, p := range refLedger {
+		if ledger2[c] != p {
+			t.Fatalf("restart ledger[%d] = %v, want %v", c, ledger2[c], p)
+		}
+	}
+}
+
+// TestGroupCommitMarket: a group-commit market under concurrent
+// submitters solves every instance to its serial-reference outcome,
+// survives restart byte-identically, and fsyncs fewer times than it
+// writes records. Seq assignment races between submitters, so outcomes
+// are checked per instance rather than against the ordered golden.
+func TestGroupCommitMarket(t *testing.T) {
+	insts := marketInstances(t, 8)
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Workers: 2, GroupCommit: true}
+
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	seqs := make([]int, len(insts))
+	errCh := make(chan error, len(insts))
+	for i := range insts {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seq, err := m.Submit(context.Background(), "c", insts[i])
+			if err != nil {
+				errCh <- err
+				return
+			}
+			seqs[i] = seq
+			if _, err := m.Wait(context.Background(), seq); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i, seq := range seqs {
+		rec, ok, err := m.Outcome(seq)
+		if !ok || err != nil {
+			t.Fatalf("Outcome(%d) = ok %v err %v", seq, ok, err)
+		}
+		assertRecordEqual(t, rec, solveRecord(t, seq, insts[i]))
+	}
+	info := m.WALInfo()
+	// 8 bids + ≥8 outcomes + pay records: well above 16 records. Group
+	// commit must have coalesced at least some fsyncs.
+	if info.Syncs >= 16 {
+		t.Fatalf("group commit did not coalesce: %d fsyncs", info.Syncs)
+	}
+	snap := m.Snapshot()
+	m.Close()
+
+	m2, err := Open(context.Background(), Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.Snapshot(); !bytes.Equal(got, snap) {
+		t.Fatalf("group-commit restart diverged:\n got %s\nwant %s", got, snap)
+	}
+}
+
+// TestGroupCommitWithCheckpoints combines every fast-path feature and
+// still requires golden-state equality across a restart.
+func TestGroupCommitWithCheckpoints(t *testing.T) {
+	insts := marketInstances(t, 9)
+	golden := goldenSnapshot(t, insts)
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir, Workers: 2, GroupCommit: true,
+		CheckpointEvery: 4, SegmentRecords: 6,
+	}
+	if got := runMarket(t, cfg, insts); !bytes.Equal(got, golden) {
+		t.Fatal("combined fast-path run diverged from golden")
+	}
+	m, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if snap := m.Snapshot(); !bytes.Equal(snap, golden) {
+		t.Fatal("combined fast-path recovery diverged from golden")
+	}
+}
+
+// TestSubmitBatchMatchesLoop: a batched submission commits the same
+// state as a loop of single submissions of the same instances.
+func TestSubmitBatchMatchesLoop(t *testing.T) {
+	insts := marketInstances(t, 5)
+	golden := goldenSnapshot(t, insts)
+	dir := t.TempDir()
+	m, err := Open(context.Background(), Config{Dir: dir, Workers: 2, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := m.SubmitBatch(context.Background(), "c", insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != len(insts) {
+		t.Fatalf("SubmitBatch returned %d seqs, want %d", len(seqs), len(insts))
+	}
+	for i, seq := range seqs {
+		if seq != i {
+			t.Fatalf("seqs[%d] = %d, want consecutive from 0", i, seq)
+		}
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	m.Close()
+	if !bytes.Equal(snap, golden) {
+		t.Fatalf("batched submission diverged from golden:\n got %s\nwant %s", snap, golden)
+	}
+}

@@ -1,0 +1,241 @@
+package marketd
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/fedauction/afl/internal/batch"
+	"github.com/fedauction/afl/internal/core"
+)
+
+// hostileStrings exercise every escape class of encoding/json's default
+// string encoder.
+var hostileStrings = []string{
+	"", "alice", "a b c", `quote"back\slash`, "tab\tnew\nline\rret",
+	"ctrl\x01\x1f", "html<&>", "utf8 ✓ θ", "bad\xffutf8", "sep and ",
+}
+
+// hostileFloats cross the 'f'/'e' format boundary and the exponent
+// cleanup path of encoding/json's float encoder.
+var hostileFloats = []float64{
+	0, 1, -1, 0.5, 1.0 / 3.0, 3.1415926535897932, 1e-6, 9.999e-7, 1e-7,
+	-2.5e-8, 1e20, 1e21, 1.5e21, -7e300, 123456789.125, math.SmallestNonzeroFloat64,
+	math.MaxFloat64, math.Copysign(0, -1),
+}
+
+// TestEncodeDifferential locks the append encoders to encoding/json:
+// for a spread of hostile values, every record kind must byte-match
+// json.Marshal on the walRecord envelope the old encoder built.
+func TestEncodeDifferential(t *testing.T) {
+	bid := func(i int) core.Bid {
+		f := hostileFloats[i%len(hostileFloats)]
+		return core.Bid{
+			Client: i, Index: -i, Price: f, TrueCost: f / 2, Theta: 0.5,
+			Start: 1, End: 10, Rounds: 3, CompTime: f * 3, CommTime: 1e-7,
+		}
+	}
+
+	t.Run("bid", func(t *testing.T) {
+		for i, client := range hostileStrings {
+			cfg := core.Config{T: 10, K: 2}
+			if i%2 == 1 {
+				cfg = core.Config{
+					T: 10, K: 2, TMax: hostileFloats[i%len(hostileFloats)],
+					PaymentRule: core.PaymentRule(1), ReservePrice: 2.5,
+					ScheduleRule: core.ScheduleRule(1), ExcludeOwnBids: true,
+				}
+			}
+			inst := batch.Instance{Bids: []core.Bid{bid(i), bid(i + 1)}, Cfg: cfg}
+			if i%3 == 2 {
+				inst.Solver = core.SolverCoarseFine
+			}
+			if i == 0 {
+				inst.Bids = nil
+			}
+			got, err := appendBidRecord(nil, i, client, inst)
+			if err != nil {
+				t.Fatalf("appendBidRecord(%d): %v", i, err)
+			}
+			cw, _ := FromConfig(inst.Cfg)
+			sv := ""
+			if inst.Solver != core.SolverExact {
+				sv = inst.Solver.String()
+			}
+			want, err := json.Marshal(walRecord{
+				Type: recBid, Seq: i, Client: client, Bids: inst.Bids, Cfg: &cw, Solver: sv,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("bid record %d diverges:\n got %s\nwant %s", i, got, want)
+			}
+		}
+	})
+
+	t.Run("pay", func(t *testing.T) {
+		for i, f := range hostileFloats {
+			w := WinnerRecord{Client: i - 2, BidIndex: i % 3, Payment: f}
+			got, err := appendPayRecord(nil, i, w)
+			if err != nil {
+				t.Fatalf("appendPayRecord(%g): %v", f, err)
+			}
+			want, err := json.Marshal(walRecord{
+				Type: recPay, Seq: i, PayClient: w.Client, BidIndex: w.BidIndex, Amount: w.Payment,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pay record %d diverges:\n got %s\nwant %s", i, got, want)
+			}
+		}
+	})
+
+	t.Run("outcome", func(t *testing.T) {
+		recs := []OutcomeRecord{
+			{Seq: 0, Feasible: false},
+			{Seq: 1, Err: `no "bids" <found>`, Feasible: false},
+			{Seq: 2, Feasible: true, Tg: 7, Cost: 1.0 / 3.0, Total: 12.5,
+				Winners: []WinnerRecord{
+					{BidIndex: 0, Client: 1, Index: 2, Price: 3.5, Theta: 0.25, Slots: []int{1, 2, 3}, Payment: 4.75},
+					{BidIndex: 4, Client: 0, Index: 0, Price: 1e-7, Theta: 0.9, Slots: nil, Payment: 1e21},
+					{Slots: []int{}},
+				}},
+			{Seq: 3, Feasible: true, Tg: 1, Cost: 2, Solver: "lp-round",
+				CertLowerBound: 1.5, CertRatio: 1.333333, Winners: []WinnerRecord{{Slots: []int{9}}}},
+		}
+		for _, rec := range recs {
+			rec := rec
+			got, err := appendOutcomeRecord(nil, &rec)
+			if err != nil {
+				t.Fatalf("appendOutcomeRecord(%d): %v", rec.Seq, err)
+			}
+			want, err := json.Marshal(walRecord{Type: recOutcome, Seq: rec.Seq, Outcome: &rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("outcome record %d diverges:\n got %s\nwant %s", rec.Seq, got, want)
+			}
+		}
+	})
+
+	t.Run("strings", func(t *testing.T) {
+		for _, s := range hostileStrings {
+			got := appendJSONString(nil, s)
+			want, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("string %q diverges:\n got %s\nwant %s", s, got, want)
+			}
+		}
+	})
+
+	t.Run("nonfinite-rejected", func(t *testing.T) {
+		for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+			if _, err := appendPayRecord(nil, 1, WinnerRecord{Client: 1, Payment: f}); err == nil {
+				t.Fatalf("appendPayRecord accepted %v", f)
+			}
+		}
+	})
+}
+
+// TestPeekEnvelope checks the allocation-free type/seq scan against the
+// full decoder on every record kind, plus rejection of malformed input.
+func TestPeekEnvelope(t *testing.T) {
+	inst := batch.Instance{
+		Bids: []core.Bid{{Client: 1, Price: 2.5, Theta: 0.5, Start: 1, End: 4, Rounds: 2}},
+		Cfg:  core.Config{T: 4, K: 1},
+	}
+	bidRec, err := appendBidRecord(nil, 17, `tricky "client", {with} [json]`, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payRec, _ := appendPayRecord(nil, 18, WinnerRecord{Client: 3, Payment: 2})
+	oc := OutcomeRecord{Seq: 19, Feasible: true, Tg: 4, Cost: 1, Winners: []WinnerRecord{{Slots: []int{1}}}}
+	ocRec, _ := appendOutcomeRecord(nil, &oc)
+	cases := []struct {
+		payload []byte
+		typ     string
+		seq     int
+	}{
+		{bidRec, recBid, 17},
+		{payRec, recPay, 18},
+		{ocRec, recOutcome, 19},
+		{[]byte(`{"outcome":{"seq":5,"type":"x"},"type":"outcome","seq":6}`), recOutcome, 6},
+		{[]byte(` { "a" : [1,{"seq":9}] , "seq" : -4 , "type" : "bid" } `), recBid, -4},
+	}
+	for _, c := range cases {
+		typ, seq, err := peekEnvelope(c.payload)
+		if err != nil {
+			t.Fatalf("peekEnvelope(%s): %v", c.payload, err)
+		}
+		if typ != c.typ || seq != c.seq {
+			t.Fatalf("peekEnvelope(%s) = (%q,%d), want (%q,%d)", c.payload, typ, seq, c.typ, c.seq)
+		}
+	}
+	for _, bad := range []string{
+		``, `[]`, `{"type":"bid"}`, `{"seq":1}`, `{"type":`, `{"seq":"x","type":"bid"}`, `{bad}`,
+	} {
+		if _, _, err := peekEnvelope([]byte(bad)); err == nil {
+			t.Fatalf("peekEnvelope(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestEncodeAllocGuard is the ISSUE 10 acceptance guard: the append
+// encoders on a reused buffer must allocate at least 5× less per
+// committed auction (bid + pay + outcome record) than the
+// json.Marshal-based encoding they replaced.
+func TestEncodeAllocGuard(t *testing.T) {
+	inst := batch.Instance{
+		Bids: []core.Bid{
+			{Client: 0, Price: 2.5, Theta: 0.5, Start: 1, End: 8, Rounds: 4, CompTime: 0.1, CommTime: 0.2},
+			{Client: 1, Price: 3.25, Theta: 0.4, Start: 1, End: 8, Rounds: 4, CompTime: 0.3, CommTime: 0.1},
+		},
+		Cfg: core.Config{T: 8, K: 1},
+	}
+	w := WinnerRecord{BidIndex: 1, Client: 1, Index: 0, Price: 3.25, Theta: 0.4, Slots: []int{1, 2, 3, 4}, Payment: 4.5}
+	oc := OutcomeRecord{Seq: 42, Feasible: true, Tg: 8, Cost: 3.25, Winners: []WinnerRecord{w}, Total: 4.5}
+
+	buf := make([]byte, 0, 4096)
+	newAllocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf = buf[:0]
+		if buf, err = appendBidRecord(buf, 42, "alice", inst); err != nil {
+			t.Fatal(err)
+		}
+		if buf, err = appendPayRecord(buf, 42, w); err != nil {
+			t.Fatal(err)
+		}
+		if buf, err = appendOutcomeRecord(buf, &oc); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	oldAllocs := testing.AllocsPerRun(200, func() {
+		cw, _ := FromConfig(inst.Cfg)
+		if _, err := json.Marshal(walRecord{Type: recBid, Seq: 42, Client: "alice", Bids: inst.Bids, Cfg: &cw}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := json.Marshal(walRecord{Type: recPay, Seq: 42, PayClient: w.Client, BidIndex: w.BidIndex, Amount: w.Payment}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := json.Marshal(walRecord{Type: recOutcome, Seq: 42, Outcome: &oc}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("allocs per committed auction: append path %.1f, json.Marshal path %.1f", newAllocs, oldAllocs)
+	if newAllocs*5 > oldAllocs {
+		t.Fatalf("append encoders allocate %.1f/auction vs %.1f for json.Marshal — less than the required 5x reduction", newAllocs, oldAllocs)
+	}
+	if newAllocs > 2 {
+		t.Fatalf("append encoders allocate %.1f/auction on a reused buffer; want a small constant", newAllocs)
+	}
+}

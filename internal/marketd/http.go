@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"github.com/fedauction/afl/internal/batch"
 	"github.com/fedauction/afl/internal/core"
@@ -26,7 +27,29 @@ type SubmitResponse struct {
 	Seq int `json:"seq"`
 }
 
-// StatsResponse is the GET /v1/stats body.
+// BatchSubmitRequest is the POST /v1/auctions:batch body: several
+// auction instances from one client, made durable under a single group
+// commit (one fsync for the whole batch).
+type BatchSubmitRequest struct {
+	Client    string          `json:"client"`
+	Instances []BatchInstance `json:"instances"`
+}
+
+// BatchInstance is one auction inside a batch submission.
+type BatchInstance struct {
+	Bids []core.Bid `json:"bids"`
+	Cfg  ConfigWire `json:"cfg"`
+}
+
+// BatchSubmitResponse acknowledges a durably logged batch; Seqs are in
+// instance order.
+type BatchSubmitResponse struct {
+	Seqs []int `json:"seqs"`
+}
+
+// StatsResponse is the GET /v1/stats body. The embedded WALInfo fields
+// are zero for a volatile market (LastCheckpointSeq is -1 when no
+// checkpoint exists).
 type StatsResponse struct {
 	Next       int  `json:"next_seq"`
 	Committed  int  `json:"committed"`
@@ -34,6 +57,7 @@ type StatsResponse struct {
 	QueueDepth int  `json:"queue_depth"`
 	Faults     int  `json:"recovered_faults"`
 	Killed     bool `json:"killed"`
+	WALInfo
 }
 
 type errorBody struct {
@@ -47,19 +71,35 @@ type errorBody struct {
 //	                         when the client's token bucket is empty,
 //	                         503 + Retry-After when admission control
 //	                         rejects on pending depth, 400 on a bad body
+//	POST /v1/auctions:batch  submit several auctions at once; 200
+//	                         {"seqs":[...]} once every bid record is
+//	                         durable — the whole batch rides one group
+//	                         commit, so it costs one fsync. Admission
+//	                         (rate limit, pending depth) is charged per
+//	                         request, not per instance.
 //	GET  /v1/auctions/{seq}  200 with the committed OutcomeRecord,
 //	                         202 {"seq":n} while still pending,
+//	                         410 for an outcome the retention policy
+//	                         pruned from history (its payments remain in
+//	                         the ledger),
 //	                         404 for a never-issued sequence number
 //	GET  /v1/ledger          200 with the per-client cumulative payments
-//	GET  /v1/stats           200 with load and recovery counters
+//	GET  /v1/stats           200 with load and recovery counters plus
+//	                         the WAL footprint (bytes, segments, last
+//	                         checkpoint, tail replayed at last restart)
 //	GET  /healthz            200 "ok", 503 after a kill
 //
 // Rate limiting is keyed by the request's client field, and both reject
 // paths set Retry-After in whole seconds (rounded up), so a compliant
 // client that honors it is admitted on its next attempt.
+//
+// Hot responses (submit acks and committed outcomes) are rendered by
+// the append-style encoders in encode.go through a buffer pool instead
+// of per-request json.Marshal; the bytes are identical.
 func Handler(m *Market) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/auctions", m.handleSubmit)
+	mux.HandleFunc("POST /v1/auctions:batch", m.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/auctions/{seq}", m.handleOutcome)
 	mux.HandleFunc("GET /v1/ledger", m.handleLedger)
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
@@ -79,6 +119,50 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// respBufPool recycles response-encoding buffers across requests so the
+// hot handlers (submit ack, committed outcome) write through the
+// append encoders without a per-request allocation.
+var respBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// writeBuf sends buf as a JSON response body (a trailing newline keeps
+// the bytes identical to writeJSON's json.Encoder output).
+func writeBuf(w http.ResponseWriter, status int, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// writeSeq renders {"seq":n} through the buffer pool.
+func writeSeq(w http.ResponseWriter, status, seq int) {
+	bp := respBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], `{"seq":`...)
+	buf = strconv.AppendInt(buf, int64(seq), 10)
+	buf = append(buf, '}', '\n')
+	writeBuf(w, status, buf)
+	*bp = buf[:0]
+	respBufPool.Put(bp)
+}
+
+// writeOutcome renders a committed OutcomeRecord through the buffer
+// pool, byte-identical to the json.Marshal form the WAL pins.
+func writeOutcome(w http.ResponseWriter, rec OutcomeRecord) {
+	bp := respBufPool.Get().(*[]byte)
+	buf, err := appendOutcomeBody((*bp)[:0], &rec)
+	if err != nil {
+		// Unreachable for committed records (non-finite floats cannot
+		// commit), but fall back rather than drop the response.
+		respBufPool.Put(bp)
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	buf = append(buf, '\n')
+	writeBuf(w, http.StatusOK, buf)
+	*bp = buf[:0]
+	respBufPool.Put(bp)
+}
+
 // retryAfterSeconds renders a wait as the integral Retry-After header
 // value: whole seconds, rounded up, at least 1.
 func retryAfterSeconds(wait float64) string {
@@ -89,19 +173,11 @@ func retryAfterSeconds(wait float64) string {
 	return strconv.Itoa(s)
 }
 
-func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
-		return
-	}
-	if len(req.Bids) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no bids"})
-		return
-	}
-
+// admit runs the shared admission checks (rate limit, pending depth)
+// and writes the reject response itself; callers proceed only on true.
+func (m *Market) admit(w http.ResponseWriter, r *http.Request, client string) bool {
 	if m.limiter != nil {
-		key := req.Client
+		key := client
 		if key == "" {
 			key = r.RemoteAddr
 		}
@@ -114,7 +190,7 @@ func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			w.Header().Set("Retry-After", retryAfterSeconds(wait.Seconds()))
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "rate limit exceeded"})
-			return
+			return false
 		}
 	}
 
@@ -128,8 +204,24 @@ func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "market saturated"})
-			return
+			return false
 		}
+	}
+	return true
+}
+
+func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Bids) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no bids"})
+		return
+	}
+	if !m.admit(w, r, req.Client) {
+		return
 	}
 
 	seq, err := m.Submit(r.Context(), req.Client, batch.Instance{Bids: req.Bids, Cfg: req.Cfg.ToConfig()})
@@ -142,13 +234,54 @@ func (m *Market) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Durably logged but not queued in this lifetime (e.g. the
 			// request context expired under backpressure): still an ack —
 			// the bid is in the WAL and the next Open solves it.
-			writeJSON(w, http.StatusOK, SubmitResponse{Seq: seq})
+			writeSeq(w, http.StatusOK, seq)
 			return
 		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{Seq: seq})
+	writeSeq(w, http.StatusOK, seq)
+}
+
+func (m *Market) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no bids"})
+		return
+	}
+	insts := make([]batch.Instance, len(req.Instances))
+	for i, in := range req.Instances {
+		if len(in.Bids) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "no bids"})
+			return
+		}
+		insts[i] = batch.Instance{Bids: in.Bids, Cfg: in.Cfg.ToConfig()}
+	}
+	if !m.admit(w, r, req.Client) {
+		return
+	}
+
+	seqs, err := m.SubmitBatch(r.Context(), req.Client, insts)
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		for _, seq := range seqs {
+			if seq < 0 {
+				// Not every bid record reached the log: no partial acks.
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+				return
+			}
+		}
+		// All durably logged; the error was a queueing-lifetime problem
+		// (see handleSubmit). Still an ack.
+	}
+	writeJSON(w, http.StatusOK, BatchSubmitResponse{Seqs: seqs})
 }
 
 func (m *Market) handleOutcome(w http.ResponseWriter, r *http.Request) {
@@ -159,12 +292,17 @@ func (m *Market) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, done, err := m.Outcome(seq)
 	switch {
+	case errors.Is(err, ErrPruned):
+		// The outcome was committed, folded into the ledger, and then
+		// evicted by the retention policy; history before the floor is
+		// permanently gone, which is what 410 means.
+		writeJSON(w, http.StatusGone, errorBody{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case !done:
-		writeJSON(w, http.StatusAccepted, SubmitResponse{Seq: seq})
+		writeSeq(w, http.StatusAccepted, seq)
 	default:
-		writeJSON(w, http.StatusOK, rec)
+		writeOutcome(w, rec)
 	}
 }
 
@@ -177,5 +315,6 @@ func (m *Market) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Next: next, Committed: committed, Pending: pending,
 		QueueDepth: depth, Faults: m.RecoveredFaults(), Killed: m.Killed(),
+		WALInfo: m.WALInfo(),
 	})
 }

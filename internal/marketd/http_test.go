@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -218,5 +219,141 @@ func TestHandlerClosedMarket(t *testing.T) {
 	h := Handler(m)
 	if rr := doJSON(t, h, "POST", "/v1/auctions", submitBody(t, "a", inst), nil); rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("closed submit = %d, want 503", rr.Code)
+	}
+}
+
+// TestHandlerBatchSubmit drives POST /v1/auctions:batch: one request,
+// consecutive seqs, every outcome committed and byte-identical to the
+// pooled single-outcome responses writeJSON would have produced.
+func TestHandlerBatchSubmit(t *testing.T) {
+	insts := marketInstances(t, 3)
+	m, err := Open(context.Background(), Config{Dir: t.TempDir(), Workers: 1, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h := Handler(m)
+
+	req := BatchSubmitRequest{Client: "alice"}
+	for _, inst := range insts {
+		cw, err := FromConfig(inst.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Instances = append(req.Instances, BatchInstance{Bids: inst.Bids, Cfg: cw})
+	}
+	body, _ := json.Marshal(req)
+	var ack BatchSubmitResponse
+	rr := doJSON(t, h, "POST", "/v1/auctions:batch", bytes.NewReader(body), &ack)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("batch submit status = %d, body %s", rr.Code, rr.Body.String())
+	}
+	if len(ack.Seqs) != len(insts) {
+		t.Fatalf("batch returned %d seqs, want %d", len(ack.Seqs), len(insts))
+	}
+	for i, seq := range ack.Seqs {
+		if seq != i {
+			t.Fatalf("seqs[%d] = %d, want consecutive from 0", i, seq)
+		}
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+		var rec OutcomeRecord
+		if rr := doJSON(t, h, "GET", "/v1/auctions/"+strconv.Itoa(seq), nil, &rec); rr.Code != http.StatusOK {
+			t.Fatalf("outcome %d status = %d", seq, rr.Code)
+		}
+		assertRecordEqual(t, rec, solveRecord(t, seq, insts[i]))
+	}
+
+	// Empty batch and an instance without bids are both rejected.
+	for _, bad := range []string{
+		`{"client":"a","instances":[]}`,
+		`{"client":"a","instances":[{"bids":[],"cfg":{"t":4,"k":1}}]}`,
+	} {
+		rr := doJSON(t, h, "POST", "/v1/auctions:batch", bytes.NewReader([]byte(bad)), nil)
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("bad batch %q status = %d, want 400", bad, rr.Code)
+		}
+	}
+}
+
+// TestHandlerPooledResponsesMatchJSON pins the pooled append-encoder
+// response bodies byte-for-byte against the json.Encoder rendering the
+// handlers used before.
+func TestHandlerPooledResponsesMatchJSON(t *testing.T) {
+	insts := marketInstances(t, 1)
+	m, err := Open(context.Background(), Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h := Handler(m)
+
+	var ack SubmitResponse
+	rr := doJSON(t, h, "POST", "/v1/auctions", submitBody(t, "alice", insts[0]), &ack)
+	wantAck, _ := json.Marshal(SubmitResponse{Seq: ack.Seq})
+	if got := rr.Body.String(); got != string(wantAck)+"\n" {
+		t.Fatalf("submit ack body %q, want %q", got, string(wantAck)+"\n")
+	}
+	if _, err := m.Wait(context.Background(), ack.Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	rr = doJSON(t, h, "GET", "/v1/auctions/0", nil, nil)
+	rec, _, err := m.Outcome(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBody bytes.Buffer
+	if err := json.NewEncoder(&wantBody).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Body.String() != wantBody.String() {
+		t.Fatalf("outcome body diverges from json.Encoder:\n got %q\nwant %q", rr.Body.String(), wantBody.String())
+	}
+}
+
+// TestHandlerPrunedAndStats covers the retention-facing HTTP surface:
+// 410 for pruned outcomes and the WAL footprint in /v1/stats.
+func TestHandlerPrunedAndStats(t *testing.T) {
+	insts := marketInstances(t, 5)
+	m, err := Open(context.Background(), Config{
+		Dir: t.TempDir(), Workers: 1, CheckpointEvery: 2, RetainOutcomes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h := Handler(m)
+	for _, inst := range insts {
+		seq, err := m.Submit(context.Background(), "c", inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(context.Background(), seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rr := doJSON(t, h, "GET", "/v1/auctions/0", nil, nil)
+	if rr.Code != http.StatusGone {
+		t.Fatalf("pruned outcome status = %d, want 410", rr.Code)
+	}
+	if !bytes.Contains(rr.Body.Bytes(), []byte("pruned")) {
+		t.Fatalf("410 body %q does not mention pruning", rr.Body.String())
+	}
+	if rr := doJSON(t, h, "GET", "/v1/auctions/99", nil, nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown outcome status = %d, want 404", rr.Code)
+	}
+
+	var stats StatsResponse
+	if rr := doJSON(t, h, "GET", "/v1/stats", nil, &stats); rr.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rr.Code)
+	}
+	if stats.Committed != 5 || stats.Bytes == 0 || stats.Segments == 0 {
+		t.Fatalf("stats = %+v, want committed 5 with a WAL footprint", stats)
+	}
+	if stats.LastCheckpointSeq < 2 {
+		t.Fatalf("stats.LastCheckpointSeq = %d, want a checkpoint", stats.LastCheckpointSeq)
 	}
 }

@@ -27,6 +27,24 @@
 // state of an uninterrupted run, with zero lost or duplicated sequence
 // numbers. The crash-point matrix (see Config.Crash and the test/e2e
 // suite) pins this for every interleaving of the commit protocol.
+//
+// The serving fast path layers three optimizations on that protocol
+// without changing its semantics:
+//
+//   - segmented WAL with checkpoints (Config.CheckpointEvery): every N
+//     commits the market rotates into a checkpoint-flagged segment and
+//     writes a snapshot record — folded ledger, retained outcomes, and
+//     pending submissions — then prunes the covered segments. Recovery
+//     opens at the newest checkpoint and replays only the tail, so
+//     restart cost is O(tail), not O(history);
+//   - group commit (Config.GroupCommit): appends buffer and a dedicated
+//     syncer coalesces concurrent Submit/commit durability waits into
+//     one fsync, so SyncEvery=1 durability no longer serializes
+//     producers on disk latency;
+//   - append-style record encoding (encode.go): the per-record
+//     json.Marshal trees on the append and replay paths are replaced by
+//     pooled byte-identical encoders, dropping allocations per
+//     committed auction to a small constant.
 package marketd
 
 import (
@@ -66,6 +84,14 @@ const (
 	// CrashPostCommit fires after the commit marker is appended and the
 	// outcome installed — the crash that must change nothing on replay.
 	CrashPostCommit = "post_commit"
+	// CrashCheckpointRotated fires between the rotation into a fresh
+	// checkpoint-flagged segment and the snapshot record append, leaving
+	// an empty checkpoint segment that recovery must discard as debris.
+	CrashCheckpointRotated = "checkpoint_rotated"
+	// CrashCheckpointWritten fires after the snapshot record is durable,
+	// before the covered segments are pruned — recovery starts at the new
+	// checkpoint and the stale history is swept on a later checkpoint.
+	CrashCheckpointWritten = "checkpoint_written"
 )
 
 // WALFileName is the log file the market keeps inside Config.Dir.
@@ -77,6 +103,11 @@ var (
 	// ErrUnknownSeq is returned by Wait and Outcome for a sequence
 	// number the market never issued.
 	ErrUnknownSeq = errors.New("marketd: unknown sequence number")
+	// ErrPruned is returned by Wait and Outcome for a committed sequence
+	// number whose outcome the retention policy (Config.RetainOutcomes)
+	// has evicted. Its payments remain in the ledger; only the
+	// per-auction record is gone.
+	ErrPruned = errors.New("marketd: outcome pruned from history")
 )
 
 // Config configures a market.
@@ -90,10 +121,36 @@ type Config struct {
 	// workers).
 	Workers, Queue int
 	// SyncEvery batches WAL fsyncs (see wal.Options); 0 or 1 syncs every
-	// record, which makes every acknowledged submission durable.
+	// record, which makes every acknowledged submission durable. Ignored
+	// under GroupCommit, where durability is per commit, not per record.
 	SyncEvery int
 	// NoSync disables fsync (tests only).
 	NoSync bool
+	// GroupCommit enables cross-request fsync coalescing: appends buffer
+	// and a dedicated syncer goroutine batches every in-flight Submit and
+	// outcome commit into one fsync, so full durability no longer
+	// serializes producers on disk latency. Acknowledgments still happen
+	// only after the covering fsync returns.
+	GroupCommit bool
+	// SyncInterval caps group-commit latency trading it for batch size:
+	// the syncer waits up to this long for more commits to pile onto the
+	// pending fsync. 0 syncs as soon as the syncer gets the CPU.
+	SyncInterval time.Duration
+	// CheckpointEvery writes a checkpoint — rotate into a checkpoint
+	// segment, append a snapshot of the folded state, prune covered
+	// segments — every this many committed outcomes. 0 disables
+	// checkpoints: the WAL is a single unbounded segment (the legacy
+	// layout) and recovery replays all of history.
+	CheckpointEvery int
+	// SegmentBytes and SegmentRecords bound plain segment size between
+	// checkpoints (see wal.DirOptions); 0 disables that trigger.
+	SegmentBytes   int64
+	SegmentRecords int
+	// RetainOutcomes bounds the in-memory and checkpointed per-auction
+	// history: once the contiguous committed prefix outgrows it, the
+	// oldest outcomes are evicted and served as ErrPruned (HTTP 410).
+	// Their payments stay folded in the ledger. 0 retains everything.
+	RetainOutcomes int
 	// RatePerSec and Burst configure the per-client token bucket applied
 	// at the HTTP edge. RatePerSec <= 0 disables rate limiting; Burst
 	// <= 0 selects max(1, ceil(RatePerSec)).
@@ -134,7 +191,7 @@ type Market struct {
 	cfg     Config
 	svc     *batch.Service
 	cancel  context.CancelFunc
-	log     *wal.Log // nil when volatile
+	log     *wal.DirLog // nil when volatile
 	limiter *tokenBucket
 
 	killOnce     sync.Once
@@ -145,10 +202,25 @@ type Market struct {
 	mu       sync.Mutex
 	closed   bool
 	next     int
-	pending  map[int]struct{} // acknowledged, not yet committed
-	outcomes map[int]OutcomeRecord
+	pending  map[int]batch.Instance // acknowledged, not yet committed
+	outcomes map[int]OutcomeRecord  // retained window: seqs in [base, …)
 	waiters  map[int]chan struct{}
 	faults   int // WAL anomalies absorbed during recovery
+
+	// Incremental ledger: the fold of every committed outcome with seq <
+	// foldedNext, maintained frontier-style (strictly ascending seq
+	// order) so it is bit-identical to the full re-derivation the ledger
+	// used to be. base marks the retention floor: outcomes with seq <
+	// base are evicted (always < foldedNext, so their payments are in
+	// the ledger).
+	ledger     map[int]float64
+	foldedNext int
+	base       int
+
+	commitsSinceCkpt int    // commits since the last checkpoint
+	lastCkptSeq      int    // snapshot horizon of the newest checkpoint, -1 if none
+	recoveredTail    int    // records replayed by the last recovery
+	enc              []byte // append-encoder scratch, reused under mu
 }
 
 // Open starts (or restarts) a market. With a durability directory it
@@ -170,9 +242,11 @@ func Open(ctx context.Context, cfg Config) (*Market, error) {
 		cancel:       cancel,
 		killCh:       make(chan struct{}),
 		consumerDone: make(chan struct{}),
-		pending:      make(map[int]struct{}),
+		pending:      make(map[int]batch.Instance),
 		outcomes:     make(map[int]OutcomeRecord),
 		waiters:      make(map[int]chan struct{}),
+		ledger:       make(map[int]float64),
+		lastCkptSeq:  -1,
 	}
 	if cfg.RatePerSec > 0 {
 		m.limiter = newTokenBucket(cfg.RatePerSec, cfg.Burst, cfg.Now)
@@ -225,72 +299,152 @@ func Open(ctx context.Context, cfg Config) (*Market, error) {
 	return m, nil
 }
 
-// recover opens the WAL, replays every record into the market's state,
-// and returns the logged-but-uncommitted instances keyed by sequence
-// number. Runs before the consumer starts, so no locking is needed.
+// recover opens the WAL directory, replays its records into the
+// market's state, and returns the logged-but-uncommitted instances
+// keyed by sequence number. When the directory has a valid checkpoint,
+// the wal layer starts replay there: the first record is the snapshot,
+// every later record the tail. Replay peeks each record's envelope and
+// fully decodes only what it must — outcome bodies (installed), the
+// checkpoint (restored), and the bid bodies of submissions that are
+// still pending when the log ends; pay records and superseded bids
+// never pay for a decode. Runs before the consumer starts, so no
+// locking is needed.
 func (m *Market) recover() (map[int]batch.Instance, error) {
 	pendingInst := make(map[int]batch.Instance)
-	stagedPays := make(map[int]int) // seq -> pay records seen before its commit
+	pendingRaw := make(map[int][]byte) // seq -> retained bid payload
+	stagedPays := make(map[int]int)    // seq -> pay records seen before its commit
+	first := true
 	replay := func(payload []byte) error {
-		r, err := decodeRecord(payload)
+		typ, seq, err := peekEnvelope(payload)
 		if err != nil {
+			// Fall back to the full decoder for its error message.
+			if _, derr := decodeRecord(payload); derr != nil {
+				return derr
+			}
 			return err
 		}
-		switch r.Type {
-		case recBid:
-			if _, done := m.outcomes[r.Seq]; done {
-				m.fault("dup_record", float64(r.Seq))
-				return nil
+		wasFirst := first
+		first = false
+		switch typ {
+		case recCheckpoint:
+			if !wasFirst {
+				return fmt.Errorf("marketd: checkpoint record mid-log at seq %d", seq)
 			}
-			if _, dup := pendingInst[r.Seq]; dup {
-				m.fault("dup_record", float64(r.Seq))
-				return nil
-			}
-			var cfg core.Config
-			if r.Cfg != nil {
-				cfg = r.Cfg.ToConfig()
-			}
-			solver, err := core.ParseSolver(r.Solver)
+			ckpt, err := decodeCheckpoint(payload)
 			if err != nil {
-				return fmt.Errorf("marketd: bid record %d: %w", r.Seq, err)
+				return err
 			}
-			pendingInst[r.Seq] = batch.Instance{Bids: r.Bids, Cfg: cfg, Solver: solver}
-			if r.Seq >= m.next {
-				m.next = r.Seq + 1
+			restored, err := m.restoreCheckpoint(ckpt)
+			if err != nil {
+				return err
 			}
+			for s, inst := range restored {
+				pendingInst[s] = inst
+			}
+			return nil
+		case recBid:
+			if seq < m.base {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			if _, done := m.outcomes[seq]; done {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			if _, dup := pendingInst[seq]; dup {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			if _, dup := pendingRaw[seq]; dup {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			pendingRaw[seq] = append([]byte(nil), payload...)
+			if seq >= m.next {
+				m.next = seq + 1
+			}
+			return nil
 		case recPay:
-			if _, done := m.outcomes[r.Seq]; done {
-				m.fault("dup_record", float64(r.Seq))
+			if seq < m.base {
+				m.fault("dup_record", float64(seq))
 				return nil
 			}
-			stagedPays[r.Seq]++
-		case recOutcome:
-			if _, done := m.outcomes[r.Seq]; done {
-				m.fault("dup_record", float64(r.Seq))
+			if _, done := m.outcomes[seq]; done {
+				m.fault("dup_record", float64(seq))
 				return nil
+			}
+			stagedPays[seq]++
+			return nil
+		case recOutcome:
+			if seq < m.base {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			if _, done := m.outcomes[seq]; done {
+				m.fault("dup_record", float64(seq))
+				return nil
+			}
+			r, err := decodeRecord(payload)
+			if err != nil {
+				return err
 			}
 			if r.Outcome == nil {
-				return fmt.Errorf("marketd: outcome record %d without a body", r.Seq)
+				return fmt.Errorf("marketd: outcome record %d without a body", seq)
 			}
 			m.installLocked(*r.Outcome)
-			delete(pendingInst, r.Seq)
-			delete(stagedPays, r.Seq)
-			if r.Seq >= m.next {
-				m.next = r.Seq + 1
+			delete(pendingInst, seq)
+			delete(pendingRaw, seq)
+			delete(stagedPays, seq)
+			if seq >= m.next {
+				m.next = seq + 1
 			}
+			return nil
+		default:
+			return fmt.Errorf("marketd: unknown WAL record type %q", typ)
 		}
-		return nil
 	}
 
 	path := filepath.Join(m.cfg.Dir, WALFileName)
-	log, stats, err := wal.Open(path, wal.Options{SyncEvery: m.cfg.SyncEvery, NoSync: m.cfg.NoSync}, replay)
+	log, stats, err := wal.OpenDir(path, m.walOptions(), replay)
 	if err != nil {
 		return nil, err
 	}
 	m.log = log
+	m.recoveredTail = stats.TailRecords
 	if stats.DroppedBytes > 0 {
 		m.fault("torn_tail", float64(stats.DroppedBytes))
 	}
+
+	// Bid records with no commit marker: decode the retained payloads of
+	// the true survivors, lowest sequence first.
+	raws := make([]int, 0, len(pendingRaw))
+	for seq := range pendingRaw {
+		raws = append(raws, seq)
+	}
+	sort.Ints(raws)
+	for _, seq := range raws {
+		r, err := decodeRecord(pendingRaw[seq])
+		if err != nil {
+			return nil, err
+		}
+		var cfg core.Config
+		if r.Cfg != nil {
+			cfg = r.Cfg.ToConfig()
+		}
+		solver, err := core.ParseSolver(r.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("marketd: bid record %d: %w", seq, err)
+		}
+		pendingInst[seq] = batch.Instance{Bids: r.Bids, Cfg: cfg, Solver: solver}
+	}
+
+	// The pending set must live in m.pending too: a checkpoint written
+	// after this restart re-homes these submissions into its snapshot,
+	// which is what makes pruning their original bid records safe.
+	for seq, inst := range pendingInst {
+		m.pending[seq] = inst
+	}
+
 	// Pay records whose commit marker never reached disk: the ledger
 	// write-ahead of a solve that will be re-done. Discarded — their
 	// seqs are still in pendingInst, so the re-solve re-writes them.
@@ -305,6 +459,34 @@ func (m *Market) recover() (map[int]batch.Instance, error) {
 	return pendingInst, nil
 }
 
+// walOptions maps the market configuration onto the WAL directory
+// options, wiring rotation and group-commit telemetry to the observer.
+func (m *Market) walOptions() wal.DirOptions {
+	opts := wal.DirOptions{
+		SyncEvery:      m.cfg.SyncEvery,
+		NoSync:         m.cfg.NoSync,
+		SegmentBytes:   m.cfg.SegmentBytes,
+		SegmentRecords: m.cfg.SegmentRecords,
+		GroupCommit:    m.cfg.GroupCommit,
+		SyncInterval:   m.cfg.SyncInterval,
+	}
+	if o := m.cfg.Observer; o != nil {
+		opts.OnRotate = func(seg int, checkpoint bool) {
+			o.Observe(obs.Event{
+				Kind: obs.EvWALSegmentRotated, Client: -1, Bid: -1,
+				Value: float64(seg), OK: checkpoint,
+			})
+		}
+		opts.OnGroupCommit = func(records int, dur time.Duration) {
+			o.Observe(obs.Event{
+				Kind: obs.EvGroupCommit, Client: -1, Bid: -1,
+				Value: float64(records), Dur: dur,
+			})
+		}
+	}
+	return opts
+}
+
 // fault counts one absorbed WAL anomaly and reports it to the observer.
 func (m *Market) fault(label string, value float64) {
 	m.faults++
@@ -316,11 +498,14 @@ func (m *Market) fault(label string, value float64) {
 }
 
 // installLocked commits an outcome record to in-memory state: the
-// outcome index and any waiters. The ledger is derived from the
-// outcome index on demand (see ledgerLocked), never accumulated in
-// commit order — float addition is order-sensitive, and commit order
-// varies with worker scheduling while replay order does not. Callers
-// hold m.mu (or, during recovery, exclusive access).
+// outcome index, any waiters, and the incremental ledger. The ledger
+// folds strictly along the contiguous committed frontier (ascending
+// seq) — float addition is order-sensitive, and commit order varies
+// with worker scheduling while frontier order does not, so the
+// incremental fold stays bit-identical to a full re-derivation.
+// Outcomes past a gap wait in the index until the frontier reaches
+// them. Once folded, outcomes older than the retention window are
+// evicted. Callers hold m.mu (or, during recovery, exclusive access).
 func (m *Market) installLocked(rec OutcomeRecord) {
 	m.outcomes[rec.Seq] = rec
 	delete(m.pending, rec.Seq)
@@ -328,6 +513,23 @@ func (m *Market) installLocked(rec OutcomeRecord) {
 		close(ch)
 		delete(m.waiters, rec.Seq)
 	}
+	for {
+		next, ok := m.outcomes[m.foldedNext]
+		if !ok {
+			break
+		}
+		for _, w := range next.Winners {
+			m.ledger[w.Client] += w.Payment
+		}
+		m.foldedNext++
+	}
+	if r := m.cfg.RetainOutcomes; r > 0 {
+		for m.foldedNext-m.base > r {
+			delete(m.outcomes, m.base)
+			m.base++
+		}
+	}
+	m.commitsSinceCkpt++
 }
 
 // crashLocked consults the crash-point hook; on true it kills the
@@ -382,53 +584,109 @@ func (m *Market) RecoveredFaults() int {
 // queued in this process's lifetime; it will be solved on the next
 // Open.
 func (m *Market) Submit(ctx context.Context, client string, inst batch.Instance) (int, error) {
+	seqs, err := m.submitAll(ctx, client, []batch.Instance{inst})
+	if len(seqs) == 1 {
+		return seqs[0], err
+	}
+	return -1, err
+}
+
+// SubmitBatch acknowledges several submissions at once, assigning them
+// consecutive sequence numbers. All bid records ride one durability
+// point — under group commit, a single coalesced fsync — which is what
+// makes batched ingest cheaper than a loop of Submits. On error the
+// returned slice still carries a valid sequence number (>= 0) for every
+// submission that was durably acknowledged.
+func (m *Market) SubmitBatch(ctx context.Context, client string, insts []batch.Instance) ([]int, error) {
+	return m.submitAll(ctx, client, insts)
+}
+
+func (m *Market) submitAll(ctx context.Context, client string, insts []batch.Instance) ([]int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if m.cfg.Rule != nil {
-		inst.Cfg.PaymentRule = *m.cfg.Rule
+	if len(insts) == 0 {
+		return nil, nil
 	}
-	if m.cfg.Solver != nil {
-		inst.Solver = *m.cfg.Solver
+	for i := range insts {
+		if m.cfg.Rule != nil {
+			insts[i].Cfg.PaymentRule = *m.cfg.Rule
+		}
+		if m.cfg.Solver != nil {
+			insts[i].Solver = *m.cfg.Solver
+		}
+		if insts[i].Set != nil && insts[i].Bids == nil {
+			// Columnar submissions are solved through the shared Set (the batch
+			// layer's warm-start path), but the WAL speaks rows: materialize
+			// them once here so the logged record is byte-identical to a row
+			// submission of the same population.
+			insts[i].Bids = insts[i].Set.Bids()
+		}
 	}
-	if inst.Set != nil && inst.Bids == nil {
-		// Columnar submissions are solved through the shared Set (the batch
-		// layer's warm-start path), but the WAL speaks rows: materialize
-		// them once here so the logged record is byte-identical to a row
-		// submission of the same population.
-		inst.Bids = inst.Set.Bids()
-	}
+
 	m.mu.Lock()
 	if m.closed || m.killedFlag.Load() {
 		m.mu.Unlock()
-		return -1, ErrClosed
+		return nil, ErrClosed
 	}
-	seq := m.next
-	if m.log != nil {
-		payload, err := encodeBidRecord(seq, client, inst)
-		if err != nil {
-			m.mu.Unlock()
-			return -1, err
+	seqs := make([]int, len(insts))
+	for i, inst := range insts {
+		seq := m.next
+		if m.log != nil {
+			payload, err := appendBidRecord(m.enc[:0], seq, client, inst)
+			m.enc = payload[:0]
+			if err == nil {
+				err = m.log.Append(payload)
+			}
+			if err != nil {
+				m.mu.Unlock()
+				for j := i; j < len(seqs); j++ {
+					seqs[j] = -1
+				}
+				return seqs, err
+			}
 		}
-		if err := m.log.Append(payload); err != nil {
-			m.mu.Unlock()
-			return -1, err
-		}
+		m.next = seq + 1
+		m.pending[seq] = inst
+		seqs[i] = seq
 	}
-	m.next = seq + 1
-	m.pending[seq] = struct{}{}
-	if m.crashLocked(CrashBidLogged, seq) {
+	group := m.log != nil && m.cfg.GroupCommit
+	if group {
+		// Wait for the covering fsync outside the lock, so concurrent
+		// submitters and the consumer's commits pile onto the same group
+		// commit instead of queueing behind this one's disk latency.
 		m.mu.Unlock()
-		return seq, nil // durably acked; the next Open will solve it
+		if err := m.log.Commit(); err != nil {
+			m.mu.Lock()
+			m.killLocked() // acknowledged nothing; a failing log is a dead market
+			for _, seq := range seqs {
+				delete(m.pending, seq)
+			}
+			m.mu.Unlock()
+			return nil, err
+		}
+		m.mu.Lock()
+	}
+	crashed := false
+	for _, seq := range seqs {
+		if m.crashLocked(CrashBidLogged, seq) {
+			crashed = true
+			break
+		}
 	}
 	m.mu.Unlock()
+	if crashed {
+		return seqs, nil // durably acked; the next Open will solve them
+	}
 
 	// The enqueue happens outside the lock: queue backpressure must
 	// never block the consumer's commits (which need the lock).
-	if err := m.svc.SubmitSeq(ctx, seq, inst); err != nil {
-		return seq, err
+	for i, seq := range seqs {
+		if err := m.svc.SubmitSeq(ctx, seq, insts[i]); err != nil {
+			return seqs, err
+		}
 	}
-	return seq, nil
+	return seqs, nil
 }
 
 // consume drains the service's outcomes and commits each one.
@@ -460,53 +718,146 @@ func (m *Market) commit(oc batch.Outcome) bool {
 	}
 	rec := recordFromOutcome(oc)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.outcomes[rec.Seq]; dup {
+	if _, dup := m.outcomes[rec.Seq]; dup || rec.Seq < m.base {
 		// Exactly-once guard: a sequence number commits once per market
 		// lifetime, whatever the scheduler delivered.
+		m.mu.Unlock()
 		return true
 	}
 	if m.crashLocked(CrashOutcomeSolved, rec.Seq) {
+		m.mu.Unlock()
 		return false
 	}
 	if m.log != nil {
 		for i, w := range rec.Winners {
-			payload, err := encodePayRecord(rec.Seq, w)
+			payload, err := appendPayRecord(m.enc[:0], rec.Seq, w)
+			m.enc = payload[:0]
 			if err == nil {
 				err = m.log.Append(payload)
 			}
 			if err != nil {
 				m.killLocked() // a failing log is a dead market, not a silent one
+				m.mu.Unlock()
 				return false
 			}
 			if i == 0 && m.crashLocked(CrashLedgerPartial, rec.Seq) {
+				m.mu.Unlock()
 				return false
 			}
 		}
 		if m.crashLocked(CrashPreCommit, rec.Seq) {
+			m.mu.Unlock()
 			return false
 		}
-		payload, err := encodeOutcomeRecord(rec)
+		payload, err := appendOutcomeRecord(m.enc[:0], &rec)
+		m.enc = payload[:0]
 		if err == nil {
 			err = m.log.Append(payload)
 		}
 		if err != nil {
 			m.killLocked()
+			m.mu.Unlock()
 			return false
+		}
+		if m.cfg.GroupCommit {
+			// Make the whole commit group durable before installing,
+			// waiting outside the lock so concurrent Submits coalesce onto
+			// the same fsync instead of serializing behind it.
+			m.mu.Unlock()
+			if err := m.log.Commit(); err != nil {
+				m.mu.Lock()
+				m.killLocked()
+				m.mu.Unlock()
+				return false
+			}
+			m.mu.Lock()
+			if _, dup := m.outcomes[rec.Seq]; dup {
+				m.mu.Unlock()
+				return true
+			}
 		}
 	}
 	m.installLocked(rec)
-	return !m.crashLocked(CrashPostCommit, rec.Seq)
+	ok := true
+	if m.log != nil && m.cfg.CheckpointEvery > 0 && m.commitsSinceCkpt >= m.cfg.CheckpointEvery {
+		ok = m.checkpointLocked()
+	}
+	if ok && m.crashLocked(CrashPostCommit, rec.Seq) {
+		ok = false
+	}
+	m.mu.Unlock()
+	return ok
+}
+
+// checkpointLocked writes one checkpoint: rotate into a fresh
+// checkpoint-flagged segment, append the folded-state snapshot as its
+// first record, force it durable, then prune every covered segment.
+// A crash at any point is safe: before the snapshot record lands, the
+// empty checkpoint segment is recovery debris (discarded, full replay
+// from the previous start); after it lands, recovery starts at the new
+// checkpoint whether or not the prune ran. Reports false when the
+// market died (crash point or log failure). Caller holds m.mu.
+func (m *Market) checkpointLocked() bool {
+	var start time.Time
+	if m.cfg.Observer != nil {
+		start = m.cfg.Now()
+	}
+	if err := m.log.Rotate(true); err != nil {
+		m.killLocked()
+		return false
+	}
+	if m.crashLocked(CrashCheckpointRotated, m.next) {
+		return false
+	}
+	payload, err := m.encodeCheckpointLocked()
+	if err == nil {
+		err = m.log.AppendDeferred(payload)
+	}
+	if err == nil {
+		err = m.log.Sync()
+	}
+	if err != nil {
+		m.killLocked()
+		if o := m.cfg.Observer; o != nil {
+			o.Observe(obs.Event{
+				Kind: obs.EvWALCheckpoint, Client: -1, Bid: -1,
+				Value: float64(m.next), OK: false,
+			})
+		}
+		return false
+	}
+	m.lastCkptSeq = m.next
+	m.commitsSinceCkpt = 0
+	if m.crashLocked(CrashCheckpointWritten, m.next) {
+		return false
+	}
+	pruned, err := m.log.Prune()
+	if err != nil {
+		m.killLocked()
+		return false
+	}
+	if o := m.cfg.Observer; o != nil {
+		o.Observe(obs.Event{
+			Kind: obs.EvWALCheckpoint, Client: -1, Bid: -1,
+			Value: float64(m.lastCkptSeq), Round: pruned, OK: true,
+			Dur: m.cfg.Now().Sub(start),
+		})
+	}
+	return true
 }
 
 // Outcome returns the committed outcome for seq. ok reports whether it
 // has committed; a false ok with a nil error means the submission is
-// still pending.
+// still pending. A committed outcome evicted by the retention policy
+// answers ErrPruned.
 func (m *Market) Outcome(seq int) (OutcomeRecord, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if rec, ok := m.outcomes[seq]; ok {
 		return rec, true, nil
+	}
+	if seq >= 0 && seq < m.base {
+		return OutcomeRecord{}, false, ErrPruned
 	}
 	if seq < 0 || seq >= m.next {
 		return OutcomeRecord{}, false, ErrUnknownSeq
@@ -520,6 +871,10 @@ func (m *Market) Wait(ctx context.Context, seq int) (OutcomeRecord, error) {
 	if rec, ok := m.outcomes[seq]; ok {
 		m.mu.Unlock()
 		return rec, nil
+	}
+	if seq >= 0 && seq < m.base {
+		m.mu.Unlock()
+		return OutcomeRecord{}, ErrPruned
 	}
 	if seq < 0 || seq >= m.next {
 		m.mu.Unlock()
@@ -555,18 +910,25 @@ func (m *Market) Wait(ctx context.Context, seq int) (OutcomeRecord, error) {
 	}
 }
 
-// ledgerLocked folds committed outcomes, in sequence order, into
-// per-client cumulative payments. Summing in a canonical order keeps
-// the ledger bit-identical however commits interleaved. Caller holds
-// m.mu.
+// ledgerLocked returns per-client cumulative payments: a copy of the
+// incrementally folded frontier ledger, plus an on-demand fold of any
+// committed outcomes waiting past a sequence gap. Both folds run in
+// ascending sequence order, so the result is bit-identical to the full
+// re-derivation this used to be, however commits interleaved. Caller
+// holds m.mu.
 func (m *Market) ledgerLocked() map[int]float64 {
-	seqs := make([]int, 0, len(m.outcomes))
-	for seq := range m.outcomes {
-		seqs = append(seqs, seq)
+	out := make(map[int]float64, len(m.ledger))
+	for c, p := range m.ledger {
+		out[c] = p
 	}
-	sort.Ints(seqs)
-	out := make(map[int]float64)
-	for _, seq := range seqs {
+	var tail []int
+	for seq := range m.outcomes {
+		if seq >= m.foldedNext {
+			tail = append(tail, seq)
+		}
+	}
+	sort.Ints(tail)
+	for _, seq := range tail {
 		for _, w := range m.outcomes[seq].Winners {
 			out[w.Client] += w.Payment
 		}
@@ -583,13 +945,54 @@ func (m *Market) Ledger() map[int]float64 {
 }
 
 // Counts returns the market's load figures: the next sequence number,
-// committed outcomes, pending (acknowledged, uncommitted) submissions,
-// and the solve queue depth.
+// committed outcomes (including ones the retention policy has since
+// evicted — this is the lifetime total, not the retained window),
+// pending (acknowledged, uncommitted) submissions, and the solve queue
+// depth.
 func (m *Market) Counts() (next, committed, pending, queueDepth int) {
 	m.mu.Lock()
-	next, committed, pending = m.next, len(m.outcomes), len(m.pending)
+	next, committed, pending = m.next, len(m.outcomes)+m.base, len(m.pending)
 	m.mu.Unlock()
 	return next, committed, pending, m.svc.QueueDepth()
+}
+
+// WALInfo describes the durability directory of a market: its on-disk
+// footprint, segment layout, and how much work the last recovery did.
+type WALInfo struct {
+	// Bytes is the total size of all live WAL segments.
+	Bytes int64 `json:"wal_bytes"`
+	// Segments is the number of live segment files.
+	Segments int `json:"wal_segments"`
+	// LastCheckpointSeq is the snapshot horizon (next sequence number)
+	// of the newest checkpoint, -1 when no checkpoint exists.
+	LastCheckpointSeq int `json:"last_checkpoint_seq"`
+	// TailReplayed is the number of records the last recovery replayed
+	// after its starting checkpoint (all of history when there was
+	// none) — the restart-cost figure checkpoints exist to bound.
+	TailReplayed int `json:"tail_replayed"`
+	// Syncs counts fsyncs since open; with group commit, dividing the
+	// commit count by it gives the realized coalescing factor.
+	Syncs int64 `json:"wal_syncs"`
+	// Records counts WAL records replayed at open plus appended since.
+	Records int `json:"wal_records"`
+}
+
+// WALInfo reports the durability directory's current footprint. A
+// volatile market returns the zero value.
+func (m *Market) WALInfo() WALInfo {
+	m.mu.Lock()
+	last := m.lastCkptSeq
+	tail := m.recoveredTail
+	m.mu.Unlock()
+	info := WALInfo{LastCheckpointSeq: last, TailReplayed: tail}
+	if m.log != nil {
+		st := m.log.Stats()
+		info.Bytes = st.TotalBytes
+		info.Segments = st.Segments
+		info.Syncs = st.Syncs
+		info.Records = st.Records
+	}
+	return info
 }
 
 // Close drains and stops the market: no new submissions, queued work is

@@ -168,6 +168,12 @@ type walRecord struct {
 	Outcome *OutcomeRecord `json:"outcome,omitempty"`
 }
 
+// The json.Marshal-based encoders below are the reference
+// implementation: the hot paths use the append-style encoders in
+// encode.go, which TestEncodeDifferential pins byte-for-byte against
+// these. Tests and tools may keep using them where allocation does not
+// matter.
+
 func encodeBidRecord(seq int, client string, inst batch.Instance) ([]byte, error) {
 	cw, err := FromConfig(inst.Cfg)
 	if err != nil {

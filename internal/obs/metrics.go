@@ -278,6 +278,12 @@ type Metrics struct {
 	rateLimited                  *Counter
 	admissionRejected            *Counter
 	certificates                 *Counter
+	walCheckpoints               *Counter
+	walCheckpointsFailed         *Counter
+	walSegmentsPruned            *Counter
+	walRotations                 *Counter
+	groupCommits                 *Counter
+	groupCommitRecords           *Counter
 	payments, cost               *Gauge
 	batchQueueDepth              *Gauge
 	wdpSeconds, auctionSeconds   *Histogram
@@ -287,6 +293,9 @@ type Metrics struct {
 	batchSeconds                 *Histogram
 	recoverySeconds              *Histogram
 	certRatio                    *Histogram
+	checkpointSeconds            *Histogram
+	groupCommitBatch             *Histogram
+	groupCommitSeconds           *Histogram
 }
 
 // RatioBuckets are the bounds of the certified-approximation-ratio
@@ -295,6 +304,11 @@ type Metrics struct {
 // rather than latency decades.
 var RatioBuckets = []float64{1, 1.01, 1.02, 1.05, 1.1, 1.2, 1.5, 2}
 
+// BatchBuckets are the bounds of the group-commit batch-size histogram:
+// how many records each coalesced fsync made durable, from a lone
+// committer (no coalescing) up through saturated producers.
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
 // NewMetrics returns a Metrics observer writing into reg (nil creates a
 // fresh registry, retrievable via Registry).
 func NewMetrics(reg *Registry) *Metrics {
@@ -302,50 +316,59 @@ func NewMetrics(reg *Registry) *Metrics {
 		reg = NewRegistry()
 	}
 	return &Metrics{
-		reg:                reg,
-		auctions:           reg.Counter("afl_auctions_total"),
-		auctionsInfeasible: reg.Counter("afl_auctions_infeasible_total"),
-		wdps:               reg.Counter("afl_wdp_solves_total"),
-		wdpsInfeasible:     reg.Counter("afl_wdp_infeasible_total"),
-		winners:            reg.Counter("afl_winners_total"),
-		repairs:            reg.Counter("afl_repairs_total"),
-		repairsFailed:      reg.Counter("afl_repairs_failed_total"),
-		retries:            reg.Counter("afl_retries_total"),
-		stragglers:         reg.Counter("afl_stragglers_total"),
-		drops:              reg.Counter("afl_dropouts_total"),
-		rounds:             reg.Counter("afl_rounds_total"),
-		roundsUnderCovered: reg.Counter("afl_rounds_under_covered_total"),
-		faultDrop:          reg.Counter("afl_faults_drop_total"),
-		faultDelay:         reg.Counter("afl_faults_delay_total"),
-		faultDup:           reg.Counter("afl_faults_dup_total"),
-		faultCrash:         reg.Counter("afl_faults_crash_total"),
-		pricings:           reg.Counter("afl_pricings_total"),
-		pricingsCanceled:   reg.Counter("afl_pricings_canceled_total"),
-		winnersPriced:      reg.Counter("afl_winners_priced_total"),
-		pricingProbes:      reg.Counter("afl_pricing_probes_total"),
-		batches:            reg.Counter("afl_batches_total"),
-		batchesCanceled:    reg.Counter("afl_batches_canceled_total"),
-		batchAuctions:      reg.Counter("afl_batch_auctions_total"),
-		recoveries:         reg.Counter("afl_market_recoveries_total"),
-		replayed:           reg.Counter("afl_market_replayed_outcomes_total"),
-		resubmitted:        reg.Counter("afl_market_resubmitted_total"),
-		walTornTails:       reg.Counter("afl_wal_torn_tails_total"),
-		walDupRecords:      reg.Counter("afl_wal_dup_records_total"),
-		walOrphanPayments:  reg.Counter("afl_wal_orphan_payments_total"),
-		rateLimited:        reg.Counter("afl_rate_limited_total"),
-		admissionRejected:  reg.Counter("afl_admission_rejected_total"),
-		certificates:       reg.Counter("afl_certificates_total"),
-		payments:           reg.Gauge("afl_payment_volume"),
-		cost:               reg.Gauge("afl_last_auction_cost"),
-		batchQueueDepth:    reg.Gauge("afl_batch_queue_depth"),
-		wdpSeconds:         reg.Histogram("afl_wdp_solve_seconds", nil),
-		auctionSeconds:     reg.Histogram("afl_auction_seconds", nil),
-		repairSeconds:      reg.Histogram("afl_repair_seconds", nil),
-		pricingSeconds:     reg.Histogram("afl_pricing_seconds", nil),
-		winnerPriceSeconds: reg.Histogram("afl_winner_price_seconds", nil),
-		batchSeconds:       reg.Histogram("afl_batch_seconds", nil),
-		recoverySeconds:    reg.Histogram("afl_market_recovery_seconds", nil),
-		certRatio:          reg.Histogram("afl_certificate_ratio", RatioBuckets),
+		reg:                  reg,
+		auctions:             reg.Counter("afl_auctions_total"),
+		auctionsInfeasible:   reg.Counter("afl_auctions_infeasible_total"),
+		wdps:                 reg.Counter("afl_wdp_solves_total"),
+		wdpsInfeasible:       reg.Counter("afl_wdp_infeasible_total"),
+		winners:              reg.Counter("afl_winners_total"),
+		repairs:              reg.Counter("afl_repairs_total"),
+		repairsFailed:        reg.Counter("afl_repairs_failed_total"),
+		retries:              reg.Counter("afl_retries_total"),
+		stragglers:           reg.Counter("afl_stragglers_total"),
+		drops:                reg.Counter("afl_dropouts_total"),
+		rounds:               reg.Counter("afl_rounds_total"),
+		roundsUnderCovered:   reg.Counter("afl_rounds_under_covered_total"),
+		faultDrop:            reg.Counter("afl_faults_drop_total"),
+		faultDelay:           reg.Counter("afl_faults_delay_total"),
+		faultDup:             reg.Counter("afl_faults_dup_total"),
+		faultCrash:           reg.Counter("afl_faults_crash_total"),
+		pricings:             reg.Counter("afl_pricings_total"),
+		pricingsCanceled:     reg.Counter("afl_pricings_canceled_total"),
+		winnersPriced:        reg.Counter("afl_winners_priced_total"),
+		pricingProbes:        reg.Counter("afl_pricing_probes_total"),
+		batches:              reg.Counter("afl_batches_total"),
+		batchesCanceled:      reg.Counter("afl_batches_canceled_total"),
+		batchAuctions:        reg.Counter("afl_batch_auctions_total"),
+		recoveries:           reg.Counter("afl_market_recoveries_total"),
+		replayed:             reg.Counter("afl_market_replayed_outcomes_total"),
+		resubmitted:          reg.Counter("afl_market_resubmitted_total"),
+		walTornTails:         reg.Counter("afl_wal_torn_tails_total"),
+		walDupRecords:        reg.Counter("afl_wal_dup_records_total"),
+		walOrphanPayments:    reg.Counter("afl_wal_orphan_payments_total"),
+		rateLimited:          reg.Counter("afl_rate_limited_total"),
+		admissionRejected:    reg.Counter("afl_admission_rejected_total"),
+		certificates:         reg.Counter("afl_certificates_total"),
+		walCheckpoints:       reg.Counter("afl_wal_checkpoints_total"),
+		walCheckpointsFailed: reg.Counter("afl_wal_checkpoints_failed_total"),
+		walSegmentsPruned:    reg.Counter("afl_wal_segments_pruned_total"),
+		walRotations:         reg.Counter("afl_wal_rotations_total"),
+		groupCommits:         reg.Counter("afl_group_commits_total"),
+		groupCommitRecords:   reg.Counter("afl_group_commit_records_total"),
+		payments:             reg.Gauge("afl_payment_volume"),
+		cost:                 reg.Gauge("afl_last_auction_cost"),
+		batchQueueDepth:      reg.Gauge("afl_batch_queue_depth"),
+		wdpSeconds:           reg.Histogram("afl_wdp_solve_seconds", nil),
+		auctionSeconds:       reg.Histogram("afl_auction_seconds", nil),
+		repairSeconds:        reg.Histogram("afl_repair_seconds", nil),
+		pricingSeconds:       reg.Histogram("afl_pricing_seconds", nil),
+		winnerPriceSeconds:   reg.Histogram("afl_winner_price_seconds", nil),
+		batchSeconds:         reg.Histogram("afl_batch_seconds", nil),
+		recoverySeconds:      reg.Histogram("afl_market_recovery_seconds", nil),
+		certRatio:            reg.Histogram("afl_certificate_ratio", RatioBuckets),
+		checkpointSeconds:    reg.Histogram("afl_wal_checkpoint_seconds", nil),
+		groupCommitBatch:     reg.Histogram("afl_group_commit_batch", BatchBuckets),
+		groupCommitSeconds:   reg.Histogram("afl_group_commit_seconds", nil),
 	}
 }
 
@@ -450,6 +473,24 @@ func (m *Metrics) Observe(e Event) {
 		m.certificates.Inc()
 		if e.OK && !math.IsInf(e.Value, 1) {
 			m.certRatio.Observe(e.Value)
+		}
+	case EvWALCheckpoint:
+		m.walCheckpoints.Inc()
+		if !e.OK {
+			m.walCheckpointsFailed.Inc()
+		}
+		m.walSegmentsPruned.Add(int64(e.Round))
+		if e.Dur > 0 {
+			m.checkpointSeconds.ObserveDuration(e.Dur)
+		}
+	case EvWALSegmentRotated:
+		m.walRotations.Inc()
+	case EvGroupCommit:
+		m.groupCommits.Inc()
+		m.groupCommitRecords.Add(int64(e.Value))
+		m.groupCommitBatch.Observe(e.Value)
+		if e.Dur > 0 {
+			m.groupCommitSeconds.ObserveDuration(e.Dur)
 		}
 	case EvFaultInjected:
 		switch e.Label {

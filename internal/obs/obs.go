@@ -124,8 +124,22 @@ const (
 	// Tg the selected T̂_g, Round the number of candidates actually
 	// solved, Value the certified approximation ratio, OK feasibility.
 	EvCertificateComputed
+	// EvWALCheckpoint closes one durable-market checkpoint: a rotation
+	// into a checkpoint-flagged segment, the snapshot record append, and
+	// the prune of covered history. Value is the next sequence number
+	// captured by the snapshot, Round the number of segments pruned, Dur
+	// the checkpoint latency, OK false when the snapshot write failed.
+	EvWALCheckpoint
+	// EvWALSegmentRotated marks the WAL sealing its active segment and
+	// opening a new one. Value is the new segment index, OK true when the
+	// new segment starts with a checkpoint record.
+	EvWALSegmentRotated
+	// EvGroupCommit closes one coalesced fsync of the group-commit
+	// syncer. Value is the number of records made durable by the single
+	// fsync (the batch size), Dur the fsync latency.
+	EvGroupCommit
 
-	numEventKinds = int(EvCertificateComputed) + 1
+	numEventKinds = int(EvGroupCommit) + 1
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -153,6 +167,9 @@ var eventKindNames = [numEventKinds]string{
 	EvRateLimited:         "rate_limited",
 	EvAdmissionRejected:   "admission_rejected",
 	EvCertificateComputed: "certificate_computed",
+	EvWALCheckpoint:       "wal_checkpoint",
+	EvWALSegmentRotated:   "wal_segment_rotated",
+	EvGroupCommit:         "group_commit",
 }
 
 // String returns the kind's snake_case name.

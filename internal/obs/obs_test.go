@@ -230,3 +230,49 @@ func TestStartProfiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWALDurabilityEvents pins the names, trace rendering and metric
+// folds of the segment/checkpoint/group-commit events.
+func TestWALDurabilityEvents(t *testing.T) {
+	var tr Trace
+	m := NewMetrics(nil)
+	o := Multi(&tr, m)
+	events := []Event{
+		{Kind: EvWALSegmentRotated, Client: -1, Bid: -1, Value: 3, OK: true},
+		{Kind: EvWALSegmentRotated, Client: -1, Bid: -1, Value: 4},
+		{Kind: EvWALCheckpoint, Client: -1, Bid: -1, Value: 120, Round: 2, OK: true, Dur: 4 * time.Millisecond},
+		{Kind: EvWALCheckpoint, Client: -1, Bid: -1, Value: 121, OK: false},
+		{Kind: EvGroupCommit, Client: -1, Bid: -1, Value: 7, Dur: 2 * time.Millisecond},
+		{Kind: EvGroupCommit, Client: -1, Bid: -1, Value: 1, Dur: time.Millisecond},
+	}
+	for _, e := range events {
+		o.Observe(e)
+	}
+	want := "wal_segment_rotated value=3 ok=true\n" +
+		"wal_segment_rotated value=4 ok=false\n" +
+		"wal_checkpoint round=2 value=120 ok=true dur=4ms\n" +
+		"wal_checkpoint value=121 ok=false\n" +
+		"group_commit value=7 ok=false dur=2ms\n" +
+		"group_commit value=1 ok=false dur=1ms\n"
+	if got := tr.String(); got != want {
+		t.Fatalf("trace mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	reg := m.Registry()
+	checks := map[string]int64{
+		"afl_wal_rotations_total":          2,
+		"afl_wal_checkpoints_total":        2,
+		"afl_wal_checkpoints_failed_total": 1,
+		"afl_wal_segments_pruned_total":    2,
+		"afl_group_commits_total":          2,
+		"afl_group_commit_records_total":   8,
+	}
+	for name, wantV := range checks {
+		if got := reg.Counter(name).Value(); got != wantV {
+			t.Errorf("%s = %d, want %d", name, got, wantV)
+		}
+	}
+	h := reg.Histogram("afl_group_commit_batch", BatchBuckets)
+	if h.Count() != 2 || h.Sum() != 8 {
+		t.Errorf("batch histogram count=%d sum=%g, want 2/8", h.Count(), h.Sum())
+	}
+}

@@ -26,11 +26,16 @@ type runConfig struct {
 	stride    int
 
 	// Market-only knobs (see OpenMarket).
-	walDir     string
-	syncEvery  int
-	ratePerSec float64
-	rateBurst  int
-	maxPending int
+	walDir          string
+	syncEvery       int
+	ratePerSec      float64
+	rateBurst       int
+	maxPending      int
+	groupCommit     bool
+	syncInterval    time.Duration
+	checkpointEvery int
+	segmentBytes    int64
+	retainOutcomes  int
 }
 
 // WithWorkers fans the independent per-T̂_g winner-determination solves

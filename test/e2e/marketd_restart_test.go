@@ -343,3 +343,217 @@ func TestRestartIdempotentAcrossRepeatedKills(t *testing.T) {
 		t.Fatalf("state diverged after two kills:\n got %s\nwant %s", snap, golden)
 	}
 }
+
+// injectSegmentFault damages the segmented WAL the way a crash during
+// the checkpoint machinery can: a torn partial frame at the tail of the
+// newest segment, or the newest checkpoint record cut off mid-write.
+// Committed bytes in earlier segments are never rewritten.
+func injectSegmentFault(t testing.TB, dir, fault string) {
+	t.Helper()
+	if fault == "none" {
+		return
+	}
+	segs, err := wal.Segments(filepath.Join(dir, marketd.WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments to damage")
+	}
+	switch fault {
+	case "torn-tail":
+		last := segs[len(segs)-1].Path
+		f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{64, 0, 0, 0, 0xaa, 0xbb, 0xcc, 0xdd, 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	case "torn-ckpt":
+		// Cut the newest checkpoint segment off mid-record: its first
+		// frame turns invalid, so recovery must fall back to the previous
+		// start point. When the crash landed between rotation and the
+		// snapshot append the segment is already empty — that IS the
+		// mid-checkpoint wreckage, nothing more to do.
+		for i := len(segs) - 1; i >= 0; i-- {
+			if !segs[i].Checkpoint {
+				continue
+			}
+			if segs[i].Size > 0 {
+				if err := os.Truncate(segs[i].Path, segs[i].Size/2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return
+		}
+	default:
+		t.Fatalf("unknown segment fault %q", fault)
+	}
+}
+
+// TestKillRestartCheckpointMatrix extends the kill/restart matrix to
+// the checkpoint machinery: the market dies inside checkpointLocked —
+// between rotation and the snapshot append, or after the snapshot but
+// before the prune — optionally with the wreckage further damaged
+// (torn active-segment tail, torn checkpoint record). Recovery must
+// still converge byte-identically to the uninterrupted golden run,
+// with and without group commit.
+func TestKillRestartCheckpointMatrix(t *testing.T) {
+	points := []string{marketd.CrashCheckpointRotated, marketd.CrashCheckpointWritten}
+	faults := []string{"none", "torn-tail", "torn-ckpt"}
+	for pi, point := range points {
+		for fi, fault := range faults {
+			point, fault := point, fault
+			group := (pi+fi)%2 == 0
+			t.Run(fmt.Sprintf("%s/%s/group=%v", point, fault, group), func(t *testing.T) {
+				t.Parallel()
+				seed := int64(40 + pi*10 + fi)
+				insts := scriptInstances(t, seed, 9)
+				golden := goldenRun(t, insts)
+
+				dir := t.TempDir()
+				cfg := marketd.Config{
+					Dir: dir, Workers: 2,
+					CheckpointEvery: 3, SegmentRecords: 8, GroupCommit: group,
+					Crash: func(p string, seq int) bool { return p == point },
+				}
+				m1, err := marketd.Open(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				acked := 0
+				for i, inst := range insts {
+					seq, err := m1.Submit(context.Background(), fmt.Sprintf("c%d", i%3), inst)
+					if seq < 0 {
+						if !errors.Is(err, marketd.ErrClosed) {
+							t.Fatalf("submit %d: %v", i, err)
+						}
+						break
+					}
+					if seq != i {
+						t.Fatalf("submit %d acked as seq %d", i, seq)
+					}
+					acked++
+				}
+				<-m1.Dead()
+				if !m1.Killed() {
+					t.Fatalf("market survived crash point %s", point)
+				}
+				m1.Close()
+
+				injectSegmentFault(t, dir, fault)
+
+				m2, err := marketd.Open(context.Background(), marketd.Config{
+					Dir: dir, Workers: 2,
+					CheckpointEvery: 3, SegmentRecords: 8, GroupCommit: group,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m2.Close()
+				for seq := 0; seq < acked; seq++ {
+					if _, err := m2.Wait(context.Background(), seq); err != nil {
+						t.Fatalf("recovered wait %d: %v", seq, err)
+					}
+				}
+				for i := acked; i < len(insts); i++ {
+					seq, err := m2.Submit(context.Background(), fmt.Sprintf("c%d", i%3), insts[i])
+					if err != nil {
+						t.Fatalf("post-restart submit %d: %v", i, err)
+					}
+					if seq != i {
+						t.Fatalf("post-restart submit %d acked as seq %d", i, seq)
+					}
+					if _, err := m2.Wait(context.Background(), seq); err != nil {
+						t.Fatal(err)
+					}
+				}
+				snap := m2.Snapshot()
+				if !bytes.Equal(snap, golden) {
+					t.Fatalf("recovered state diverged from golden (point %s, fault %s, group %v):\n got %s\nwant %s",
+						point, fault, group, snap, golden)
+				}
+			})
+		}
+	}
+}
+
+// TestKillRestartSegmentedMatrix reruns the original crash-point matrix
+// on a fully configured fast-path market — segment rotation, periodic
+// checkpoints, group commit — so the legacy commit-protocol crash
+// points stay byte-identical under the new machinery too.
+func TestKillRestartSegmentedMatrix(t *testing.T) {
+	for seed := int64(21); seed <= 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := genScript(seed)
+			insts := scriptInstances(t, seed, sc.actions)
+			golden := goldenRun(t, insts)
+			gst := decodeSnapshot(t, golden)
+			point := sc.point
+			if point == marketd.CrashLedgerPartial && len(gst.Outcomes[sc.crashSeq].Winners) == 0 {
+				point = marketd.CrashPreCommit
+			}
+
+			dir := t.TempDir()
+			cfg := marketd.Config{
+				Dir: dir, Workers: 2,
+				CheckpointEvery: 2, SegmentRecords: 6, GroupCommit: seed%2 == 0,
+				Crash: func(p string, seq int) bool { return p == point && seq == sc.crashSeq },
+			}
+			m1, err := marketd.Open(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := 0
+			for i, inst := range insts {
+				seq, err := m1.Submit(context.Background(), fmt.Sprintf("c%d", i%3), inst)
+				if seq < 0 {
+					if !errors.Is(err, marketd.ErrClosed) {
+						t.Fatalf("submit %d: %v", i, err)
+					}
+					break
+				}
+				acked++
+			}
+			<-m1.Dead()
+			if !m1.Killed() {
+				t.Fatal("market survived its crash point")
+			}
+			m1.Close()
+			if acked <= sc.crashSeq {
+				t.Fatalf("crash target %d not acked (acked %d)", sc.crashSeq, acked)
+			}
+
+			m2, err := marketd.Open(context.Background(), marketd.Config{
+				Dir: dir, Workers: 2,
+				CheckpointEvery: 2, SegmentRecords: 6, GroupCommit: seed%2 == 0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			for seq := 0; seq < acked; seq++ {
+				if _, err := m2.Wait(context.Background(), seq); err != nil {
+					t.Fatalf("recovered wait %d: %v", seq, err)
+				}
+			}
+			for i := acked; i < len(insts); i++ {
+				if _, err := m2.Submit(context.Background(), fmt.Sprintf("c%d", i%3), insts[i]); err != nil {
+					t.Fatalf("post-restart submit %d: %v", i, err)
+				}
+				if _, err := m2.Wait(context.Background(), i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if snap := m2.Snapshot(); !bytes.Equal(snap, golden) {
+				t.Fatalf("recovered state diverged from golden (point %s):\n got %s\nwant %s", point, snap, golden)
+			}
+		})
+	}
+}
